@@ -1,0 +1,404 @@
+// Package gpushare is a granularity- and interference-aware GPU sharing
+// library reproducing "Granularity- and Interference-Aware GPU Sharing
+// with MPS" (Weaver et al., SC 2024).
+//
+// The library has three layers:
+//
+//   - A calibrated simulation substrate replacing the paper's hardware:
+//     an NVIDIA A100X-class device model with SM occupancy limits, HBM
+//     capacity/bandwidth and a 300 W software power-cap governor; a CUDA
+//     MPS control surface (partitions, 48-client limit); an NVML/SMI
+//     sampling layer; and the paper's seven HPC benchmarks as workload
+//     descriptors calibrated to the paper's Tables I and II.
+//   - The scheduling approach itself: offline profiling, interference
+//     prediction, collocation-group selection under throughput/energy/
+//     product objectives, and MPS partition right-sizing.
+//   - An experiment harness regenerating every table and figure of the
+//     paper's evaluation (see internal/experiments and cmd/benchrepro).
+//
+// This file re-exports the public API; the implementation lives in the
+// internal packages documented in DESIGN.md.
+package gpushare
+
+import (
+	"io"
+
+	"gpushare/internal/core"
+	"gpushare/internal/experiments"
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/interference"
+	"gpushare/internal/metrics"
+	"gpushare/internal/mig"
+	"gpushare/internal/mps"
+	"gpushare/internal/nvml"
+	"gpushare/internal/profile"
+	"gpushare/internal/recommend"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+// Device model.
+type (
+	// DeviceSpec describes a GPU model (SMs, memory, clocks, power).
+	DeviceSpec = gpu.DeviceSpec
+	// ThrottleReason is the NVML clocks-event-reasons bitmask.
+	ThrottleReason = gpu.ThrottleReason
+)
+
+// LookupDevice returns a registered device model, e.g. "A100X".
+func LookupDevice(key string) (DeviceSpec, error) { return gpu.Lookup(key) }
+
+// MustLookupDevice is LookupDevice for statically known keys.
+func MustLookupDevice(key string) DeviceSpec { return gpu.MustLookup(key) }
+
+// DeviceModels lists the registered device model keys.
+func DeviceModels() []string { return gpu.Models() }
+
+// RegisterDevice adds a custom device model.
+func RegisterDevice(key string, spec DeviceSpec) error { return gpu.Register(key, spec) }
+
+// Workloads.
+type (
+	// Workload is one benchmark of the suite across problem sizes.
+	Workload = workload.Workload
+	// SizeProfile is a workload's calibrated profile at one size.
+	SizeProfile = workload.SizeProfile
+	// TaskSpec is the executable form of a workload size.
+	TaskSpec = workload.TaskSpec
+	// SyntheticParams parameterizes a user-defined workload.
+	SyntheticParams = workload.SyntheticParams
+)
+
+// GetWorkload returns a suite benchmark by name or paper alias
+// ("Epsilon", "MHD", "Gravity", "Athena").
+func GetWorkload(name string) (*Workload, error) { return workload.Get(name) }
+
+// WorkloadNames lists the suite benchmarks in the paper's order.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewSyntheticWorkload builds a workload from explicit utilization
+// parameters for modelling codes outside the suite.
+func NewSyntheticWorkload(params SyntheticParams) (*Workload, error) {
+	return workload.NewSynthetic(params)
+}
+
+// Simulation engine.
+type (
+	// SimConfig configures a simulation run.
+	SimConfig = gpusim.Config
+	// SimClient is one MPS client / time-sliced process.
+	SimClient = gpusim.Client
+	// SimResult is a simulation outcome.
+	SimResult = gpusim.Result
+	// ShareMode selects MPS or time-slicing.
+	ShareMode = gpusim.ShareMode
+	// ContentionParams tunes the sharing model.
+	ContentionParams = gpusim.ContentionParams
+)
+
+// Sharing modes.
+const (
+	ShareMPS       = gpusim.ShareMPS
+	ShareTimeSlice = gpusim.ShareTimeSlice
+)
+
+// RunSolo simulates one task alone (the profiling configuration).
+func RunSolo(cfg SimConfig, task *TaskSpec) (*SimResult, error) {
+	return gpusim.RunSolo(cfg, task)
+}
+
+// RunSequential simulates the sequential-scheduling baseline.
+func RunSequential(cfg SimConfig, tasks []*TaskSpec) (*SimResult, error) {
+	return gpusim.RunSequential(cfg, tasks)
+}
+
+// RunClients simulates a set of concurrent clients.
+func RunClients(cfg SimConfig, clients []SimClient) (*SimResult, error) {
+	return gpusim.RunClients(cfg, clients)
+}
+
+// MPS control surface.
+type (
+	// MPSServer is the per-GPU MPS server.
+	MPSServer = mps.Server
+	// MPSClient is one connected client.
+	MPSClient = mps.Client
+	// MPSControlDaemon manages servers per device.
+	MPSControlDaemon = mps.ControlDaemon
+)
+
+// NewMPSControlDaemon creates a control daemon with the given per-server
+// client limit (0 selects the MPS hard limit of 48).
+func NewMPSControlDaemon(clientLimit int) *MPSControlDaemon {
+	return mps.NewControlDaemon(clientLimit)
+}
+
+// Profiling.
+type (
+	// Profiler runs offline profiling campaigns.
+	Profiler = profile.Profiler
+	// TaskProfile is one profiled task (a Table II row).
+	TaskProfile = profile.TaskProfile
+	// ProfileStore is a persistent profile collection.
+	ProfileStore = profile.Store
+)
+
+// NewProfileStore returns an empty store.
+func NewProfileStore() *ProfileStore { return profile.NewStore() }
+
+// LoadProfileStore reads a store saved with ProfileStore.Save.
+func LoadProfileStore(r io.Reader) (*ProfileStore, error) { return profile.LoadStore(r) }
+
+// Interference prediction.
+type (
+	// InterferenceEstimate is the prediction for a collocation group.
+	InterferenceEstimate = interference.Estimate
+	// InterferenceMatrix holds pairwise predictions.
+	InterferenceMatrix = interference.Matrix
+)
+
+// PredictInterference applies the paper's rules to a candidate group.
+func PredictInterference(device DeviceSpec, group []*TaskProfile) InterferenceEstimate {
+	return interference.Predict(device, group)
+}
+
+// BuildInterferenceMatrix computes pairwise predictions over profiles.
+func BuildInterferenceMatrix(device DeviceSpec, profiles []*TaskProfile) InterferenceMatrix {
+	return interference.BuildMatrix(device, profiles)
+}
+
+// Workflows.
+type (
+	// WorkflowTask is one step of a workflow.
+	WorkflowTask = workflow.Task
+	// WorkflowSpec is a named sequence of tasks.
+	WorkflowSpec = workflow.Workflow
+	// WorkflowQueue is a pre-existing queue of workflows.
+	WorkflowQueue = workflow.Queue
+	// Combination is one Table III row.
+	Combination = workflow.Combination
+)
+
+// NewWorkflowQueue builds a queue in arrival order.
+func NewWorkflowQueue(workflows ...WorkflowSpec) (*WorkflowQueue, error) {
+	return workflow.NewQueue(workflows...)
+}
+
+// Combinations returns the paper's Table III combinations.
+func Combinations() []Combination { return workflow.Combinations() }
+
+// UniformWorkflows builds the N×M sets of Figures 4 and 5.
+func UniformWorkflows(benchmark, size string, seqTasks, parallel int) ([]WorkflowSpec, error) {
+	return workflow.Uniform(benchmark, size, seqTasks, parallel)
+}
+
+// Scheduling (the paper's contribution).
+type (
+	// Scheduler is the granularity- and interference-aware scheduler.
+	Scheduler = core.Scheduler
+	// Policy selects the objective and knobs.
+	Policy = core.Policy
+	// Objective is the prioritized metric.
+	Objective = core.Objective
+	// Plan is a complete collocation decision.
+	Plan = core.Plan
+	// CollocationGroup is one set of co-scheduled workflows.
+	CollocationGroup = core.Group
+	// Outcome is a plan's simulated evaluation vs sequential.
+	Outcome = core.Outcome
+	// WorkflowProfile is a workflow-level profile aggregate.
+	WorkflowProfile = core.WorkflowProfile
+)
+
+// Objectives.
+const (
+	MaximizeThroughput       = core.MaximizeThroughput
+	MaximizeEnergyEfficiency = core.MaximizeEnergyEfficiency
+	MaximizeProduct          = core.MaximizeProduct
+)
+
+// NewScheduler constructs a scheduler over a GPU pool.
+func NewScheduler(device DeviceSpec, gpus int, store *ProfileStore, policy Policy) (*Scheduler, error) {
+	return core.NewScheduler(device, gpus, store, policy)
+}
+
+// ThroughputPolicy, EnergyPolicy and ProductPolicy return the paper's
+// policy presets.
+func ThroughputPolicy() Policy { return core.ThroughputPolicy() }
+
+// EnergyPolicy returns the energy-first preset.
+func EnergyPolicy() Policy { return core.EnergyPolicy() }
+
+// ProductPolicy returns a product-balanced preset.
+func ProductPolicy(p ProductMetric) Policy { return core.ProductPolicy(p) }
+
+// Metrics.
+type (
+	// RunSummary is the metric-relevant reduction of one run.
+	RunSummary = metrics.RunSummary
+	// RelativeMetrics holds throughput/efficiency vs sequential.
+	RelativeMetrics = metrics.Relative
+	// ProductMetric is the weighted T^a×E^b metric.
+	ProductMetric = metrics.Product
+)
+
+// CompareRuns computes relative metrics of shared vs sequential.
+func CompareRuns(sequential, shared RunSummary) (RelativeMetrics, error) {
+	return metrics.Compare(sequential, shared)
+}
+
+// SummarizeRun reduces a simulation result.
+func SummarizeRun(r *SimResult) RunSummary { return metrics.Summarize(r) }
+
+// EqualProduct is T×E; ThroughputBiasedProduct is T×T×E.
+func EqualProduct() ProductMetric { return metrics.EqualProduct() }
+
+// ThroughputBiasedProduct is the paper's T×T×E example.
+func ThroughputBiasedProduct() ProductMetric { return metrics.ThroughputBiasedProduct() }
+
+// Simulated time.
+type (
+	// SimTime is an instant in simulated time (ns since run start).
+	SimTime = simtime.Time
+	// SimDuration is a span of simulated time.
+	SimDuration = simtime.Duration
+)
+
+// NVML sampling.
+type (
+	// NVMLSample is one polling observation.
+	NVMLSample = nvml.Sample
+	// NVMLSummary aggregates a sample series.
+	NVMLSummary = nvml.Summary
+)
+
+// NVMLSampleInterval is the paper's 100 ms SMI polling granularity.
+const NVMLSampleInterval = nvml.DefaultSampleInterval
+
+// SampleTrace polls a simulation result like `nvidia-smi --loop-ms`.
+func SampleTrace(spec DeviceSpec, res *SimResult, interval SimDuration) ([]NVMLSample, error) {
+	return nvml.SampleTrace(spec, res.Trace, simtime.Zero.Add(res.Makespan), interval)
+}
+
+// SummarizeSamples aggregates a sample series Table II-style.
+func SummarizeSamples(samples []NVMLSample, interval SimDuration) (NVMLSummary, error) {
+	return nvml.Summarize(samples, interval)
+}
+
+// Experiments.
+type (
+	// ExperimentOptions configures an experiment run.
+	ExperimentOptions = experiments.Options
+	// Experiment is one table/figure regenerator.
+	Experiment = experiments.Experiment
+)
+
+// AllExperiments lists the paper-artifact regenerators.
+func AllExperiments() []Experiment { return experiments.All() }
+
+// GetExperiment returns one regenerator by ID ("table1".."fig5").
+func GetExperiment(id string) (Experiment, error) { return experiments.Get(id) }
+
+// Recommendation model (the paper's §VI future work).
+type (
+	// PairPrediction is the analytic co-scheduling estimate for a pair.
+	PairPrediction = recommend.PairPrediction
+	// RecommendObjective selects the ranking metric.
+	RecommendObjective = recommend.Objective
+	// SimilarityCluster groups kernel-similar profiles.
+	SimilarityCluster = recommend.Cluster
+)
+
+// Recommendation objectives.
+const (
+	RecommendByThroughput       = recommend.ByThroughput
+	RecommendByEnergyEfficiency = recommend.ByEnergyEfficiency
+	RecommendByProduct          = recommend.ByProduct
+)
+
+// PredictPair estimates the outcome of co-scheduling two profiled tasks
+// without simulating them.
+func PredictPair(device DeviceSpec, a, b *TaskProfile) (PairPrediction, error) {
+	return recommend.PredictPair(device, a, b)
+}
+
+// RecommendPairs ranks feasible collocations from a profile set.
+func RecommendPairs(device DeviceSpec, profiles []*TaskProfile, obj RecommendObjective, includeInterfering bool) ([]PairPrediction, error) {
+	return recommend.Recommend(device, profiles, obj, includeInterfering)
+}
+
+// KernelSimilarity is the §VI kernel-similarity measure in [0,1].
+func KernelSimilarity(a, b *TaskProfile) float64 { return recommend.KernelSimilarity(a, b) }
+
+// ClusterProfiles groups kernel-similar profiles to shrink offline
+// pairwise analysis.
+func ClusterProfiles(profiles []*TaskProfile, threshold float64) ([]SimilarityCluster, error) {
+	return recommend.ClusterProfiles(profiles, threshold)
+}
+
+// MIG partitioning (§II-B; evaluated by the ext-mig experiment).
+type (
+	// MIGProfile is a MIG instance profile (e.g. 3g.40gb).
+	MIGProfile = mig.Profile
+	// MIGPartition is a validated instance configuration.
+	MIGPartition = mig.Partition
+	// MIGTenant is one process placed on an instance.
+	MIGTenant = mig.Tenant
+	// MIGResult aggregates a partitioned execution.
+	MIGResult = mig.Result
+)
+
+// MIGProfiles lists the supported instance profiles.
+func MIGProfiles() []MIGProfile { return mig.Profiles() }
+
+// NewMIGPartition validates an instance configuration on a device.
+func NewMIGPartition(device DeviceSpec, profiles ...MIGProfile) (*MIGPartition, error) {
+	return mig.NewPartition(device, profiles...)
+}
+
+// RunMIG executes tenant groups on a partition, each instance fully
+// isolated.
+func RunMIG(cfg SimConfig, partition *MIGPartition, tenants [][]MIGTenant) (*MIGResult, error) {
+	return mig.Run(cfg, partition, tenants)
+}
+
+// MIGBestFit searches partitions for the best one-instance-per-workflow
+// placement.
+func MIGBestFit(device DeviceSpec, flows []MIGTenant) (*MIGPartition, [][]MIGTenant, error) {
+	return mig.BestFit(device, flows)
+}
+
+// ShareStreams is the CUDA-streams mechanism (§II-B): overlap without
+// isolation.
+const ShareStreams = gpusim.ShareStreams
+
+// Online scheduling (extension of §IV-B's known-queue model).
+type (
+	// WorkflowArrival is a timed workflow submission.
+	WorkflowArrival = core.Arrival
+	// OnlineOutcome is an online-scheduling emulation result.
+	OnlineOutcome = core.OnlineOutcome
+	// DispatchEvent is one online dispatch decision.
+	DispatchEvent = core.DispatchEvent
+)
+
+// Workflow DAGs: data dependencies between workflows (§IV-B).
+type (
+	// WorkflowDAG is a dependency graph of workflows.
+	WorkflowDAG = workflow.DAG
+	// DAGOutcome is a dependency-aware schedule evaluation.
+	DAGOutcome = core.DAGOutcome
+)
+
+// NewWorkflowDAG returns an empty dependency graph; see
+// Scheduler.ScheduleDAG for level-by-level interference-aware execution.
+func NewWorkflowDAG() *WorkflowDAG { return workflow.NewDAG() }
+
+// NewDNNWorkload builds one of the DNN workload presets (training and
+// inference classes per the paper's motivation); see DNNPresetNames.
+func NewDNNWorkload(preset string) (*Workload, error) { return workload.NewDNNWorkload(preset) }
+
+// DNNPresetNames lists the available DNN presets.
+func DNNPresetNames() []string { return workload.DNNPresetNames() }

@@ -1,0 +1,305 @@
+package gpushare_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpushare"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way the
+// quickstart does: device → workload → profile → interference → schedule →
+// execute → metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	device, err := gpushare.LookupDevice("A100X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device.PowerLimitW != 300 {
+		t.Fatalf("device power limit %v", device.PowerLimitW)
+	}
+	if len(gpushare.DeviceModels()) < 4 {
+		t.Fatalf("device models: %v", gpushare.DeviceModels())
+	}
+	if len(gpushare.WorkloadNames()) != 7 {
+		t.Fatalf("workloads: %v", gpushare.WorkloadNames())
+	}
+
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 1}}
+	store := gpushare.NewProfileStore()
+	for _, name := range []string{"AthenaPK", "Kripke"} {
+		w, err := gpushare.GetWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := w.BuildTaskSpec("4x", device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profiler.ProfileTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a, _ := store.Get("AthenaPK", "4x")
+	k, _ := store.Get("Kripke", "4x")
+	est := gpushare.PredictInterference(device, []*gpushare.TaskProfile{a, k})
+	if est.Interferes {
+		t.Fatalf("AthenaPK+Kripke should not interfere: %s", est)
+	}
+
+	queue, err := gpushare.NewWorkflowQueue(
+		gpushare.WorkflowSpec{Name: "wf-a", Tasks: []gpushare.WorkflowTask{
+			{Benchmark: "AthenaPK", Size: "4x", Iterations: 1}}},
+		gpushare.WorkflowSpec{Name: "wf-k", Tasks: []gpushare.WorkflowTask{
+			{Benchmark: "Kripke", Size: "4x", Iterations: 1}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := gpushare.NewScheduler(device, 1, store, gpushare.ThroughputPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.ScheduleAndRun(queue, gpushare.SimConfig{Device: device, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relative.Throughput <= 1.2 {
+		t.Fatalf("collocated pair throughput %v", out.Relative.Throughput)
+	}
+	if v := gpushare.EqualProduct().Eval(out.Relative); v <= 1 {
+		t.Fatalf("product %v", v)
+	}
+}
+
+func TestFacadeStoreRoundTrip(t *testing.T) {
+	device := gpushare.MustLookupDevice("A100X")
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 2}}
+	w, _ := gpushare.GetWorkload("LAMMPS")
+	task, _ := w.BuildTaskSpec("1x", device)
+	p, err := profiler.ProfileTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := gpushare.NewProfileStore()
+	if err := store.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gpushare.LoadProfileStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatal("round trip lost profile")
+	}
+}
+
+func TestFacadeSimulationPaths(t *testing.T) {
+	device := gpushare.MustLookupDevice("A100X")
+	w, _ := gpushare.GetWorkload("Cholla-Gravity")
+	task, _ := w.BuildTaskSpec("1x", device)
+
+	solo, err := gpushare.RunSolo(gpushare.SimConfig{Device: device, Seed: 3}, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := gpushare.RunSequential(gpushare.SimConfig{Device: device, Seed: 3},
+		[]*gpushare.TaskSpec{task, task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := gpushare.RunClients(gpushare.SimConfig{Device: device, Seed: 3, Mode: gpushare.ShareMPS},
+		[]gpushare.SimClient{
+			{ID: "a", Tasks: []*gpushare.TaskSpec{task}},
+			{ID: "b", Tasks: []*gpushare.TaskSpec{task}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := gpushare.CompareRuns(gpushare.SummarizeRun(seq), gpushare.SummarizeRun(cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Throughput <= 1 {
+		t.Fatalf("shared pair not faster: %v", rel.Throughput)
+	}
+
+	samples, err := gpushare.SampleTrace(device, solo, gpushare.NVMLSampleInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := gpushare.SummarizeSamples(samples, gpushare.NVMLSampleInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AvgPowerW <= 0 {
+		t.Fatal("sample summary empty")
+	}
+}
+
+func TestFacadeMPSAndSynthetic(t *testing.T) {
+	daemon := gpushare.NewMPSControlDaemon(0)
+	server := daemon.ServerFor("gpu0")
+	c, err := server.Connect("x", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Partition() != 0.3 {
+		t.Fatalf("partition %v", c.Partition())
+	}
+	daemon.StopAll()
+
+	w, err := gpushare.NewSyntheticWorkload(gpushare.SyntheticParams{
+		Name: "facade-synth", DurationS: 3, MaxMemMiB: 256, AvgSMPct: 25, AvgBWPct: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := gpushare.MustLookupDevice("A100X")
+	if _, err := w.BuildTaskSpec("1x", device); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(gpushare.AllExperiments()) != 13 {
+		t.Fatalf("experiments: %d", len(gpushare.AllExperiments()))
+	}
+	e, err := gpushare.GetExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(gpushare.ExperimentOptions{Seed: 1, Quick: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "WarpX") {
+		t.Fatal("table1 output incomplete")
+	}
+}
+
+func TestFacadeCombinations(t *testing.T) {
+	combos := gpushare.Combinations()
+	if len(combos) != 10 {
+		t.Fatalf("combinations: %d", len(combos))
+	}
+	wfs, err := gpushare.UniformWorkflows("AthenaPK", "4x", 2, 3)
+	if err != nil || len(wfs) != 3 {
+		t.Fatalf("uniform: %v %v", len(wfs), err)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	device := gpushare.MustLookupDevice("A100X")
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 4}}
+	store := gpushare.NewProfileStore()
+	var tasks []*gpushare.TaskSpec
+	for _, name := range []string{"AthenaPK", "Kripke"} {
+		w, _ := gpushare.GetWorkload(name)
+		task, err := w.BuildTaskSpec("1x", device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+		p, err := profiler.ProfileTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recommendation model.
+	recs, err := gpushare.RecommendPairs(device, store.All(), gpushare.RecommendByThroughput, false)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("RecommendPairs: %d, %v", len(recs), err)
+	}
+	a, _ := store.Get("AthenaPK", "1x")
+	k, _ := store.Get("Kripke", "1x")
+	pred, err := gpushare.PredictPair(device, a, k)
+	if err != nil || pred.Throughput <= 1 {
+		t.Fatalf("PredictPair: %+v, %v", pred, err)
+	}
+	if s := gpushare.KernelSimilarity(a, k); s <= 0 || s > 1 {
+		t.Fatalf("similarity %v", s)
+	}
+	clusters, err := gpushare.ClusterProfiles(store.All(), 0.99)
+	if err != nil || len(clusters) == 0 {
+		t.Fatalf("clusters: %v, %v", clusters, err)
+	}
+
+	// MIG.
+	if len(gpushare.MIGProfiles()) != 5 {
+		t.Fatalf("MIG profiles: %d", len(gpushare.MIGProfiles()))
+	}
+	part, tenants, err := gpushare.MIGBestFit(device, []gpushare.MIGTenant{
+		{ID: "a", Tasks: []*gpushare.TaskSpec{tasks[0]}},
+		{ID: "k", Tasks: []*gpushare.TaskSpec{tasks[1]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migRes, err := gpushare.RunMIG(gpushare.SimConfig{Device: device, Seed: 4}, part, tenants)
+	if err != nil || migRes.Tasks != 2 {
+		t.Fatalf("RunMIG: %+v, %v", migRes, err)
+	}
+	if _, err := gpushare.NewMIGPartition(device, gpushare.MIGProfiles()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streams mode through the facade.
+	res, err := gpushare.RunClients(gpushare.SimConfig{Device: device, Seed: 4, Mode: gpushare.ShareStreams},
+		[]gpushare.SimClient{
+			{ID: "s0", Tasks: []*gpushare.TaskSpec{tasks[0]}},
+			{ID: "s1", Tasks: []*gpushare.TaskSpec{tasks[1]}},
+		})
+	if err != nil || res.TasksCompleted() != 2 {
+		t.Fatalf("streams run: %v, %v", res.TasksCompleted(), err)
+	}
+
+	// DAG.
+	dag := gpushare.NewWorkflowDAG()
+	wfA := gpushare.WorkflowSpec{Name: "first", Tasks: []gpushare.WorkflowTask{
+		{Benchmark: "Kripke", Size: "1x", Iterations: 1}}}
+	wfB := gpushare.WorkflowSpec{Name: "second", Tasks: []gpushare.WorkflowTask{
+		{Benchmark: "AthenaPK", Size: "1x", Iterations: 1}}}
+	if err := dag.AddWorkflow(wfA); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.AddWorkflow(wfB); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.AddDependency("second", "first"); err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := gpushare.NewScheduler(device, 1, store, gpushare.EnergyPolicy())
+	dagOut, err := sched.ScheduleDAG(dag, gpushare.SimConfig{Device: device, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dagOut.LevelOutcomes) != 2 {
+		t.Fatalf("DAG levels: %d", len(dagOut.LevelOutcomes))
+	}
+
+	// Online scheduling.
+	onlineOut, err := sched.ScheduleOnline([]gpushare.WorkflowArrival{
+		{Workflow: wfA}, {Workflow: wfB},
+	}, gpushare.SimConfig{Device: device, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlineOut.Dispatches) != 2 {
+		t.Fatalf("dispatches: %d", len(onlineOut.Dispatches))
+	}
+}

@@ -1,0 +1,76 @@
+// Command benchrepro regenerates the paper's evaluation artifacts (Tables
+// I-III, Figures 1-5) on the simulated substrate.
+//
+// Usage:
+//
+//	benchrepro -list
+//	benchrepro -run all
+//	benchrepro -run table1,fig2 -seed 7 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpushare/internal/experiments"
+	"gpushare/internal/gpu"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		run    = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		seed   = flag.Uint64("seed", 42, "simulation seed")
+		quick  = flag.Bool("quick", false, "trimmed sweeps for fast runs")
+		device = flag.String("device", "A100X", "device model (see -devices)")
+		devs   = flag.Bool("devices", false, "list device models and exit")
+	)
+	flag.Parse()
+
+	if *devs {
+		for _, m := range gpu.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	spec, err := gpu.Lookup(*device)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{Device: spec, Seed: *seed, Quick: *quick}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, err := experiments.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command gpuprof runs the paper's offline profiling step (§IV-A): it
+// executes workflow tasks solo on the simulated device, observes them
+// through the NVML/SMI sampling layer, and writes a profile store the
+// scheduler consumes.
+//
+// Usage:
+//
+//	gpuprof -o profiles.json                      # whole suite, 1x+4x
+//	gpuprof -workload LAMMPS -sizes 1x,2x,4x
+//	gpuprof -o - | jq .                           # stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/profile"
+	"gpushare/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "profiles.json", "output file ('-' for stdout)")
+		bench   = flag.String("workload", "", "profile a single benchmark (default: whole suite)")
+		sizes   = flag.String("sizes", "1x,4x", "comma-separated problem sizes")
+		device  = flag.String("device", "A100X", "device model")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		verbose = flag.Bool("v", false, "print each profile as it is measured")
+	)
+	flag.Parse()
+
+	spec, err := gpu.Lookup(*device)
+	if err != nil {
+		fatal(err)
+	}
+	pr := &profile.Profiler{Config: gpusim.Config{Device: spec, Seed: *seed}}
+	sizeList := strings.Split(*sizes, ",")
+	for i := range sizeList {
+		sizeList[i] = strings.TrimSpace(sizeList[i])
+	}
+
+	store := profile.NewStore()
+	names := workload.Names()
+	if *bench != "" {
+		w, err := workload.Get(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		names = []string{w.Name}
+	}
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, size := range sizeList {
+			task, err := w.BuildTaskSpec(size, spec)
+			if err != nil {
+				if *bench != "" {
+					fatal(err)
+				}
+				continue // size not derivable for this suite member
+			}
+			p, err := pr.ProfileTask(task)
+			if err != nil {
+				fatal(err)
+			}
+			if err := store.Add(p); err != nil {
+				fatal(err)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr,
+					"%-20s %-3s dur=%8.1fs mem=%6d MiB SM=%5.2f%% BW=%5.2f%% P=%6.1f W E=%10.1f J\n",
+					p.Workload, p.Size, p.DurationS, p.MaxMemMiB,
+					p.AvgSMUtilPct, p.AvgBWUtilPct, p.AvgPowerW, p.EnergyJ)
+			}
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := store.Save(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gpuprof: wrote %d profiles\n", store.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpuprof:", err)
+	os.Exit(1)
+}

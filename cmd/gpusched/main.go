@@ -1,0 +1,336 @@
+// Command gpusched runs the granularity- and interference-aware scheduler
+// over a workflow queue and reports the collocation plan plus simulated
+// throughput/energy metrics against sequential scheduling and baselines.
+//
+// The queue comes from one of:
+//
+//	-combo N                 a Table III combination (1-10)
+//	-uniform BENCH:SIZE:NxM  N sequential tasks × M parallel workflows
+//	-queue FILE.json         a JSON queue (see -queue-schema)
+//
+// Examples:
+//
+//	gpusched -combo 6 -policy energy
+//	gpusched -uniform AthenaPK:4x:2x8 -policy throughput -rightsize
+//	gpusched -queue queue.json -profiles profiles.json -gpus 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpushare/internal/core"
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/profile"
+	"gpushare/internal/recommend"
+	"gpushare/internal/report"
+	"gpushare/internal/trace"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+const queueSchema = `[
+  {"name": "wf-1", "tasks": [{"benchmark": "Kripke", "size": "4x", "iterations": 11}]},
+  {"name": "wf-2", "tasks": [{"benchmark": "WarpX", "size": "2x", "iterations": 8}]}
+]`
+
+type queueFileTask struct {
+	Benchmark  string `json:"benchmark"`
+	Size       string `json:"size"`
+	Iterations int    `json:"iterations"`
+}
+
+type queueFileWorkflow struct {
+	Name  string          `json:"name"`
+	Tasks []queueFileTask `json:"tasks"`
+}
+
+func main() {
+	var (
+		comboID   = flag.Int("combo", 0, "schedule a Table III combination (1-10)")
+		uniform   = flag.String("uniform", "", "uniform set BENCH:SIZE:NxM")
+		queueFile = flag.String("queue", "", "JSON workflow queue file")
+		schema    = flag.Bool("queue-schema", false, "print the queue JSON schema and exit")
+		profiles  = flag.String("profiles", "", "profile store JSON (default: profile on the fly)")
+		policyStr = flag.String("policy", "throughput", "throughput | energy | product")
+		rightsize = flag.Bool("rightsize", false, "right-size MPS partitions per workflow")
+		gpus      = flag.Int("gpus", 1, "GPU pool size")
+		device    = flag.String("device", "A100X", "device model")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		baselines = flag.Bool("baselines", false, "also run naive-FIFO and time-slicing baselines")
+		recFlag   = flag.Bool("recommend", false, "print the analytic pair recommendations for the queue's tasks")
+		traceDir  = flag.String("trace-dir", "", "write Chrome traces (one per collocation group) into this directory")
+	)
+	flag.Parse()
+
+	if *schema {
+		fmt.Println(queueSchema)
+		return
+	}
+	spec, err := gpu.Lookup(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	queue, err := buildQueue(*comboID, *uniform, *queueFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	store, err := loadOrProfile(*profiles, queue, spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	policy.RightSizePartitions = *rightsize
+
+	sched, err := core.NewScheduler(spec, *gpus, store, policy)
+	if err != nil {
+		fatal(err)
+	}
+	if *recFlag {
+		if err := printRecommendations(spec, store); err != nil {
+			fatal(err)
+		}
+	}
+
+	plan, err := sched.BuildPlan(queue)
+	if err != nil {
+		fatal(err)
+	}
+	printPlan(plan)
+
+	simCfg := gpusim.Config{Device: spec, Seed: *seed, Mode: gpusim.ShareMPS}
+	outcome, err := sched.Execute(plan, simCfg)
+	if err != nil {
+		fatal(err)
+	}
+	printOutcome("interference-aware MPS", outcome)
+
+	if *traceDir != "" {
+		if err := writeTraces(*traceDir, outcome); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baselines {
+		naive, err := sched.NaiveFIFOPlan(queue, policyClientCap(policy, spec))
+		if err != nil {
+			fatal(err)
+		}
+		nOut, err := sched.Execute(naive, simCfg)
+		if err != nil {
+			fatal(err)
+		}
+		printOutcome("naive FIFO MPS", nOut)
+
+		tsOut, err := sched.ExecuteTimeSliced(plan, simCfg)
+		if err != nil {
+			fatal(err)
+		}
+		printOutcome("time-slicing", tsOut)
+	}
+}
+
+// policyClientCap mirrors the policy's cap for the naive baseline so the
+// comparison isolates interference-awareness, not cardinality.
+func policyClientCap(p core.Policy, spec gpu.DeviceSpec) int {
+	switch p.Objective {
+	case core.MaximizeThroughput:
+		return 2
+	case core.MaximizeProduct:
+		return 4
+	default:
+		return spec.MaxMPSClients
+	}
+}
+
+func buildQueue(comboID int, uniform, queueFile string) (*workflow.Queue, error) {
+	selected := 0
+	if comboID > 0 {
+		selected++
+	}
+	if uniform != "" {
+		selected++
+	}
+	if queueFile != "" {
+		selected++
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("exactly one of -combo, -uniform, -queue is required")
+	}
+	switch {
+	case comboID > 0:
+		c, err := workflow.Combo(comboID)
+		if err != nil {
+			return nil, err
+		}
+		return workflow.NewQueue(c.Workflows...)
+	case uniform != "":
+		parts := strings.Split(uniform, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-uniform wants BENCH:SIZE:NxM, got %q", uniform)
+		}
+		var n, m int
+		if _, err := fmt.Sscanf(parts[2], "%dx%d", &n, &m); err != nil {
+			return nil, fmt.Errorf("-uniform config %q: %w", parts[2], err)
+		}
+		wfs, err := workflow.Uniform(parts[0], parts[1], n, m)
+		if err != nil {
+			return nil, err
+		}
+		return workflow.NewQueue(wfs...)
+	default:
+		data, err := os.ReadFile(queueFile)
+		if err != nil {
+			return nil, err
+		}
+		var raw []queueFileWorkflow
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", queueFile, err)
+		}
+		var wfs []workflow.Workflow
+		for _, rw := range raw {
+			w := workflow.Workflow{Name: rw.Name}
+			for _, t := range rw.Tasks {
+				w.Tasks = append(w.Tasks, workflow.Task{
+					Benchmark: t.Benchmark, Size: t.Size, Iterations: t.Iterations,
+				})
+			}
+			wfs = append(wfs, w)
+		}
+		return workflow.NewQueue(wfs...)
+	}
+}
+
+func loadOrProfile(path string, q *workflow.Queue, spec gpu.DeviceSpec, seed uint64) (*profile.Store, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return profile.LoadStore(f)
+	}
+	// Profile exactly the tasks the queue needs.
+	pr := &profile.Profiler{Config: gpusim.Config{Device: spec, Seed: seed}}
+	store := profile.NewStore()
+	for _, w := range q.Items() {
+		for _, t := range w.UniqueTasks() {
+			wl, err := workload.Get(t.Benchmark)
+			if err != nil {
+				return nil, err
+			}
+			if _, exists := store.Get(wl.Name, t.Size); exists {
+				continue
+			}
+			ps, err := pr.ProfileWorkload(wl, []string{t.Size})
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range ps {
+				if err := store.Add(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "throughput":
+		return core.ThroughputPolicy(), nil
+	case "energy":
+		return core.EnergyPolicy(), nil
+	case "product":
+		return core.ProductPolicy(metrics.EqualProduct()), nil
+	default:
+		return core.Policy{}, fmt.Errorf("unknown policy %q (want throughput|energy|product)", s)
+	}
+}
+
+func printPlan(plan *core.Plan) {
+	t := report.NewTable(fmt.Sprintf("Plan (%s policy)", plan.Policy.Objective),
+		"GPU", "Wave", "Workflows", "Partitions", "Interference")
+	for g, waves := range plan.PerGPU {
+		for w, grp := range waves {
+			parts := make([]string, len(grp.Partitions))
+			for i, p := range grp.Partitions {
+				parts[i] = fmt.Sprintf("%.0f%%", p*100)
+			}
+			t.AddRowf(g, w, strings.Join(grp.Names(), " + "),
+				strings.Join(parts, ","), grp.Estimate.String())
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func printOutcome(label string, o *core.Outcome) {
+	fmt.Printf("%-24s makespan %9.1fs  energy %12.0f J  thpt %5.2fx  eff %5.2fx  capped %+5.1f pp\n",
+		label, o.Sharing.MakespanS, o.Sharing.EnergyJ,
+		o.Relative.Throughput, o.Relative.EnergyEfficiency, o.Relative.CappingDeltaPct)
+}
+
+// printRecommendations runs the analytic recommendation model (the
+// paper's §VI future work) over the profiled tasks.
+func printRecommendations(spec gpu.DeviceSpec, store *profile.Store) error {
+	recs, err := recommend.Recommend(spec, store.All(), recommend.ByProduct, false)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Recommended collocations (analytic, TxE)",
+		"Rank", "Pair", "Pred thpt x", "Pred eff x", "Pred capped")
+	for i, r := range recs {
+		if i >= 10 {
+			break
+		}
+		t.AddRowf(i+1, r.Key(), r.Throughput, r.EnergyEfficiency, r.PredictedCapped)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeTraces saves one Chrome trace JSON per executed collocation group.
+func writeTraces(dir string, outcome *core.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, gr := range outcome.Groups {
+		path := filepath.Join(dir, fmt.Sprintf("gpu%d-wave%d.json", gr.GPU, gr.Wave))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = trace.WriteChrome(f, gr.Result)
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command mpsctl exercises the simulated CUDA MPS control surface the way
+// nvidia-cuda-mps-control and nvidia-smi would be used on the paper's
+// testbed: inspect devices, start servers, connect partitioned clients,
+// and sweep a workload across SM partition granularities (a single-panel
+// Figure 1).
+//
+// Usage:
+//
+//	mpsctl devices
+//	mpsctl status -clients 5 -partition 20
+//	mpsctl sweep -workload Kripke -size 1x -step 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/mps"
+	"gpushare/internal/nvml"
+	"gpushare/internal/report"
+	"gpushare/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		device    = fs.String("device", "A100X", "device model")
+		clients   = fs.Int("clients", 3, "status: clients to connect")
+		partition = fs.Float64("partition", 100, "status: active thread percentage per client")
+		bench     = fs.String("workload", "Kripke", "sweep: benchmark")
+		size      = fs.String("size", "1x", "sweep: problem size")
+		step      = fs.Int("step", 10, "sweep: partition step in percent")
+		seed      = fs.Uint64("seed", 42, "simulation seed")
+	)
+	fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "devices":
+		sys, err := nvml.NewSystem(gpu.Models()...)
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable("Devices",
+			"Idx", "Name", "SMs", "Mem MiB", "Power limit W", "Max clocks MHz", "MIG")
+		for _, d := range sys.Devices() {
+			t.AddRowf(d.Index(), d.Name(), d.MultiprocessorCount(), d.MemoryTotalMiB(),
+				d.PowerManagementLimitW(), d.MaxClocksMHz(), d.MIGCapable())
+		}
+		t.Render(os.Stdout)
+
+	case "status":
+		spec, err := gpu.Lookup(*device)
+		if err != nil {
+			fatal(err)
+		}
+		daemon := mps.NewControlDaemon(spec.MaxMPSClients)
+		server := daemon.ServerFor(spec.Name)
+		for i := 0; i < *clients; i++ {
+			if _, err := server.Connect(fmt.Sprintf("client-%d", i), *partition); err != nil {
+				fmt.Fprintf(os.Stderr, "mpsctl: connect client-%d: %v\n", i, err)
+				break
+			}
+		}
+		t := report.NewTable(fmt.Sprintf("MPS server for %s (running=%v, default partition %.0f%%)",
+			server.Device(), server.Running(), server.DefaultActiveThreadPct()),
+			"Client", "Active thread %", "Connected")
+		for _, c := range server.Clients() {
+			t.AddRowf(c.ID, c.ActiveThreadPct, c.Connected())
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("clients: %d connected, peak %d, rejected %d (limit %d)\n",
+			server.ClientCount(), server.PeakClients(), server.RejectedConnects(), spec.MaxMPSClients)
+
+	case "sweep":
+		spec, err := gpu.Lookup(*device)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := workload.Get(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		task, err := w.BuildTaskSpec(*size, spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *step < 1 || *step > 100 {
+			fatal(fmt.Errorf("step must be in [1,100], got %d", *step))
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s/%s throughput vs MPS SM partition", w.Name, *size),
+			"Partition %", "Task time s", "Tasks/hour", "Rel. to 100%")
+		type row struct {
+			pct int
+			dur float64
+		}
+		var rows []row
+		for pct := *step; pct <= 100; pct += *step {
+			eng, err := gpusim.New(gpusim.Config{Device: spec, Seed: *seed, Mode: gpusim.ShareMPS})
+			if err != nil {
+				fatal(err)
+			}
+			if err := eng.AddClient(gpusim.Client{
+				ID:        fmt.Sprintf("sweep-%d", pct),
+				Partition: float64(pct) / 100,
+				Tasks:     []*workload.TaskSpec{task},
+			}); err != nil {
+				fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row{pct: pct, dur: res.Makespan.Seconds()})
+		}
+		full := rows[len(rows)-1].dur
+		for _, r := range rows {
+			t.AddRowf(r.pct, r.dur, 3600/r.dur, full/r.dur)
+		}
+		t.Render(os.Stdout)
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mpsctl <command> [flags]
+
+commands:
+  devices   list simulated device models
+  status    start a server, connect clients, show state
+  sweep     sweep a workload across SM partition granularities`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpsctl:", err)
+	os.Exit(1)
+}

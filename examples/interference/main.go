@@ -1,0 +1,94 @@
+// Interference matrix: profile the whole benchmark suite and print which
+// pairs the paper's rules allow to share a GPU — the decision surface
+// behind Table II and §IV-B. Also demonstrates scaling inference: 2x
+// profiles are inferred from 1x/4x measurements, not measured.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpushare"
+	"gpushare/internal/report"
+)
+
+func main() {
+	device := gpushare.MustLookupDevice("A100X")
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 7}}
+
+	store := gpushare.NewProfileStore()
+	for _, name := range gpushare.WorkloadNames() {
+		w, err := gpushare.GetWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, size := range w.Sizes() {
+			task, err := w.BuildTaskSpec(size, device)
+			if err != nil {
+				continue
+			}
+			p, err := profiler.ProfileTask(task)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := store.Add(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Scaling inference (§IV-A): predict 2x profiles from measurements.
+	inferred, err := store.Lookup("Kripke", "2x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred Kripke/2x from 1x+4x: dur %.1fs  SM %.1f%%  mem %d MiB\n\n",
+		inferred.DurationS, inferred.AvgSMUtilPct, inferred.MaxMemMiB)
+
+	// Pairwise matrix over the 4x profiles (plus Epsilon 1x).
+	var group []*gpushare.TaskProfile
+	for _, name := range gpushare.WorkloadNames() {
+		size := "4x"
+		if name == "BerkeleyGW-Epsilon" {
+			size = "1x"
+		}
+		if p, ok := store.Get(name, size); ok {
+			group = append(group, p)
+		}
+	}
+	m := gpushare.BuildInterferenceMatrix(device, group)
+
+	t := report.NewTable("Pairwise collocation verdicts (ok / reason)", append([]string{""}, shorten(m.Labels)...)...)
+	for i, row := range m.Estimates {
+		cells := []string{shorten(m.Labels)[i]}
+		for _, e := range row {
+			switch {
+			case !e.Interferes:
+				cells = append(cells, "ok")
+			case e.Has("memory-capacity"):
+				cells = append(cells, "MEM")
+			case e.Has("memory-bandwidth"):
+				cells = append(cells, "BW")
+			default:
+				cells = append(cells, "SM")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSM = combined SM util > 100%   BW = bandwidth > 100%   MEM = memory over capacity")
+}
+
+func shorten(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		if len(l) > 12 {
+			l = l[:12]
+		}
+		out[i] = l
+	}
+	return out
+}

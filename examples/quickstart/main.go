@@ -1,0 +1,77 @@
+// Quickstart: profile two HPC workloads offline, predict whether they
+// interfere, co-schedule them under MPS, and compare throughput and energy
+// against sequential scheduling — the paper's §IV pipeline in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushare"
+)
+
+func main() {
+	device := gpushare.MustLookupDevice("A100X")
+
+	// 1. Offline profiling (§IV-A): run each task alone and record its
+	// utilization, memory, power and occupancy profile.
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 1}}
+	store := gpushare.NewProfileStore()
+	for _, name := range []string{"AthenaPK", "Kripke"} {
+		w, err := gpushare.GetWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		task, err := w.BuildTaskSpec("4x", device)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := profiler.ProfileTask(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Add(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profiled %-10s SM %5.1f%%  BW %4.1f%%  mem %5d MiB  power %5.1f W\n",
+			name, p.AvgSMUtilPct, p.AvgBWUtilPct, p.MaxMemMiB, p.AvgPowerW)
+	}
+
+	// 2. Interference prediction (§IV-B): combined SM > 100%, combined
+	// bandwidth > 100%, or combined memory over capacity means the pair
+	// should not share a GPU.
+	a, _ := store.Get("AthenaPK", "4x")
+	k, _ := store.Get("Kripke", "4x")
+	est := gpushare.PredictInterference(device, []*gpushare.TaskProfile{a, k})
+	fmt.Printf("\ninterference prediction: %s\n\n", est)
+
+	// 3. Execute: two MPS clients vs the sequential baseline.
+	athena, _ := gpushare.GetWorkload("AthenaPK")
+	kripke, _ := gpushare.GetWorkload("Kripke")
+	athenaTask, _ := athena.BuildTaskSpec("4x", device)
+	kripkeTask, _ := kripke.BuildTaskSpec("4x", device)
+
+	seqRes, err := gpushare.RunSequential(
+		gpushare.SimConfig{Device: device, Seed: 1},
+		[]*gpushare.TaskSpec{athenaTask, kripkeTask})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpsRes, err := gpushare.RunClients(
+		gpushare.SimConfig{Device: device, Seed: 1, Mode: gpushare.ShareMPS},
+		[]gpushare.SimClient{
+			{ID: "athena", Tasks: []*gpushare.TaskSpec{athenaTask}},
+			{ID: "kripke", Tasks: []*gpushare.TaskSpec{kripkeTask}},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rel, err := gpushare.CompareRuns(gpushare.SummarizeRun(seqRes), gpushare.SummarizeRun(mpsRes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %6.1f s, %8.0f J\n", seqRes.Makespan.Seconds(), seqRes.EnergyJ)
+	fmt.Printf("MPS shared: %6.1f s, %8.0f J\n", mpsRes.Makespan.Seconds(), mpsRes.EnergyJ)
+	fmt.Printf("throughput %.2fx, energy efficiency %.2fx\n", rel.Throughput, rel.EnergyEfficiency)
+}

@@ -1,0 +1,125 @@
+// Recommendation model (the paper's §VI future work): profile the suite
+// once, then rank collocation candidates analytically — no simulation of
+// the pairs — and check the top pick against an actual run. Also shows
+// kernel-similarity clustering shrinking the offline analysis campaign,
+// and a MIG alternative for the top pair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushare"
+)
+
+func main() {
+	device := gpushare.MustLookupDevice("A100X")
+	profiler := &gpushare.Profiler{Config: gpushare.SimConfig{Device: device, Seed: 21}}
+
+	// Profile the suite at 4x (Epsilon at its only size).
+	store := gpushare.NewProfileStore()
+	for _, name := range gpushare.WorkloadNames() {
+		w, err := gpushare.GetWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := "4x"
+		if name == "BerkeleyGW-Epsilon" {
+			size = "1x"
+		}
+		task, err := w.BuildTaskSpec(size, device)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := profiler.ProfileTask(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Add(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Rank pairs analytically.
+	recs, err := gpushare.RecommendPairs(device, store.All(), gpushare.RecommendByProduct, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 5 recommended collocations (predicted, no simulation):")
+	for i, r := range recs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-50s thpt %.2fx  eff %.2fx  capped=%v\n",
+			i+1, r.Key(), r.Throughput, r.EnergyEfficiency, r.PredictedCapped)
+	}
+
+	// Validate the top pick against an actual simulation.
+	top := recs[0]
+	wa, _ := gpushare.GetWorkload(top.A.Workload)
+	wb, _ := gpushare.GetWorkload(top.B.Workload)
+	ta, _ := wa.BuildTaskSpec(top.A.Size, device)
+	tb, _ := wb.BuildTaskSpec(top.B.Size, device)
+	seq, err := gpushare.RunSequential(gpushare.SimConfig{Device: device, Seed: 21},
+		[]*gpushare.TaskSpec{ta, tb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mps, err := gpushare.RunClients(gpushare.SimConfig{Device: device, Seed: 21, Mode: gpushare.ShareMPS},
+		[]gpushare.SimClient{
+			{ID: "a", Tasks: []*gpushare.TaskSpec{ta}},
+			{ID: "b", Tasks: []*gpushare.TaskSpec{tb}},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := gpushare.CompareRuns(gpushare.SummarizeRun(seq), gpushare.SummarizeRun(mps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop pick simulated: thpt %.2fx (predicted %.2fx), eff %.2fx (predicted %.2fx)\n",
+		rel.Throughput, top.Throughput, rel.EnergyEfficiency, top.EnergyEfficiency)
+
+	// Kernel-similarity clustering (§VI): how much offline pairwise
+	// analysis the similarity measure saves.
+	clusters, err := gpushare.ClusterProfiles(store.All(), 0.97)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := store.Len()
+	full := n * (n + 1) / 2
+	reduced := len(clusters) * (len(clusters) + 1) / 2
+	fmt.Printf("\nkernel similarity: %d profiles → %d clusters; pairwise analyses %d → %d\n",
+		n, len(clusters), full, reduced)
+	for _, c := range clusters {
+		fmt.Printf("  cluster %-22s (%d members)\n", c.Representative.Key(), len(c.Members))
+	}
+
+	// MIG alternative for the top pair (isolation instead of sharing).
+	part, tenants, err := gpushare.MIGBestFit(device, []gpushare.MIGTenant{
+		{ID: "a", Tasks: []*gpushare.TaskSpec{ta}},
+		{ID: "b", Tasks: []*gpushare.TaskSpec{tb}},
+	})
+	if err != nil {
+		fmt.Printf("\nMIG placement infeasible for the top pair: %v\n", err)
+		return
+	}
+	migRes, err := gpushare.RunMIG(gpushare.SimConfig{Device: device, Seed: 21}, part, tenants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	migRel, err := gpushare.CompareRuns(gpushare.SummarizeRun(seq), migRes.Summary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := ""
+	for i, in := range part.Instances {
+		if i > 0 {
+			labels += "+"
+		}
+		labels += in.Name
+	}
+	fmt.Printf("\nMIG alternative (%s): thpt %.2fx, eff %.2fx — isolation costs %s\n",
+		labels, migRel.Throughput, migRel.EnergyEfficiency,
+		map[bool]string{true: "little here", false: "throughput vs MPS"}[migRel.Throughput >= rel.Throughput])
+}

@@ -1,0 +1,3 @@
+module gpushare
+
+go 1.22

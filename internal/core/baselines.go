@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workflow"
+)
+
+// Baseline planners the evaluation compares the interference-aware
+// scheduler against.
+
+// SequentialPlan builds the paper's sequential baseline as an explicit
+// plan: every workflow is its own single-member group, in queue order —
+// no collocation at all.
+func (s *Scheduler) SequentialPlan(q *workflow.Queue) (*Plan, error) {
+	if q == nil || q.Len() == 0 {
+		return nil, fmt.Errorf("core: empty workflow queue")
+	}
+	plan := &Plan{Policy: s.Policy, Device: s.Device, PerGPU: make([][]*Group, s.GPUs)}
+	load := make([]float64, s.GPUs)
+	for _, w := range q.Items() {
+		wp, err := BuildWorkflowProfile(s.Profiles, w)
+		if err != nil {
+			return nil, err
+		}
+		g := &Group{Members: []*WorkflowProfile{wp}, Partitions: []float64{1}}
+		g.Estimate = s.estimate(g.Members)
+		best := 0
+		for i := 1; i < s.GPUs; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		plan.PerGPU[best] = append(plan.PerGPU[best], g)
+		load[best] += wp.TotalDurationS
+	}
+	return plan, nil
+}
+
+// NaiveFIFOPlan builds the interference-oblivious baseline: consecutive
+// queue entries are grouped in arrival order up to groupSize clients,
+// with no utilization sorting and no SM/bandwidth interference checks.
+// Memory capacity is still respected (a real launcher checks allocation
+// size before dispatch); groups that cannot fit split greedily.
+func (s *Scheduler) NaiveFIFOPlan(q *workflow.Queue, groupSize int) (*Plan, error) {
+	if q == nil || q.Len() == 0 {
+		return nil, fmt.Errorf("core: empty workflow queue")
+	}
+	if groupSize < 1 {
+		return nil, fmt.Errorf("core: naive group size must be >= 1, got %d", groupSize)
+	}
+	if groupSize > s.Device.MaxMPSClients {
+		groupSize = s.Device.MaxMPSClients
+	}
+	plan := &Plan{Policy: s.Policy, Device: s.Device, PerGPU: make([][]*Group, s.GPUs)}
+	load := make([]float64, s.GPUs)
+	var cur *Group
+	var curMem int64
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.Estimate = s.estimate(cur.Members)
+		cur.Partitions = make([]float64, len(cur.Members))
+		for i := range cur.Partitions {
+			cur.Partitions[i] = 1
+		}
+		best := 0
+		for i := 1; i < s.GPUs; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		plan.PerGPU[best] = append(plan.PerGPU[best], cur)
+		load[best] += cur.PredictedDurationS()
+		cur, curMem = nil, 0
+	}
+	for _, w := range q.Items() {
+		wp, err := BuildWorkflowProfile(s.Profiles, w)
+		if err != nil {
+			return nil, err
+		}
+		if cur != nil &&
+			(len(cur.Members) >= groupSize || curMem+wp.MaxMemMiB > s.Device.MemoryMiB) {
+			flush()
+		}
+		if cur == nil {
+			cur = &Group{}
+		}
+		cur.Members = append(cur.Members, wp)
+		curMem += wp.MaxMemMiB
+	}
+	flush()
+	return plan, nil
+}
+
+// ExecuteTimeSliced runs a plan under the default time-sliced scheduler
+// instead of MPS — the second sharing mechanism of Figure 2.
+func (s *Scheduler) ExecuteTimeSliced(plan *Plan, simCfg gpusim.Config) (*Outcome, error) {
+	simCfg.Mode = gpusim.ShareTimeSlice
+	return s.Execute(plan, simCfg)
+}

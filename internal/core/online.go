@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/interference"
+	"gpushare/internal/metrics"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workflow"
+)
+
+// Online scheduling extends the paper's offline queue model (§IV-B
+// assumes "an entire queue of workflow tasks ... is known before workflow
+// execution") to workflows arriving over time — the direction §VI's
+// "comprehensive scheduling framework" points at. Dispatch decisions use
+// the same interference rules, applied incrementally against what is
+// already running on each GPU.
+
+// Arrival is one workflow submission.
+type Arrival struct {
+	// At is the submission instant.
+	At simtime.Time
+	// Workflow is the submitted workflow.
+	Workflow workflow.Workflow
+}
+
+// DispatchEvent records one scheduling decision for the event log.
+type DispatchEvent struct {
+	// At is the dispatch instant.
+	At simtime.Time
+	// Workflow is the dispatched workflow's name.
+	Workflow string
+	// GPU is the target device index.
+	GPU int
+	// WaitedS is the queueing delay in seconds.
+	WaitedS float64
+	// RunningAlongside names the workflows predicted to still be running
+	// on that GPU at dispatch time.
+	RunningAlongside []string
+}
+
+// OnlineOutcome is the result of an online-scheduling emulation.
+type OnlineOutcome struct {
+	// Dispatches is the decision log in dispatch order.
+	Dispatches []DispatchEvent
+	// Sharing and Sequential summarize the simulated executions; both
+	// respect the arrival times.
+	Sharing    metrics.RunSummary
+	Sequential metrics.RunSummary
+	// Relative holds the paper's metrics for sharing vs sequential.
+	Relative metrics.Relative
+	// MeanWaitS and MaxWaitS summarize queueing delay under sharing.
+	MeanWaitS float64
+	MaxWaitS  float64
+}
+
+// onlineResident tracks a dispatched workflow during planning.
+type onlineResident struct {
+	wp  *WorkflowProfile
+	end simtime.Time
+}
+
+// ScheduleOnline emulates online operation: workflows are dispatched at or
+// after their arrival, to the first GPU where the paper's rules admit them
+// alongside the residents; otherwise they wait for a predicted completion.
+// The resulting dispatch times are then executed faithfully by the
+// simulator (one engine per GPU, clients at their dispatch instants), and
+// compared against an arrival-respecting sequential baseline.
+//
+// Planning uses predicted (profile-derived) durations; execution reflects
+// actual contention, so real completions can drift from the plan — as in
+// a production scheduler.
+func (s *Scheduler) ScheduleOnline(arrivals []Arrival, simCfg gpusim.Config) (*OnlineOutcome, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("core: no arrivals")
+	}
+	simCfg.Device = s.Device
+
+	sorted := make([]Arrival, len(arrivals))
+	copy(sorted, arrivals)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	profiles := make([]*WorkflowProfile, len(sorted))
+	for i, a := range sorted {
+		wp, err := BuildWorkflowProfile(s.Profiles, a.Workflow)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = wp
+	}
+
+	cap := s.Policy.clientCap(s.Device.MaxMPSClients)
+	residents := make([][]onlineResident, s.GPUs)
+	out := &OnlineOutcome{}
+	dispatchAt := make([]simtime.Time, len(sorted))
+	dispatchGPU := make([]int, len(sorted))
+
+	for i, a := range sorted {
+		wp := profiles[i]
+		now := a.At
+		for {
+			// Drop residents predicted to have finished by now.
+			for g := range residents {
+				live := residents[g][:0]
+				for _, r := range residents[g] {
+					if r.end > now {
+						live = append(live, r)
+					}
+				}
+				residents[g] = live
+			}
+			// First GPU whose residents admit the workflow.
+			placed := -1
+			for g := range residents {
+				if len(residents[g])+1 > cap {
+					continue
+				}
+				group := make([]*WorkflowProfile, 0, len(residents[g])+1)
+				for _, r := range residents[g] {
+					group = append(group, r.wp)
+				}
+				est := s.estimate(append(group, wp))
+				admit := !est.Interferes
+				if s.Policy.AllowInterferingPairs && !est.Has(interference.Capacity) {
+					admit = true
+				}
+				if admit {
+					placed = g
+					break
+				}
+			}
+			if placed >= 0 {
+				var alongside []string
+				for _, r := range residents[placed] {
+					alongside = append(alongside, r.wp.Workflow.Name)
+				}
+				residents[placed] = append(residents[placed], onlineResident{
+					wp:  wp,
+					end: now.Add(simtime.FromSeconds(wp.TotalDurationS)),
+				})
+				dispatchAt[i] = now
+				dispatchGPU[i] = placed
+				out.Dispatches = append(out.Dispatches, DispatchEvent{
+					At:               now,
+					Workflow:         wp.Workflow.Name,
+					GPU:              placed,
+					WaitedS:          now.Sub(a.At).Seconds(),
+					RunningAlongside: alongside,
+				})
+				break
+			}
+			// Wait for the next predicted completion.
+			next := simtime.Forever
+			for g := range residents {
+				for _, r := range residents[g] {
+					if r.end > now && r.end < next {
+						next = r.end
+					}
+				}
+			}
+			if next == simtime.Forever {
+				return nil, fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
+					wp.Workflow.Name, wp.MaxMemMiB)
+			}
+			now = next
+		}
+	}
+
+	// Execute the plan: one engine per GPU, clients at dispatch times.
+	sharing, err := s.runOnlinePlacement(sorted, dispatchAt, dispatchGPU, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Sharing = sharing
+
+	// Sequential baseline: same arrivals, one workflow at a time per
+	// GPU, earliest-available GPU, FIFO.
+	seq, err := s.runOnlineSequential(sorted, profiles, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Sequential = seq
+
+	rel, err := metrics.Compare(out.Sequential, out.Sharing)
+	if err != nil {
+		return nil, err
+	}
+	out.Relative = rel
+
+	for _, d := range out.Dispatches {
+		out.MeanWaitS += d.WaitedS
+		if d.WaitedS > out.MaxWaitS {
+			out.MaxWaitS = d.WaitedS
+		}
+	}
+	out.MeanWaitS /= float64(len(out.Dispatches))
+	return out, nil
+}
+
+// runOnlinePlacement executes the dispatch plan.
+func (s *Scheduler) runOnlinePlacement(arrivals []Arrival, at []simtime.Time, gpuOf []int, simCfg gpusim.Config) (metrics.RunSummary, error) {
+	engines := make([]*gpusim.Engine, s.GPUs)
+	used := make([]bool, s.GPUs)
+	for g := range engines {
+		cfg := simCfg
+		cfg.Seed = simCfg.Seed + uint64(g)*104729
+		eng, err := gpusim.New(cfg)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		engines[g] = eng
+	}
+	for i, a := range arrivals {
+		tasks, err := a.Workflow.BuildSpecs(s.Device)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		g := gpuOf[i]
+		used[g] = true
+		if err := engines[g].AddClient(gpusim.Client{
+			ID:      fmt.Sprintf("online-%02d-%s", i, a.Workflow.Name),
+			Arrival: at[i],
+			Tasks:   tasks,
+		}); err != nil {
+			return metrics.RunSummary{}, err
+		}
+	}
+	var makespans []float64
+	var energy, cappedS float64
+	tasks := 0
+	for g, eng := range engines {
+		if !used[g] {
+			makespans = append(makespans, 0)
+			continue
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		makespans = append(makespans, res.Makespan.Seconds())
+		energy += res.EnergyJ
+		cappedS += res.CappedTime.Seconds()
+		tasks += res.TasksCompleted()
+	}
+	return onlinePoolSummary(s.Device, makespans, energy, cappedS, tasks), nil
+}
+
+// runOnlineSequential executes the arrival-respecting no-collocation
+// baseline: FIFO, one workflow at a time per GPU.
+func (s *Scheduler) runOnlineSequential(arrivals []Arrival, profiles []*WorkflowProfile, simCfg gpusim.Config) (metrics.RunSummary, error) {
+	free := make([]simtime.Time, s.GPUs)
+	engines := make([]*gpusim.Engine, s.GPUs)
+	used := make([]bool, s.GPUs)
+	for g := range engines {
+		cfg := simCfg
+		cfg.Seed = simCfg.Seed + uint64(g)*7877 + 1
+		eng, err := gpusim.New(cfg)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		engines[g] = eng
+	}
+	for i, a := range arrivals {
+		best := 0
+		for g := 1; g < s.GPUs; g++ {
+			if free[g] < free[best] {
+				best = g
+			}
+		}
+		start := simtime.Max(a.At, free[best])
+		free[best] = start.Add(simtime.FromSeconds(profiles[i].TotalDurationS))
+		tasks, err := a.Workflow.BuildSpecs(s.Device)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		used[best] = true
+		if err := engines[best].AddClient(gpusim.Client{
+			ID:      fmt.Sprintf("seq-%02d-%s", i, a.Workflow.Name),
+			Arrival: start,
+			Tasks:   tasks,
+		}); err != nil {
+			return metrics.RunSummary{}, err
+		}
+	}
+	var makespans []float64
+	var energy, cappedS float64
+	tasks := 0
+	for g, eng := range engines {
+		if !used[g] {
+			makespans = append(makespans, 0)
+			continue
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		makespans = append(makespans, res.Makespan.Seconds())
+		energy += res.EnergyJ
+		cappedS += res.CappedTime.Seconds()
+		tasks += res.TasksCompleted()
+	}
+	return onlinePoolSummary(s.Device, makespans, energy, cappedS, tasks), nil
+}
+
+// onlinePoolSummary mirrors poolSummary for engine-level makespans.
+func onlinePoolSummary(device gpu.DeviceSpec, makespans []float64, energyJ, cappedS float64, tasks int) metrics.RunSummary {
+	var makespan float64
+	for _, m := range makespans {
+		if m > makespan {
+			makespan = m
+		}
+	}
+	for _, m := range makespans {
+		energyJ += device.IdlePowerW * (makespan - m)
+	}
+	capped, avgPower := 0.0, 0.0
+	if makespan > 0 {
+		capped = cappedS / (makespan * float64(len(makespans)))
+		avgPower = energyJ / makespan / float64(len(makespans))
+	}
+	return metrics.RunSummary{
+		MakespanS:      makespan,
+		EnergyJ:        energyJ,
+		Tasks:          tasks,
+		CappedFraction: capped,
+		AvgPowerW:      avgPower,
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/simtime"
+)
+
+func at(s float64) simtime.Time { return simtime.Zero.Add(simtime.FromSeconds(s)) }
+
+func TestScheduleOnlineBasics(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("a", "AthenaPK", "4x", 1)},
+		{At: at(5), Workflow: wfOne("b", "AthenaPK", "4x", 1)},
+		{At: at(10), Workflow: wfOne("c", "Kripke", "4x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Dispatches) != 3 {
+		t.Fatalf("dispatches = %d", len(out.Dispatches))
+	}
+	// All three are mutually compatible (30+30+63 > 100? 30.3+30.3+63.2
+	// = 123.8 — the Kripke arrival must wait or... the rules admit only
+	// ≤100%: a+b = 60.6, +c = 123.8 → c waits for a completion).
+	last := out.Dispatches[2]
+	if last.Workflow != "c" {
+		t.Fatalf("dispatch order: %+v", out.Dispatches)
+	}
+	if last.WaitedS <= 0 {
+		t.Fatal("Kripke should have queued behind the AthenaPK pair")
+	}
+	// Sharing must beat the arrival-respecting sequential baseline.
+	if out.Relative.Throughput <= 1 {
+		t.Fatalf("online sharing throughput %v", out.Relative.Throughput)
+	}
+	if out.Sharing.Tasks != 3 || out.Sequential.Tasks != 3 {
+		t.Fatalf("task counts %d/%d", out.Sharing.Tasks, out.Sequential.Tasks)
+	}
+	if out.MaxWaitS < out.MeanWaitS {
+		t.Fatal("wait stats inconsistent")
+	}
+}
+
+func TestScheduleOnlineNoArrivals(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	if _, err := s.ScheduleOnline(nil, gpusim.Config{}); err == nil {
+		t.Fatal("empty arrivals accepted")
+	}
+}
+
+func TestScheduleOnlineRespectsArrivalTimes(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	arrivals := []Arrival{
+		{At: at(100), Workflow: wfOne("late", "Cholla-Gravity", "1x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatches[0].At != at(100) {
+		t.Fatalf("dispatched at %v, want arrival time", out.Dispatches[0].At)
+	}
+	if out.Sharing.MakespanS < 100 {
+		t.Fatalf("makespan %v ignores arrival offset", out.Sharing.MakespanS)
+	}
+}
+
+func TestScheduleOnlineInterferenceGating(t *testing.T) {
+	// Two LAMMPS arrivals: the second must wait for the first (SM rule),
+	// landing sequentially even though both arrive at t=0.
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("l1", "LAMMPS", "4x", 1)},
+		{At: at(0), Workflow: wfOne("l2", "LAMMPS", "4x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatches[1].WaitedS <= 0 {
+		t.Fatal("second LAMMPS dispatched immediately despite the SM rule")
+	}
+	if len(out.Dispatches[1].RunningAlongside) != 0 {
+		t.Fatalf("second LAMMPS should run alone, alongside %v",
+			out.Dispatches[1].RunningAlongside)
+	}
+}
+
+func TestScheduleOnlineMultiGPU(t *testing.T) {
+	// With two GPUs, the two LAMMPS workflows go to different devices
+	// with no waiting.
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 2, store, EnergyPolicy())
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("l1", "LAMMPS", "4x", 1)},
+		{At: at(0), Workflow: wfOne("l2", "LAMMPS", "4x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatches[0].GPU == out.Dispatches[1].GPU {
+		t.Fatal("second GPU unused")
+	}
+	for _, d := range out.Dispatches {
+		if d.WaitedS != 0 {
+			t.Fatalf("waiting despite free GPU: %+v", d)
+		}
+	}
+}
+
+func TestScheduleOnlineCapacitySerializes(t *testing.T) {
+	// Two 61 GiB WarpX workflows cannot coexist: the capacity rule must
+	// serialize the second behind the first rather than deadlock.
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("w1", "WarpX", "1x", 1)},
+		{At: at(0), Workflow: wfOne("w2", "WarpX", "1x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatches[1].WaitedS <= 0 {
+		t.Fatal("second WarpX must wait for memory")
+	}
+	if out.Sharing.Tasks != 2 {
+		t.Fatalf("tasks = %d", out.Sharing.Tasks)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/mps"
+	"gpushare/internal/workflow"
+)
+
+// GroupResult is the simulated outcome of one collocation group.
+type GroupResult struct {
+	GPU    int
+	Wave   int
+	Group  *Group
+	Result *gpusim.Result
+}
+
+// Outcome is the full evaluation of a plan: the sharing execution, the
+// sequential baseline on the same pool, and the paper's relative metrics.
+type Outcome struct {
+	Plan       *Plan
+	Groups     []GroupResult
+	Sharing    metrics.RunSummary
+	Sequential metrics.RunSummary
+	Relative   metrics.Relative
+	// ProductValue is the policy's product metric when applicable.
+	ProductValue float64
+}
+
+// Execute simulates the plan and its sequential baseline and compares
+// them. The sharing mechanism comes from simCfg.Mode (MPS or
+// time-slicing); the device is forced to the plan's device.
+func (s *Scheduler) Execute(plan *Plan, simCfg gpusim.Config) (*Outcome, error) {
+	if plan == nil || plan.WorkflowCount() == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	simCfg.Device = plan.Device
+
+	// An MPS control daemon per pool, one server per GPU: exercised here
+	// so plans respect real client-connection semantics (limits,
+	// partition-at-connect).
+	daemon := mps.NewControlDaemon(plan.Device.MaxMPSClients)
+	defer daemon.StopAll()
+
+	out := &Outcome{Plan: plan}
+	gpuMakespans := make([]float64, len(plan.PerGPU))
+	var totalEnergy, totalCappedS float64
+	totalTasks := 0
+
+	for gpuIdx, waves := range plan.PerGPU {
+		server := daemon.ServerFor(fmt.Sprintf("gpu%d", gpuIdx))
+		for waveIdx, g := range waves {
+			res, err := s.runGroup(server, g, simCfg, gpuIdx, waveIdx)
+			if err != nil {
+				return nil, err
+			}
+			out.Groups = append(out.Groups, GroupResult{
+				GPU: gpuIdx, Wave: waveIdx, Group: g, Result: res,
+			})
+			gpuMakespans[gpuIdx] += res.Makespan.Seconds()
+			totalEnergy += res.EnergyJ
+			totalCappedS += res.CappedTime.Seconds()
+			totalTasks += res.TasksCompleted()
+		}
+	}
+
+	out.Sharing = poolSummary(plan, gpuMakespans, totalEnergy, totalCappedS, totalTasks)
+
+	seq, err := s.runSequentialBaseline(plan, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Sequential = seq
+
+	rel, err := metrics.Compare(out.Sequential, out.Sharing)
+	if err != nil {
+		return nil, err
+	}
+	out.Relative = rel
+	if plan.Policy.Objective == MaximizeProduct {
+		out.ProductValue = plan.Policy.Product.Eval(rel)
+	} else {
+		out.ProductValue = metrics.EqualProduct().Eval(rel)
+	}
+	return out, nil
+}
+
+// runGroup executes one collocation group: each member workflow becomes
+// one MPS client (or one time-sliced process).
+func (s *Scheduler) runGroup(server *mps.Server, g *Group, simCfg gpusim.Config, gpuIdx, waveIdx int) (*gpusim.Result, error) {
+	eng, err := gpusim.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	var clients []*mps.Client
+	for i, m := range g.Members {
+		id := fmt.Sprintf("g%d-w%d-%s", gpuIdx, waveIdx, m.Workflow.Name)
+		partition := 1.0
+		if len(g.Partitions) == len(g.Members) {
+			partition = g.Partitions[i]
+		}
+		if simCfg.Mode == gpusim.ShareMPS {
+			mc, err := server.Connect(id, partition*100)
+			if err != nil {
+				return nil, fmt.Errorf("core: MPS connect %s: %w", id, err)
+			}
+			clients = append(clients, mc)
+			partition = mc.Partition()
+		}
+		tasks, err := m.Workflow.BuildSpecs(s.Device)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.AddClient(gpusim.Client{
+			ID:        id,
+			Partition: partition,
+			Tasks:     tasks,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	res, err := eng.Run()
+	for _, mc := range clients {
+		_ = server.Disconnect(mc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSequentialBaseline executes the paper's baseline: the same workflows
+// in queue order, one at a time per GPU with no overlap, workflows placed
+// on the earliest-available GPU.
+func (s *Scheduler) runSequentialBaseline(plan *Plan, simCfg gpusim.Config) (metrics.RunSummary, error) {
+	// Recover the workflow multiset from the plan in deterministic
+	// (gpu, wave, member) order.
+	var wfs []workflow.Workflow
+	for _, g := range plan.Groups() {
+		for _, m := range g.Members {
+			wfs = append(wfs, m.Workflow)
+		}
+	}
+	seqCfg := simCfg
+	seqCfg.Mode = gpusim.ShareMPS // single client; mode is irrelevant
+
+	gpuMakespans := make([]float64, len(plan.PerGPU))
+	var totalEnergy, totalCappedS float64
+	totalTasks := 0
+	for i, w := range wfs {
+		// Earliest-available GPU; ties to lowest index.
+		best := 0
+		for g := 1; g < len(gpuMakespans); g++ {
+			if gpuMakespans[g] < gpuMakespans[best] {
+				best = g
+			}
+		}
+		tasks, err := w.BuildSpecs(s.Device)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		cfg := seqCfg
+		cfg.Seed = seqCfg.Seed + uint64(i)
+		res, err := gpusim.RunSequential(cfg, tasks)
+		if err != nil {
+			return metrics.RunSummary{}, err
+		}
+		gpuMakespans[best] += res.Makespan.Seconds()
+		totalEnergy += res.EnergyJ
+		totalCappedS += res.CappedTime.Seconds()
+		totalTasks += res.TasksCompleted()
+	}
+	return poolSummary(plan, gpuMakespans, totalEnergy, totalCappedS, totalTasks), nil
+}
+
+// poolSummary folds per-GPU makespans into a cluster-level summary: the
+// pool finishes when its slowest GPU does, and GPUs idling after their
+// last wave still draw idle power until then.
+func poolSummary(plan *Plan, gpuMakespans []float64, energyJ, cappedS float64, tasks int) metrics.RunSummary {
+	var makespan float64
+	for _, m := range gpuMakespans {
+		if m > makespan {
+			makespan = m
+		}
+	}
+	for _, m := range gpuMakespans {
+		energyJ += plan.Device.IdlePowerW * (makespan - m)
+	}
+	capped := 0.0
+	if makespan > 0 {
+		capped = cappedS / (makespan * float64(len(gpuMakespans)))
+	}
+	avgPower := 0.0
+	if makespan > 0 {
+		avgPower = energyJ / makespan / float64(len(gpuMakespans))
+	}
+	return metrics.RunSummary{
+		MakespanS:      makespan,
+		EnergyJ:        energyJ,
+		Tasks:          tasks,
+		CappedFraction: capped,
+		AvgPowerW:      avgPower,
+	}
+}
+
+// ScheduleAndRun is the one-call convenience: build the plan for a queue,
+// execute it under MPS, and return the outcome.
+func (s *Scheduler) ScheduleAndRun(q *workflow.Queue, simCfg gpusim.Config) (*Outcome, error) {
+	plan, err := s.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	simCfg.Mode = gpusim.ShareMPS
+	return s.Execute(plan, simCfg)
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"testing"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workflow"
+)
+
+func TestExecuteOutcome(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	plan, err := s.BuildPlan(queueOf(t,
+		wfOne("a", "AthenaPK", "4x", 2),
+		wfOne("b", "AthenaPK", "4x", 2),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Execute(plan, gpusim.Config{Seed: 5, Mode: gpusim.ShareMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sharing.Tasks != 4 || out.Sequential.Tasks != 4 {
+		t.Fatalf("task counts: sharing %d sequential %d", out.Sharing.Tasks, out.Sequential.Tasks)
+	}
+	// Collocating two low-util workflows must beat sequential on both
+	// metrics.
+	if out.Relative.Throughput < 1.5 {
+		t.Errorf("throughput %v, want ≥1.5 for AthenaPK pair", out.Relative.Throughput)
+	}
+	if out.Relative.EnergyEfficiency < 1.2 {
+		t.Errorf("efficiency %v, want ≥1.2", out.Relative.EnergyEfficiency)
+	}
+	if out.ProductValue <= 1 {
+		t.Errorf("product %v", out.ProductValue)
+	}
+	if len(out.Groups) != len(plan.Groups()) {
+		t.Fatalf("group results %d vs plan groups %d", len(out.Groups), len(plan.Groups()))
+	}
+}
+
+func TestExecuteSequentialPlanIsParity(t *testing.T) {
+	// Executing the sequential plan must produce ≈1.0 relative metrics
+	// (it is its own baseline).
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, ThroughputPolicy())
+	q := queueOf(t, wfOne("a", "Kripke", "4x", 1), wfOne("b", "Kripke", "4x", 1))
+	plan, err := s.SequentialPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range plan.Groups() {
+		if len(g.Members) != 1 {
+			t.Fatal("sequential plan has multi-member group")
+		}
+	}
+	out, err := s.Execute(plan, gpusim.Config{Seed: 5, Mode: gpusim.ShareMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relative.Throughput < 0.98 || out.Relative.Throughput > 1.02 {
+		t.Fatalf("sequential plan throughput %v, want ≈1.0", out.Relative.Throughput)
+	}
+}
+
+func TestNaiveFIFOPlan(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	q := queueOf(t,
+		wfOne("w1", "LAMMPS", "4x", 1),
+		wfOne("w2", "LAMMPS", "4x", 1),
+		wfOne("w3", "AthenaPK", "4x", 1),
+		wfOne("w4", "AthenaPK", "4x", 1),
+	)
+	plan, err := s.NaiveFIFOPlan(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := plan.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("naive plan groups = %d, want 2", len(groups))
+	}
+	// FIFO order: the two LAMMPS workflows land together despite the SM
+	// rule (that is the point of the baseline).
+	first := groups[0].Names()
+	if first[0] != "w1" || first[1] != "w2" {
+		t.Fatalf("naive grouping not FIFO: %v", planNames(plan))
+	}
+	if !groups[0].Estimate.Interferes {
+		t.Fatal("naive LAMMPS pair should be flagged as interfering")
+	}
+}
+
+func TestNaiveFIFOPlanRespectsMemory(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	q := queueOf(t,
+		wfOne("w1", "WarpX", "1x", 1),
+		wfOne("w2", "WarpX", "1x", 1),
+	)
+	plan, err := s.NaiveFIFOPlan(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range plan.Groups() {
+		if len(g.Members) != 1 {
+			t.Fatal("naive plan collocated tasks that cannot fit memory")
+		}
+	}
+}
+
+func TestInterferenceAwareVsNaive(t *testing.T) {
+	// What interference-awareness guarantees (and the naive baseline
+	// does not): every produced group satisfies the paper's rules, so no
+	// collocation can degrade beyond the mild-oversubscription regime.
+	// In the calibrated model mild oversubscription keeps small gains
+	// (the paper's own LAMMPS pairs gained ~6%), so the naive plan is
+	// not required to lose outright — but the aware plan must stay
+	// competitive while giving the predictability guarantee.
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, ThroughputPolicy())
+	mk := func() *workflow.Queue {
+		return queueOf(t,
+			wfOne("l1", "LAMMPS", "4x", 1),
+			wfOne("l2", "LAMMPS", "4x", 1),
+			wfOne("a1", "AthenaPK", "4x", 2),
+			wfOne("a2", "AthenaPK", "4x", 2),
+		)
+	}
+	cfg := gpusim.Config{Seed: 9, Mode: gpusim.ShareMPS}
+	smart, err := s.BuildPlan(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range smart.Groups() {
+		if g.Estimate.Interferes {
+			t.Fatalf("aware plan contains interfering group %v: %s", g.Names(), g.Estimate)
+		}
+	}
+	smartOut, err := s.Execute(smart, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := s.NaiveFIFOPlan(mk(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveInterferes bool
+	for _, g := range naive.Groups() {
+		naiveInterferes = naiveInterferes || g.Estimate.Interferes
+	}
+	if !naiveInterferes {
+		t.Fatal("naive plan unexpectedly rule-clean; test queue broken")
+	}
+	naiveOut, err := s.Execute(naive, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smartOut.Relative.Throughput < 0.9*naiveOut.Relative.Throughput {
+		t.Fatalf("aware plan %vx fell far below naive %vx",
+			smartOut.Relative.Throughput, naiveOut.Relative.Throughput)
+	}
+	// Both must beat plain sequential scheduling.
+	if smartOut.Relative.Throughput <= 1 || naiveOut.Relative.Throughput <= 1 {
+		t.Fatalf("collocation below sequential: aware %v naive %v",
+			smartOut.Relative.Throughput, naiveOut.Relative.Throughput)
+	}
+}
+
+func TestExecuteTimeSlicedWorseThanMPS(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, ThroughputPolicy())
+	mk := func() *workflow.Queue {
+		return queueOf(t,
+			wfOne("a", "AthenaPK", "4x", 1),
+			wfOne("b", "Kripke", "4x", 1),
+		)
+	}
+	plan, _ := s.BuildPlan(mk())
+	mpsOut, err := s.Execute(plan, gpusim.Config{Seed: 2, Mode: gpusim.ShareMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, _ := s.BuildPlan(mk())
+	tsOut, err := s.ExecuteTimeSliced(plan2, gpusim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpsOut.Relative.Throughput < tsOut.Relative.Throughput {
+		t.Fatalf("MPS %vx below time-slicing %vx", mpsOut.Relative.Throughput, tsOut.Relative.Throughput)
+	}
+}
+
+func TestExecuteMultiGPUEnergyAccountsIdleTails(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 2, store, ThroughputPolicy())
+	// One long and one short workflow: the short GPU idles until the
+	// long one finishes; pool energy must include that idle tail.
+	plan, err := s.BuildPlan(queueOf(t,
+		wfOne("long", "Kripke", "4x", 3),
+		wfOne("short", "Kripke", "1x", 1),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Execute(plan, gpusim.Config{Seed: 2, Mode: gpusim.ShareMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groupEnergy float64
+	for _, g := range out.Groups {
+		groupEnergy += g.Result.EnergyJ
+	}
+	if out.Sharing.EnergyJ <= groupEnergy {
+		t.Fatalf("pool energy %v must exceed sum of group energies %v (idle tail)",
+			out.Sharing.EnergyJ, groupEnergy)
+	}
+}
+
+func TestExecuteEmptyPlan(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, ThroughputPolicy())
+	if _, err := s.Execute(nil, gpusim.Config{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := s.Execute(&Plan{Device: a100x(), PerGPU: [][]*Group{nil}}, gpusim.Config{}); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+}
+
+func TestScheduleAndRun(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	out, err := s.ScheduleAndRun(queueOf(t,
+		wfOne("a", "Cholla-Gravity", "1x", 5),
+		wfOne("b", "Cholla-Gravity", "1x", 5),
+	), gpusim.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relative.Throughput <= 1 {
+		t.Fatalf("gravity pair throughput %v", out.Relative.Throughput)
+	}
+}
+
+func TestScheduleDAG(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+
+	// Diamond: prepro → {athena, gravity} → postpro. The middle level's
+	// two low-utilization workflows collocate; the barriers order the
+	// levels.
+	dag := workflow.NewDAG()
+	for _, w := range []workflow.Workflow{
+		wfOne("prepro", "Kripke", "1x", 2),
+		wfOne("athena", "AthenaPK", "4x", 1),
+		wfOne("gravity", "Cholla-Gravity", "4x", 1),
+		wfOne("postpro", "Kripke", "1x", 2),
+	} {
+		if err := dag.AddWorkflow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"athena", "prepro"}, {"gravity", "prepro"},
+		{"postpro", "athena"}, {"postpro", "gravity"},
+	} {
+		if err := dag.AddDependency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err := s.ScheduleDAG(dag, gpusim.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.LevelOutcomes) != 3 {
+		t.Fatalf("levels = %d", len(out.LevelOutcomes))
+	}
+	// The middle level collocates its two independent workflows.
+	mid := out.LevelOutcomes[1]
+	if len(mid.Plan.Groups()) != 1 || len(mid.Plan.Groups()[0].Members) != 2 {
+		t.Fatalf("middle level not collocated: %v", planNames(mid.Plan))
+	}
+	if out.Sharing.Tasks != 6 || out.Sequential.Tasks != 6 {
+		t.Fatalf("tasks %d/%d", out.Sharing.Tasks, out.Sequential.Tasks)
+	}
+	// Only the middle level overlaps, so the gain is modest but real.
+	if out.Relative.Throughput <= 1 {
+		t.Fatalf("DAG throughput %v", out.Relative.Throughput)
+	}
+	// Barrier semantics: total makespan is the sum of level makespans.
+	var sum float64
+	for _, lo := range out.LevelOutcomes {
+		sum += lo.Sharing.MakespanS
+	}
+	if rel := (out.Sharing.MakespanS - sum) / sum; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("makespan %v != sum of levels %v", out.Sharing.MakespanS, sum)
+	}
+}
+
+func TestScheduleDAGErrors(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	if _, err := s.ScheduleDAG(nil, gpusim.Config{}); err == nil {
+		t.Fatal("nil DAG accepted")
+	}
+	dag := workflow.NewDAG()
+	dag.AddWorkflow(wfOne("a", "Kripke", "1x", 1))
+	dag.AddWorkflow(wfOne("b", "Kripke", "1x", 1))
+	dag.AddDependency("a", "b")
+	dag.AddDependency("b", "a")
+	if _, err := s.ScheduleDAG(dag, gpusim.Config{}); err == nil {
+		t.Fatal("cyclic DAG accepted")
+	}
+}

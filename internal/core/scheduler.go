@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/interference"
+	"gpushare/internal/profile"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+func workloadGet(name string) (string, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Name, nil
+}
+
+// Group is one collocation decision: workflows that share a GPU
+// concurrently, each as one MPS client.
+type Group struct {
+	// Members are the collocated workflow profiles, in packing order.
+	Members []*WorkflowProfile
+	// Partitions are the MPS active-thread fractions per member (1.0
+	// when right-sizing is off).
+	Partitions []float64
+	// Estimate is the interference prediction for the group.
+	Estimate interference.Estimate
+}
+
+// Names returns the member workflow names.
+func (g *Group) Names() []string {
+	out := make([]string, len(g.Members))
+	for i, m := range g.Members {
+		out[i] = m.Workflow.Name
+	}
+	return out
+}
+
+// PredictedDurationS estimates the group's wall time: the longest member
+// (members run concurrently), assuming interference-free collocation —
+// which is what the packing rules enforce.
+func (g *Group) PredictedDurationS() float64 {
+	var d float64
+	for _, m := range g.Members {
+		if m.TotalDurationS > d {
+			d = m.TotalDurationS
+		}
+	}
+	return d
+}
+
+// Plan is a complete scheduling decision: per GPU, an ordered sequence of
+// collocation groups (waves) executed back-to-back.
+type Plan struct {
+	Policy Policy
+	Device gpu.DeviceSpec
+	// PerGPU[g] is GPU g's wave sequence.
+	PerGPU [][]*Group
+}
+
+// Groups returns all groups across GPUs in (gpu, wave) order.
+func (p *Plan) Groups() []*Group {
+	var out []*Group
+	for _, waves := range p.PerGPU {
+		out = append(out, waves...)
+	}
+	return out
+}
+
+// WorkflowCount returns the total workflows scheduled.
+func (p *Plan) WorkflowCount() int {
+	n := 0
+	for _, g := range p.Groups() {
+		n += len(g.Members)
+	}
+	return n
+}
+
+// Scheduler is the granularity- and interference-aware workflow scheduler.
+type Scheduler struct {
+	// Device is the GPU model of every device in the pool.
+	Device gpu.DeviceSpec
+	// GPUs is the pool size (the paper evaluates on small sets of
+	// A100Xs); it must be at least 1.
+	GPUs int
+	// Profiles is the offline profiling campaign to schedule from.
+	Profiles *profile.Store
+	// Policy selects objective and knobs.
+	Policy Policy
+}
+
+// NewScheduler constructs a scheduler with validation.
+func NewScheduler(device gpu.DeviceSpec, gpus int, store *profile.Store, policy Policy) (*Scheduler, error) {
+	if device.Name == "" {
+		device = gpu.MustLookup("A100X")
+	}
+	if err := device.Validate(); err != nil {
+		return nil, err
+	}
+	if gpus < 1 {
+		return nil, fmt.Errorf("core: scheduler needs at least one GPU, got %d", gpus)
+	}
+	if store == nil {
+		return nil, fmt.Errorf("core: scheduler needs a profile store")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{Device: device, GPUs: gpus, Profiles: store, Policy: policy}, nil
+}
+
+// BuildPlan selects collocation groups for the queued workflows following
+// §IV-B:
+//
+//  1. workflows with the lowest compute utilization are prioritized for
+//     co-scheduling;
+//  2. total compute utilization is kept under 100% combined;
+//  3. combined maximum memory must fit device memory;
+//  4. the client cap comes from the prioritized metric (2 for throughput,
+//     the MPS maximum for energy efficiency).
+//
+// Groups are then placed on the least-loaded GPU (earliest predicted
+// finish), and partitions are right-sized when the policy asks for it.
+func (s *Scheduler) BuildPlan(q *workflow.Queue) (*Plan, error) {
+	if q == nil || q.Len() == 0 {
+		return nil, fmt.Errorf("core: empty workflow queue")
+	}
+	items := q.Items()
+	profiles := make([]*WorkflowProfile, len(items))
+	for i, w := range items {
+		wp, err := BuildWorkflowProfile(s.Profiles, w)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = wp
+	}
+
+	// Criterion 1: ascending compute utilization; ties broken by queue
+	// position (stable sort) for determinism.
+	order := make([]*WorkflowProfile, len(profiles))
+	copy(order, profiles)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].AvgSMUtilPct < order[j].AvgSMUtilPct
+	})
+
+	cap := s.Policy.clientCap(s.Device.MaxMPSClients)
+	assigned := make(map[*WorkflowProfile]bool, len(order))
+	var groups []*Group
+	for _, seed := range order {
+		if assigned[seed] {
+			continue
+		}
+		g := &Group{Members: []*WorkflowProfile{seed}}
+		assigned[seed] = true
+		for len(g.Members) < cap {
+			cand := s.pickCandidate(order, assigned, g.Members)
+			if cand == nil {
+				break
+			}
+			g.Members = append(g.Members, cand)
+			assigned[cand] = true
+		}
+		g.Estimate = s.estimate(g.Members)
+		s.rightSize(g)
+		groups = append(groups, g)
+	}
+
+	// Place groups on the least-loaded GPU, longest groups first so the
+	// pool balances (LPT heuristic); ties break on GPU index.
+	sort.SliceStable(groups, func(i, j int) bool {
+		return groups[i].PredictedDurationS() > groups[j].PredictedDurationS()
+	})
+	plan := &Plan{Policy: s.Policy, Device: s.Device, PerGPU: make([][]*Group, s.GPUs)}
+	load := make([]float64, s.GPUs)
+	for _, g := range groups {
+		best := 0
+		for i := 1; i < s.GPUs; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		plan.PerGPU[best] = append(plan.PerGPU[best], g)
+		load[best] += g.PredictedDurationS()
+	}
+	return plan, nil
+}
+
+// pickCandidate selects the next workflow to add to a group: the first
+// (lowest-utilization) fitting candidate by default, or — under
+// recommendation 3 (PairOpposingPower) — the fitting candidate whose
+// predicted average power is farthest from the group's current mean
+// ("pair workflows with opposing power profiles").
+func (s *Scheduler) pickCandidate(order []*WorkflowProfile, assigned map[*WorkflowProfile]bool, members []*WorkflowProfile) *WorkflowProfile {
+	if !s.Policy.PairOpposingPower {
+		for _, cand := range order {
+			if !assigned[cand] && s.fits(members, cand) {
+				return cand
+			}
+		}
+		return nil
+	}
+	var groupPower float64
+	for _, m := range members {
+		groupPower += m.avgPowerW()
+	}
+	groupPower /= float64(len(members))
+	var best *WorkflowProfile
+	bestDelta := -1.0
+	for _, cand := range order {
+		if assigned[cand] || !s.fits(members, cand) {
+			continue
+		}
+		delta := cand.avgPowerW() - groupPower
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > bestDelta {
+			best, bestDelta = cand, delta
+		}
+	}
+	return best
+}
+
+// estimate runs the interference predictor over a member set.
+func (s *Scheduler) estimate(members []*WorkflowProfile) interference.Estimate {
+	views := make([]*profile.TaskProfile, len(members))
+	for i, m := range members {
+		views[i] = m.profileView()
+	}
+	return interference.Predict(s.Device, views)
+}
+
+// fits applies criteria 2 and 3 to adding cand to the group.
+func (s *Scheduler) fits(members []*WorkflowProfile, cand *WorkflowProfile) bool {
+	est := s.estimate(append(append([]*WorkflowProfile{}, members...), cand))
+	if est.Has(interference.Capacity) {
+		return false // OOM is never acceptable
+	}
+	if s.Policy.AllowInterferingPairs {
+		return true
+	}
+	return !est.Interferes
+}
+
+// rightSize assigns each member an MPS partition covering its predicted
+// peak active compute demand plus headroom, rounded up to the 10% steps
+// the paper sweeps in Figure 1. Without right-sizing every member gets
+// the full device.
+func (s *Scheduler) rightSize(g *Group) {
+	g.Partitions = make([]float64, len(g.Members))
+	for i := range g.Partitions {
+		g.Partitions[i] = 1
+	}
+	if !s.Policy.RightSizePartitions || len(g.Members) < 2 {
+		return
+	}
+	headroom := s.Policy.PartitionHeadroom
+	if headroom == 0 {
+		headroom = 1.2
+	}
+	for i, m := range g.Members {
+		// A partition must cover both the compute demand and the
+		// warp-slot fill of the member's kernels: below either, the
+		// member dilates (Figure 1's red-circle region).
+		need := math.Max(m.PeakActiveComputePct/100, m.PeakFillFraction) * headroom
+		p := math.Ceil(need*10) / 10
+		if p < 0.1 {
+			p = 0.1
+		}
+		if p > 1 {
+			p = 1
+		}
+		g.Partitions[i] = p
+	}
+}

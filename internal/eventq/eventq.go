@@ -1,0 +1,134 @@
+// Package eventq implements the priority queue at the heart of the
+// discrete-event simulator.
+//
+// Events are ordered by (time, sequence): two events scheduled for the same
+// instant fire in the order they were scheduled. The secondary key makes
+// simulations deterministic — Go's container/heap alone gives no stable
+// order for equal priorities, and nondeterministic tie-breaking would make
+// experiment output irreproducible.
+package eventq
+
+import (
+	"container/heap"
+
+	"gpushare/internal/simtime"
+)
+
+// Event is a unit of scheduled work. The callback runs when simulated time
+// reaches At.
+type Event struct {
+	At   simtime.Time
+	Fire func(now simtime.Time)
+
+	seq      uint64
+	index    int // position in the heap, -1 if popped or cancelled
+	canceled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.canceled }
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulation loop is single-
+// threaded by design (see gpusim).
+type Queue struct {
+	h       eventHeap
+	nextSeq uint64
+}
+
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no live events remain.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Schedule enqueues fn to run at instant at and returns a handle that can
+// be cancelled. Scheduling in the past is a programming error guarded by
+// the simulator loop, not here: the queue itself is time-agnostic.
+func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
+	e := &Event{At: at, Fire: fn, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&q.h, e.index)
+}
+
+// PeekTime returns the firing time of the earliest live event. ok is false
+// when the queue is empty.
+func (q *Queue) PeekTime() (at simtime.Time, ok bool) {
+	q.drainCancelled()
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest live event. ok is false when the
+// queue is empty.
+func (q *Queue) Pop() (e *Event, ok bool) {
+	q.drainCancelled()
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	return ev, true
+}
+
+func (q *Queue) drainCancelled() {
+	for len(q.h) > 0 && q.h[0].canceled {
+		heap.Pop(&q.h)
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

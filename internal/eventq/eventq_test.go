@@ -1,0 +1,151 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gpushare/internal/simtime"
+)
+
+func at(s float64) simtime.Time { return simtime.Zero.Add(simtime.FromSeconds(s)) }
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i, sec := range []float64{3, 1, 2, 0.5} {
+		i := i
+		q.Schedule(at(sec), func(simtime.Time) { fired = append(fired, i) })
+	}
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ev.Fire(ev.At)
+	}
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(at(1), func(simtime.Time) { fired = append(fired, i) })
+	}
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ev.Fire(ev.At)
+	}
+	for i := range fired {
+		if fired[i] != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", fired[:10])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := 0
+	e1 := q.Schedule(at(1), func(simtime.Time) { fired++ })
+	q.Schedule(at(2), func(simtime.Time) { fired++ })
+	q.Cancel(e1)
+	if !e1.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1", q.Len())
+	}
+	n := 0
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ev.Fire(ev.At)
+		n++
+	}
+	if n != 1 || fired != 1 {
+		t.Fatalf("popped %d fired %d, want 1/1", n, fired)
+	}
+}
+
+func TestCancelIdempotentAndNil(t *testing.T) {
+	var q Queue
+	e := q.Schedule(at(1), func(simtime.Time) {})
+	q.Cancel(e)
+	q.Cancel(e) // second cancel is a no-op
+	q.Cancel(nil)
+	if !q.Empty() {
+		t.Fatal("queue should be empty after cancel")
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue returned ok")
+	}
+	e1 := q.Schedule(at(5), func(simtime.Time) {})
+	q.Schedule(at(7), func(simtime.Time) {})
+	if got, ok := q.PeekTime(); !ok || got != at(5) {
+		t.Fatalf("PeekTime = %v,%v want %v", got, ok, at(5))
+	}
+	q.Cancel(e1)
+	if got, ok := q.PeekTime(); !ok || got != at(7) {
+		t.Fatalf("PeekTime after cancel = %v,%v want %v", got, ok, at(7))
+	}
+}
+
+func TestRescheduleViaCancel(t *testing.T) {
+	// The engine's pattern: cancel the old finish event, schedule a new
+	// one at a different time.
+	var q Queue
+	var firedAt []simtime.Time
+	e := q.Schedule(at(10), func(now simtime.Time) { firedAt = append(firedAt, now) })
+	q.Cancel(e)
+	q.Schedule(at(4), func(now simtime.Time) { firedAt = append(firedAt, now) })
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ev.Fire(ev.At)
+	}
+	if len(firedAt) != 1 || firedAt[0] != at(4) {
+		t.Fatalf("firedAt = %v", firedAt)
+	}
+}
+
+func TestPopSortedProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		for _, ms := range times {
+			q.Schedule(simtime.Zero.Add(simtime.Duration(ms)*simtime.Millisecond), func(simtime.Time) {})
+		}
+		var popped []simtime.Time
+		for {
+			ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, ev.At)
+		}
+		if len(popped) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

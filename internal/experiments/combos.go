@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/report"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+// ComboResult is the evaluation of one Table III combination under both
+// sharing mechanisms, relative to sequential scheduling — the data behind
+// Figures 2 and 3.
+type ComboResult struct {
+	Combo workflow.Combination
+	// Sequential is the baseline summary.
+	Sequential metrics.RunSummary
+	// MPS and TimeSlice are the relative results for each mechanism.
+	MPS       metrics.Relative
+	TimeSlice metrics.Relative
+	// Capping percentages (share of makespan, in percent) per mechanism.
+	SeqCappedPct float64
+	MPSCappedPct float64
+	TSCappedPct  float64
+}
+
+// quickIterations scales a task's iteration count down in Quick mode.
+func quickIterations(iter int, quick bool) int {
+	if !quick {
+		return iter
+	}
+	q := iter / 4
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// comboClients expands a combination into engine clients.
+func comboClients(opts Options, c workflow.Combination) ([]gpusim.Client, []*workload.TaskSpec, error) {
+	var clients []gpusim.Client
+	var allTasks []*workload.TaskSpec
+	for _, wfl := range c.Workflows {
+		scaled := workflow.Workflow{Name: wfl.Name}
+		for _, t := range wfl.Tasks {
+			t.Iterations = quickIterations(t.Iterations, opts.Quick)
+			scaled.Tasks = append(scaled.Tasks, t)
+		}
+		tasks, err := scaled.BuildSpecs(opts.device())
+		if err != nil {
+			return nil, nil, err
+		}
+		clients = append(clients, gpusim.Client{ID: scaled.Name, Tasks: tasks})
+		allTasks = append(allTasks, tasks...)
+	}
+	return clients, allTasks, nil
+}
+
+// RunCombo evaluates one combination.
+func RunCombo(opts Options, c workflow.Combination) (ComboResult, error) {
+	clients, allTasks, err := comboClients(opts, c)
+	if err != nil {
+		return ComboResult{}, err
+	}
+
+	seqCfg := opts.simConfig()
+	seqRes, err := gpusim.RunSequential(seqCfg, allTasks)
+	if err != nil {
+		return ComboResult{}, fmt.Errorf("combo %d sequential: %w", c.ID, err)
+	}
+	seq := metrics.Summarize(seqRes)
+
+	mpsCfg := opts.simConfig()
+	mpsCfg.Mode = gpusim.ShareMPS
+	mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+	if err != nil {
+		return ComboResult{}, fmt.Errorf("combo %d mps: %w", c.ID, err)
+	}
+	relMPS, err := metrics.Compare(seq, metrics.Summarize(mpsRes))
+	if err != nil {
+		return ComboResult{}, fmt.Errorf("combo %d mps: %w", c.ID, err)
+	}
+
+	tsCfg := opts.simConfig()
+	tsCfg.Mode = gpusim.ShareTimeSlice
+	tsRes, err := gpusim.RunClients(tsCfg, clients)
+	if err != nil {
+		return ComboResult{}, fmt.Errorf("combo %d time-slicing: %w", c.ID, err)
+	}
+	relTS, err := metrics.Compare(seq, metrics.Summarize(tsRes))
+	if err != nil {
+		return ComboResult{}, fmt.Errorf("combo %d time-slicing: %w", c.ID, err)
+	}
+
+	return ComboResult{
+		Combo:        c,
+		Sequential:   seq,
+		MPS:          relMPS,
+		TimeSlice:    relTS,
+		SeqCappedPct: 100 * seq.CappedFraction,
+		MPSCappedPct: 100 * mpsRes.CappedFraction,
+		TSCappedPct:  100 * tsRes.CappedFraction,
+	}, nil
+}
+
+var comboCache sync.Map // cacheKey -> []ComboResult
+
+type cacheKey struct {
+	device string
+	seed   uint64
+	quick  bool
+}
+
+// RunCombos evaluates all Table III combinations. Results are memoized
+// per (device, seed, quick) so Figures 2 and 3 share one set of runs.
+func RunCombos(opts Options) ([]ComboResult, error) {
+	key := cacheKey{device: opts.device().Name, seed: opts.Seed, quick: opts.Quick}
+	if v, ok := comboCache.Load(key); ok {
+		return v.([]ComboResult), nil
+	}
+	var out []ComboResult
+	for _, c := range workflow.Combinations() {
+		r, err := RunCombo(opts, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	comboCache.Store(key, out)
+	return out, nil
+}
+
+// RenderFig2 prints throughput and energy efficiency per combination for
+// MPS and time-slicing (the paper's Figure 2).
+func RenderFig2(results []ComboResult, w io.Writer) error {
+	thpt := report.NewBarChart("Fig 2a: Throughput vs sequential (|=parity)")
+	eff := report.NewBarChart("Fig 2b: Energy efficiency vs sequential (|=parity)")
+	for _, r := range results {
+		label := fmt.Sprintf("combo-%d", r.Combo.ID)
+		thpt.Add(label+" mps", r.MPS.Throughput)
+		thpt.Add(label+" ts ", r.TimeSlice.Throughput)
+		eff.Add(label+" mps", r.MPS.EnergyEfficiency)
+		eff.Add(label+" ts ", r.TimeSlice.EnergyEfficiency)
+	}
+	if err := thpt.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := eff.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	t := report.NewTable("Fig 2 data",
+		"Combo", "Tasks", "Seq makespan s", "MPS thpt x", "MPS eff x",
+		"TS thpt x", "TS eff x")
+	for _, r := range results {
+		t.AddRowf(r.Combo.ID, r.Sequential.Tasks, r.Sequential.MakespanS,
+			r.MPS.Throughput, r.MPS.EnergyEfficiency,
+			r.TimeSlice.Throughput, r.TimeSlice.EnergyEfficiency)
+	}
+	return t.Render(w)
+}
+
+// RenderFig3 prints the SW power-capping comparison (the paper's
+// Figure 3): percent of execution time under active capping, per
+// mechanism, with the delta over sequential.
+func RenderFig3(results []ComboResult, w io.Writer) error {
+	chart := report.NewBarChart("Fig 3: % of time SW power capping active (MPS)")
+	for _, r := range results {
+		chart.Add(fmt.Sprintf("combo-%d", r.Combo.ID), r.MPSCappedPct)
+	}
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	t := report.NewTable("Fig 3 data",
+		"Combo", "Seq capped %", "MPS capped %", "TS capped %",
+		"MPS delta pp", "TS delta pp")
+	for _, r := range results {
+		t.AddRowf(r.Combo.ID, r.SeqCappedPct, r.MPSCappedPct, r.TSCappedPct,
+			r.MPSCappedPct-r.SeqCappedPct, r.TSCappedPct-r.SeqCappedPct)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2 — throughput and energy efficiency for combinations 1-10",
+		Run: func(opts Options, w io.Writer) error {
+			results, err := RunCombos(opts)
+			if err != nil {
+				return err
+			}
+			return RenderFig2(results, w)
+		},
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3 — SW power capping for combinations 1-10",
+		Run: func(opts Options, w io.Writer) error {
+			results, err := RunCombos(opts)
+			if err != nil {
+				return err
+			}
+			return RenderFig3(results, w)
+		},
+	})
+}

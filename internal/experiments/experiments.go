@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III and §V) on the simulated substrate. Each experiment is
+// a pure function returning structured rows (consumed by tests and the
+// benchmark harness) plus a renderer that prints the paper-style artifact.
+//
+// The per-experiment index lives in DESIGN.md §5; measured-vs-paper values
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/profile"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Device is the GPU model; the zero value selects the paper's A100X.
+	Device gpu.DeviceSpec
+	// Seed drives the deterministic jitter streams.
+	Seed uint64
+	// Quick trims sweeps (fewer partitions/cardinalities, smaller
+	// iteration counts) for fast test runs; full runs reproduce the
+	// paper's exact configurations.
+	Quick bool
+}
+
+func (o Options) device() gpu.DeviceSpec {
+	if o.Device.Name == "" {
+		return gpu.MustLookup("A100X")
+	}
+	return o.Device
+}
+
+func (o Options) simConfig() gpusim.Config {
+	return gpusim.Config{Device: o.device(), Seed: o.Seed}
+}
+
+// profiler returns an offline profiler on the experiment's device.
+func (o Options) profiler() *profile.Profiler {
+	return &profile.Profiler{Config: o.simConfig()}
+}
+
+// Experiment couples an artifact ID with its runner.
+type Experiment struct {
+	// ID is the artifact key: "table1".."table3", "fig1".."fig5",
+	// "ablations".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run regenerates the artifact and renders it to w.
+	Run func(opts Options, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order (tables first, then figures).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids)
+	}
+	return e, nil
+}

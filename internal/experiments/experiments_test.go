@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 42, Quick: true} }
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	wantIDs := []string{"ext-mechanisms", "ext-mig", "ext-online", "ext-powercap", "ext-recommend",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3"}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments: %v", len(all), ids(all))
+	}
+	for i, e := range all {
+		if e.ID != wantIDs[i] {
+			t.Fatalf("registry order %v, want %v", ids(all), wantIDs)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	e, err := Get("table3")
+	if err != nil || e.ID != "table3" {
+		t.Fatalf("Get(table3) = %v, %v", e.ID, err)
+	}
+}
+
+func ids(es []Experiment) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		var sb strings.Builder
+		if err := e.Run(quickOpts(), &sb); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if relErr(r.AchievedPct, r.PaperAchievedPct) > 0.01 {
+			t.Errorf("%s achieved %.2f vs paper %.2f", r.Benchmark, r.AchievedPct, r.PaperAchievedPct)
+		}
+		if relErr(r.TheoreticalPct, r.PaperTheoreticalPct) > 0.01 {
+			t.Errorf("%s theoretical %.2f vs paper %.2f", r.Benchmark, r.TheoreticalPct, r.PaperTheoreticalPct)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 benchmarks, Epsilon only at 1x → 13 rows.
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperPowerW == 0 {
+			continue
+		}
+		if e := relErr(r.Measured.AvgPowerW, r.PaperPowerW); e > 0.03 {
+			t.Errorf("%s/%s power %.1f vs paper %.1f", r.Benchmark, r.Size,
+				r.Measured.AvgPowerW, r.PaperPowerW)
+		}
+		if e := relErr(r.Measured.AvgSMUtilPct, r.PaperSMPct); e > 0.05 {
+			t.Errorf("%s/%s SM %.2f vs paper %.2f", r.Benchmark, r.Size,
+				r.Measured.AvgSMUtilPct, r.PaperSMPct)
+		}
+		if e := relErr(r.Measured.EnergyJ, r.PaperEnergyJ); e > 0.05 {
+			t.Errorf("%s/%s energy %.0f vs paper %.0f", r.Benchmark, r.Size,
+				r.Measured.EnergyJ, r.PaperEnergyJ)
+		}
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	series, err := Fig1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("series = %d, want 7 panels-worth", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(Fig1Partitions(true)) {
+			t.Fatalf("%s/%s has %d points", s.Benchmark, s.Size, len(s.Points))
+		}
+		// Throughput must rise (weakly) with partition size.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].TasksPerHour < s.Points[i-1].TasksPerHour*0.98 {
+				t.Errorf("%s/%s throughput fell at partition %d%%",
+					s.Benchmark, s.Size, s.Points[i].PartitionPct)
+			}
+		}
+		// Non-linearity: the smallest partition must be worse than its
+		// pro-rata share would suggest only below saturation; at minimum
+		// the first point is clearly below the last.
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.TasksPerHour >= last.TasksPerHour*0.95 {
+			t.Errorf("%s/%s shows no partition sensitivity", s.Benchmark, s.Size)
+		}
+	}
+	// Granularity claim: larger problem sizes are more linear — the
+	// relative throughput at a mid partition is lower for 4x than 1x
+	// (1x saturates earlier). Check for WarpX, the paper's Figure 1c.
+	rel := map[string]float64{}
+	for _, s := range series {
+		if s.Benchmark == "WarpX" {
+			for _, p := range s.Points {
+				if p.PartitionPct == 60 {
+					rel[s.Size] = p.RelThroughput
+				}
+			}
+		}
+	}
+	if rel["1x"] <= rel["4x"] {
+		t.Errorf("WarpX rel@60%%: 1x %.3f should exceed 4x %.3f (earlier saturation)",
+			rel["1x"], rel["4x"])
+	}
+}
+
+func TestFig2Claims(t *testing.T) {
+	results, err := RunCombos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("combos = %d", len(results))
+	}
+	var best, worst float64 = 0, 99
+	for _, r := range results {
+		// "MPS outperforms time-slicing in every instance" (§V-D).
+		if r.MPS.Throughput < r.TimeSlice.Throughput-0.01 {
+			t.Errorf("combo %d: MPS %.2fx below time-slicing %.2fx",
+				r.Combo.ID, r.MPS.Throughput, r.TimeSlice.Throughput)
+		}
+		// Throughput floor ≈ 0% gain (paper range 0%..147%).
+		if r.MPS.Throughput < 0.97 {
+			t.Errorf("combo %d: MPS throughput %.2fx below sequential", r.Combo.ID, r.MPS.Throughput)
+		}
+		best = math.Max(best, r.MPS.Throughput)
+		worst = math.Min(worst, r.MPS.Throughput)
+	}
+	// Wide spread across combos, as the paper reports.
+	if best < 1.5 {
+		t.Errorf("best combo only %.2fx; expected some combo well above 1.5x", best)
+	}
+	if worst > 1.2 {
+		t.Errorf("worst combo %.2fx; expected some combo near parity", worst)
+	}
+	// Efficiency floor: paper saw as low as a 2% decrease.
+	for _, r := range results {
+		if r.MPS.EnergyEfficiency < 0.90 {
+			t.Errorf("combo %d efficiency %.2fx below plausible floor", r.Combo.ID, r.MPS.EnergyEfficiency)
+		}
+	}
+}
+
+func TestFig3Claims(t *testing.T) {
+	results, err := RunCombos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCapping := false
+	for _, r := range results {
+		// Capping never decreases under MPS relative to sequential.
+		if r.MPSCappedPct < r.SeqCappedPct-0.5 {
+			t.Errorf("combo %d: MPS capping %.1f%% below sequential %.1f%%",
+				r.Combo.ID, r.MPSCappedPct, r.SeqCappedPct)
+		}
+		if r.MPSCappedPct > 1 {
+			anyCapping = true
+		}
+	}
+	if !anyCapping {
+		t.Error("no combination triggered SW power capping under MPS")
+	}
+}
+
+func TestFig4Claims(t *testing.T) {
+	points, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBench := map[string]map[int]ConfigPoint{}
+	for _, p := range points {
+		if byBench[p.Benchmark] == nil {
+			byBench[p.Benchmark] = map[int]ConfigPoint{}
+		}
+		byBench[p.Benchmark][p.Parallel] = p
+	}
+	ath, lam := byBench["AthenaPK"], byBench["LAMMPS"]
+	// Cardinality 1 is the sequential case: parity.
+	if relErr(ath[1].Rel.Throughput, 1) > 0.02 || relErr(lam[1].Rel.Throughput, 1) > 0.02 {
+		t.Errorf("cardinality-1 not at parity: %v / %v", ath[1].Rel.Throughput, lam[1].Rel.Throughput)
+	}
+	// The low-utilization workflow gains much more from collocation.
+	if ath[4].Rel.Throughput <= lam[4].Rel.Throughput {
+		t.Errorf("AthenaPK %vx should exceed LAMMPS %vx at cardinality 4",
+			ath[4].Rel.Throughput, lam[4].Rel.Throughput)
+	}
+	// LAMMPS stays near parity at low cardinality (paper: ~6% peak) and
+	// declines with more clients.
+	if lam[4].Rel.Throughput > 1.2 {
+		t.Errorf("LAMMPS gain %vx too large", lam[4].Rel.Throughput)
+	}
+	if lam[16].Rel.Throughput >= lam[4].Rel.Throughput {
+		t.Errorf("LAMMPS throughput should decline with cardinality: %v → %v",
+			lam[4].Rel.Throughput, lam[16].Rel.Throughput)
+	}
+	// AthenaPK energy efficiency grows from cardinality 1 to higher.
+	if ath[16].Rel.EnergyEfficiency <= ath[1].Rel.EnergyEfficiency {
+		t.Errorf("AthenaPK efficiency should rise with cardinality")
+	}
+}
+
+func TestFig5Claims(t *testing.T) {
+	points, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var athSingle, athWide *ConfigPoint
+	for i := range points {
+		p := &points[i]
+		if p.Benchmark != "AthenaPK" {
+			continue
+		}
+		if p.Parallel == 1 {
+			athSingle = p
+		}
+		if p.Parallel == 12 {
+			athWide = p
+		}
+	}
+	if athSingle == nil || athWide == nil {
+		t.Fatalf("missing config points: %+v", points)
+	}
+	// A single workflow is the sequential schedule.
+	if relErr(athSingle.Rel.Throughput, 1) > 0.02 {
+		t.Errorf("single-workflow config not parity: %v", athSingle.Rel.Throughput)
+	}
+	// Oversubscription boosts energy efficiency over the single
+	// workflow ("maximizing oversubscription yields slightly more
+	// benefit to energy efficiency").
+	if athWide.Rel.EnergyEfficiency <= athSingle.Rel.EnergyEfficiency {
+		t.Errorf("wide config efficiency %v not above single %v",
+			athWide.Rel.EnergyEfficiency, athSingle.Rel.EnergyEfficiency)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := RunConfig(quickOpts(), "Nope", "1x", 1, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := RunConfig(quickOpts(), "Kripke", "1x", 0, 1); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	rows, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTable1(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "LAMMPS") {
+		t.Fatal("table1 render missing rows")
+	}
+	sb.Reset()
+	if err := RenderTable3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Kripke/4x x11") {
+		t.Fatalf("table3 render: %q", sb.String())
+	}
+}
+
+func TestComboCache(t *testing.T) {
+	a, err := RunCombos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCombos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("combo results not memoized")
+	}
+	// Different seed → fresh run.
+	c, err := RunCombos(Options{Seed: 43, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] == &c[0] {
+		t.Fatal("cache ignored the seed")
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/mig"
+	"gpushare/internal/report"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+// Extension experiments: evaluations the paper names but defers to future
+// work. They follow the same harness conventions as the paper artifacts.
+
+// MIGComparisonRow compares sharing mechanisms for one two-workflow
+// combination.
+type MIGComparisonRow struct {
+	ComboID   int
+	Partition string
+	MPS       metrics.Relative
+	MIG       metrics.Relative
+	// MIGInfeasible marks combinations no MIG partition can host —
+	// e.g. WarpX's 61 GiB footprint leaves no memory partition for a
+	// second instance. MPS has no such constraint (memory is shared),
+	// which is exactly the flexibility §II-B credits it with.
+	MIGInfeasible bool
+}
+
+// migCombos are the Table III combinations with exactly two workflows —
+// the shape MIG's one-instance-per-tenant placement targets.
+func migCombos() []int { return []int{1, 3, 4, 5, 6, 7} }
+
+// ExtMIG compares MPS co-scheduling against best-fit MIG partitioning on
+// the two-workflow combinations (§II-B: "MIG offers much better isolation
+// than MPS" but "is less flexible").
+func ExtMIG(opts Options) ([]MIGComparisonRow, error) {
+	device := opts.device()
+	var rows []MIGComparisonRow
+	for _, id := range migCombos() {
+		c, err := workflow.Combo(id)
+		if err != nil {
+			return nil, err
+		}
+		clients, allTasks, err := comboClients(opts, c)
+		if err != nil {
+			return nil, err
+		}
+
+		seqRes, err := gpusim.RunSequential(opts.simConfig(), allTasks)
+		if err != nil {
+			return nil, err
+		}
+		seq := metrics.Summarize(seqRes)
+
+		mpsCfg := opts.simConfig()
+		mpsCfg.Mode = gpusim.ShareMPS
+		mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+		if err != nil {
+			return nil, err
+		}
+		relMPS, err := metrics.Compare(seq, metrics.Summarize(mpsRes))
+		if err != nil {
+			return nil, err
+		}
+
+		flows := make([]mig.Tenant, len(clients))
+		for i, cl := range clients {
+			flows[i] = mig.Tenant{ID: cl.ID, Tasks: cl.Tasks}
+		}
+		row := MIGComparisonRow{ComboID: id, MPS: relMPS}
+		part, tenants, err := mig.BestFit(device, flows)
+		if err != nil {
+			row.MIGInfeasible = true
+			row.Partition = "infeasible (memory partitions)"
+			rows = append(rows, row)
+			continue
+		}
+		migRes, err := mig.Run(opts.simConfig(), part, tenants)
+		if err != nil {
+			return nil, fmt.Errorf("combo %d: %w", id, err)
+		}
+		relMIG, err := metrics.Compare(seq, migRes.Summary())
+		if err != nil {
+			return nil, fmt.Errorf("combo %d: %w", id, err)
+		}
+		label := ""
+		for i, in := range part.Instances {
+			if i > 0 {
+				label += "+"
+			}
+			label += in.Name
+		}
+		row.Partition = label
+		row.MIG = relMIG
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderExtMIG prints the comparison.
+func RenderExtMIG(rows []MIGComparisonRow, w io.Writer) error {
+	t := report.NewTable(
+		"Extension: MPS co-scheduling vs best-fit MIG partitioning (vs sequential)",
+		"Combo", "MIG partition", "MPS thpt x", "MPS eff x", "MIG thpt x", "MIG eff x")
+	for _, r := range rows {
+		if r.MIGInfeasible {
+			t.AddRowf(r.ComboID, r.Partition,
+				r.MPS.Throughput, r.MPS.EnergyEfficiency, "-", "-")
+			continue
+		}
+		t.AddRowf(r.ComboID, r.Partition,
+			r.MPS.Throughput, r.MPS.EnergyEfficiency,
+			r.MIG.Throughput, r.MIG.EnergyEfficiency)
+	}
+	return t.Render(w)
+}
+
+// PowerCapPoint is one observation of the power-threshold study the paper
+// defers ("a more comprehensive study of the energy effects of power
+// capping (with varying power thresholds) is left to future work", §V-C).
+type PowerCapPoint struct {
+	LimitW     float64
+	Throughput float64
+	Efficiency float64
+	CappedPct  float64
+	AvgPowerW  float64
+}
+
+// ExtPowerCap sweeps the SW power-cap threshold for the MHD+LAMMPS pair
+// (combination 7's core, the heaviest-power pairing).
+func ExtPowerCap(opts Options) ([]PowerCapPoint, error) {
+	limits := []float64{240, 260, 280, 300, 320, 340}
+	if opts.Quick {
+		limits = []float64{240, 300, 340}
+	}
+	base := opts.device()
+	mhd, err := workload.MustGet("Cholla-MHD").BuildTaskSpec("4x", base)
+	if err != nil {
+		return nil, err
+	}
+	lam, err := workload.MustGet("LAMMPS").BuildTaskSpec("4x", base)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []PowerCapPoint
+	for _, limit := range limits {
+		dev := base
+		dev.PowerLimitW = limit
+		if err := dev.Validate(); err != nil {
+			return nil, err
+		}
+		cfg := gpusim.Config{Device: dev, Seed: opts.Seed}
+		seqRes, err := gpusim.RunSequential(cfg, []*workload.TaskSpec{mhd, lam})
+		if err != nil {
+			return nil, err
+		}
+		mpsCfg := cfg
+		mpsCfg.Mode = gpusim.ShareMPS
+		mpsRes, err := gpusim.RunClients(mpsCfg, []gpusim.Client{
+			{ID: "mhd", Tasks: []*workload.TaskSpec{mhd}},
+			{ID: "lam", Tasks: []*workload.TaskSpec{lam}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rel, err := metrics.Compare(metrics.Summarize(seqRes), metrics.Summarize(mpsRes))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PowerCapPoint{
+			LimitW:     limit,
+			Throughput: rel.Throughput,
+			Efficiency: rel.EnergyEfficiency,
+			CappedPct:  100 * mpsRes.CappedFraction,
+			AvgPowerW:  mpsRes.AvgPowerW,
+		})
+	}
+	return out, nil
+}
+
+// RenderExtPowerCap prints the sweep.
+func RenderExtPowerCap(points []PowerCapPoint, w io.Writer) error {
+	t := report.NewTable(
+		"Extension: MHD+LAMMPS under MPS with varying SW power-cap thresholds",
+		"Limit W", "Thpt x", "Eff x", "Capped %", "Avg power W")
+	for _, p := range points {
+		t.AddRowf(p.LimitW, p.Throughput, p.Efficiency, p.CappedPct, p.AvgPowerW)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-mig",
+		Title: "Extension — MPS vs MIG partitioning on two-workflow combinations",
+		Run: func(opts Options, w io.Writer) error {
+			rows, err := ExtMIG(opts)
+			if err != nil {
+				return err
+			}
+			return RenderExtMIG(rows, w)
+		},
+	})
+	register(Experiment{
+		ID:    "ext-powercap",
+		Title: "Extension — energy effects of varying power-cap thresholds",
+		Run: func(opts Options, w io.Writer) error {
+			points, err := ExtPowerCap(opts)
+			if err != nil {
+				return err
+			}
+			return RenderExtPowerCap(points, w)
+		},
+	})
+}

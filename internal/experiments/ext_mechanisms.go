@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"io"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/report"
+	"gpushare/internal/workload"
+)
+
+// MechanismRow compares the three concurrency mechanisms of §II-B on one
+// workload pair.
+type MechanismRow struct {
+	Pair      string
+	TimeSlice metrics.Relative
+	MPS       metrics.Relative
+	Streams   metrics.Relative
+}
+
+// ExtMechanisms evaluates time-slicing vs MPS vs CUDA streams on three
+// representative pairs (low+low, low+high, high+high utilization).
+// Streams model kernels submitted from one cooperative process: they keep
+// MPS's overlap without its per-client server overhead, but offer no SM
+// partitioning and no memory protection — the taxonomy §II-B lays out.
+func ExtMechanisms(opts Options) ([]MechanismRow, error) {
+	dev := opts.device()
+	pairs := [][2]struct{ bench, size string }{
+		{{"AthenaPK", "4x"}, {"AthenaPK", "4x"}},
+		{{"AthenaPK", "4x"}, {"LAMMPS", "4x"}},
+		{{"Cholla-MHD", "4x"}, {"LAMMPS", "4x"}},
+	}
+	var rows []MechanismRow
+	for _, pair := range pairs {
+		ta, err := workload.MustGet(pair[0].bench).BuildTaskSpec(pair[0].size, dev)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := workload.MustGet(pair[1].bench).BuildTaskSpec(pair[1].size, dev)
+		if err != nil {
+			return nil, err
+		}
+		seqRes, err := gpusim.RunSequential(opts.simConfig(), []*workload.TaskSpec{ta, tb})
+		if err != nil {
+			return nil, err
+		}
+		seq := metrics.Summarize(seqRes)
+
+		row := MechanismRow{Pair: pair[0].bench + "/" + pair[0].size + " + " + pair[1].bench + "/" + pair[1].size}
+		for _, mode := range []gpusim.ShareMode{gpusim.ShareTimeSlice, gpusim.ShareMPS, gpusim.ShareStreams} {
+			cfg := opts.simConfig()
+			cfg.Mode = mode
+			res, err := gpusim.RunClients(cfg, []gpusim.Client{
+				{ID: "a", Tasks: []*workload.TaskSpec{ta}},
+				{ID: "b", Tasks: []*workload.TaskSpec{tb}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rel, err := metrics.Compare(seq, metrics.Summarize(res))
+			if err != nil {
+				return nil, err
+			}
+			switch mode {
+			case gpusim.ShareTimeSlice:
+				row.TimeSlice = rel
+			case gpusim.ShareMPS:
+				row.MPS = rel
+			case gpusim.ShareStreams:
+				row.Streams = rel
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderExtMechanisms prints the comparison.
+func RenderExtMechanisms(rows []MechanismRow, w io.Writer) error {
+	t := report.NewTable(
+		"Extension: concurrency mechanisms (§II-B) — throughput/efficiency vs sequential",
+		"Pair", "TS thpt", "TS eff", "MPS thpt", "MPS eff", "Streams thpt", "Streams eff")
+	for _, r := range rows {
+		t.AddRowf(r.Pair,
+			r.TimeSlice.Throughput, r.TimeSlice.EnergyEfficiency,
+			r.MPS.Throughput, r.MPS.EnergyEfficiency,
+			r.Streams.Throughput, r.Streams.EnergyEfficiency)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-mechanisms",
+		Title: "Extension — time-slicing vs MPS vs CUDA streams",
+		Run: func(opts Options, w io.Writer) error {
+			rows, err := ExtMechanisms(opts)
+			if err != nil {
+				return err
+			}
+			return RenderExtMechanisms(rows, w)
+		},
+	})
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/recommend"
+	"gpushare/internal/report"
+)
+
+// ExtRecommend runs the future-work recommendation model (§VI) over the
+// profiled suite: rank candidate pairs analytically, and show how kernel-
+// similarity clustering shrinks the offline pairwise-analysis campaign.
+func ExtRecommend(opts Options, w io.Writer) error {
+	pr := opts.profiler()
+	store, err := pr.ProfileSuite([]string{"1x", "4x"})
+	if err != nil {
+		return err
+	}
+	device := opts.device()
+
+	recs, err := recommend.Recommend(device, store.All(), recommend.ByProduct, false)
+	if err != nil {
+		return err
+	}
+	limit := 12
+	if len(recs) < limit {
+		limit = len(recs)
+	}
+	t := report.NewTable(
+		"Extension: top recommended collocations (analytic model, TxE objective)",
+		"Rank", "Pair", "Pred thpt x", "Pred eff x", "Pred capped")
+	for i := 0; i < limit; i++ {
+		r := recs[i]
+		t.AddRowf(i+1, r.Key(), r.Throughput, r.EnergyEfficiency, r.PredictedCapped)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	clusters, err := recommend.ClusterProfiles(store.All(), 0.97)
+	if err != nil {
+		return err
+	}
+	ct := report.NewTable(
+		"Kernel-similarity clusters (threshold 0.97) — offline-analysis reduction",
+		"Representative", "Members")
+	for _, c := range clusters {
+		members := ""
+		for i, m := range c.Members {
+			if i > 0 {
+				members += ", "
+			}
+			members += m.Key()
+		}
+		ct.AddRow(c.Representative.Key(), members)
+	}
+	if err := ct.Render(w); err != nil {
+		return err
+	}
+	full := store.Len() * (store.Len() + 1) / 2
+	plan := recommend.AnalysisPlan(clusters)
+	fmt.Fprintf(w, "\npairwise analyses: %d with clustering vs %d exhaustive (%.0f%% saved)\n",
+		len(plan), full, 100*(1-float64(len(plan))/float64(full)))
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-recommend",
+		Title: "Extension — typed-interference recommendation model + kernel similarity",
+		Run:   ExtRecommend,
+	})
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtMIGClaims(t *testing.T) {
+	rows, err := ExtMIG(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want the 6 two-workflow combos", len(rows))
+	}
+	byCombo := map[int]MIGComparisonRow{}
+	for _, r := range rows {
+		byCombo[r.ComboID] = r
+	}
+	// The WarpX combinations cannot be MIG-partitioned (61 GiB tenant +
+	// anything exceeds the fixed memory splits) — MIG's inflexibility.
+	for _, id := range []int{3, 4} {
+		if !byCombo[id].MIGInfeasible {
+			t.Errorf("combo %d should be MIG-infeasible", id)
+		}
+	}
+	// Where MIG is feasible, MPS's flexible sharing wins throughput on
+	// the low-utilization combination (combo 1): MIG statically splits
+	// what MPS overlaps.
+	r1 := byCombo[1]
+	if r1.MIGInfeasible {
+		t.Fatal("combo 1 should be MIG-feasible")
+	}
+	if r1.MPS.Throughput <= r1.MIG.Throughput {
+		t.Errorf("combo 1: MPS %.2fx should beat MIG %.2fx",
+			r1.MPS.Throughput, r1.MIG.Throughput)
+	}
+	// MIG partitions carry profile names.
+	if !strings.Contains(r1.Partition, "g.") {
+		t.Errorf("partition label %q", r1.Partition)
+	}
+}
+
+func TestExtPowerCapClaims(t *testing.T) {
+	points, err := ExtPowerCap(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Capping time decreases as the threshold rises; average power and
+	// throughput never decrease.
+	for i := 1; i < len(points); i++ {
+		if points[i].CappedPct > points[i-1].CappedPct+0.5 {
+			t.Errorf("capping rose with a higher limit: %v", points)
+		}
+		if points[i].Throughput < points[i-1].Throughput-0.01 {
+			t.Errorf("throughput fell with a higher limit: %v", points)
+		}
+		if points[i].AvgPowerW < points[i-1].AvgPowerW-0.5 {
+			t.Errorf("avg power fell with a higher limit: %v", points)
+		}
+	}
+	// The lowest threshold must actually throttle this pair.
+	if points[0].CappedPct < 50 {
+		t.Errorf("240 W threshold capped only %.1f%%", points[0].CappedPct)
+	}
+	// §V-C: throttling's latency increase cancels energy-efficiency
+	// benefits — efficiency stays near flat across thresholds.
+	for _, p := range points {
+		if p.Efficiency < 0.9 || p.Efficiency > 1.15 {
+			t.Errorf("efficiency %v at %v W outside the flat band", p.Efficiency, p.LimitW)
+		}
+	}
+}
+
+func TestExtMechanismsClaims(t *testing.T) {
+	rows, err := ExtMechanisms(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Overlap mechanisms dominate time-slicing.
+		if r.MPS.Throughput < r.TimeSlice.Throughput-0.01 {
+			t.Errorf("%s: MPS %.2f below TS %.2f", r.Pair, r.MPS.Throughput, r.TimeSlice.Throughput)
+		}
+		// Streams never lose to MPS (no server overhead) and never gain
+		// implausibly over it.
+		if r.Streams.Throughput < r.MPS.Throughput-0.01 {
+			t.Errorf("%s: streams %.2f below MPS %.2f", r.Pair, r.Streams.Throughput, r.MPS.Throughput)
+		}
+		if r.Streams.Throughput > r.MPS.Throughput*1.1 {
+			t.Errorf("%s: streams %.2f implausibly above MPS %.2f", r.Pair, r.Streams.Throughput, r.MPS.Throughput)
+		}
+	}
+	// The low-utilization pair benefits most from overlap.
+	if rows[0].MPS.Throughput <= rows[2].MPS.Throughput {
+		t.Errorf("low-util pair %.2f should beat high-util pair %.2f",
+			rows[0].MPS.Throughput, rows[2].MPS.Throughput)
+	}
+}
+
+func TestExtOnlineRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := ExtOnline(quickOpts(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dispatch log", "throughput", "mean wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

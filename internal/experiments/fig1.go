@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/report"
+	"gpushare/internal/workload"
+)
+
+// Fig1Point is one observation of Figure 1: task throughput at one MPS SM
+// partition percentage.
+type Fig1Point struct {
+	Benchmark    string
+	Size         string
+	PartitionPct int
+	// TasksPerHour is absolute throughput (one task looped solo under
+	// the partition).
+	TasksPerHour float64
+	// RelThroughput is throughput normalized to the 100% partition.
+	RelThroughput float64
+}
+
+// Fig1Series is one curve: a benchmark/size swept across partitions.
+type Fig1Series struct {
+	Benchmark string
+	Size      string
+	Points    []Fig1Point
+}
+
+// fig1Cases mirrors the paper's Figure 1 panels: (a) BerkeleyGW-Epsilon,
+// (b) Kripke at three input scales, (c) WarpX at three input scales.
+func fig1Cases() []struct{ bench, size string } {
+	return []struct{ bench, size string }{
+		{"BerkeleyGW-Epsilon", "1x"},
+		{"Kripke", "1x"}, {"Kripke", "2x"}, {"Kripke", "4x"},
+		{"WarpX", "1x"}, {"WarpX", "2x"}, {"WarpX", "4x"},
+	}
+}
+
+// Fig1Partitions returns the swept partition percentages (10–100 in steps
+// of 10, as in the paper; Quick mode uses steps of 20).
+func Fig1Partitions(quick bool) []int {
+	step := 10
+	if quick {
+		step = 20
+	}
+	var out []int
+	for p := step; p <= 100; p += step {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig1 sweeps MPS SM partition size for each panel benchmark and measures
+// solo task throughput.
+func Fig1(opts Options) ([]Fig1Series, error) {
+	var series []Fig1Series
+	for _, c := range fig1Cases() {
+		w, err := workload.Get(c.bench)
+		if err != nil {
+			return nil, err
+		}
+		task, err := w.BuildTaskSpec(c.size, opts.device())
+		if err != nil {
+			return nil, err
+		}
+		s := Fig1Series{Benchmark: c.bench, Size: c.size}
+		var at100 float64
+		for _, pct := range Fig1Partitions(opts.Quick) {
+			cfg := opts.simConfig()
+			cfg.Mode = gpusim.ShareMPS
+			eng, err := gpusim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.AddClient(gpusim.Client{
+				ID:        fmt.Sprintf("fig1-%s-%s-p%d", c.bench, c.size, pct),
+				Partition: float64(pct) / 100,
+				Tasks:     []*workload.TaskSpec{task},
+			}); err != nil {
+				return nil, err
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			tph := 3600 / res.Makespan.Seconds()
+			s.Points = append(s.Points, Fig1Point{
+				Benchmark: c.bench, Size: c.size, PartitionPct: pct,
+				TasksPerHour: tph,
+			})
+			if pct == 100 {
+				at100 = tph
+			}
+		}
+		for i := range s.Points {
+			if at100 > 0 {
+				s.Points[i].RelThroughput = s.Points[i].TasksPerHour / at100
+			}
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// RenderFig1 prints one chart per paper panel plus the underlying table.
+func RenderFig1(series []Fig1Series, w io.Writer) error {
+	panels := map[string][]Fig1Series{}
+	var order []string
+	for _, s := range series {
+		if _, ok := panels[s.Benchmark]; !ok {
+			order = append(order, s.Benchmark)
+		}
+		panels[s.Benchmark] = append(panels[s.Benchmark], s)
+	}
+	for _, bench := range order {
+		chart := report.NewLineChart(
+			fmt.Sprintf("Fig 1: %s throughput vs MPS SM partition", bench),
+			"partition %", "tasks/hour")
+		for _, s := range panels[bench] {
+			var pts []report.Point
+			for _, p := range s.Points {
+				pts = append(pts, report.Point{X: float64(p.PartitionPct), Y: p.TasksPerHour})
+			}
+			chart.AddSeries(report.Series{Name: s.Size, Points: pts})
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	t := report.NewTable("Fig 1 data",
+		"Benchmark", "Size", "Partition %", "Tasks/hour", "Rel. to 100%")
+	for _, s := range series {
+		for _, p := range s.Points {
+			t.AddRowf(p.Benchmark, p.Size, p.PartitionPct, p.TasksPerHour, p.RelThroughput)
+		}
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1 — throughput vs MPS SM partition percentage",
+		Run: func(opts Options, w io.Writer) error {
+			series, err := Fig1(opts)
+			if err != nil {
+				return err
+			}
+			return RenderFig1(series, w)
+		},
+	})
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/report"
+	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
+)
+
+// ConfigPoint is one N×M workflow-set observation shared by Figures 4 and
+// 5: M parallel workflows of N sequential tasks of the same benchmark,
+// evaluated under MPS against sequential scheduling.
+type ConfigPoint struct {
+	Benchmark string
+	Size      string
+	// SeqTasks (N) and Parallel (M); the paper labels the set "NxM".
+	SeqTasks int
+	Parallel int
+	// Rel holds throughput/efficiency vs sequential.
+	Rel metrics.Relative
+	// ProductTE and ProductTTE are the product metrics plotted in the
+	// paper's third panels.
+	ProductTE  float64
+	ProductTTE float64
+	// MPSCappedPct is the share of the MPS run under power capping.
+	MPSCappedPct float64
+}
+
+// Label returns the paper-style "NxM" set label.
+func (p ConfigPoint) Label() string { return fmt.Sprintf("%dx%d", p.SeqTasks, p.Parallel) }
+
+// gpuShards is the MPI decomposition width of the paper's testbed: the
+// benchmarks run across 2 GPUs (Table I), so Table II's "Max Memory" is an
+// aggregate and each GPU holds half of a task's footprint. The cardinality
+// and configuration studies (Figures 4 and 5) observe one GPU of the pair;
+// per-GPU utilization profiles are unchanged (near-ideal weak scaling, as
+// Cholla/LAMMPS report), only the resident footprint splits.
+const gpuShards = 2
+
+// RunConfig evaluates one N×M set of a single benchmark task.
+func RunConfig(opts Options, bench, size string, seqTasks, parallel int) (ConfigPoint, error) {
+	wfs, err := workflow.Uniform(bench, size, seqTasks, parallel)
+	if err != nil {
+		return ConfigPoint{}, err
+	}
+	dev := opts.device()
+	var clients []gpusim.Client
+	var allTasks []*workload.TaskSpec
+	for _, wfl := range wfs {
+		tasks, err := wfl.BuildSpecs(dev)
+		if err != nil {
+			return ConfigPoint{}, err
+		}
+		tasks = shardTasks(tasks)
+		clients = append(clients, gpusim.Client{ID: wfl.Name, Tasks: tasks})
+		allTasks = append(allTasks, tasks...)
+	}
+
+	seqRes, err := gpusim.RunSequential(opts.simConfig(), allTasks)
+	if err != nil {
+		return ConfigPoint{}, err
+	}
+	mpsCfg := opts.simConfig()
+	mpsCfg.Mode = gpusim.ShareMPS
+	mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+	if err != nil {
+		return ConfigPoint{}, err
+	}
+	rel, err := metrics.Compare(metrics.Summarize(seqRes), metrics.Summarize(mpsRes))
+	if err != nil {
+		return ConfigPoint{}, err
+	}
+	return ConfigPoint{
+		Benchmark:    bench,
+		Size:         size,
+		SeqTasks:     seqTasks,
+		Parallel:     parallel,
+		Rel:          rel,
+		ProductTE:    metrics.EqualProduct().Eval(rel),
+		ProductTTE:   metrics.ThroughputBiasedProduct().Eval(rel),
+		MPSCappedPct: 100 * mpsRes.CappedFraction,
+	}, nil
+}
+
+// shardTasks returns per-GPU copies of the tasks with the MPI-decomposed
+// footprint (memory split across gpuShards GPUs).
+func shardTasks(tasks []*workload.TaskSpec) []*workload.TaskSpec {
+	out := make([]*workload.TaskSpec, len(tasks))
+	for i, t := range tasks {
+		shard := *t
+		shard.MaxMemMiB = t.MaxMemMiB / gpuShards
+		out[i] = &shard
+	}
+	return out
+}
+
+// fig4Benches are the paper's cardinality-study workloads: "LAMMPS is the
+// most resource-intensive workload we tested and AthenaPK is the least."
+func fig4Benches() []struct{ bench, size string } {
+	return []struct{ bench, size string }{
+		{"AthenaPK", "4x"},
+		{"LAMMPS", "4x"},
+	}
+}
+
+// Fig4Cardinalities returns the swept parallel-workflow counts ("we varied
+// the number of MPS clients ... up to the 48-client maximum").
+func Fig4Cardinalities(quick bool) []int {
+	if quick {
+		return []int{1, 4, 16}
+	}
+	return []int{1, 2, 4, 8, 16, 24, 32, 48}
+}
+
+// maxFeasibleClients returns how many concurrent clients of a task fit in
+// device memory — the scheduler's capacity rule applied to a uniform set.
+func maxFeasibleClients(opts Options, bench, size string) (int, error) {
+	w, err := workload.Get(bench)
+	if err != nil {
+		return 0, err
+	}
+	p, err := w.Profile(size)
+	if err != nil {
+		return 0, err
+	}
+	if p.MaxMemMiB <= 0 {
+		return opts.device().MaxMPSClients, nil
+	}
+	n := int(opts.device().MemoryMiB / (p.MaxMemMiB / gpuShards))
+	if n > opts.device().MaxMPSClients {
+		n = opts.device().MaxMPSClients
+	}
+	return n, nil
+}
+
+// Fig4 runs the cardinality study: 2 sequential tasks per workflow, an
+// increasing number of concurrent workflows. Cardinalities whose combined
+// memory footprint cannot fit the device are skipped, as the scheduler's
+// capacity rule would never produce them.
+func Fig4(opts Options) ([]ConfigPoint, error) {
+	var out []ConfigPoint
+	for _, b := range fig4Benches() {
+		maxClients, err := maxFeasibleClients(opts, b.bench, b.size)
+		if err != nil {
+			return nil, err
+		}
+		for _, parallel := range Fig4Cardinalities(opts.Quick) {
+			if parallel > maxClients {
+				continue
+			}
+			p, err := RunConfig(opts, b.bench, b.size, 2, parallel)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// renderConfigPoints renders the shared Fig 4/5 panel set.
+func renderConfigPoints(title string, points []ConfigPoint, w io.Writer) error {
+	byBench := map[string][]ConfigPoint{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byBench[p.Benchmark]; !ok {
+			order = append(order, p.Benchmark)
+		}
+		byBench[p.Benchmark] = append(byBench[p.Benchmark], p)
+	}
+	for _, bench := range order {
+		chart := report.NewBarChart(fmt.Sprintf("%s — %s (|=sequential parity)", title, bench))
+		for _, p := range byBench[bench] {
+			chart.Add(p.Label()+" thpt", p.Rel.Throughput)
+			chart.Add(p.Label()+" eff ", p.Rel.EnergyEfficiency)
+			chart.Add(p.Label()+" TxE ", p.ProductTE)
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	t := report.NewTable(title+" data",
+		"Benchmark", "Config", "Clients", "Thpt x", "Eff x", "TxE", "TxTxE", "MPS capped %")
+	for _, p := range points {
+		t.AddRowf(p.Benchmark, p.Label(), p.Parallel, p.Rel.Throughput,
+			p.Rel.EnergyEfficiency, p.ProductTE, p.ProductTTE, p.MPSCappedPct)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4 — throughput/efficiency/product vs cardinality",
+		Run: func(opts Options, w io.Writer) error {
+			points, err := Fig4(opts)
+			if err != nil {
+				return err
+			}
+			return renderConfigPoints("Fig 4", points, w)
+		},
+	})
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"io"
+)
+
+// Fig5Configs returns the scheduling configurations of Figure 5: the
+// total task count is held constant (48) while the split between
+// sequential tasks per workflow and concurrent workflows varies —
+// "whether to treat them as single sequential workflows or split them
+// into multiple parallel workflows".
+func Fig5Configs(quick bool) []struct{ SeqTasks, Parallel int } {
+	if quick {
+		return []struct{ SeqTasks, Parallel int }{
+			{12, 1}, {6, 2}, {3, 4}, {1, 12},
+		}
+	}
+	return []struct{ SeqTasks, Parallel int }{
+		{48, 1}, {24, 2}, {12, 4}, {8, 6}, {6, 8}, {4, 12}, {2, 24}, {1, 48},
+	}
+}
+
+// Fig5 runs the scheduling-configuration study over the same high- and
+// low-utilization workloads as Figure 4. Configurations whose concurrent
+// memory footprint cannot fit the device are skipped.
+func Fig5(opts Options) ([]ConfigPoint, error) {
+	var out []ConfigPoint
+	for _, b := range fig4Benches() {
+		maxClients, err := maxFeasibleClients(opts, b.bench, b.size)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range Fig5Configs(opts.Quick) {
+			if cfg.Parallel > maxClients {
+				continue
+			}
+			p, err := RunConfig(opts, b.bench, b.size, cfg.SeqTasks, cfg.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5 — throughput/efficiency/product vs scheduling configuration",
+		Run: func(opts Options, w io.Writer) error {
+			points, err := Fig5(opts)
+			if err != nil {
+				return err
+			}
+			return renderConfigPoints("Fig 5", points, w)
+		},
+	})
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"gpushare/internal/gpu"
+)
+
+// TestClaimsStableAcrossSeeds guards the reproduction against jitter
+// sensitivity: the paper-facing orderings must hold for any seed, not
+// just the default.
+func TestClaimsStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 97, 31337} {
+		opts := Options{Seed: seed, Quick: true}
+		results, err := RunCombos(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var athenaGravityPair, mhdLammpsPair float64
+		for _, r := range results {
+			if r.MPS.Throughput < r.TimeSlice.Throughput-0.02 {
+				t.Errorf("seed %d combo %d: MPS below time-slicing", seed, r.Combo.ID)
+			}
+			switch r.Combo.ID {
+			case 9:
+				athenaGravityPair = r.MPS.Throughput
+			case 10:
+				mhdLammpsPair = r.MPS.Throughput
+			}
+		}
+		// Low-utilization pairs always beat high-utilization ones.
+		if athenaGravityPair <= mhdLammpsPair {
+			t.Errorf("seed %d: combo 9 (%.2f) not above combo 10 (%.2f)",
+				seed, athenaGravityPair, mhdLammpsPair)
+		}
+	}
+}
+
+// TestSuiteRunsOnOtherDevices checks device generality: the calibrated
+// workloads must build and run on every registered device model (the
+// kernel demands re-derive from each device's occupancy limits).
+func TestSuiteRunsOnOtherDevices(t *testing.T) {
+	for _, model := range gpu.Models() {
+		spec, err := gpu.Lookup(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Seed: 5, Quick: true, Device: spec}
+		rows, err := Table1(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		for _, r := range rows {
+			if r.TheoreticalPct <= 0 || r.TheoreticalPct > 100 {
+				t.Errorf("%s: %s theoretical occupancy %v", model, r.Benchmark, r.TheoreticalPct)
+			}
+		}
+		// One end-to-end pair on each device (memory permitting:
+		// Kripke 1x + Gravity 1x fit everywhere).
+		p, err := RunConfig(opts, "Kripke", "1x", 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if p.Rel.Throughput <= 0 {
+			t.Errorf("%s: degenerate throughput %v", model, p.Rel.Throughput)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"gpushare/internal/kernel"
+	"gpushare/internal/report"
+	"gpushare/internal/workload"
+)
+
+// Table1Row is one row of Table I: warp occupancy metrics per benchmark at
+// 1x problem size.
+type Table1Row struct {
+	Benchmark string
+	// AchievedPct and TheoreticalPct are the measured (simulated)
+	// occupancies.
+	AchievedPct    float64
+	TheoreticalPct float64
+	// PctOfTheoretical is achieved/theoretical × 100.
+	PctOfTheoretical float64
+	// PaperAchievedPct / PaperTheoreticalPct are the paper's values for
+	// side-by-side comparison.
+	PaperAchievedPct    float64
+	PaperTheoreticalPct float64
+}
+
+// Table1 computes warp occupancy for every benchmark via the occupancy
+// calculator over the calibrated launch configurations.
+func Table1(opts Options) ([]Table1Row, error) {
+	spec := opts.device()
+	var rows []Table1Row
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.Profile("1x")
+		if err != nil {
+			return nil, err
+		}
+		agg, err := kernel.AggregateDemand(spec, p.Classes)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Benchmark:           name,
+			AchievedPct:         agg.AchievedOcc * 100,
+			TheoreticalPct:      agg.TheoreticalOcc * 100,
+			PaperAchievedPct:    w.AchievedOccPct,
+			PaperTheoreticalPct: w.TheoreticalOccPct,
+		}
+		if row.TheoreticalPct > 0 {
+			row.PctOfTheoretical = row.AchievedPct / row.TheoreticalPct * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the paper-style table with paper values alongside.
+func RenderTable1(rows []Table1Row, w io.Writer) error {
+	t := report.NewTable(
+		"Table I: Warp occupancy metrics per benchmark (1x problem size)",
+		"Benchmark", "Achieved Occ %", "Theoretical Occ %", "% of Theoretical",
+		"Paper Achieved %", "Paper Theoretical %")
+	for _, r := range rows {
+		t.AddRowf(r.Benchmark, r.AchievedPct, r.TheoreticalPct, r.PctOfTheoretical,
+			r.PaperAchievedPct, r.PaperTheoreticalPct)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I — warp occupancy metrics per benchmark",
+		Run: func(opts Options, w io.Writer) error {
+			rows, err := Table1(opts)
+			if err != nil {
+				return err
+			}
+			return RenderTable1(rows, w)
+		},
+	})
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+
+	"gpushare/internal/profile"
+	"gpushare/internal/report"
+	"gpushare/internal/workload"
+)
+
+// Table2Row is one row of Table II: utilization statistics for one
+// workload at one problem size, measured by the offline profiler, with the
+// paper's values alongside.
+type Table2Row struct {
+	Benchmark string
+	Size      string
+	Measured  *profile.TaskProfile
+	// Paper values (zero when the paper does not report the size).
+	PaperMaxMemMiB int64
+	PaperBWPct     float64
+	PaperSMPct     float64
+	PaperPowerW    float64
+	PaperEnergyJ   float64
+}
+
+// table2Sizes mirrors the paper's Table II rows: every benchmark at 1x,
+// plus 4x for all but BerkeleyGW-Epsilon ("we didn't investigate scaling
+// with this benchmark due to resource limitations").
+func table2Sizes(bench string) []string {
+	if bench == "BerkeleyGW-Epsilon" {
+		return []string{"1x"}
+	}
+	return []string{"1x", "4x"}
+}
+
+// Table2 runs the offline profiling campaign over the suite.
+func Table2(opts Options) ([]Table2Row, error) {
+	pr := opts.profiler()
+	var rows []Table2Row
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range table2Sizes(name) {
+			task, err := w.BuildTaskSpec(size, opts.device())
+			if err != nil {
+				return nil, err
+			}
+			p, err := pr.ProfileTask(task)
+			if err != nil {
+				return nil, err
+			}
+			row := Table2Row{Benchmark: name, Size: size, Measured: p}
+			if sp, err := w.Profile(size); err == nil && !sp.Derived {
+				row.PaperMaxMemMiB = sp.MaxMemMiB
+				row.PaperBWPct = sp.AvgBWPct
+				row.PaperSMPct = sp.AvgSMPct
+				row.PaperPowerW = sp.AvgPowerW
+				row.PaperEnergyJ = sp.EnergyJ
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the paper-style utilization table.
+func RenderTable2(rows []Table2Row, w io.Writer) error {
+	t := report.NewTable(
+		"Table II: Utilization statistics for selected workflows (measured | paper)",
+		"Benchmark", "Size", "MaxMem MiB", "BW %", "SM %", "Power W", "Energy J",
+		"Paper BW %", "Paper SM %", "Paper Power W", "Paper Energy J")
+	for _, r := range rows {
+		t.AddRowf(r.Benchmark, r.Size,
+			r.Measured.MaxMemMiB, r.Measured.AvgBWUtilPct, r.Measured.AvgSMUtilPct,
+			r.Measured.AvgPowerW, r.Measured.EnergyJ,
+			r.PaperBWPct, r.PaperSMPct, r.PaperPowerW, r.PaperEnergyJ)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table II — utilization statistics for selected workflows",
+		Run: func(opts Options, w io.Writer) error {
+			rows, err := Table2(opts)
+			if err != nil {
+				return err
+			}
+			return RenderTable2(rows, w)
+		},
+	})
+}

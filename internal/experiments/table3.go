@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/report"
+	"gpushare/internal/workflow"
+)
+
+// RenderTable3 prints the paper's Table III workflow combinations — the
+// input configurations of Figures 2 and 3.
+func RenderTable3(w io.Writer) error {
+	t := report.NewTable(
+		"Table III: Workflow combinations",
+		"Comb. #", "Workflow 1", "Workflow 2", "Workflow 3", "Workflow 4")
+	for _, c := range workflow.Combinations() {
+		cells := []string{fmt.Sprint(c.ID)}
+		for _, wfl := range c.Workflows {
+			desc := ""
+			for i, task := range wfl.Tasks {
+				if i > 0 {
+					desc += "; "
+				}
+				desc += task.String()
+			}
+			cells = append(cells, desc)
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III — workflow combinations (input configurations)",
+		Run: func(opts Options, w io.Writer) error {
+			return RenderTable3(w)
+		},
+	})
+}

@@ -1,0 +1,73 @@
+package gpu
+
+import "strings"
+
+// ThrottleReason is a bitmask of reasons the SM clock is below the
+// requested/boost frequency, mirroring NVML's nvmlClocksEventReasons. The
+// paper's Figure 3 is built from the SwPowerCap bit.
+type ThrottleReason uint64
+
+const (
+	// ThrottleGPUIdle: clocks are low because nothing is running.
+	ThrottleGPUIdle ThrottleReason = 1 << iota
+	// ThrottleAppClocks: an application clock setting limits frequency.
+	ThrottleAppClocks
+	// ThrottleSwPowerCap: the SW power-scaling algorithm is reducing
+	// clocks because board power would exceed the power limit.
+	ThrottleSwPowerCap
+	// ThrottleHwSlowdown: hardware slowdown (thermal/power brake) engaged.
+	ThrottleHwSlowdown
+	// ThrottleSyncBoost: clocks held down to match another GPU in a sync
+	// boost group.
+	ThrottleSyncBoost
+	// ThrottleSwThermal: software thermal slowdown engaged.
+	ThrottleSwThermal
+	// ThrottleDisplayClock: display clock setting limits frequency.
+	ThrottleDisplayClock
+
+	// ThrottleNone means the GPU is running at requested clocks.
+	ThrottleNone ThrottleReason = 0
+)
+
+var throttleNames = []struct {
+	bit  ThrottleReason
+	name string
+}{
+	{ThrottleGPUIdle, "GpuIdle"},
+	{ThrottleAppClocks, "ApplicationsClocksSetting"},
+	{ThrottleSwPowerCap, "SwPowerCap"},
+	{ThrottleHwSlowdown, "HwSlowdown"},
+	{ThrottleSyncBoost, "SyncBoost"},
+	{ThrottleSwThermal, "SwThermalSlowdown"},
+	{ThrottleDisplayClock, "DisplayClockSetting"},
+}
+
+// Has reports whether all bits in mask are set in r.
+func (r ThrottleReason) Has(mask ThrottleReason) bool { return r&mask == mask }
+
+// String renders the mask as NVML-style names joined by '|', or "None".
+func (r ThrottleReason) String() string {
+	if r == ThrottleNone {
+		return "None"
+	}
+	var parts []string
+	for _, tn := range throttleNames {
+		if r&tn.bit != 0 {
+			parts = append(parts, tn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "Unknown"
+	}
+	return strings.Join(parts, "|")
+}
+
+// ClockState is the instantaneous clock domain state of a device.
+type ClockState struct {
+	// SMClockMHz is the current SM frequency.
+	SMClockMHz int
+	// Factor is SMClockMHz relative to boost, in (0, 1].
+	Factor float64
+	// Reasons is the active throttle-reason mask.
+	Reasons ThrottleReason
+}

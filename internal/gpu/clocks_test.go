@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThrottleReasonString(t *testing.T) {
+	cases := []struct {
+		r    ThrottleReason
+		want string
+	}{
+		{ThrottleNone, "None"},
+		{ThrottleGPUIdle, "GpuIdle"},
+		{ThrottleSwPowerCap, "SwPowerCap"},
+		{ThrottleSwPowerCap | ThrottleHwSlowdown, "SwPowerCap|HwSlowdown"},
+		{ThrottleSwThermal, "SwThermalSlowdown"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%#x.String() = %q, want %q", uint64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestThrottleReasonHas(t *testing.T) {
+	r := ThrottleSwPowerCap | ThrottleGPUIdle
+	if !r.Has(ThrottleSwPowerCap) || !r.Has(ThrottleGPUIdle) {
+		t.Fatal("Has missed set bits")
+	}
+	if r.Has(ThrottleHwSlowdown) {
+		t.Fatal("Has reported unset bit")
+	}
+	if !r.Has(ThrottleSwPowerCap | ThrottleGPUIdle) {
+		t.Fatal("Has must match full masks")
+	}
+	if r.Has(ThrottleSwPowerCap | ThrottleHwSlowdown) {
+		t.Fatal("Has must require all bits of the mask")
+	}
+}
+
+func TestThrottleStringOrderStable(t *testing.T) {
+	r := ThrottleDisplayClock | ThrottleGPUIdle | ThrottleAppClocks
+	s := r.String()
+	if !strings.HasPrefix(s, "GpuIdle|") {
+		t.Fatalf("expected canonical bit order, got %q", s)
+	}
+}

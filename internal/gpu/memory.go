@@ -1,0 +1,101 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds remaining device
+// memory. The scheduler's interference rule 3 (combined maximum memory
+// must fit in device capacity) exists precisely to avoid this.
+type ErrOutOfMemory struct {
+	Device    string
+	WantMiB   int64
+	FreeMiB   int64
+	TotalMiB  int64
+	Requester string
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpu %s: out of memory: %s requested %d MiB, %d of %d MiB free",
+		e.Device, e.Requester, e.WantMiB, e.FreeMiB, e.TotalMiB)
+}
+
+// MemAllocator tracks per-owner device memory reservations. It models the
+// coarse, task-granularity footprint the paper schedules against (each
+// task's maximum resident set), not CUDA's sub-allocation behaviour —
+// the scheduler never observes anything finer.
+//
+// MemAllocator is not safe for concurrent use; the simulation loop is
+// single-threaded.
+type MemAllocator struct {
+	device   string
+	totalMiB int64
+	usedMiB  int64
+	owners   map[string]int64
+}
+
+// NewMemAllocator returns an allocator for a device with the given
+// capacity.
+func NewMemAllocator(device string, totalMiB int64) *MemAllocator {
+	return &MemAllocator{
+		device:   device,
+		totalMiB: totalMiB,
+		owners:   make(map[string]int64),
+	}
+}
+
+// Alloc reserves mib MiB for owner. Multiple allocations by the same owner
+// accumulate. It fails with *ErrOutOfMemory if the reservation does not
+// fit.
+func (a *MemAllocator) Alloc(owner string, mib int64) error {
+	if mib < 0 {
+		return fmt.Errorf("gpu %s: negative allocation %d MiB by %s", a.device, mib, owner)
+	}
+	if a.usedMiB+mib > a.totalMiB {
+		return &ErrOutOfMemory{
+			Device:    a.device,
+			WantMiB:   mib,
+			FreeMiB:   a.totalMiB - a.usedMiB,
+			TotalMiB:  a.totalMiB,
+			Requester: owner,
+		}
+	}
+	a.usedMiB += mib
+	a.owners[owner] += mib
+	return nil
+}
+
+// Free releases all memory held by owner and returns the amount released.
+func (a *MemAllocator) Free(owner string) int64 {
+	mib, ok := a.owners[owner]
+	if !ok {
+		return 0
+	}
+	delete(a.owners, owner)
+	a.usedMiB -= mib
+	return mib
+}
+
+// UsedMiB returns current total reservations.
+func (a *MemAllocator) UsedMiB() int64 { return a.usedMiB }
+
+// FreeMiB returns remaining capacity.
+func (a *MemAllocator) FreeMiB() int64 { return a.totalMiB - a.usedMiB }
+
+// TotalMiB returns the device capacity.
+func (a *MemAllocator) TotalMiB() int64 { return a.totalMiB }
+
+// OwnerMiB returns the reservation held by owner (0 if none).
+func (a *MemAllocator) OwnerMiB(owner string) int64 { return a.owners[owner] }
+
+// Owners returns the current owners in sorted order, for deterministic
+// diagnostics.
+func (a *MemAllocator) Owners() []string {
+	out := make([]string, 0, len(a.owners))
+	for o := range a.owners {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemAllocatorBasics(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	if err := a.Alloc("t1", 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("t2", 500); err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedMiB() != 900 || a.FreeMiB() != 100 {
+		t.Fatalf("used/free = %d/%d", a.UsedMiB(), a.FreeMiB())
+	}
+	if got := a.OwnerMiB("t1"); got != 400 {
+		t.Fatalf("owner t1 = %d", got)
+	}
+	if got := a.Free("t1"); got != 400 {
+		t.Fatalf("Free returned %d", got)
+	}
+	if a.UsedMiB() != 500 {
+		t.Fatalf("used after free = %d", a.UsedMiB())
+	}
+}
+
+func TestMemAllocatorOOM(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	if err := a.Alloc("t1", 800); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Alloc("t2", 300)
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	if oom.WantMiB != 300 || oom.FreeMiB != 200 || oom.TotalMiB != 1000 || oom.Requester != "t2" {
+		t.Fatalf("OOM fields: %+v", oom)
+	}
+	if oom.Error() == "" {
+		t.Fatal("empty OOM message")
+	}
+	// Failed allocation must not change accounting.
+	if a.UsedMiB() != 800 {
+		t.Fatalf("used after OOM = %d", a.UsedMiB())
+	}
+}
+
+func TestMemAllocatorNegative(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	if err := a.Alloc("t1", -1); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestMemAllocatorAccumulatesPerOwner(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	_ = a.Alloc("t1", 100)
+	_ = a.Alloc("t1", 150)
+	if got := a.OwnerMiB("t1"); got != 250 {
+		t.Fatalf("accumulated owner = %d, want 250", got)
+	}
+	if got := a.Free("t1"); got != 250 {
+		t.Fatalf("Free = %d, want 250", got)
+	}
+}
+
+func TestMemAllocatorFreeUnknownOwner(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	if got := a.Free("ghost"); got != 0 {
+		t.Fatalf("Free(ghost) = %d", got)
+	}
+}
+
+func TestMemAllocatorOwnersSorted(t *testing.T) {
+	a := NewMemAllocator("gpu0", 1000)
+	_ = a.Alloc("zeta", 1)
+	_ = a.Alloc("alpha", 1)
+	_ = a.Alloc("mid", 1)
+	owners := a.Owners()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if owners[i] != want[i] {
+			t.Fatalf("owners = %v", owners)
+		}
+	}
+}
+
+func TestMemAllocatorConservationProperty(t *testing.T) {
+	// Invariant: used = Σ owner reservations, and used ≤ total, across
+	// arbitrary alloc/free sequences.
+	f := func(ops []uint8) bool {
+		a := NewMemAllocator("gpu0", 500)
+		owners := []string{"a", "b", "c"}
+		for i, op := range ops {
+			owner := owners[int(op)%3]
+			if op%2 == 0 {
+				_ = a.Alloc(owner, int64(op)%97)
+			} else if i%5 == 0 {
+				a.Free(owner)
+			}
+			var sum int64
+			for _, o := range a.Owners() {
+				sum += a.OwnerMiB(o)
+			}
+			if sum != a.UsedMiB() || a.UsedMiB() > a.TotalMiB() || a.UsedMiB() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"math"
+
+	"gpushare/internal/simtime"
+)
+
+// PowerModel computes instantaneous board power and the software power-cap
+// governor response for one device.
+//
+// The model is a superposition calibrated against the paper's Table II:
+// each resident kernel k contributes ActiveDynamicW(k) × rate(k) watts of
+// dynamic power, where rate is the kernel's achieved execution rate
+// relative to solo full speed at boost clock. Aggregate dynamic demand is
+// clamped at MaxDynamicPowerW — a fully packed device cannot draw more —
+// and the governor then scales the clock factor so that
+//
+//	idle + factor × dynamicDemand ≤ PowerLimitW.
+//
+// Because execution rate is proportional to clock, throttling by the
+// governor simultaneously reduces power and dilates kernel time, which is
+// exactly the feedback the paper observes ("the resulting increase in task
+// latency from clock throttling seems to cancel out any energy efficiency
+// benefits", §V-C).
+type PowerModel struct {
+	Spec DeviceSpec
+}
+
+// GovernorDecision is the power/clock operating point chosen for an
+// interval during which the set of resident kernels is unchanged.
+type GovernorDecision struct {
+	// DemandW is the raw dynamic power demand at full boost clock (after
+	// the physical MaxDynamicPowerW clamp), excluding idle power.
+	DemandW float64
+	// PowerW is the resulting board power (idle + throttled dynamic).
+	PowerW float64
+	// ClockFactor is the applied clock multiplier in (0, 1].
+	ClockFactor float64
+	// Capped reports whether the SW power cap actively throttled clocks.
+	Capped bool
+	// Reasons is the throttle-reason mask for the interval.
+	Reasons ThrottleReason
+}
+
+// Decide computes the operating point for a given raw dynamic power demand
+// (sum over resident kernels of active dynamic watts × allocation share,
+// evaluated at boost clock).
+func (m *PowerModel) Decide(rawDynamicW float64) GovernorDecision {
+	d := GovernorDecision{ClockFactor: 1, Reasons: ThrottleNone}
+	if rawDynamicW <= 0 {
+		d.PowerW = m.Spec.IdlePowerW
+		d.Reasons = ThrottleGPUIdle
+		return d
+	}
+	demand := math.Min(rawDynamicW, m.Spec.MaxDynamicPowerW)
+	d.DemandW = demand
+
+	budget := m.Spec.PowerLimitW - m.Spec.IdlePowerW
+	if demand <= budget {
+		d.PowerW = m.Spec.IdlePowerW + demand
+		return d
+	}
+
+	// SW power capping: throttle the clock so power meets the limit. The
+	// clock factor has a floor (MinClockMHz); if even the floor cannot
+	// meet the budget the device runs at the floor slightly above the
+	// limit, which matches observed NVML behaviour under extreme load.
+	factor := budget / demand
+	if min := m.Spec.MinClockFactor(); factor < min {
+		factor = min
+	}
+	d.ClockFactor = factor
+	d.PowerW = m.Spec.IdlePowerW + factor*demand
+	d.Capped = true
+	d.Reasons = ThrottleSwPowerCap
+	return d
+}
+
+// ClockMHz converts a clock factor to an SM frequency for reporting.
+func (m *PowerModel) ClockMHz(factor float64) int {
+	mhz := int(factor*float64(m.Spec.BoostClockMHz) + 0.5)
+	if mhz < m.Spec.MinClockMHz {
+		mhz = m.Spec.MinClockMHz
+	}
+	if mhz > m.Spec.BoostClockMHz {
+		mhz = m.Spec.BoostClockMHz
+	}
+	return mhz
+}
+
+// EnergyMeter integrates board energy and capped time across piecewise-
+// constant operating intervals. The zero value is ready to use.
+type EnergyMeter struct {
+	energyJ    float64
+	cappedTime simtime.Duration
+	activeTime simtime.Duration
+	totalTime  simtime.Duration
+	peakPowerW float64
+}
+
+// Accumulate adds an interval of length dt spent at decision d.
+func (e *EnergyMeter) Accumulate(dt simtime.Duration, d GovernorDecision) {
+	if dt <= 0 {
+		return
+	}
+	e.energyJ += d.PowerW * dt.Seconds()
+	e.totalTime += dt
+	if d.Capped {
+		e.cappedTime += dt
+	}
+	if d.DemandW > 0 {
+		e.activeTime += dt
+	}
+	if d.PowerW > e.peakPowerW {
+		e.peakPowerW = d.PowerW
+	}
+}
+
+// EnergyJ returns total integrated board energy in joules.
+func (e *EnergyMeter) EnergyJ() float64 { return e.energyJ }
+
+// CappedFraction returns the fraction of elapsed time the SW power cap was
+// actively throttling, the quantity plotted in the paper's Figure 3.
+func (e *EnergyMeter) CappedFraction() float64 {
+	if e.totalTime <= 0 {
+		return 0
+	}
+	return e.cappedTime.Seconds() / e.totalTime.Seconds()
+}
+
+// ActiveFraction returns the fraction of elapsed time any kernel was
+// resident (the nvidia-smi "GPU utilization" analog at device level).
+func (e *EnergyMeter) ActiveFraction() float64 {
+	if e.totalTime <= 0 {
+		return 0
+	}
+	return e.activeTime.Seconds() / e.totalTime.Seconds()
+}
+
+// AveragePowerW returns time-averaged board power.
+func (e *EnergyMeter) AveragePowerW() float64 {
+	if e.totalTime <= 0 {
+		return 0
+	}
+	return e.energyJ / e.totalTime.Seconds()
+}
+
+// PeakPowerW returns the highest instantaneous board power observed.
+func (e *EnergyMeter) PeakPowerW() float64 { return e.peakPowerW }
+
+// Elapsed returns the total integrated time.
+func (e *EnergyMeter) Elapsed() simtime.Duration { return e.totalTime }
+
+// CappedTime returns the total time under active SW power capping.
+func (e *EnergyMeter) CappedTime() simtime.Duration { return e.cappedTime }
+
+// Reset clears the meter.
+func (e *EnergyMeter) Reset() { *e = EnergyMeter{} }

@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpushare/internal/simtime"
+)
+
+func testModel() PowerModel { return PowerModel{Spec: MustLookup("A100X")} }
+
+func TestDecideIdle(t *testing.T) {
+	m := testModel()
+	d := m.Decide(0)
+	if d.PowerW != m.Spec.IdlePowerW {
+		t.Fatalf("idle power = %v, want %v", d.PowerW, m.Spec.IdlePowerW)
+	}
+	if !d.Reasons.Has(ThrottleGPUIdle) || d.Capped {
+		t.Fatal("idle decision must carry GpuIdle reason and no cap")
+	}
+	if d.ClockFactor != 1 {
+		t.Fatalf("idle clock factor = %v", d.ClockFactor)
+	}
+}
+
+func TestDecideUnderBudget(t *testing.T) {
+	m := testModel()
+	d := m.Decide(200) // budget is 300-55=245
+	if d.Capped {
+		t.Fatal("200 W demand must not cap")
+	}
+	if d.PowerW != m.Spec.IdlePowerW+200 {
+		t.Fatalf("power = %v", d.PowerW)
+	}
+	if d.ClockFactor != 1 {
+		t.Fatalf("clock factor = %v", d.ClockFactor)
+	}
+}
+
+func TestDecideCapsAtLimit(t *testing.T) {
+	m := testModel()
+	d := m.Decide(300)
+	if !d.Capped || !d.Reasons.Has(ThrottleSwPowerCap) {
+		t.Fatal("300 W demand must trigger SW power cap")
+	}
+	if math.Abs(d.PowerW-m.Spec.PowerLimitW) > 1e-9 {
+		t.Fatalf("capped power = %v, want exactly the %v W limit", d.PowerW, m.Spec.PowerLimitW)
+	}
+	wantFactor := (m.Spec.PowerLimitW - m.Spec.IdlePowerW) / 300
+	if math.Abs(d.ClockFactor-wantFactor) > 1e-9 {
+		t.Fatalf("clock factor = %v, want %v", d.ClockFactor, wantFactor)
+	}
+}
+
+func TestDecideClampsAtMaxDynamic(t *testing.T) {
+	m := testModel()
+	d := m.Decide(10000)
+	if d.DemandW != m.Spec.MaxDynamicPowerW {
+		t.Fatalf("demand clamped to %v, want %v", d.DemandW, m.Spec.MaxDynamicPowerW)
+	}
+}
+
+func TestDecideClockFloor(t *testing.T) {
+	m := testModel()
+	m.Spec.MinClockMHz = 1200 // artificially high floor
+	d := m.Decide(m.Spec.MaxDynamicPowerW)
+	if d.ClockFactor < m.Spec.MinClockFactor()-1e-12 {
+		t.Fatalf("clock factor %v below floor %v", d.ClockFactor, m.Spec.MinClockFactor())
+	}
+	// At the floor the device may exceed the limit slightly.
+	if d.PowerW <= m.Spec.PowerLimitW {
+		t.Fatalf("expected floor-limited power above limit, got %v", d.PowerW)
+	}
+}
+
+func TestDecidePowerNeverExceedsLimitProperty(t *testing.T) {
+	m := testModel()
+	f := func(demand uint16) bool {
+		d := m.Decide(float64(demand))
+		// Power stays at or under the limit whenever the clock floor is
+		// not binding (the A100X floor is far below any real demand).
+		return d.PowerW <= m.Spec.PowerLimitW+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecideMonotoneInDemand(t *testing.T) {
+	m := testModel()
+	prev := -1.0
+	for demand := 0.0; demand <= 500; demand += 7 {
+		d := m.Decide(demand)
+		if d.PowerW < prev-1e-9 {
+			t.Fatalf("power not monotone at demand %v: %v < %v", demand, d.PowerW, prev)
+		}
+		prev = d.PowerW
+	}
+}
+
+func TestClockMHz(t *testing.T) {
+	m := testModel()
+	if got := m.ClockMHz(1); got != m.Spec.BoostClockMHz {
+		t.Fatalf("ClockMHz(1) = %d", got)
+	}
+	if got := m.ClockMHz(0); got != m.Spec.MinClockMHz {
+		t.Fatalf("ClockMHz(0) = %d, want floor", got)
+	}
+	if got := m.ClockMHz(2); got != m.Spec.BoostClockMHz {
+		t.Fatalf("ClockMHz(2) = %d, want boost clamp", got)
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	m := testModel()
+	var e EnergyMeter
+	e.Accumulate(10*simtime.Second, m.Decide(0))   // idle: 55 W
+	e.Accumulate(10*simtime.Second, m.Decide(100)) // active: 155 W
+	e.Accumulate(10*simtime.Second, m.Decide(400)) // capped: 300 W
+
+	wantEnergy := 10*55.0 + 10*155 + 10*300
+	if math.Abs(e.EnergyJ()-wantEnergy) > 1e-6 {
+		t.Fatalf("energy = %v, want %v", e.EnergyJ(), wantEnergy)
+	}
+	if got := e.CappedFraction(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("capped fraction = %v, want 1/3", got)
+	}
+	if got := e.ActiveFraction(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("active fraction = %v, want 2/3", got)
+	}
+	if got := e.AveragePowerW(); math.Abs(got-wantEnergy/30) > 1e-9 {
+		t.Fatalf("avg power = %v", got)
+	}
+	if got := e.PeakPowerW(); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("peak power = %v", got)
+	}
+	if e.Elapsed() != 30*simtime.Second {
+		t.Fatalf("elapsed = %v", e.Elapsed())
+	}
+	if e.CappedTime() != 10*simtime.Second {
+		t.Fatalf("capped time = %v", e.CappedTime())
+	}
+}
+
+func TestEnergyMeterIgnoresNonPositiveIntervals(t *testing.T) {
+	m := testModel()
+	var e EnergyMeter
+	e.Accumulate(0, m.Decide(100))
+	e.Accumulate(-simtime.Second, m.Decide(100))
+	if e.EnergyJ() != 0 || e.Elapsed() != 0 {
+		t.Fatal("non-positive intervals must not accumulate")
+	}
+}
+
+func TestEnergyMeterReset(t *testing.T) {
+	m := testModel()
+	var e EnergyMeter
+	e.Accumulate(simtime.Second, m.Decide(100))
+	e.Reset()
+	if e.EnergyJ() != 0 || e.Elapsed() != 0 || e.PeakPowerW() != 0 {
+		t.Fatal("Reset did not clear the meter")
+	}
+}

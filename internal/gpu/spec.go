@@ -1,0 +1,278 @@
+// Package gpu models the NVIDIA-style GPU device the paper's evaluation
+// ran on: streaming multiprocessors with warp-slot/register/shared-memory
+// occupancy limits, HBM capacity and bandwidth, clock domains, and the
+// idle+dynamic power model with the 300 W software power-cap governor that
+// drives the paper's Figure 3.
+//
+// The model is calibrated to the NVIDIA A100X converged accelerator used in
+// the paper (GA100, 108 SMs, 80 GiB HBM2e, 300 W board power limit). Other
+// device generations are included in the registry so schedulers and tests
+// can exercise heterogeneous clusters.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceSpec describes the static capabilities of one GPU model. All
+// occupancy-relevant limits follow the CUDA occupancy calculator's inputs
+// for the corresponding compute capability.
+type DeviceSpec struct {
+	// Name is the marketing name, e.g. "NVIDIA A100X".
+	Name string
+	// ComputeCapability in major.minor form, e.g. "8.0".
+	ComputeCapability string
+
+	// SMCount is the number of streaming multiprocessors.
+	SMCount int
+	// MaxWarpsPerSM is the warp-slot capacity of one SM.
+	MaxWarpsPerSM int
+	// MaxThreadsPerSM is the resident-thread capacity of one SM.
+	MaxThreadsPerSM int
+	// MaxBlocksPerSM is the resident-block capacity of one SM.
+	MaxBlocksPerSM int
+	// MaxThreadsPerBlock is the largest legal block size.
+	MaxThreadsPerBlock int
+	// RegistersPerSM is the size of one SM's register file (32-bit regs).
+	RegistersPerSM int
+	// MaxRegistersPerThread is the per-thread register allocation cap.
+	MaxRegistersPerThread int
+	// RegisterAllocGranularity is the unit registers are allocated in
+	// (per warp), matching the occupancy calculator.
+	RegisterAllocGranularity int
+	// SharedMemPerSM is the shared memory usable per SM, in bytes.
+	SharedMemPerSM int
+	// SharedMemAllocGranularity is the shared-memory allocation unit in
+	// bytes.
+	SharedMemAllocGranularity int
+	// WarpSize is the number of threads per warp (32 on all NVIDIA parts).
+	WarpSize int
+
+	// MemoryMiB is the device memory capacity in MiB.
+	MemoryMiB int64
+	// MemoryBandwidthGBs is the peak HBM bandwidth in GB/s.
+	MemoryBandwidthGBs float64
+
+	// BaseClockMHz and BoostClockMHz bound the SM clock domain.
+	BaseClockMHz  int
+	BoostClockMHz int
+	// MinClockMHz is the floor the SW power-cap governor may throttle to.
+	MinClockMHz int
+
+	// IdlePowerW is the board power drawn with no kernels resident.
+	IdlePowerW float64
+	// PowerLimitW is the software power cap (300 W on the A100X): the
+	// governor throttles clocks so board power stays at or below it.
+	PowerLimitW float64
+	// MaxDynamicPowerW bounds the dynamic (above-idle) power the silicon
+	// can draw at boost clocks before the governor intervenes. Raw demand
+	// beyond this saturates: a fully packed device cannot draw more.
+	MaxDynamicPowerW float64
+
+	// MaxMPSClients is the hardware/driver limit on concurrent MPS client
+	// processes (48 on Volta+ MPS).
+	MaxMPSClients int
+	// MIGCapable reports whether the device supports Multi-Instance GPU
+	// partitioning (Ampere and later).
+	MIGCapable bool
+	// MaxMIGInstances is the largest number of MIG slices (7 on A100).
+	MaxMIGInstances int
+}
+
+// Validate checks internal consistency of the spec.
+func (s *DeviceSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("gpu: spec has empty name")
+	case s.SMCount <= 0:
+		return fmt.Errorf("gpu: %s: SMCount must be positive, got %d", s.Name, s.SMCount)
+	case s.MaxWarpsPerSM <= 0:
+		return fmt.Errorf("gpu: %s: MaxWarpsPerSM must be positive, got %d", s.Name, s.MaxWarpsPerSM)
+	case s.WarpSize <= 0:
+		return fmt.Errorf("gpu: %s: WarpSize must be positive, got %d", s.Name, s.WarpSize)
+	case s.MaxThreadsPerSM < s.MaxThreadsPerBlock:
+		return fmt.Errorf("gpu: %s: MaxThreadsPerSM %d < MaxThreadsPerBlock %d",
+			s.Name, s.MaxThreadsPerSM, s.MaxThreadsPerBlock)
+	case s.MemoryMiB <= 0:
+		return fmt.Errorf("gpu: %s: MemoryMiB must be positive, got %d", s.Name, s.MemoryMiB)
+	case s.MemoryBandwidthGBs <= 0:
+		return fmt.Errorf("gpu: %s: MemoryBandwidthGBs must be positive", s.Name)
+	case s.IdlePowerW < 0 || s.PowerLimitW <= s.IdlePowerW:
+		return fmt.Errorf("gpu: %s: power limit %.0f W must exceed idle %.0f W",
+			s.Name, s.PowerLimitW, s.IdlePowerW)
+	case s.MaxDynamicPowerW <= 0:
+		return fmt.Errorf("gpu: %s: MaxDynamicPowerW must be positive", s.Name)
+	case s.BaseClockMHz <= 0 || s.BoostClockMHz < s.BaseClockMHz:
+		return fmt.Errorf("gpu: %s: boost clock %d MHz must be >= base %d MHz",
+			s.Name, s.BoostClockMHz, s.BaseClockMHz)
+	case s.MinClockMHz <= 0 || s.MinClockMHz > s.BaseClockMHz:
+		return fmt.Errorf("gpu: %s: min clock %d MHz must be in (0, base %d]",
+			s.Name, s.MinClockMHz, s.BaseClockMHz)
+	case s.MaxMPSClients <= 0:
+		return fmt.Errorf("gpu: %s: MaxMPSClients must be positive", s.Name)
+	}
+	return nil
+}
+
+// TotalWarpSlots is the device-wide warp-slot capacity.
+func (s *DeviceSpec) TotalWarpSlots() int { return s.SMCount * s.MaxWarpsPerSM }
+
+// MemoryBytes returns the capacity in bytes.
+func (s *DeviceSpec) MemoryBytes() int64 { return s.MemoryMiB << 20 }
+
+// MinClockFactor is the lowest clock multiplier the governor can apply,
+// relative to boost.
+func (s *DeviceSpec) MinClockFactor() float64 {
+	return float64(s.MinClockMHz) / float64(s.BoostClockMHz)
+}
+
+// Registry of known device models. A100X is the paper's evaluation device;
+// the calibration constants (idle power, max dynamic power) are chosen so
+// the simulator reproduces Table II's solo power/energy figures and the
+// capping behaviour in Figure 3.
+var registry = map[string]DeviceSpec{
+	"A100X": {
+		Name:                      "NVIDIA A100X",
+		ComputeCapability:         "8.0",
+		SMCount:                   108,
+		MaxWarpsPerSM:             64,
+		MaxThreadsPerSM:           2048,
+		MaxBlocksPerSM:            32,
+		MaxThreadsPerBlock:        1024,
+		RegistersPerSM:            65536,
+		MaxRegistersPerThread:     255,
+		RegisterAllocGranularity:  256,
+		SharedMemPerSM:            164 * 1024,
+		SharedMemAllocGranularity: 128,
+		WarpSize:                  32,
+		MemoryMiB:                 80 * 1024,
+		MemoryBandwidthGBs:        1935,
+		BaseClockMHz:              1065,
+		BoostClockMHz:             1410,
+		MinClockMHz:               210,
+		IdlePowerW:                55,
+		PowerLimitW:               300,
+		MaxDynamicPowerW:          380,
+		MaxMPSClients:             48,
+		MIGCapable:                true,
+		MaxMIGInstances:           7,
+	},
+	"A100-SXM4-40GB": {
+		Name:                      "NVIDIA A100-SXM4-40GB",
+		ComputeCapability:         "8.0",
+		SMCount:                   108,
+		MaxWarpsPerSM:             64,
+		MaxThreadsPerSM:           2048,
+		MaxBlocksPerSM:            32,
+		MaxThreadsPerBlock:        1024,
+		RegistersPerSM:            65536,
+		MaxRegistersPerThread:     255,
+		RegisterAllocGranularity:  256,
+		SharedMemPerSM:            164 * 1024,
+		SharedMemAllocGranularity: 128,
+		WarpSize:                  32,
+		MemoryMiB:                 40 * 1024,
+		MemoryBandwidthGBs:        1555,
+		BaseClockMHz:              1095,
+		BoostClockMHz:             1410,
+		MinClockMHz:               210,
+		IdlePowerW:                52,
+		PowerLimitW:               400,
+		MaxDynamicPowerW:          450,
+		MaxMPSClients:             48,
+		MIGCapable:                true,
+		MaxMIGInstances:           7,
+	},
+	"V100-SXM2-32GB": {
+		Name:                      "NVIDIA V100-SXM2-32GB",
+		ComputeCapability:         "7.0",
+		SMCount:                   80,
+		MaxWarpsPerSM:             64,
+		MaxThreadsPerSM:           2048,
+		MaxBlocksPerSM:            32,
+		MaxThreadsPerBlock:        1024,
+		RegistersPerSM:            65536,
+		MaxRegistersPerThread:     255,
+		RegisterAllocGranularity:  256,
+		SharedMemPerSM:            96 * 1024,
+		SharedMemAllocGranularity: 256,
+		WarpSize:                  32,
+		MemoryMiB:                 32 * 1024,
+		MemoryBandwidthGBs:        900,
+		BaseClockMHz:              1290,
+		BoostClockMHz:             1530,
+		MinClockMHz:               135,
+		IdlePowerW:                48,
+		PowerLimitW:               300,
+		MaxDynamicPowerW:          330,
+		MaxMPSClients:             48,
+		MIGCapable:                false,
+		MaxMIGInstances:           0,
+	},
+	"H100-SXM5-80GB": {
+		Name:                      "NVIDIA H100-SXM5-80GB",
+		ComputeCapability:         "9.0",
+		SMCount:                   132,
+		MaxWarpsPerSM:             64,
+		MaxThreadsPerSM:           2048,
+		MaxBlocksPerSM:            32,
+		MaxThreadsPerBlock:        1024,
+		RegistersPerSM:            65536,
+		MaxRegistersPerThread:     255,
+		RegisterAllocGranularity:  256,
+		SharedMemPerSM:            228 * 1024,
+		SharedMemAllocGranularity: 128,
+		WarpSize:                  32,
+		MemoryMiB:                 80 * 1024,
+		MemoryBandwidthGBs:        3350,
+		BaseClockMHz:              1590,
+		BoostClockMHz:             1980,
+		MinClockMHz:               210,
+		IdlePowerW:                70,
+		PowerLimitW:               700,
+		MaxDynamicPowerW:          760,
+		MaxMPSClients:             48,
+		MIGCapable:                true,
+		MaxMIGInstances:           7,
+	},
+}
+
+// Lookup returns the spec registered under key (e.g. "A100X").
+func Lookup(key string) (DeviceSpec, error) {
+	s, ok := registry[key]
+	if !ok {
+		return DeviceSpec{}, fmt.Errorf("gpu: unknown device model %q (known: %v)", key, Models())
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for statically known keys; it panics on a miss.
+func MustLookup(key string) DeviceSpec {
+	s, err := Lookup(key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Models returns the registered model keys in sorted order.
+func Models() []string {
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Register adds or replaces a device spec under key. It returns an error if
+// the spec is invalid. Register is intended for tests and for users
+// modelling custom parts.
+func Register(key string, s DeviceSpec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	registry[key] = s
+	return nil
+}

@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryValid(t *testing.T) {
+	for _, key := range Models() {
+		spec, err := Lookup(key)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", key, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("registered spec %q invalid: %v", key, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("RTX-9090")
+	if err == nil || !strings.Contains(err.Error(), "unknown device") {
+		t.Fatalf("Lookup unknown = %v", err)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown key did not panic")
+		}
+	}()
+	MustLookup("nope")
+}
+
+func TestA100XMatchesPaperTestbed(t *testing.T) {
+	spec := MustLookup("A100X")
+	if spec.PowerLimitW != 300 {
+		t.Errorf("A100X power limit = %v, paper states 300 W", spec.PowerLimitW)
+	}
+	if spec.MaxMPSClients != 48 {
+		t.Errorf("A100X MPS client limit = %d, paper states 48", spec.MaxMPSClients)
+	}
+	if spec.SMCount != 108 {
+		t.Errorf("A100X SM count = %d, want 108 (GA100)", spec.SMCount)
+	}
+	if spec.MemoryMiB != 80*1024 {
+		t.Errorf("A100X memory = %d MiB, want 80 GiB", spec.MemoryMiB)
+	}
+	if !spec.MIGCapable || spec.MaxMIGInstances != 7 {
+		t.Error("A100X must be MIG-capable with 7 instances")
+	}
+}
+
+func TestTotalWarpSlots(t *testing.T) {
+	spec := MustLookup("A100X")
+	if got := spec.TotalWarpSlots(); got != 108*64 {
+		t.Fatalf("TotalWarpSlots = %d, want %d", got, 108*64)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	spec := MustLookup("V100-SXM2-32GB")
+	if got := spec.MemoryBytes(); got != 32*1024*1024*1024 {
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+}
+
+func TestMinClockFactor(t *testing.T) {
+	spec := MustLookup("A100X")
+	want := 210.0 / 1410.0
+	if got := spec.MinClockFactor(); got != want {
+		t.Fatalf("MinClockFactor = %v, want %v", got, want)
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*DeviceSpec)
+	}{
+		{"empty name", func(s *DeviceSpec) { s.Name = "" }},
+		{"zero SMs", func(s *DeviceSpec) { s.SMCount = 0 }},
+		{"zero warps", func(s *DeviceSpec) { s.MaxWarpsPerSM = 0 }},
+		{"zero warp size", func(s *DeviceSpec) { s.WarpSize = 0 }},
+		{"thread limits inverted", func(s *DeviceSpec) { s.MaxThreadsPerSM = 512 }},
+		{"zero memory", func(s *DeviceSpec) { s.MemoryMiB = 0 }},
+		{"zero bandwidth", func(s *DeviceSpec) { s.MemoryBandwidthGBs = 0 }},
+		{"limit below idle", func(s *DeviceSpec) { s.PowerLimitW = s.IdlePowerW }},
+		{"zero max dynamic", func(s *DeviceSpec) { s.MaxDynamicPowerW = 0 }},
+		{"boost below base", func(s *DeviceSpec) { s.BoostClockMHz = s.BaseClockMHz - 1 }},
+		{"min clock above base", func(s *DeviceSpec) { s.MinClockMHz = s.BaseClockMHz + 1 }},
+		{"zero MPS clients", func(s *DeviceSpec) { s.MaxMPSClients = 0 }},
+	}
+	for _, c := range cases {
+		spec := MustLookup("A100X")
+		c.mutate(&spec)
+		if err := Register("bad-test-device", spec); err == nil {
+			t.Errorf("Register accepted spec with %s", c.name)
+		}
+	}
+}
+
+func TestRegisterAndLookupCustom(t *testing.T) {
+	spec := MustLookup("A100X")
+	spec.Name = "Custom Part"
+	if err := Register("custom-test", spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lookup("custom-test")
+	if err != nil || got.Name != "Custom Part" {
+		t.Fatalf("Lookup custom = %v, %v", got.Name, err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package gpusim is the discrete-event execution engine: it runs sets of
+// MPS clients (or time-sliced processes) over the device model in package
+// gpu, resolving SM/bandwidth contention, MPS partition granularity and
+// software power capping into per-task completion times and device energy.
+//
+// The engine uses a fluid model: between events, every resident kernel
+// burst progresses at a piecewise-constant rate determined by the current
+// contention and clock state; events are burst/gap boundaries and client
+// arrivals. Simulations are deterministic for a given seed.
+package gpusim
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+// ShareMode selects the GPU sharing mechanism (§II-B of the paper).
+type ShareMode int
+
+const (
+	// ShareMPS runs clients concurrently under CUDA MPS semantics:
+	// kernels from different clients are co-resident, partitions cap each
+	// client's SMs, bandwidth and power are shared.
+	ShareMPS ShareMode = iota
+	// ShareTimeSlice runs clients under the default time-sliced
+	// scheduler: kernels never overlap; the GPU round-robins between
+	// runnable clients with a context-switch efficiency penalty.
+	ShareTimeSlice
+	// ShareStreams runs clients as CUDA streams of one process (§II-B):
+	// kernels overlap like MPS but there is no MPS server (no per-client
+	// overhead), no SM partitioning ("no SM performance isolation") and
+	// no memory protection between the work queues.
+	ShareStreams
+)
+
+func (m ShareMode) String() string {
+	switch m {
+	case ShareMPS:
+		return "mps"
+	case ShareTimeSlice:
+		return "time-slicing"
+	case ShareStreams:
+		return "cuda-streams"
+	default:
+		return fmt.Sprintf("ShareMode(%d)", int(m))
+	}
+}
+
+// OOMPolicy selects how the engine reacts when a task's memory reservation
+// does not fit.
+type OOMPolicy int
+
+const (
+	// OOMSkipTask records the failure and skips the task, like a real
+	// job crashing with cudaErrorMemoryAllocation while the rest of the
+	// combination continues.
+	OOMSkipTask OOMPolicy = iota
+	// OOMAbort stops the simulation with an error.
+	OOMAbort
+)
+
+// ContentionParams tunes the sharing model. Zero values select defaults.
+type ContentionParams struct {
+	// OccupancyBonus models warp-level latency hiding between
+	// co-resident kernels: unused warp slots let the SM scheduler fill
+	// one kernel's stalls with another's warps, so the effective compute
+	// capacity under co-residency is 1 + OccupancyBonus × (unfilled
+	// achieved-occupancy headroom). This is what makes two high-duty
+	// workloads co-scheduled under MPS slightly *better* than sequential
+	// (the paper's ~6% LAMMPS-only gain) instead of strictly
+	// proportional.
+	OccupancyBonus float64
+	// OversubMaxOverhead is the asymptotic extra slowdown when aggregate
+	// compute demand far exceeds capacity (cache thrash, scheduler
+	// pressure). The overhead applied is
+	// OversubMaxOverhead × x/(x+OversubHalfK) with x = demand-capacity.
+	OversubMaxOverhead float64
+	// OversubHalfK is the half-saturation constant for the above.
+	OversubHalfK float64
+	// ClientOverhead is the per-additional-resident-client efficiency
+	// loss under MPS: efficiency = 1/(1 + ClientOverhead×(n-1)). It
+	// models host-side serialization through the shared MPS server
+	// (launch proxying, scheduling hardware): the GPU sits idle during
+	// these stalls, so the overhead reduces both progress and power —
+	// unlike OversubMaxOverhead, whose thrashed cycles still burn energy.
+	ClientOverhead float64
+	// TimesliceOverhead is the fraction of each quantum lost to context
+	// switching under the default time-sliced scheduler.
+	TimesliceOverhead float64
+	// JitterAmp is the relative amplitude of per-burst duration jitter
+	// (deterministic per seed). Zero disables jitter.
+	JitterAmp float64
+}
+
+// DefaultContention returns the calibrated defaults (see DESIGN.md §4 and
+// the ablation benches).
+func DefaultContention() ContentionParams {
+	return ContentionParams{
+		OccupancyBonus:     0.20,
+		OversubMaxOverhead: 0.10,
+		OversubHalfK:       2.0,
+		ClientOverhead:     0.006,
+		TimesliceOverhead:  0.06,
+		JitterAmp:          0.02,
+	}
+}
+
+func (p ContentionParams) withDefaults() ContentionParams {
+	d := DefaultContention()
+	if p.OccupancyBonus == 0 {
+		p.OccupancyBonus = d.OccupancyBonus
+	}
+	if p.OversubMaxOverhead == 0 {
+		p.OversubMaxOverhead = d.OversubMaxOverhead
+	}
+	if p.OversubHalfK == 0 {
+		p.OversubHalfK = d.OversubHalfK
+	}
+	if p.ClientOverhead == 0 {
+		p.ClientOverhead = d.ClientOverhead
+	}
+	if p.TimesliceOverhead == 0 {
+		p.TimesliceOverhead = d.TimesliceOverhead
+	}
+	if p.JitterAmp == 0 {
+		p.JitterAmp = d.JitterAmp
+	}
+	return p
+}
+
+// validate rejects out-of-range parameters.
+func (p ContentionParams) validate() error {
+	if p.OccupancyBonus < 0 || p.OccupancyBonus > 1 {
+		return fmt.Errorf("gpusim: OccupancyBonus must be in [0,1], got %g", p.OccupancyBonus)
+	}
+	if p.OversubMaxOverhead < 0 || p.OversubMaxOverhead >= 1 {
+		return fmt.Errorf("gpusim: OversubMaxOverhead must be in [0,1), got %g", p.OversubMaxOverhead)
+	}
+	if p.OversubHalfK < 0 {
+		return fmt.Errorf("gpusim: OversubHalfK must be non-negative, got %g", p.OversubHalfK)
+	}
+	if p.ClientOverhead < 0 || p.ClientOverhead >= 1 {
+		return fmt.Errorf("gpusim: ClientOverhead must be in [0,1), got %g", p.ClientOverhead)
+	}
+	if p.TimesliceOverhead < 0 || p.TimesliceOverhead >= 1 {
+		return fmt.Errorf("gpusim: TimesliceOverhead must be in [0,1), got %g", p.TimesliceOverhead)
+	}
+	if p.JitterAmp < 0 || p.JitterAmp > 0.5 {
+		return fmt.Errorf("gpusim: JitterAmp must be in [0,0.5], got %g", p.JitterAmp)
+	}
+	return nil
+}
+
+// NoOverhead returns contention parameters with every second-order
+// overhead disabled — pure proportional sharing. Pair it with
+// Config.ExactContention, otherwise the zero fields take defaults again.
+// Used by the ablation benches.
+func NoOverhead() ContentionParams {
+	return ContentionParams{}
+}
+
+// Config configures one simulation run.
+type Config struct {
+	// Device is the GPU model; the zero value selects the A100X.
+	Device gpu.DeviceSpec
+	// Mode is the sharing mechanism.
+	Mode ShareMode
+	// Contention tunes the sharing model; zero fields take defaults.
+	// Set ExactContention to use Contention verbatim (ablations).
+	Contention      ContentionParams
+	ExactContention bool
+	// Seed drives the deterministic jitter streams.
+	Seed uint64
+	// OOM selects the out-of-memory policy.
+	OOM OOMPolicy
+	// DisablePowerCap turns the SW power-cap governor off (ablation).
+	DisablePowerCap bool
+}
+
+// Client is one simulated process: a workflow executing its tasks
+// sequentially under a single MPS client (or time-slice process).
+type Client struct {
+	// ID is unique within a run; it is also the MPS client identity and
+	// memory-allocation owner.
+	ID string
+	// Partition is the MPS active-thread fraction in (0, 1]. Ignored
+	// under time-slicing. Zero means 1.0 (no partition).
+	Partition float64
+	// Arrival is when the client connects and starts its first task.
+	Arrival simtime.Time
+	// Tasks run back-to-back; each reserves its memory for its duration.
+	Tasks []*workload.TaskSpec
+}
+
+func (c *Client) validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("gpusim: client with empty ID")
+	}
+	if c.Partition < 0 || c.Partition > 1 {
+		return fmt.Errorf("gpusim: client %s: partition must be in [0,1], got %g", c.ID, c.Partition)
+	}
+	if c.Arrival < 0 {
+		return fmt.Errorf("gpusim: client %s: negative arrival", c.ID)
+	}
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("gpusim: client %s: no tasks", c.ID)
+	}
+	for i, t := range c.Tasks {
+		if t == nil || len(t.Phases) == 0 || t.Cycles <= 0 {
+			return fmt.Errorf("gpusim: client %s: task %d is empty", c.ID, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpushare/internal/workload"
+)
+
+func TestShareModeString(t *testing.T) {
+	if ShareMPS.String() != "mps" || ShareTimeSlice.String() != "time-slicing" {
+		t.Fatal("mode strings wrong")
+	}
+	if !strings.Contains(ShareMode(9).String(), "9") {
+		t.Fatal("unknown mode string should carry the value")
+	}
+}
+
+func TestContentionDefaults(t *testing.T) {
+	d := DefaultContention()
+	if err := d.validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	// Zero fields take defaults.
+	p := ContentionParams{OccupancyBonus: 0.5}
+	p = p.withDefaults()
+	if p.OccupancyBonus != 0.5 {
+		t.Fatal("explicit field overridden")
+	}
+	if p.ClientOverhead != d.ClientOverhead || p.JitterAmp != d.JitterAmp {
+		t.Fatal("zero fields not defaulted")
+	}
+}
+
+func TestContentionValidation(t *testing.T) {
+	bad := []ContentionParams{
+		{OccupancyBonus: -0.1},
+		{OccupancyBonus: 1.5},
+		{OversubMaxOverhead: 1},
+		{OversubMaxOverhead: -0.1},
+		{OversubHalfK: -1},
+		{ClientOverhead: 1},
+		{TimesliceOverhead: 1},
+		{JitterAmp: 0.6},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNoOverheadExact(t *testing.T) {
+	// NoOverhead + ExactContention → pure proportional sharing.
+	if _, err := New(Config{Contention: NoOverhead(), ExactContention: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	ts, err := workload.MustGet("Kripke").BuildTaskSpec("1x", a100x())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Client{ID: "c", Tasks: []*workload.TaskSpec{ts}}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Client{
+		{ID: "", Tasks: good.Tasks},
+		{ID: "c", Partition: -0.1, Tasks: good.Tasks},
+		{ID: "c", Partition: 1.1, Tasks: good.Tasks},
+		{ID: "c", Arrival: -1, Tasks: good.Tasks},
+		{ID: "c"},
+		{ID: "c", Tasks: []*workload.TaskSpec{nil}},
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("bad client %d accepted", i)
+		}
+	}
+}
+
+func TestEngineMisuse(t *testing.T) {
+	ts, _ := workload.MustGet("Kripke").BuildTaskSpec("1x", a100x())
+	eng, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("Run with no clients accepted")
+	}
+	eng2, _ := New(Config{})
+	c := Client{ID: "c", Tasks: []*workload.TaskSpec{ts}}
+	if err := eng2.AddClient(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.AddClient(c); err == nil {
+		t.Fatal("duplicate client ID accepted")
+	}
+	if _, err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+	if err := eng2.AddClient(Client{ID: "later", Tasks: c.Tasks}); err == nil {
+		t.Fatal("AddClient after Run accepted")
+	}
+}
+
+func TestMPSClientLimitEnforced(t *testing.T) {
+	ts, _ := workload.MustGet("AthenaPK").BuildTaskSpec("1x", a100x())
+	eng, _ := New(Config{Mode: ShareMPS})
+	var lastErr error
+	n := 0
+	for i := 0; i < 60; i++ {
+		lastErr = eng.AddClient(Client{
+			ID: string(rune('a'+i/26)) + string(rune('a'+i%26)), Tasks: []*workload.TaskSpec{ts},
+		})
+		if lastErr != nil {
+			break
+		}
+		n++
+	}
+	if n != a100x().MaxMPSClients {
+		t.Fatalf("admitted %d clients, want %d", n, a100x().MaxMPSClients)
+	}
+	if lastErr == nil || !strings.Contains(lastErr.Error(), "MPS client limit") {
+		t.Fatalf("limit error = %v", lastErr)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := New(Config{Contention: ContentionParams{JitterAmp: 0.9}, ExactContention: true}); err == nil {
+		t.Fatal("invalid contention accepted")
+	}
+	bad := a100x()
+	bad.SMCount = 0
+	if _, err := New(Config{Device: bad}); err == nil {
+		t.Fatal("invalid device accepted")
+	}
+}
+
+func TestStreamsMode(t *testing.T) {
+	ts, _ := workload.MustGet("AthenaPK").BuildTaskSpec("4x", a100x())
+	mk := func(mode ShareMode) *Result {
+		res, err := RunClients(Config{Seed: 6, Mode: mode}, []Client{
+			{ID: "a", Partition: 0.3, Tasks: []*workload.TaskSpec{ts}},
+			{ID: "b", Tasks: []*workload.TaskSpec{ts}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	streams := mk(ShareStreams)
+	mps := mk(ShareMPS)
+	// Streams skip the MPS server overhead: never slower than MPS.
+	if streams.Makespan > mps.Makespan {
+		t.Fatalf("streams %v slower than MPS %v", streams.Makespan, mps.Makespan)
+	}
+	// Streams ignore partitions ("no SM performance isolation"): the
+	// 30%-partitioned client matters under MPS, not under streams.
+	soloDur := ts.SoloDuration.Seconds()
+	sa := streams.Clients["a"].Tasks[0].Duration().Seconds()
+	if sa > soloDur*1.25 {
+		t.Fatalf("streams client dilated by a partition it should ignore: %v vs solo %v", sa, soloDur)
+	}
+	if ShareStreams.String() != "cuda-streams" {
+		t.Fatalf("mode string %q", ShareStreams.String())
+	}
+	// Streams are not subject to the 48-client MPS limit.
+	eng, _ := New(Config{Mode: ShareStreams})
+	for i := 0; i < 50; i++ {
+		if err := eng.AddClient(Client{
+			ID:    fmt.Sprintf("s%02d", i),
+			Tasks: []*workload.TaskSpec{ts},
+		}); err != nil {
+			t.Fatalf("stream %d rejected: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,603 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpushare/internal/eventq"
+	"gpushare/internal/gpu"
+	"gpushare/internal/kernel"
+	"gpushare/internal/simtime"
+	"gpushare/internal/xrand"
+)
+
+// TaskRecord is the outcome of one task execution within a client.
+type TaskRecord struct {
+	Workload string
+	Size     string
+	Start    simtime.Time
+	End      simtime.Time
+	// OOM marks a task skipped because its memory reservation failed.
+	OOM bool
+}
+
+// Duration returns the task's wall time.
+func (r TaskRecord) Duration() simtime.Duration { return r.End.Sub(r.Start) }
+
+// ClientResult is the outcome of one client.
+type ClientResult struct {
+	ID    string
+	Start simtime.Time
+	End   simtime.Time
+	Tasks []TaskRecord
+}
+
+// CompletedTasks counts non-OOM task executions.
+func (c *ClientResult) CompletedTasks() int {
+	n := 0
+	for _, t := range c.Tasks {
+		if !t.OOM {
+			n++
+		}
+	}
+	return n
+}
+
+// TracePoint is one piecewise-constant interval of device state; the trace
+// is what the simulated NVML samplers and the profiler consume.
+type TracePoint struct {
+	// At is the interval start; the interval extends to the next point
+	// (or the makespan for the last point).
+	At simtime.Time
+	// PowerW is board power during the interval.
+	PowerW float64
+	// ClockFactor is the applied clock multiplier.
+	ClockFactor float64
+	// Capped reports active SW power capping.
+	Capped bool
+	// ActiveKernels is the number of resident kernel bursts.
+	ActiveKernels int
+	// ComputeUtil is instantaneous device compute utilization in [0,1]
+	// (the Table II "SM utilization" integrand).
+	ComputeUtil float64
+	// BWUtil is instantaneous memory-bandwidth utilization in [0,1].
+	BWUtil float64
+	// MemUsedMiB is the current device-memory reservation total.
+	MemUsedMiB int64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Mode     ShareMode
+	Makespan simtime.Duration
+	// EnergyJ is total board energy over the makespan (incl. idle).
+	EnergyJ float64
+	// AvgPowerW and PeakPowerW summarize the power trace.
+	AvgPowerW  float64
+	PeakPowerW float64
+	// CappedFraction is the share of the makespan under SW power capping
+	// (Figure 3's quantity).
+	CappedFraction float64
+	// CappedTime is the absolute time under capping.
+	CappedTime simtime.Duration
+	// Clients holds per-client outcomes keyed by client ID.
+	Clients map[string]*ClientResult
+	// OOMFailures lists "client/workload" strings for skipped tasks.
+	OOMFailures []string
+	// Trace is the piecewise-constant device-state trace.
+	Trace []TracePoint
+	// PeakConcurrency is the maximum number of simultaneously resident
+	// kernel bursts observed.
+	PeakConcurrency int
+}
+
+// TasksCompleted counts non-OOM tasks across all clients.
+func (r *Result) TasksCompleted() int {
+	n := 0
+	for _, c := range r.Clients {
+		n += c.CompletedTasks()
+	}
+	return n
+}
+
+// clientPhase is the per-client execution position.
+type clientPhase int
+
+const (
+	phaseWaiting clientPhase = iota // before arrival
+	phaseActive                     // a burst is resident
+	phaseGap                        // host-side gap
+	phaseDone
+)
+
+// burst is one resident kernel burst in the fluid model.
+type burst struct {
+	client    *clientState
+	demand    kernel.Demand
+	dynPowerW float64
+	remaining float64 // solo-rate seconds of work left
+	rate      float64 // current achieved rate (updated each recompute)
+	finishEv  *eventq.Event
+}
+
+// clientState is the engine-side state machine for one client.
+type clientState struct {
+	spec     Client
+	idx      int
+	rng      *xrand.Source
+	phase    clientPhase
+	taskIdx  int
+	cycleIdx int
+	phaseIdx int
+	burst    *burst
+	result   *ClientResult
+	taskRec  *TaskRecord
+}
+
+// Engine runs one simulation. Create with New, add clients, then Run.
+type Engine struct {
+	cfg     Config
+	params  ContentionParams
+	power   gpu.PowerModel
+	mem     *gpu.MemAllocator
+	queue   eventq.Queue
+	clients []*clientState
+	active  []*burst
+
+	now          simtime.Time
+	lastAdvance  simtime.Time
+	decision     gpu.GovernorDecision
+	computeUtil  float64
+	bwUtil       float64
+	meter        gpu.EnergyMeter
+	trace        []TracePoint
+	oomFailures  []string
+	peakResident int
+	ran          bool
+	fatalErr     error
+}
+
+// New creates an engine for cfg.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.MustLookup("A100X")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Contention
+	if !cfg.ExactContention {
+		params = params.withDefaults()
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		params: params,
+		power:  gpu.PowerModel{Spec: cfg.Device},
+		mem:    gpu.NewMemAllocator(cfg.Device.Name, cfg.Device.MemoryMiB),
+	}, nil
+}
+
+// AddClient registers a client before Run.
+func (e *Engine) AddClient(c Client) error {
+	if e.ran {
+		return fmt.Errorf("gpusim: AddClient after Run")
+	}
+	if err := c.validate(); err != nil {
+		return err
+	}
+	for _, existing := range e.clients {
+		if existing.spec.ID == c.ID {
+			return fmt.Errorf("gpusim: duplicate client ID %q", c.ID)
+		}
+	}
+	if c.Partition == 0 {
+		c.Partition = 1
+	}
+	if e.cfg.Mode == ShareMPS && len(e.clients) >= e.cfg.Device.MaxMPSClients {
+		return fmt.Errorf("gpusim: client %s exceeds MPS client limit %d",
+			c.ID, e.cfg.Device.MaxMPSClients)
+	}
+	cs := &clientState{
+		spec: c,
+		idx:  len(e.clients),
+		rng:  xrand.New(e.cfg.Seed).Fork(uint64(len(e.clients)) + 1),
+		result: &ClientResult{
+			ID:    c.ID,
+			Start: c.Arrival,
+		},
+	}
+	e.clients = append(e.clients, cs)
+	return nil
+}
+
+// Run executes the simulation to completion and returns the result. Run
+// may be called once per Engine.
+func (e *Engine) Run() (*Result, error) {
+	if e.ran {
+		return nil, fmt.Errorf("gpusim: Run called twice")
+	}
+	e.ran = true
+	if len(e.clients) == 0 {
+		return nil, fmt.Errorf("gpusim: no clients")
+	}
+
+	e.decision = e.power.Decide(0)
+	for _, cs := range e.clients {
+		cs := cs
+		e.queue.Schedule(cs.spec.Arrival, func(now simtime.Time) {
+			e.startNextTask(cs)
+		})
+	}
+
+	const maxEvents = 200_000_000 // defensive bound; never hit in practice
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return nil, fmt.Errorf("gpusim: event budget exceeded (livelock?)")
+		}
+		ev, ok := e.queue.Pop()
+		if !ok {
+			break
+		}
+		if ev.At < e.now {
+			return nil, fmt.Errorf("gpusim: time went backwards: %v -> %v", e.now, ev.At)
+		}
+		e.advance(ev.At)
+		ev.Fire(ev.At)
+		if e.fatalErr != nil {
+			return nil, e.fatalErr
+		}
+		e.recompute()
+	}
+
+	for _, cs := range e.clients {
+		if cs.phase != phaseDone {
+			return nil, fmt.Errorf("gpusim: client %s did not finish (stuck in phase %d)",
+				cs.spec.ID, cs.phase)
+		}
+	}
+
+	res := &Result{
+		Mode:            e.cfg.Mode,
+		Makespan:        simtime.Duration(e.now),
+		EnergyJ:         e.meter.EnergyJ(),
+		AvgPowerW:       e.meter.AveragePowerW(),
+		PeakPowerW:      e.meter.PeakPowerW(),
+		CappedFraction:  e.meter.CappedFraction(),
+		CappedTime:      e.meter.CappedTime(),
+		Clients:         make(map[string]*ClientResult, len(e.clients)),
+		OOMFailures:     e.oomFailures,
+		Trace:           e.trace,
+		PeakConcurrency: e.peakResident,
+	}
+	for _, cs := range e.clients {
+		res.Clients[cs.spec.ID] = cs.result
+	}
+	return res, nil
+}
+
+// advance integrates burst progress and energy from lastAdvance to now
+// under the current decision/rates.
+func (e *Engine) advance(now simtime.Time) {
+	dt := now.Sub(e.lastAdvance)
+	if dt > 0 {
+		e.meter.Accumulate(dt, e.decision)
+		for _, b := range e.active {
+			b.remaining -= b.rate * dt.Seconds()
+			if b.remaining < 0 {
+				b.remaining = 0
+			}
+		}
+	}
+	e.lastAdvance = now
+	e.now = now
+}
+
+// recompute re-resolves contention, power and finish events after a state
+// change. It must run with e.now current.
+func (e *Engine) recompute() {
+	n := len(e.active)
+	if n > e.peakResident {
+		e.peakResident = n
+	}
+
+	var rawDynW, cUtil, bUtil float64
+	if n > 0 {
+		powerRates, progressRates := e.preThrottleRates()
+		for i, b := range e.active {
+			rawDynW += b.dynPowerW * powerRates[i]
+		}
+		dec := e.power.Decide(rawDynW)
+		if e.cfg.DisablePowerCap && dec.Capped {
+			dec.ClockFactor = 1
+			dec.Capped = false
+			dec.Reasons = gpu.ThrottleNone
+			dec.PowerW = e.power.Spec.IdlePowerW + dec.DemandW
+		}
+		e.decision = dec
+		for i, b := range e.active {
+			b.rate = progressRates[i] * dec.ClockFactor
+			if b.rate < 1e-9 {
+				b.rate = 1e-9
+			}
+			cUtil += b.demand.Compute * b.rate
+			bUtil += b.demand.Bandwidth * b.rate
+		}
+	} else {
+		e.decision = e.power.Decide(0)
+	}
+	e.computeUtil = math.Min(cUtil, 1)
+	e.bwUtil = math.Min(bUtil, 1)
+
+	// Reschedule finish events at the new rates.
+	for _, b := range e.active {
+		if b.finishEv != nil {
+			e.queue.Cancel(b.finishEv)
+		}
+		b := b
+		delay := simtime.FromSeconds(b.remaining / b.rate)
+		if delay < 0 {
+			delay = 0
+		}
+		b.finishEv = e.queue.Schedule(e.now.Add(delay), func(now simtime.Time) {
+			e.finishBurst(b)
+		})
+	}
+
+	e.appendTrace()
+}
+
+// preThrottleRates computes each active burst's achieved rate before clock
+// throttling. It returns two aligned slices:
+//
+//   - powerRates drive the power model: partition caps, capacity sharing
+//     and bandwidth stalls included, but not the second-order efficiency
+//     losses (thrashed cycles still burn energy);
+//   - progressRates additionally include oversubscription and per-client
+//     overheads and drive actual task progress.
+func (e *Engine) preThrottleRates() (powerRates, progressRates []float64) {
+	n := len(e.active)
+	powerRates = make([]float64, n)
+	progressRates = make([]float64, n)
+
+	if e.cfg.Mode == ShareTimeSlice {
+		// Round-robin fluid approximation: each runnable process gets an
+		// equal share of the timeline, minus context-switch overhead when
+		// actually sharing. Within its slice a kernel runs solo at its
+		// full rate, so partitions are irrelevant and there is no
+		// latency-hiding bonus — kernels never overlap.
+		share := 1.0 / float64(n)
+		eff := 1.0
+		if n > 1 {
+			eff = 1 - e.params.TimesliceOverhead
+		}
+		for i := range powerRates {
+			powerRates[i] = share
+			progressRates[i] = share * eff
+		}
+		return powerRates, progressRates
+	}
+
+	// MPS / CUDA-streams path: co-resident kernels share capacity.
+	// Partition cap: a partition smaller than the kernel's saturation
+	// fraction dilates it (Figure 1's granularity effect). Streams have
+	// no partitioning — "there is no SM performance isolation" (§II-B).
+	var computeDemand, occSum float64
+	for i, b := range e.active {
+		cap := 1.0
+		if e.cfg.Mode == ShareMPS {
+			if p := b.client.spec.Partition; p < b.demand.Saturation {
+				cap = p / b.demand.Saturation
+			}
+		}
+		powerRates[i] = cap
+		computeDemand += b.demand.Compute * cap
+		occSum += b.demand.AchievedOcc
+	}
+
+	// Effective compute capacity: free warp slots let co-resident
+	// kernels hide each other's stalls, raising throughput beyond the
+	// strict sum of solo demands.
+	capacity := 1.0
+	if n > 1 {
+		headroom := 1 - occSum
+		if headroom > 0 {
+			capacity = 1 + e.params.OccupancyBonus*headroom
+		}
+	}
+
+	// Proportional sharing of the effective capacity.
+	shareScale := 1.0
+	if computeDemand > capacity {
+		shareScale = capacity / computeDemand
+	}
+	for i := range powerRates {
+		powerRates[i] *= shareScale
+	}
+
+	// Shared memory bandwidth: if aggregate demand at the current rates
+	// exceeds the device, everyone stalls proportionally (bandwidth is
+	// not partitioned by MPS).
+	var bwDemand float64
+	for i, b := range e.active {
+		bwDemand += b.demand.Bandwidth * powerRates[i]
+	}
+	if bwDemand > 1 {
+		scale := 1 / bwDemand
+		for i := range powerRates {
+			powerRates[i] *= scale
+		}
+	}
+
+	// Host-side MPS server serialization: the GPU idles during these
+	// stalls, so both power and progress scale down. Streams submit from
+	// one process and pay none of it.
+	if e.cfg.Mode == ShareMPS && n > 1 && e.params.ClientOverhead > 0 {
+		eff := 1 / (1 + e.params.ClientOverhead*float64(n-1))
+		for i := range powerRates {
+			powerRates[i] *= eff
+		}
+	}
+
+	// Oversubscription thrash (cache/TLB pressure beyond capacity):
+	// wasted cycles that still burn energy — progress drops, power
+	// demand does not.
+	thrash := 1.0
+	if x := computeDemand - capacity; x > 0 && e.params.OversubMaxOverhead > 0 {
+		thrash = 1 - e.params.OversubMaxOverhead*x/(x+e.params.OversubHalfK)
+	}
+	for i := range powerRates {
+		progressRates[i] = powerRates[i] * thrash
+	}
+	return powerRates, progressRates
+}
+
+// appendTrace records the current operating point, merging with the
+// previous point when nothing observable changed.
+func (e *Engine) appendTrace() {
+	tp := TracePoint{
+		At:            e.now,
+		PowerW:        e.decision.PowerW,
+		ClockFactor:   e.decision.ClockFactor,
+		Capped:        e.decision.Capped,
+		ActiveKernels: len(e.active),
+		ComputeUtil:   e.computeUtil,
+		BWUtil:        e.bwUtil,
+		MemUsedMiB:    e.mem.UsedMiB(),
+	}
+	if k := len(e.trace); k > 0 {
+		prev := e.trace[k-1]
+		if prev.At == tp.At {
+			e.trace[k-1] = tp
+			return
+		}
+		if samePoint(prev, tp) {
+			return
+		}
+	}
+	e.trace = append(e.trace, tp)
+}
+
+func samePoint(a, b TracePoint) bool {
+	return a.PowerW == b.PowerW && a.ClockFactor == b.ClockFactor &&
+		a.Capped == b.Capped && a.ActiveKernels == b.ActiveKernels &&
+		a.ComputeUtil == b.ComputeUtil && a.BWUtil == b.BWUtil &&
+		a.MemUsedMiB == b.MemUsedMiB
+}
+
+// startNextTask begins the client's next task, or finishes the client.
+func (e *Engine) startNextTask(cs *clientState) {
+	for cs.taskIdx < len(cs.spec.Tasks) {
+		task := cs.spec.Tasks[cs.taskIdx]
+		err := e.mem.Alloc(cs.spec.ID, task.MaxMemMiB)
+		if err != nil {
+			key := fmt.Sprintf("%s/%s-%s", cs.spec.ID, task.Workload, task.Size)
+			e.oomFailures = append(e.oomFailures, key)
+			cs.result.Tasks = append(cs.result.Tasks, TaskRecord{
+				Workload: task.Workload, Size: task.Size,
+				Start: e.now, End: e.now, OOM: true,
+			})
+			if e.cfg.OOM == OOMAbort {
+				cs.phase = phaseDone
+				cs.result.End = e.now
+				e.fatalErr = err
+				return
+			}
+			cs.taskIdx++
+			continue
+		}
+		cs.result.Tasks = append(cs.result.Tasks, TaskRecord{
+			Workload: task.Workload, Size: task.Size, Start: e.now,
+		})
+		cs.taskRec = &cs.result.Tasks[len(cs.result.Tasks)-1]
+		cs.cycleIdx = 0
+		cs.phaseIdx = 0
+		e.startBurst(cs)
+		return
+	}
+	cs.phase = phaseDone
+	cs.result.End = e.now
+}
+
+// startBurst makes the client's current phase resident.
+func (e *Engine) startBurst(cs *clientState) {
+	task := cs.spec.Tasks[cs.taskIdx]
+	ph := task.Phases[cs.phaseIdx]
+	work := ph.ActiveWork.Seconds() * cs.rng.Jitter(e.params.JitterAmp)
+	if work <= 0 {
+		// Zero-length burst (degenerate calibration): skip straight to
+		// the gap.
+		e.finishBurstAdvance(cs)
+		return
+	}
+	b := &burst{
+		client:    cs,
+		demand:    ph.Demand,
+		dynPowerW: ph.DynPowerW,
+		remaining: work,
+		rate:      1,
+	}
+	cs.burst = b
+	cs.phase = phaseActive
+	e.active = append(e.active, b)
+	sort.SliceStable(e.active, func(i, j int) bool {
+		return e.active[i].client.idx < e.active[j].client.idx
+	})
+}
+
+// finishBurst retires a completed burst and moves the client to its gap.
+func (e *Engine) finishBurst(b *burst) {
+	if b.remaining > 1e-9 {
+		// A stale finish event that lost a race with recompute; the
+		// rescheduled event will handle completion.
+		return
+	}
+	cs := b.client
+	for i, a := range e.active {
+		if a == b {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	cs.burst = nil
+
+	task := cs.spec.Tasks[cs.taskIdx]
+	gap := task.Phases[cs.phaseIdx].GapAfter
+	if gap > 0 {
+		gap = simtime.FromSeconds(gap.Seconds() * cs.rng.Jitter(e.params.JitterAmp))
+	}
+	if gap <= 0 {
+		e.finishBurstAdvance(cs)
+		return
+	}
+	cs.phase = phaseGap
+	e.queue.Schedule(e.now.Add(gap), func(now simtime.Time) {
+		e.finishBurstAdvance(cs)
+	})
+}
+
+// finishBurstAdvance moves the client past the current phase's gap to the
+// next phase, cycle, or task.
+func (e *Engine) finishBurstAdvance(cs *clientState) {
+	task := cs.spec.Tasks[cs.taskIdx]
+	cs.phaseIdx++
+	if cs.phaseIdx < len(task.Phases) {
+		e.startBurst(cs)
+		return
+	}
+	cs.phaseIdx = 0
+	cs.cycleIdx++
+	if cs.cycleIdx < task.Cycles {
+		e.startBurst(cs)
+		return
+	}
+	// Task complete.
+	e.mem.Free(cs.spec.ID)
+	cs.taskRec.End = e.now
+	cs.taskRec = nil
+	cs.taskIdx++
+	e.startNextTask(cs)
+}

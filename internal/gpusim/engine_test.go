@@ -1,0 +1,337 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+func task(t *testing.T, bench, size string) *workload.TaskSpec {
+	t.Helper()
+	w, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := w.BuildTaskSpec(size, a100x())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestSoloCalibration is the engine's ground-truth check: a solo run of
+// every calibrated workload must reproduce the paper's Table II duration,
+// average power and energy within 2%.
+func TestSoloCalibration(t *testing.T) {
+	for _, name := range workload.Names() {
+		w, _ := workload.Get(name)
+		for _, size := range w.Sizes() {
+			ts := task(t, name, size)
+			res, err := RunSolo(Config{Seed: 1}, ts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, size, err)
+			}
+			p := ts.Profile
+			if e := relErr(res.Makespan.Seconds(), p.SoloDuration().Seconds()); e > 0.02 {
+				t.Errorf("%s/%s duration %v vs %v (err %.1f%%)",
+					name, size, res.Makespan.Seconds(), p.SoloDuration().Seconds(), e*100)
+			}
+			if e := relErr(res.AvgPowerW, p.AvgPowerW); e > 0.02 {
+				t.Errorf("%s/%s power %v vs %v", name, size, res.AvgPowerW, p.AvgPowerW)
+			}
+			if e := relErr(res.EnergyJ, p.EnergyJ); e > 0.03 {
+				t.Errorf("%s/%s energy %v vs %v", name, size, res.EnergyJ, p.EnergyJ)
+			}
+			if res.CappedFraction != 0 {
+				t.Errorf("%s/%s solo run capped %.1f%%: Table II powers are below the limit",
+					name, size, 100*res.CappedFraction)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := RunClients(Config{Seed: 99, Mode: ShareMPS}, []Client{
+			{ID: "a", Tasks: []*workload.TaskSpec{task(t, "AthenaPK", "4x")}},
+			{ID: "b", Tasks: []*workload.TaskSpec{task(t, "Kripke", "4x")}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("same seed, different makespans: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+	if r1.EnergyJ != r2.EnergyJ {
+		t.Fatalf("same seed, different energy: %v vs %v", r1.EnergyJ, r2.EnergyJ)
+	}
+	if len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("same seed, different trace lengths: %d vs %d", len(r1.Trace), len(r2.Trace))
+	}
+}
+
+func TestSeedChangesJitter(t *testing.T) {
+	run := func(seed uint64) *Result {
+		res, err := RunSolo(Config{Seed: seed}, task(t, "Kripke", "1x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if run(1).Makespan == run(2).Makespan {
+		t.Fatal("different seeds produced identical makespans (jitter dead?)")
+	}
+}
+
+func TestLowUtilPairNearlyDoubles(t *testing.T) {
+	// Two AthenaPK 4x tasks: the paper's headline case — ~2x throughput,
+	// ~1.4-1.6x energy efficiency.
+	a := task(t, "AthenaPK", "4x")
+	seq, err := RunSequential(Config{Seed: 5}, []*workload.TaskSpec{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mps, err := RunClients(Config{Seed: 5, Mode: ShareMPS}, []Client{
+		{ID: "c0", Tasks: []*workload.TaskSpec{a}},
+		{ID: "c1", Tasks: []*workload.TaskSpec{a}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thpt := seq.Makespan.Seconds() / mps.Makespan.Seconds()
+	if thpt < 1.7 || thpt > 2.05 {
+		t.Errorf("low-util pair throughput %vx, want ≈1.9x", thpt)
+	}
+	eff := seq.EnergyJ / mps.EnergyJ
+	if eff < 1.25 || eff > 1.65 {
+		t.Errorf("low-util pair efficiency %vx, want ≈1.4x", eff)
+	}
+}
+
+func TestHighUtilPairGainsLittle(t *testing.T) {
+	// Two LAMMPS 4x tasks: the paper's ~6% case.
+	l := task(t, "LAMMPS", "4x")
+	seq, _ := RunSequential(Config{Seed: 5}, []*workload.TaskSpec{l, l})
+	mps, err := RunClients(Config{Seed: 5, Mode: ShareMPS}, []Client{
+		{ID: "c0", Tasks: []*workload.TaskSpec{l}},
+		{ID: "c1", Tasks: []*workload.TaskSpec{l}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thpt := seq.Makespan.Seconds() / mps.Makespan.Seconds()
+	if thpt < 0.98 || thpt > 1.2 {
+		t.Errorf("high-util pair throughput %vx, want ≈1.05-1.1x", thpt)
+	}
+}
+
+func TestMPSBeatsTimeSlicing(t *testing.T) {
+	// "MPS outperforms time-slicing in every instance" (§V-D).
+	pairs := [][2]*workload.TaskSpec{
+		{task(t, "AthenaPK", "4x"), task(t, "Kripke", "4x")},
+		{task(t, "LAMMPS", "4x"), task(t, "Cholla-MHD", "4x")},
+		{task(t, "Cholla-Gravity", "4x"), task(t, "WarpX", "1x")},
+	}
+	for i, pair := range pairs {
+		clients := []Client{
+			{ID: "c0", Tasks: []*workload.TaskSpec{pair[0]}},
+			{ID: "c1", Tasks: []*workload.TaskSpec{pair[1]}},
+		}
+		mps, err := RunClients(Config{Seed: 7, Mode: ShareMPS}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := RunClients(Config{Seed: 7, Mode: ShareTimeSlice}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mps.Makespan > ts.Makespan {
+			t.Errorf("pair %d: MPS makespan %v slower than time-slicing %v",
+				i, mps.Makespan, ts.Makespan)
+		}
+	}
+}
+
+func TestPartitionDilatesBelowSaturation(t *testing.T) {
+	// Figure 1's granularity effect: throughput rises with partition and
+	// saturates.
+	ts := task(t, "WarpX", "1x")
+	var prev float64
+	durations := map[int]float64{}
+	for _, pct := range []int{10, 30, 50, 70, 100} {
+		eng, err := New(Config{Seed: 3, Mode: ShareMPS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AddClient(Client{
+			ID: "p", Partition: float64(pct) / 100, Tasks: []*workload.TaskSpec{ts},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.Makespan.Seconds()
+		durations[pct] = d
+		if prev != 0 && d > prev*1.03 {
+			t.Errorf("duration increased with larger partition: %d%% → %vs (prev %vs)", pct, d, prev)
+		}
+		prev = d
+	}
+	if durations[10] < durations[100]*2 {
+		t.Errorf("10%% partition should be much slower than 100%%: %v vs %v",
+			durations[10], durations[100])
+	}
+	// Saturation: beyond the workload's fill point, no further gain.
+	if relErr(durations[70], durations[100]) > 0.03 {
+		t.Errorf("WarpX 1x should saturate by 70%%: %v vs %v", durations[70], durations[100])
+	}
+}
+
+func TestPowerCappingTriggersAndAccounts(t *testing.T) {
+	// MHD + LAMMPS co-resident exceed the 300 W budget and must cap.
+	m, l := task(t, "Cholla-MHD", "4x"), task(t, "LAMMPS", "4x")
+	res, err := RunClients(Config{Seed: 2, Mode: ShareMPS}, []Client{
+		{ID: "mhd", Tasks: []*workload.TaskSpec{m}},
+		{ID: "lammps", Tasks: []*workload.TaskSpec{l}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CappedFraction <= 0 {
+		t.Fatal("expected SW power capping for MHD+LAMMPS")
+	}
+	if res.PeakPowerW > a100x().PowerLimitW+1e-6 {
+		t.Fatalf("peak power %v exceeded the %v W limit", res.PeakPowerW, a100x().PowerLimitW)
+	}
+	// Disabling the governor must remove capping and raise peak power.
+	unc, err := RunClients(Config{Seed: 2, Mode: ShareMPS, DisablePowerCap: true}, []Client{
+		{ID: "mhd", Tasks: []*workload.TaskSpec{m}},
+		{ID: "lammps", Tasks: []*workload.TaskSpec{l}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unc.CappedFraction != 0 {
+		t.Fatal("DisablePowerCap still reported capping")
+	}
+	if unc.PeakPowerW <= a100x().PowerLimitW {
+		t.Fatalf("uncapped peak %v should exceed the limit", unc.PeakPowerW)
+	}
+	if unc.Makespan >= res.Makespan {
+		t.Fatal("uncapped run should be faster (no clock throttling)")
+	}
+}
+
+func TestOOMSkipPolicy(t *testing.T) {
+	// Two WarpX tasks (61 GiB each) cannot share an 80 GiB device.
+	w := task(t, "WarpX", "1x")
+	res, err := RunClients(Config{Seed: 1, Mode: ShareMPS, OOM: OOMSkipTask}, []Client{
+		{ID: "w0", Tasks: []*workload.TaskSpec{w}},
+		{ID: "w1", Tasks: []*workload.TaskSpec{w}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OOMFailures) != 1 {
+		t.Fatalf("OOM failures = %v, want exactly one", res.OOMFailures)
+	}
+	if res.TasksCompleted() != 1 {
+		t.Fatalf("completed = %d, want 1", res.TasksCompleted())
+	}
+	if !strings.Contains(res.OOMFailures[0], "WarpX") {
+		t.Fatalf("OOM record %q should name the workload", res.OOMFailures[0])
+	}
+}
+
+func TestOOMAbortPolicy(t *testing.T) {
+	w := task(t, "WarpX", "1x")
+	_, err := RunClients(Config{Seed: 1, Mode: ShareMPS, OOM: OOMAbort}, []Client{
+		{ID: "w0", Tasks: []*workload.TaskSpec{w}},
+		{ID: "w1", Tasks: []*workload.TaskSpec{w}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("want OOM abort error, got %v", err)
+	}
+}
+
+func TestMemoryFreedBetweenSequentialTasks(t *testing.T) {
+	// Sequential WarpX tasks must both run: memory is released at task
+	// end.
+	w := task(t, "WarpX", "1x")
+	res, err := RunSequential(Config{Seed: 1}, []*workload.TaskSpec{w, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted() != 2 || len(res.OOMFailures) != 0 {
+		t.Fatalf("sequential reuse failed: %d tasks, OOM %v",
+			res.TasksCompleted(), res.OOMFailures)
+	}
+}
+
+func TestArrivalDelaysClient(t *testing.T) {
+	a := task(t, "Kripke", "1x")
+	late, err := RunClients(Config{Seed: 1, Mode: ShareMPS}, []Client{
+		{ID: "onTime", Tasks: []*workload.TaskSpec{a}},
+		{ID: "late", Arrival: simtime.Zero.Add(100 * simtime.Second), Tasks: []*workload.TaskSpec{a}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Makespan.Seconds() < 100 {
+		t.Fatalf("makespan %v ignores the late arrival", late.Makespan)
+	}
+	lc := late.Clients["late"]
+	if lc.Tasks[0].Start.Seconds() < 100 {
+		t.Fatalf("late client started at %v", lc.Tasks[0].Start)
+	}
+}
+
+func TestTraceMonotoneAndConsistent(t *testing.T) {
+	res, err := RunClients(Config{Seed: 4, Mode: ShareMPS}, []Client{
+		{ID: "a", Tasks: []*workload.TaskSpec{task(t, "Kripke", "1x")}},
+		{ID: "b", Tasks: []*workload.TaskSpec{task(t, "Cholla-Gravity", "1x")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].At < res.Trace[i-1].At {
+			t.Fatalf("trace time went backwards at %d", i)
+		}
+	}
+	for i, tp := range res.Trace {
+		if tp.PowerW < a100x().IdlePowerW-1e-9 || tp.PowerW > a100x().PowerLimitW+1e-6 {
+			t.Fatalf("trace[%d] power %v out of range", i, tp.PowerW)
+		}
+		if tp.ComputeUtil < 0 || tp.ComputeUtil > 1 || tp.BWUtil < 0 || tp.BWUtil > 1 {
+			t.Fatalf("trace[%d] utilization out of range", i)
+		}
+		if tp.ClockFactor <= 0 || tp.ClockFactor > 1 {
+			t.Fatalf("trace[%d] clock factor %v", i, tp.ClockFactor)
+		}
+	}
+	if res.PeakConcurrency != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", res.PeakConcurrency)
+	}
+}

@@ -1,0 +1,55 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"gpushare/internal/workload"
+)
+
+// RunSolo simulates a single task alone on the device — the offline
+// profiling configuration (§IV-A).
+func RunSolo(cfg Config, task *workload.TaskSpec) (*Result, error) {
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.AddClient(Client{
+		ID:    fmt.Sprintf("solo-%s-%s", task.Workload, task.Size),
+		Tasks: []*workload.TaskSpec{task},
+	}); err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// RunSequential simulates the paper's sequential-scheduling baseline:
+// "jobs are scheduled individually on GPUs in queue order with no parallel
+// overlap" (§IV-C). All tasks run back-to-back under a single client.
+func RunSequential(cfg Config, tasks []*workload.TaskSpec) (*Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("gpusim: sequential run needs at least one task")
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.AddClient(Client{ID: "sequential", Tasks: tasks}); err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// RunClients simulates a set of concurrent clients (one MPS client or
+// time-sliced process per entry).
+func RunClients(cfg Config, clients []Client) (*Result, error) {
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range clients {
+		if err := eng.AddClient(c); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Run()
+}

@@ -1,0 +1,178 @@
+package gpusim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gpushare/internal/workload"
+)
+
+// Physics invariants that must hold for ANY client mix. Exercised with
+// testing/quick over random subsets of the benchmark suite at 1x.
+
+// invariantFixture builds the shared task pool once (profile-building is
+// deterministic, so sharing is safe).
+type invariantFixture struct {
+	tasks []*workload.TaskSpec
+}
+
+func newInvariantFixture(t *testing.T) *invariantFixture {
+	t.Helper()
+	fix := &invariantFixture{}
+	// 1x tasks, excluding the 56-minute Epsilon and the 61 GiB WarpX so
+	// random mixes stay fast and memory-feasible.
+	for _, name := range []string{"AthenaPK", "Cholla-Gravity", "Kripke", "Cholla-MHD", "LAMMPS"} {
+		ts, err := workload.MustGet(name).BuildTaskSpec("1x", a100x())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix.tasks = append(fix.tasks, ts)
+	}
+	return fix
+}
+
+// buildClients maps a random byte string to a client mix of 1-6 clients.
+func (f *invariantFixture) buildClients(picks []uint8) []Client {
+	n := len(picks)
+	if n == 0 {
+		n = 1
+		picks = []uint8{0}
+	}
+	if n > 6 {
+		n = 6
+		picks = picks[:6]
+	}
+	clients := make([]Client, n)
+	for i, p := range picks {
+		clients[i] = Client{
+			ID:    fmt.Sprintf("c%d", i),
+			Tasks: []*workload.TaskSpec{f.tasks[int(p)%len(f.tasks)]},
+		}
+	}
+	return clients
+}
+
+func TestInvariantsUnderRandomMixes(t *testing.T) {
+	fix := newInvariantFixture(t)
+	spec := a100x()
+	check := func(picks []uint8, seed uint16) bool {
+		clients := fix.buildClients(picks)
+		res, err := RunClients(Config{Seed: uint64(seed), Mode: ShareMPS}, clients)
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+
+		// 1. Every task completes (the pool is memory-feasible in
+		// aggregate worst case: 6 × 2321 MiB < 80 GiB).
+		if res.TasksCompleted() != len(clients) || len(res.OOMFailures) != 0 {
+			t.Logf("tasks %d/%d oom %v", res.TasksCompleted(), len(clients), res.OOMFailures)
+			return false
+		}
+
+		var maxSolo, sumSolo float64
+		for _, c := range clients {
+			d := c.Tasks[0].SoloDuration.Seconds()
+			sumSolo += d
+			if d > maxSolo {
+				maxSolo = d
+			}
+		}
+		m := res.Makespan.Seconds()
+
+		// 2. No task finishes faster than ~solo speed (sharing can add
+		// capacity, never raise one client's own rate above 1+jitter).
+		for id, cr := range res.Clients {
+			solo := 0.0
+			for _, c := range clients {
+				if c.ID == id {
+					solo = c.Tasks[0].SoloDuration.Seconds()
+				}
+			}
+			if got := cr.Tasks[0].Duration().Seconds(); got < solo*0.95 {
+				t.Logf("%s ran faster than solo: %v < %v", id, got, solo)
+				return false
+			}
+		}
+
+		// 3. Makespan bounded below by the slowest solo task and above
+		// by strictly-sequential execution with a generous slack for
+		// contention overheads.
+		if m < maxSolo*0.95 {
+			t.Logf("makespan %v below max solo %v", m, maxSolo)
+			return false
+		}
+		if m > sumSolo*1.6+1 {
+			t.Logf("makespan %v above sequential bound %v", m, sumSolo*1.6)
+			return false
+		}
+
+		// 4. Energy bracketed by idle and limit power over the makespan.
+		if res.EnergyJ < spec.IdlePowerW*m*0.999 {
+			t.Logf("energy %v below idle floor", res.EnergyJ)
+			return false
+		}
+		if res.EnergyJ > spec.PowerLimitW*m*1.001 {
+			t.Logf("energy %v above power-limit ceiling", res.EnergyJ)
+			return false
+		}
+
+		// 5. Average power consistent with energy/makespan.
+		if m > 0 {
+			want := res.EnergyJ / m
+			if diff := res.AvgPowerW - want; diff > 1e-6 || diff < -1e-6 {
+				t.Logf("avg power %v vs energy/makespan %v", res.AvgPowerW, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreClientsNeverReduceTotalThroughput(t *testing.T) {
+	// Adding an independent client must not shorten any existing
+	// client's... it may slow them, but aggregate work rate must not
+	// drop: makespan(n+1 clients) ≥ makespan(n clients) and
+	// ≤ makespan(n) + solo(n+1) (the new work fits in the worst case
+	// sequentially after).
+	fix := newInvariantFixture(t)
+	base := fix.buildClients([]uint8{0, 1})
+	resBase, err := RunClients(Config{Seed: 9, Mode: ShareMPS}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := fix.buildClients([]uint8{0, 1, 2})
+	resExt, err := RunClients(Config{Seed: 9, Mode: ShareMPS}, extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExt.Makespan < resBase.Makespan {
+		// The added client cannot make the originals finish earlier.
+		t.Fatalf("adding a client shortened the makespan: %v -> %v",
+			resBase.Makespan, resExt.Makespan)
+	}
+	bound := resBase.Makespan.Seconds() + extended[2].Tasks[0].SoloDuration.Seconds()*1.6
+	if resExt.Makespan.Seconds() > bound {
+		t.Fatalf("extended makespan %v above additive bound %v", resExt.Makespan.Seconds(), bound)
+	}
+}
+
+func TestTimeSliceFairness(t *testing.T) {
+	// Under time-slicing, two identical clients must finish within a
+	// whisker of each other (round-robin fairness).
+	fix := newInvariantFixture(t)
+	clients := fix.buildClients([]uint8{2, 2})
+	res, err := RunClients(Config{Seed: 4, Mode: ShareTimeSlice}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := res.Clients["c0"].Tasks[0].Duration().Seconds()
+	d1 := res.Clients["c1"].Tasks[0].Duration().Seconds()
+	if diff := d0 - d1; diff > d0*0.1 || diff < -d0*0.1 {
+		t.Fatalf("time-sliced twins diverged: %v vs %v", d0, d1)
+	}
+}

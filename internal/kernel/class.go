@@ -1,0 +1,165 @@
+package kernel
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpu"
+)
+
+// Class describes one recurring kernel type within a workload task: its
+// launch configuration (for occupancy reporting) and its resource demands
+// while resident (for the contention model). A task's active GPU time is a
+// weighted round-robin over its classes.
+//
+// Demand semantics, all as fractions of the whole device:
+//
+//   - SMFootprint: fraction of SMs the kernel's grid can cover in one wave.
+//     An MPS partition smaller than the footprint dilates the kernel by
+//     footprint/partition — the granularity effect of Figure 1. A kernel
+//     with a small footprint gains nothing from partitions beyond it.
+//   - Intensity: fraction of the covered SMs' issue/compute throughput the
+//     kernel consumes while resident. ComputeDemand = SMFootprint ×
+//     Intensity is the instantaneous device-level compute demand the
+//     scheduler's rule 2 ("total compute utilization under 100%") sums.
+//   - BWShare: fraction of peak HBM bandwidth consumed while resident
+//     (rule for memory-bandwidth interference).
+type Class struct {
+	// Name identifies the kernel, e.g. "chi_summation".
+	Name string
+	// Weight is this class's share of the task's active GPU time; weights
+	// are normalized across a task's classes.
+	Weight float64
+	// Launch is the kernel's launch configuration.
+	Launch LaunchConfig
+	// Balance is the load-balance factor for achieved occupancy (0, 1].
+	Balance float64
+	// Intensity is per-covered-SM compute consumption in (0, 1].
+	Intensity float64
+	// BWShare is the fraction of peak memory bandwidth used while
+	// resident, in [0, 1].
+	BWShare float64
+}
+
+// Validate checks the class parameters against a device.
+func (c Class) Validate(spec gpu.DeviceSpec) error {
+	if c.Name == "" {
+		return fmt.Errorf("kernel: class has empty name")
+	}
+	if c.Weight <= 0 {
+		return fmt.Errorf("kernel: class %s: weight must be positive, got %g", c.Name, c.Weight)
+	}
+	if c.Intensity <= 0 || c.Intensity > 1 {
+		return fmt.Errorf("kernel: class %s: intensity must be in (0,1], got %g", c.Name, c.Intensity)
+	}
+	if c.BWShare < 0 || c.BWShare > 1 {
+		return fmt.Errorf("kernel: class %s: bw share must be in [0,1], got %g", c.Name, c.BWShare)
+	}
+	if c.Balance < 0 || c.Balance > 1 {
+		return fmt.Errorf("kernel: class %s: balance must be in [0,1], got %g", c.Name, c.Balance)
+	}
+	if err := c.Launch.Validate(spec); err != nil {
+		return fmt.Errorf("kernel: class %s: %w", c.Name, err)
+	}
+	return nil
+}
+
+// Demand is the instantaneous device-level resource demand of one kernel
+// class, derived from its launch configuration and behavioural parameters.
+type Demand struct {
+	// SMFootprint is the SM-coverage fraction: SMs receiving ≥1 block.
+	SMFootprint float64
+	// Fill is the warp-slot fill level (see Occupancy.Fill) — the MPS
+	// partition fraction at which this kernel's throughput saturates.
+	Fill float64
+	// Compute is SMFootprint × Intensity: whole-device compute demand
+	// while the kernel is resident. The scheduler's rule 2 sums this.
+	Compute float64
+	// Saturation is the partition/allocation fraction below which the
+	// kernel dilates: max(Fill, Compute) clamped to (0, 1].
+	Saturation float64
+	// Bandwidth is the HBM bandwidth demand fraction.
+	Bandwidth float64
+	// TheoreticalOcc and AchievedOcc are the per-SM warp occupancies for
+	// profiler reporting (Table I).
+	TheoreticalOcc float64
+	AchievedOcc    float64
+	// Limiter is the occupancy-limiting resource.
+	Limiter OccupancyLimiter
+}
+
+// ComputeDemand evaluates the class on a device.
+func (c Class) ComputeDemand(spec gpu.DeviceSpec) (Demand, error) {
+	occ, err := ComputeOccupancy(spec, c.Launch)
+	if err != nil {
+		return Demand{}, fmt.Errorf("kernel: class %s: %w", c.Name, err)
+	}
+	fill := occ.Fill()
+	d := Demand{
+		SMFootprint:    occ.SMCoverage,
+		Fill:           fill,
+		Compute:        occ.SMCoverage * c.Intensity,
+		Bandwidth:      c.BWShare,
+		TheoreticalOcc: occ.Theoretical,
+		AchievedOcc:    AchievedOccupancy(occ, c.Balance),
+		Limiter:        occ.Limiter,
+	}
+	sat := fill
+	if d.Compute > sat {
+		sat = d.Compute
+	}
+	if sat > 1 {
+		sat = 1
+	}
+	if sat <= 0 {
+		sat = 0.01
+	}
+	d.Saturation = sat
+	return d, nil
+}
+
+// NormalizeWeights rescales the classes' weights in place to sum to 1.
+// It returns an error if the total weight is not positive.
+func NormalizeWeights(classes []Class) error {
+	var total float64
+	for _, c := range classes {
+		total += c.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("kernel: total class weight must be positive, got %g", total)
+	}
+	for i := range classes {
+		classes[i].Weight /= total
+	}
+	return nil
+}
+
+// AggregateDemand returns the weighted averages of the classes' demands —
+// the task-level view the scheduler profiles against.
+func AggregateDemand(spec gpu.DeviceSpec, classes []Class) (Demand, error) {
+	if len(classes) == 0 {
+		return Demand{}, fmt.Errorf("kernel: no classes to aggregate")
+	}
+	var total float64
+	for _, c := range classes {
+		total += c.Weight
+	}
+	if total <= 0 {
+		return Demand{}, fmt.Errorf("kernel: total class weight must be positive")
+	}
+	var agg Demand
+	for _, c := range classes {
+		d, err := c.ComputeDemand(spec)
+		if err != nil {
+			return Demand{}, err
+		}
+		w := c.Weight / total
+		agg.SMFootprint += w * d.SMFootprint
+		agg.Fill += w * d.Fill
+		agg.Compute += w * d.Compute
+		agg.Saturation += w * d.Saturation
+		agg.Bandwidth += w * d.Bandwidth
+		agg.TheoreticalOcc += w * d.TheoreticalOcc
+		agg.AchievedOcc += w * d.AchievedOcc
+	}
+	return agg, nil
+}

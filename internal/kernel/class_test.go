@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+func validClass() Class {
+	return Class{
+		Name:      "k",
+		Weight:    1,
+		Launch:    LaunchConfig{ThreadsPerBlock: 128, RegistersPerThread: 64, GridBlocks: 864},
+		Balance:   0.9,
+		Intensity: 0.5,
+		BWShare:   0.1,
+	}
+}
+
+func TestClassValidate(t *testing.T) {
+	spec := a100x()
+	if err := validClass().Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Class)
+	}{
+		{"empty name", func(c *Class) { c.Name = "" }},
+		{"zero weight", func(c *Class) { c.Weight = 0 }},
+		{"negative weight", func(c *Class) { c.Weight = -1 }},
+		{"zero intensity", func(c *Class) { c.Intensity = 0 }},
+		{"intensity above 1", func(c *Class) { c.Intensity = 1.5 }},
+		{"negative bw", func(c *Class) { c.BWShare = -0.1 }},
+		{"bw above 1", func(c *Class) { c.BWShare = 1.1 }},
+		{"balance above 1", func(c *Class) { c.Balance = 1.2 }},
+		{"bad launch", func(c *Class) { c.Launch.ThreadsPerBlock = 0 }},
+	}
+	for _, tc := range cases {
+		c := validClass()
+		tc.mutate(&c)
+		if err := c.Validate(spec); err == nil {
+			t.Errorf("Validate accepted class with %s", tc.name)
+		}
+	}
+}
+
+func TestComputeDemand(t *testing.T) {
+	spec := a100x()
+	c := validClass()
+	d, err := c.ComputeDemand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128t/64r → 8 blocks/SM, grid 864 = exactly one wave → fill 1,
+	// coverage 1.
+	if d.SMFootprint != 1 {
+		t.Fatalf("footprint = %v", d.SMFootprint)
+	}
+	if math.Abs(d.Fill-1) > 1e-12 {
+		t.Fatalf("fill = %v", d.Fill)
+	}
+	if math.Abs(d.Compute-0.5) > 1e-12 {
+		t.Fatalf("compute = %v, want intensity × coverage = 0.5", d.Compute)
+	}
+	if math.Abs(d.Saturation-1) > 1e-12 {
+		t.Fatalf("saturation = max(fill, compute) = %v, want 1", d.Saturation)
+	}
+	if d.Bandwidth != 0.1 {
+		t.Fatalf("bandwidth = %v", d.Bandwidth)
+	}
+	if math.Abs(d.TheoreticalOcc-0.5) > 1e-12 {
+		t.Fatalf("theo occ = %v", d.TheoreticalOcc)
+	}
+	if math.Abs(d.AchievedOcc-0.45) > 1e-12 {
+		t.Fatalf("achieved occ = %v, want theo×fill×balance = 0.45", d.AchievedOcc)
+	}
+}
+
+func TestSaturationUsesComputeWhenLarger(t *testing.T) {
+	spec := a100x()
+	c := validClass()
+	c.Launch.GridBlocks = 432 // half wave → fill 0.5
+	c.Intensity = 0.9         // compute 0.9 > fill 0.5
+	d, err := c.ComputeDemand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Saturation-0.9) > 1e-12 {
+		t.Fatalf("saturation = %v, want 0.9 (compute-bound)", d.Saturation)
+	}
+}
+
+func TestNormalizeWeights(t *testing.T) {
+	classes := []Class{
+		{Name: "a", Weight: 2},
+		{Name: "b", Weight: 6},
+	}
+	if err := NormalizeWeights(classes); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(classes[0].Weight-0.25) > 1e-12 || math.Abs(classes[1].Weight-0.75) > 1e-12 {
+		t.Fatalf("weights = %v, %v", classes[0].Weight, classes[1].Weight)
+	}
+	if err := NormalizeWeights([]Class{{Name: "z", Weight: 0}}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+}
+
+func TestAggregateDemand(t *testing.T) {
+	spec := a100x()
+	c1 := validClass()
+	c2 := validClass()
+	c2.Name = "k2"
+	c2.Intensity = 0.9
+	c2.BWShare = 0.3
+	c2.Weight = 3
+
+	agg, err := AggregateDemand(spec, []Class{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted average with weights 1:3.
+	wantCompute := (0.5 + 3*0.9) / 4
+	if math.Abs(agg.Compute-wantCompute) > 1e-12 {
+		t.Fatalf("agg compute = %v, want %v", agg.Compute, wantCompute)
+	}
+	wantBW := (0.1 + 3*0.3) / 4
+	if math.Abs(agg.Bandwidth-wantBW) > 1e-12 {
+		t.Fatalf("agg bw = %v, want %v", agg.Bandwidth, wantBW)
+	}
+}
+
+func TestAggregateDemandErrors(t *testing.T) {
+	spec := a100x()
+	if _, err := AggregateDemand(spec, nil); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	bad := validClass()
+	bad.Launch.ThreadsPerBlock = 0
+	if _, err := AggregateDemand(spec, []Class{bad}); err == nil {
+		t.Fatal("invalid class accepted in aggregate")
+	}
+}

@@ -1,0 +1,66 @@
+// Package kernel models GPU kernels at the granularity the paper's
+// scheduler observes: launch configurations (for the CUDA occupancy
+// calculator that reproduces Table I) and resource-demand classes (SM
+// footprint, compute intensity, memory-bandwidth share) that drive the
+// simulator's contention and the non-linear partition-sweep behaviour of
+// Figure 1.
+package kernel
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpu"
+)
+
+// LaunchConfig is a CUDA kernel launch configuration plus the per-thread
+// resource usage the compiler would report — exactly the inputs of the
+// CUDA occupancy calculator.
+type LaunchConfig struct {
+	// ThreadsPerBlock is the block size.
+	ThreadsPerBlock int
+	// RegistersPerThread is the register allocation per thread.
+	RegistersPerThread int
+	// SharedMemPerBlock is static+dynamic shared memory per block, bytes.
+	SharedMemPerBlock int
+	// GridBlocks is the total number of thread blocks launched.
+	GridBlocks int
+}
+
+// Validate checks the configuration against a device's hard limits.
+func (c LaunchConfig) Validate(spec gpu.DeviceSpec) error {
+	switch {
+	case c.ThreadsPerBlock <= 0:
+		return fmt.Errorf("kernel: ThreadsPerBlock must be positive, got %d", c.ThreadsPerBlock)
+	case c.ThreadsPerBlock > spec.MaxThreadsPerBlock:
+		return fmt.Errorf("kernel: ThreadsPerBlock %d exceeds device limit %d",
+			c.ThreadsPerBlock, spec.MaxThreadsPerBlock)
+	case c.RegistersPerThread < 0:
+		return fmt.Errorf("kernel: RegistersPerThread must be non-negative, got %d", c.RegistersPerThread)
+	case c.RegistersPerThread > spec.MaxRegistersPerThread:
+		return fmt.Errorf("kernel: RegistersPerThread %d exceeds device limit %d",
+			c.RegistersPerThread, spec.MaxRegistersPerThread)
+	case c.SharedMemPerBlock < 0:
+		return fmt.Errorf("kernel: SharedMemPerBlock must be non-negative, got %d", c.SharedMemPerBlock)
+	case c.SharedMemPerBlock > spec.SharedMemPerSM:
+		return fmt.Errorf("kernel: SharedMemPerBlock %d exceeds per-SM shared memory %d",
+			c.SharedMemPerBlock, spec.SharedMemPerSM)
+	case c.GridBlocks <= 0:
+		return fmt.Errorf("kernel: GridBlocks must be positive, got %d", c.GridBlocks)
+	}
+	return nil
+}
+
+// WarpsPerBlock returns the number of warps one block occupies.
+func (c LaunchConfig) WarpsPerBlock(spec gpu.DeviceSpec) int {
+	return ceilDiv(c.ThreadsPerBlock, spec.WarpSize)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ceilTo rounds n up to the next multiple of unit.
+func ceilTo(n, unit int) int {
+	if unit <= 0 {
+		return n
+	}
+	return ceilDiv(n, unit) * unit
+}

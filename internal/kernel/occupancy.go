@@ -1,0 +1,162 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"gpushare/internal/gpu"
+)
+
+// OccupancyLimiter identifies which SM resource bounds theoretical
+// occupancy for a launch configuration, matching the categories the CUDA
+// occupancy calculator reports ("Limiting factors for theoretical occupancy
+// include total warps, blocks, registers, and shared memory per SM", §II-C).
+type OccupancyLimiter string
+
+const (
+	LimitWarps     OccupancyLimiter = "warps"
+	LimitBlocks    OccupancyLimiter = "blocks"
+	LimitRegisters OccupancyLimiter = "registers"
+	LimitSharedMem OccupancyLimiter = "shared-memory"
+)
+
+// Occupancy is the result of the occupancy calculation for one kernel on
+// one device.
+type Occupancy struct {
+	// ActiveBlocksPerSM is the number of co-resident blocks per SM.
+	ActiveBlocksPerSM int
+	// ActiveWarpsPerSM is the number of co-resident warps per SM.
+	ActiveWarpsPerSM int
+	// Theoretical is active warps over the SM's warp-slot capacity — the
+	// "Average Theoretical Warp Occupancy" column of Table I.
+	Theoretical float64
+	// Limiter is the binding resource.
+	Limiter OccupancyLimiter
+	// SMCoverage is the fraction of the device's SMs that receive at
+	// least one block: min(1, grid / SMCount).
+	SMCoverage float64
+	// Waves is the grid size relative to the device's co-residency
+	// capacity: grid / (activeBlocks × SMCount). Waves < 1 means the
+	// whole grid is resident at once and warp slots go unfilled.
+	Waves float64
+}
+
+// Fill is the average fraction of the kernel's theoretical warp-slot level
+// the grid actually sustains. For sub-wave grids (Waves < 1) it is Waves
+// itself — the grid cannot fill the device. Beyond one wave it is the
+// tail-effect average: with W waves the final partial wave runs at
+// frac(W) residency for a frac(W)-sized slice of the runtime (uniform
+// block durations), giving (floor(W) + frac(W)²) / W.
+//
+// Fill is also the MPS partition fraction at which the kernel's
+// throughput saturates: a partition p < Fill cannot hold the resident
+// warps the kernel sustains at full device, dilating it by Fill/p; a
+// partition p ≥ Fill adds nothing. This is the granularity effect behind
+// the paper's Figure 1.
+func (o Occupancy) Fill() float64 {
+	w := o.Waves
+	if w <= 0 {
+		return 0
+	}
+	if w <= 1 {
+		return w
+	}
+	full := math.Floor(w)
+	frac := w - full
+	return (full + frac*frac) / w
+}
+
+// ComputeOccupancy runs the CUDA occupancy calculation for cfg on spec.
+func ComputeOccupancy(spec gpu.DeviceSpec, cfg LaunchConfig) (Occupancy, error) {
+	if err := cfg.Validate(spec); err != nil {
+		return Occupancy{}, err
+	}
+
+	warpsPerBlock := cfg.WarpsPerBlock(spec)
+
+	// Limit 1: warp slots (also covers the thread limit since
+	// MaxThreadsPerSM = MaxWarpsPerSM × WarpSize on modeled parts).
+	byWarps := spec.MaxWarpsPerSM / warpsPerBlock
+	// Limit 2: resident blocks.
+	byBlocks := spec.MaxBlocksPerSM
+	// Limit 3: registers. Registers are allocated per warp in units of
+	// RegisterAllocGranularity, as the occupancy calculator does.
+	byRegs := math.MaxInt
+	if cfg.RegistersPerThread > 0 {
+		regsPerWarp := ceilTo(cfg.RegistersPerThread*spec.WarpSize, spec.RegisterAllocGranularity)
+		warpsByRegs := spec.RegistersPerSM / regsPerWarp
+		byRegs = warpsByRegs / warpsPerBlock
+	}
+	// Limit 4: shared memory, allocated in SharedMemAllocGranularity
+	// units.
+	bySmem := math.MaxInt
+	if cfg.SharedMemPerBlock > 0 {
+		smemPerBlock := ceilTo(cfg.SharedMemPerBlock, spec.SharedMemAllocGranularity)
+		bySmem = spec.SharedMemPerSM / smemPerBlock
+	}
+
+	blocks := byWarps
+	limiter := LimitWarps
+	if byBlocks < blocks {
+		blocks, limiter = byBlocks, LimitBlocks
+	}
+	if byRegs < blocks {
+		blocks, limiter = byRegs, LimitRegisters
+	}
+	if bySmem < blocks {
+		blocks, limiter = bySmem, LimitSharedMem
+	}
+	if blocks <= 0 {
+		return Occupancy{}, fmt.Errorf(
+			"kernel: launch config cannot fit a single block per SM (limiter %s)", limiter)
+	}
+
+	warps := blocks * warpsPerBlock
+	occ := Occupancy{
+		ActiveBlocksPerSM: blocks,
+		ActiveWarpsPerSM:  warps,
+		Theoretical:       float64(warps) / float64(spec.MaxWarpsPerSM),
+		Limiter:           limiter,
+	}
+
+	firstWaveCapacity := blocks * spec.SMCount
+	occ.Waves = float64(cfg.GridBlocks) / float64(firstWaveCapacity)
+	if cfg.GridBlocks >= spec.SMCount {
+		occ.SMCoverage = 1
+	} else {
+		occ.SMCoverage = float64(cfg.GridBlocks) / float64(spec.SMCount)
+	}
+	return occ, nil
+}
+
+// PartitionForFill returns the smallest grid size (in blocks) achieving the
+// given fill level for this occupancy result on the given device. It is
+// the calibration inverse of Fill for sub-wave grids and is used by the
+// workload suite to size grids from Table I targets.
+func (o Occupancy) GridForFill(spec gpu.DeviceSpec, fill float64) int {
+	if fill < 0 {
+		fill = 0
+	}
+	g := int(fill*float64(o.ActiveBlocksPerSM*spec.SMCount) + 0.5)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// AchievedOccupancy estimates average achieved warp occupancy for a kernel
+// given its theoretical occupancy and grid shape — the "Average Achieved
+// Warp Occupancy" column of Table I.
+//
+// Achieved occupancy falls short of theoretical for two modeled reasons:
+//
+//   - Grid fill: sub-wave grids leave warp slots empty, and multi-wave
+//     grids lose residency in the tail wave (see Occupancy.Fill).
+//   - Load imbalance: divergent block durations and launch gaps, summarized
+//     by balance ∈ (0, 1], a per-kernel calibration input.
+func AchievedOccupancy(occ Occupancy, balance float64) float64 {
+	if balance <= 0 || balance > 1 {
+		balance = 1
+	}
+	return occ.Theoretical * occ.Fill() * balance
+}

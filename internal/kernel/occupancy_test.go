@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpushare/internal/gpu"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+// Hand-computed occupancy fixtures for the A100X (65536 regs/SM, 64
+// warps/SM, 32 blocks/SM, 164 KiB smem, register granularity 256/warp).
+// These are the configurations the workload suite is calibrated with.
+func TestComputeOccupancyFixtures(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        LaunchConfig
+		wantBlocks int
+		wantWarps  int
+		wantTheo   float64
+		wantLimit  OccupancyLimiter
+	}{
+		// 64 threads (2 warps/block), 61 regs → 2048 regs/warp → 32
+		// warps by regs → 16 blocks → 32 warps → 50%.
+		{"64t/61r", LaunchConfig{64, 61, 0, 1080}, 16, 32, 0.50, LimitRegisters},
+		// 64 threads, 56 regs → 1792 regs/warp → 36 warps → 18 blocks →
+		// 36 warps → 56.25%.
+		{"64t/56r", LaunchConfig{64, 56, 0, 1080}, 18, 36, 0.5625, LimitRegisters},
+		// 64 threads, 80 regs → 2560/warp → 25 warps → 12 blocks → 24
+		// warps → 37.5%.
+		{"64t/80r", LaunchConfig{64, 80, 0, 1080}, 12, 24, 0.375, LimitRegisters},
+		// 64 threads, 72 regs → 2304/warp → 28 warps → 14 blocks → 28
+		// warps → 43.75%.
+		{"64t/72r", LaunchConfig{64, 72, 0, 1080}, 14, 28, 0.4375, LimitRegisters},
+		// 128 threads (4 w/b), 64 regs → 2048/warp → 32 warps → 8 blocks
+		// → 50%.
+		{"128t/64r", LaunchConfig{128, 64, 0, 864}, 8, 32, 0.50, LimitRegisters},
+		// 256 threads (8 w/b), 32 regs → 1024/warp → 64 warps → 8 blocks
+		// → 100% (warp-slot limited).
+		{"256t/32r", LaunchConfig{256, 32, 0, 864}, 8, 64, 1.0, LimitWarps},
+		// 256 threads, 40 regs → 1280/warp → 51 warps → 6 blocks → 48
+		// warps → 75%.
+		{"256t/40r", LaunchConfig{256, 40, 0, 648}, 6, 48, 0.75, LimitRegisters},
+		// 512 threads (16 w/b), 128 regs → 4096/warp → 16 warps → 1
+		// block → 25%.
+		{"512t/128r", LaunchConfig{512, 128, 0, 108}, 1, 16, 0.25, LimitRegisters},
+		// 128 threads, 56 KiB smem → 2 blocks by smem → 8 warps → 12.5%.
+		{"128t/56KiB", LaunchConfig{128, 32, 56 * 1024, 216}, 2, 8, 0.125, LimitSharedMem},
+		// 128 threads, 40 KiB smem → 4 blocks by smem → 16 warps → 25%.
+		{"128t/40KiB", LaunchConfig{128, 32, 40 * 1024, 432}, 4, 16, 0.25, LimitSharedMem},
+		// 32 threads (1 warp/block), no regs/smem pressure → block-count
+		// limited: 32 blocks → 32 warps → 50%.
+		{"32t/blocklimited", LaunchConfig{32, 16, 0, 3456}, 32, 32, 0.50, LimitBlocks},
+	}
+	spec := a100x()
+	for _, c := range cases {
+		occ, err := ComputeOccupancy(spec, c.cfg)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if occ.ActiveBlocksPerSM != c.wantBlocks {
+			t.Errorf("%s: blocks = %d, want %d", c.name, occ.ActiveBlocksPerSM, c.wantBlocks)
+		}
+		if occ.ActiveWarpsPerSM != c.wantWarps {
+			t.Errorf("%s: warps = %d, want %d", c.name, occ.ActiveWarpsPerSM, c.wantWarps)
+		}
+		if math.Abs(occ.Theoretical-c.wantTheo) > 1e-12 {
+			t.Errorf("%s: theoretical = %v, want %v", c.name, occ.Theoretical, c.wantTheo)
+		}
+		if occ.Limiter != c.wantLimit {
+			t.Errorf("%s: limiter = %v, want %v", c.name, occ.Limiter, c.wantLimit)
+		}
+	}
+}
+
+func TestComputeOccupancyValidation(t *testing.T) {
+	spec := a100x()
+	bad := []LaunchConfig{
+		{0, 32, 0, 1},            // no threads
+		{2048, 32, 0, 1},         // block too large
+		{128, -1, 0, 1},          // negative regs
+		{128, 300, 0, 1},         // regs above device cap
+		{128, 32, -5, 1},         // negative smem
+		{128, 32, 200 * 1024, 1}, // smem above SM capacity
+		{128, 32, 0, 0},          // no blocks
+	}
+	for i, cfg := range bad {
+		if _, err := ComputeOccupancy(spec, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestOccupancyBoundsProperty(t *testing.T) {
+	spec := a100x()
+	f := func(threads, regs uint8, smemKiB uint8, grid uint16) bool {
+		cfg := LaunchConfig{
+			ThreadsPerBlock:    int(threads%32+1) * 32,
+			RegistersPerThread: int(regs%255) + 1,
+			SharedMemPerBlock:  int(smemKiB%160) * 1024,
+			GridBlocks:         int(grid) + 1,
+		}
+		occ, err := ComputeOccupancy(spec, cfg)
+		if err != nil {
+			return true // invalid configs are allowed to error
+		}
+		return occ.Theoretical > 0 && occ.Theoretical <= 1 &&
+			occ.SMCoverage > 0 && occ.SMCoverage <= 1 &&
+			occ.Waves > 0 &&
+			occ.Fill() > 0 && occ.Fill() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaves(t *testing.T) {
+	spec := a100x()
+	cfg := LaunchConfig{64, 61, 0, 16 * 108} // exactly one full wave
+	occ, err := ComputeOccupancy(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(occ.Waves-1) > 1e-12 {
+		t.Fatalf("waves = %v, want 1", occ.Waves)
+	}
+	if math.Abs(occ.Fill()-1) > 1e-12 {
+		t.Fatalf("fill at exactly one wave = %v, want 1", occ.Fill())
+	}
+}
+
+func TestFillSubWave(t *testing.T) {
+	spec := a100x()
+	cfg := LaunchConfig{64, 61, 0, 8 * 108} // half a wave
+	occ, _ := ComputeOccupancy(spec, cfg)
+	if math.Abs(occ.Fill()-0.5) > 1e-12 {
+		t.Fatalf("half-wave fill = %v, want 0.5", occ.Fill())
+	}
+}
+
+func TestFillTailEffect(t *testing.T) {
+	spec := a100x()
+	// 1.5 waves: tail formula (1 + 0.5²)/1.5 = 5/6.
+	cfg := LaunchConfig{64, 61, 0, 16 * 108 * 3 / 2}
+	occ, _ := ComputeOccupancy(spec, cfg)
+	if math.Abs(occ.Fill()-5.0/6) > 1e-9 {
+		t.Fatalf("1.5-wave fill = %v, want %v", occ.Fill(), 5.0/6)
+	}
+	// Many waves → fill approaches 1.
+	cfg.GridBlocks = 16 * 108 * 40
+	occ, _ = ComputeOccupancy(spec, cfg)
+	if occ.Fill() < 0.99 {
+		t.Fatalf("40-wave fill = %v, want ≈1", occ.Fill())
+	}
+}
+
+func TestSMCoverage(t *testing.T) {
+	spec := a100x()
+	occ, _ := ComputeOccupancy(spec, LaunchConfig{64, 61, 0, 54})
+	if math.Abs(occ.SMCoverage-0.5) > 1e-12 {
+		t.Fatalf("54-block coverage = %v, want 0.5", occ.SMCoverage)
+	}
+	occ, _ = ComputeOccupancy(spec, LaunchConfig{64, 61, 0, 500})
+	if occ.SMCoverage != 1 {
+		t.Fatalf("500-block coverage = %v, want 1", occ.SMCoverage)
+	}
+}
+
+func TestGridForFill(t *testing.T) {
+	spec := a100x()
+	occ, _ := ComputeOccupancy(spec, LaunchConfig{64, 61, 0, 1})
+	for _, fill := range []float64{0.25, 0.5, 0.75, 1.0} {
+		grid := occ.GridForFill(spec, fill)
+		check, err := ComputeOccupancy(spec, LaunchConfig{64, 61, 0, grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(check.Waves-fill) > 0.01 {
+			t.Errorf("GridForFill(%v) → grid %d → waves %v", fill, grid, check.Waves)
+		}
+	}
+	if got := occ.GridForFill(spec, 0); got != 1 {
+		t.Fatalf("GridForFill(0) = %d, want minimum 1", got)
+	}
+}
+
+func TestAchievedOccupancy(t *testing.T) {
+	spec := a100x()
+	occ, _ := ComputeOccupancy(spec, LaunchConfig{64, 61, 0, 16 * 108})
+	if got := AchievedOccupancy(occ, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("achieved at full wave, balance 1 = %v, want 0.5", got)
+	}
+	if got := AchievedOccupancy(occ, 0.8); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("achieved with balance 0.8 = %v, want 0.4", got)
+	}
+	// Out-of-range balance falls back to 1.
+	if got := AchievedOccupancy(occ, 0); got != occ.Theoretical*occ.Fill() {
+		t.Fatalf("achieved with balance 0 = %v", got)
+	}
+	if got := AchievedOccupancy(occ, 2); got != occ.Theoretical*occ.Fill() {
+		t.Fatalf("achieved with balance 2 = %v", got)
+	}
+}
+
+func TestAchievedNeverExceedsTheoreticalProperty(t *testing.T) {
+	spec := a100x()
+	f := func(regs uint8, grid uint16, balance float64) bool {
+		cfg := LaunchConfig{128, int(regs%224) + 32, 0, int(grid) + 1}
+		occ, err := ComputeOccupancy(spec, cfg)
+		if err != nil {
+			return true
+		}
+		b := math.Mod(math.Abs(balance), 1)
+		return AchievedOccupancy(occ, b) <= occ.Theoretical+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics implements the paper's evaluation metrics (§IV-C):
+// throughput and energy efficiency relative to sequential scheduling, and
+// the weighted product metrics used to trade them off.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gpushare/internal/gpusim"
+)
+
+// RunSummary is the metric-relevant reduction of one simulation result.
+type RunSummary struct {
+	// MakespanS is total wall time in seconds.
+	MakespanS float64
+	// EnergyJ is total board energy.
+	EnergyJ float64
+	// Tasks is the number of completed (non-OOM) task executions.
+	Tasks int
+	// CappedFraction is the share of time under SW power capping.
+	CappedFraction float64
+	// AvgPowerW is the time-averaged board power.
+	AvgPowerW float64
+}
+
+// Summarize reduces a gpusim result.
+func Summarize(r *gpusim.Result) RunSummary {
+	return RunSummary{
+		MakespanS:      r.Makespan.Seconds(),
+		EnergyJ:        r.EnergyJ,
+		Tasks:          r.TasksCompleted(),
+		CappedFraction: r.CappedFraction,
+		AvgPowerW:      r.AvgPowerW,
+	}
+}
+
+// Relative is the paper's headline comparison: a sharing run measured
+// against the sequential baseline on the same task set.
+type Relative struct {
+	// Throughput is tasks-per-time relative to sequential: >1 means the
+	// sharing mechanism completed the same work faster ("number of tasks
+	// completed in a given time ... calculated relative to sequential
+	// scheduling").
+	Throughput float64
+	// EnergyEfficiency is sequential energy over sharing energy: >1
+	// means the sharing mechanism used less total GPU energy ("the
+	// reduction in total GPU energy with MPS over sequential
+	// scheduling").
+	EnergyEfficiency float64
+	// CappingDeltaPct is the increase in percent-of-time under SW power
+	// capping versus sequential (Figure 3's quantity).
+	CappingDeltaPct float64
+	// Baseline and Shared keep the underlying summaries for reporting.
+	Baseline RunSummary
+	Shared   RunSummary
+}
+
+// Compare computes the relative metrics of shared vs sequential. It
+// returns an error when the runs completed different task counts (the
+// comparison would be meaningless) or the baseline is degenerate.
+func Compare(sequential, shared RunSummary) (Relative, error) {
+	if sequential.Tasks == 0 || shared.Tasks == 0 {
+		return Relative{}, fmt.Errorf("metrics: cannot compare runs with zero completed tasks")
+	}
+	if sequential.MakespanS <= 0 || shared.MakespanS <= 0 {
+		return Relative{}, fmt.Errorf("metrics: cannot compare runs with non-positive makespan")
+	}
+	if sequential.EnergyJ <= 0 || shared.EnergyJ <= 0 {
+		return Relative{}, fmt.Errorf("metrics: cannot compare runs with non-positive energy")
+	}
+	if sequential.Tasks != shared.Tasks {
+		return Relative{}, fmt.Errorf("metrics: task count mismatch: sequential %d vs shared %d",
+			sequential.Tasks, shared.Tasks)
+	}
+	seqRate := float64(sequential.Tasks) / sequential.MakespanS
+	shRate := float64(shared.Tasks) / shared.MakespanS
+	return Relative{
+		Throughput:       shRate / seqRate,
+		EnergyEfficiency: sequential.EnergyJ / shared.EnergyJ,
+		CappingDeltaPct:  100 * (shared.CappedFraction - sequential.CappedFraction),
+		Baseline:         sequential,
+		Shared:           shared,
+	}, nil
+}
+
+// Product is the paper's configurable product metric: throughput^tw ×
+// efficiency^ew, generalizing [throughput×efficiency] and
+// [throughput×throughput×efficiency] (§IV-C).
+type Product struct {
+	// ThroughputWeight and EfficiencyWeight are the exponents; both must
+	// be non-negative and not both zero.
+	ThroughputWeight float64
+	EfficiencyWeight float64
+}
+
+// EqualProduct weights throughput and efficiency equally (T×E).
+func EqualProduct() Product { return Product{ThroughputWeight: 1, EfficiencyWeight: 1} }
+
+// ThroughputBiasedProduct is the paper's T×T×E example.
+func ThroughputBiasedProduct() Product { return Product{ThroughputWeight: 2, EfficiencyWeight: 1} }
+
+// EfficiencyBiasedProduct is the symmetric T×E×E variant.
+func EfficiencyBiasedProduct() Product { return Product{ThroughputWeight: 1, EfficiencyWeight: 2} }
+
+// Validate checks the weights.
+func (p Product) Validate() error {
+	if p.ThroughputWeight < 0 || p.EfficiencyWeight < 0 {
+		return fmt.Errorf("metrics: product weights must be non-negative, got (%g, %g)",
+			p.ThroughputWeight, p.EfficiencyWeight)
+	}
+	if p.ThroughputWeight == 0 && p.EfficiencyWeight == 0 {
+		return fmt.Errorf("metrics: product weights must not both be zero")
+	}
+	return nil
+}
+
+// Eval computes the product metric for a relative result.
+func (p Product) Eval(r Relative) float64 {
+	return math.Pow(r.Throughput, p.ThroughputWeight) *
+		math.Pow(r.EnergyEfficiency, p.EfficiencyWeight)
+}
+
+// String renders the product as the paper writes it, e.g. "TxTxE" for
+// integral weights, falling back to exponent notation otherwise.
+func (p Product) String() string {
+	tw, ew := p.ThroughputWeight, p.EfficiencyWeight
+	if tw == math.Trunc(tw) && ew == math.Trunc(ew) && tw+ew > 0 && tw+ew <= 6 {
+		var parts []string
+		for i := 0; i < int(tw); i++ {
+			parts = append(parts, "T")
+		}
+		for i := 0; i < int(ew); i++ {
+			parts = append(parts, "E")
+		}
+		return strings.Join(parts, "x")
+	}
+	return fmt.Sprintf("T^%g*E^%g", tw, ew)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	seq := RunSummary{MakespanS: 200, EnergyJ: 40000, Tasks: 10, CappedFraction: 0.0}
+	sh := RunSummary{MakespanS: 100, EnergyJ: 25000, Tasks: 10, CappedFraction: 0.2}
+	rel, err := Compare(seq, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.Throughput-2) > 1e-12 {
+		t.Fatalf("throughput = %v, want 2", rel.Throughput)
+	}
+	if math.Abs(rel.EnergyEfficiency-1.6) > 1e-12 {
+		t.Fatalf("efficiency = %v, want 1.6", rel.EnergyEfficiency)
+	}
+	if math.Abs(rel.CappingDeltaPct-20) > 1e-12 {
+		t.Fatalf("capping delta = %v, want 20", rel.CappingDeltaPct)
+	}
+	if rel.Baseline != seq || rel.Shared != sh {
+		t.Fatal("summaries not carried")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	ok := RunSummary{MakespanS: 1, EnergyJ: 1, Tasks: 1}
+	bad := []struct {
+		name    string
+		seq, sh RunSummary
+	}{
+		{"zero tasks", RunSummary{MakespanS: 1, EnergyJ: 1}, ok},
+		{"zero makespan", RunSummary{EnergyJ: 1, Tasks: 1}, ok},
+		{"zero energy", RunSummary{MakespanS: 1, Tasks: 1}, ok},
+		{"task mismatch", RunSummary{MakespanS: 1, EnergyJ: 1, Tasks: 2}, ok},
+	}
+	for _, c := range bad {
+		if _, err := Compare(c.seq, c.sh); err == nil {
+			t.Errorf("Compare accepted %s", c.name)
+		}
+	}
+}
+
+func TestCompareIdentityProperty(t *testing.T) {
+	// Comparing a run against itself must give exactly 1.0 on both
+	// metrics.
+	f := func(makespan, energy uint16, tasks uint8) bool {
+		s := RunSummary{
+			MakespanS: float64(makespan) + 1,
+			EnergyJ:   float64(energy) + 1,
+			Tasks:     int(tasks) + 1,
+		}
+		rel, err := Compare(s, s)
+		if err != nil {
+			return false
+		}
+		return rel.Throughput == 1 && rel.EnergyEfficiency == 1 && rel.CappingDeltaPct == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProducts(t *testing.T) {
+	rel := Relative{Throughput: 2, EnergyEfficiency: 1.5}
+	if got := EqualProduct().Eval(rel); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("TxE = %v, want 3", got)
+	}
+	if got := ThroughputBiasedProduct().Eval(rel); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("TxTxE = %v, want 6", got)
+	}
+	if got := EfficiencyBiasedProduct().Eval(rel); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("TxExE = %v, want 4.5", got)
+	}
+}
+
+func TestProductValidate(t *testing.T) {
+	if err := EqualProduct().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Product{ThroughputWeight: -1, EfficiencyWeight: 1}).Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := (Product{}).Validate(); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+}
+
+func TestProductString(t *testing.T) {
+	cases := []struct {
+		p    Product
+		want string
+	}{
+		{EqualProduct(), "TxE"},
+		{ThroughputBiasedProduct(), "TxTxE"},
+		{EfficiencyBiasedProduct(), "TxExE"},
+		{Product{ThroughputWeight: 1.5, EfficiencyWeight: 1}, "T^1.5*E^1"},
+		{Product{ThroughputWeight: 4, EfficiencyWeight: 4}, "T^4*E^4"}, // too long for TxE form
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProductMonotoneProperty(t *testing.T) {
+	// Higher throughput at equal efficiency must never lower a product
+	// metric with positive weights.
+	f := func(t1, t2, e uint8) bool {
+		lo := float64(t1%100)/50 + 0.1
+		hi := lo + float64(t2%100)/50 + 0.01
+		eff := float64(e%100)/50 + 0.1
+		p := ThroughputBiasedProduct()
+		return p.Eval(Relative{Throughput: hi, EnergyEfficiency: eff}) >
+			p.Eval(Relative{Throughput: lo, EnergyEfficiency: eff})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package mig models NVIDIA Multi-Instance GPU (§II-B of the paper):
+// hardware partitioning of an Ampere-class GPU into up to 7 isolated
+// instances, "each with a separate and isolated path through the entire
+// memory system". MIG trades MPS's flexibility for isolation: instances
+// cannot interfere, but the partition is static — the GPU must be idle to
+// reconfigure — and capacity not covered by an instance is wasted.
+//
+// The paper leaves MIG evaluation to future work; this package implements
+// it as the natural extension: instance profiles matching the A100's
+// (1g.10gb … 7g.80gb), a partitioner enforcing MIG's configuration rules,
+// task re-targeting onto instance-sized devices, and an executor that
+// runs each instance as a fully isolated simulation.
+package mig
+
+import (
+	"fmt"
+	"sort"
+
+	"gpushare/internal/gpu"
+)
+
+// Profile is one MIG instance profile. Slices are GPU compute slices (the
+// A100 has 7); memory is partitioned in fixed fractions per profile.
+type Profile struct {
+	// Name is the NVIDIA profile name, e.g. "3g.40gb".
+	Name string
+	// Slices is the number of compute slices (1,2,3,4,7).
+	Slices int
+	// MemFraction is the share of device memory the instance owns.
+	MemFraction float64
+}
+
+// A100-class instance profiles. Fractions follow the A100 80GB MIG
+// geometry (memory is partitioned in eighths; the 7-slice profile owns
+// the whole memory).
+var profiles = []Profile{
+	{Name: "1g.10gb", Slices: 1, MemFraction: 1.0 / 8},
+	{Name: "2g.20gb", Slices: 2, MemFraction: 2.0 / 8},
+	{Name: "3g.40gb", Slices: 3, MemFraction: 4.0 / 8},
+	{Name: "4g.40gb", Slices: 4, MemFraction: 4.0 / 8},
+	{Name: "7g.80gb", Slices: 7, MemFraction: 1},
+}
+
+// totalSlices on an A100-class part.
+const totalSlices = 7
+
+// Profiles returns the supported instance profiles, smallest first.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileByName looks up a profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("mig: unknown profile %q", name)
+}
+
+// Fraction is the instance's share of device compute.
+func (p Profile) Fraction() float64 { return float64(p.Slices) / totalSlices }
+
+// InstanceSpec derives the device model an instance presents to its
+// tenant: compute, bandwidth and power envelope scale with the slice
+// fraction; memory follows the profile's fixed partition.
+//
+// Power apportioning is an approximation: real MIG shares one board power
+// envelope across instances. Apportioning by slice fraction makes each
+// instance's capping behaviour independent, which is conservative for the
+// isolation comparison (a real device could let one instance borrow
+// another's headroom).
+func (p Profile) InstanceSpec(device gpu.DeviceSpec) gpu.DeviceSpec {
+	f := p.Fraction()
+	inst := device
+	inst.Name = fmt.Sprintf("%s[MIG %s]", device.Name, p.Name)
+	inst.SMCount = int(float64(device.SMCount)*f + 0.5)
+	if inst.SMCount < 1 {
+		inst.SMCount = 1
+	}
+	inst.MemoryMiB = int64(float64(device.MemoryMiB) * p.MemFraction)
+	inst.MemoryBandwidthGBs = device.MemoryBandwidthGBs * f
+	inst.IdlePowerW = device.IdlePowerW * f
+	inst.PowerLimitW = inst.IdlePowerW + (device.PowerLimitW-device.IdlePowerW)*f
+	inst.MaxDynamicPowerW = device.MaxDynamicPowerW * f
+	// MPS can run inside a MIG instance, but the client budget is
+	// per-instance.
+	inst.MaxMPSClients = device.MaxMPSClients
+	inst.MIGCapable = false
+	inst.MaxMIGInstances = 0
+	return inst
+}
+
+// Partition is a validated set of instance profiles on one GPU.
+type Partition struct {
+	Instances []Profile
+}
+
+// NewPartition validates a configuration against MIG's rules: total
+// slices within the device budget and total memory within the device.
+// (Real MIG has placement-geometry constraints; the slice and memory
+// budgets capture the ones that matter for scheduling.)
+func NewPartition(device gpu.DeviceSpec, instanceProfiles ...Profile) (*Partition, error) {
+	if !device.MIGCapable {
+		return nil, fmt.Errorf("mig: device %s is not MIG-capable", device.Name)
+	}
+	if len(instanceProfiles) == 0 {
+		return nil, fmt.Errorf("mig: partition needs at least one instance")
+	}
+	if len(instanceProfiles) > device.MaxMIGInstances {
+		return nil, fmt.Errorf("mig: %d instances exceed device limit %d",
+			len(instanceProfiles), device.MaxMIGInstances)
+	}
+	slices := 0
+	var mem float64
+	for _, p := range instanceProfiles {
+		if _, err := ProfileByName(p.Name); err != nil {
+			return nil, err
+		}
+		slices += p.Slices
+		mem += p.MemFraction
+	}
+	if slices > totalSlices {
+		return nil, fmt.Errorf("mig: %d slices exceed the %d-slice budget", slices, totalSlices)
+	}
+	if mem > 1+1e-9 {
+		return nil, fmt.Errorf("mig: memory fractions sum to %.2f > 1", mem)
+	}
+	sorted := make([]Profile, len(instanceProfiles))
+	copy(sorted, instanceProfiles)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Slices > sorted[j].Slices })
+	return &Partition{Instances: sorted}, nil
+}
+
+// UsedSlices is the sum of instance slices.
+func (p *Partition) UsedSlices() int {
+	n := 0
+	for _, in := range p.Instances {
+		n += in.Slices
+	}
+	return n
+}
+
+// UnusedFraction is the share of device compute no instance covers —
+// MIG's static-partitioning waste.
+func (p *Partition) UnusedFraction() float64 {
+	return 1 - float64(p.UsedSlices())/totalSlices
+}
+
+// EnumeratePartitions returns every distinct multiset of profiles whose
+// slices fit the budget and that has between 1 and maxInstances
+// instances, largest-first within each partition. Used by the MIG
+// placement search.
+func EnumeratePartitions(device gpu.DeviceSpec, maxInstances int) []*Partition {
+	if maxInstances <= 0 || maxInstances > device.MaxMIGInstances {
+		maxInstances = device.MaxMIGInstances
+	}
+	var out []*Partition
+	var cur []Profile
+	var walk func(startIdx int, slicesLeft int, memLeft float64)
+	walk = func(startIdx int, slicesLeft int, memLeft float64) {
+		if len(cur) > 0 {
+			if part, err := NewPartition(device, cur...); err == nil {
+				out = append(out, part)
+			}
+		}
+		if len(cur) >= maxInstances {
+			return
+		}
+		for i := startIdx; i < len(profiles); i++ {
+			p := profiles[i]
+			if p.Slices > slicesLeft || p.MemFraction > memLeft+1e-9 {
+				continue
+			}
+			cur = append(cur, p)
+			walk(i, slicesLeft-p.Slices, memLeft-p.MemFraction)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	walk(0, totalSlices, 1)
+	return out
+}

@@ -1,0 +1,306 @@
+package mig
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workload"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+func task(t *testing.T, bench, size string) *workload.TaskSpec {
+	t.Helper()
+	ts, err := workload.MustGet(bench).BuildTaskSpec(size, a100x())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	var sliceSum int
+	for _, p := range ps {
+		if p.Fraction() <= 0 || p.Fraction() > 1 {
+			t.Errorf("%s fraction %v", p.Name, p.Fraction())
+		}
+		sliceSum += p.Slices
+	}
+	full, err := ProfileByName("7g.80gb")
+	if err != nil || full.Fraction() != 1 || full.MemFraction != 1 {
+		t.Fatalf("7g.80gb: %+v, %v", full, err)
+	}
+	if _, err := ProfileByName("9g.90gb"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestInstanceSpec(t *testing.T) {
+	dev := a100x()
+	p, _ := ProfileByName("3g.40gb")
+	inst := p.InstanceSpec(dev)
+	if inst.SMCount != 46 { // 108 × 3/7 ≈ 46.3 → 46
+		t.Fatalf("instance SMs = %d", inst.SMCount)
+	}
+	if inst.MemoryMiB != dev.MemoryMiB/2 {
+		t.Fatalf("instance mem = %d", inst.MemoryMiB)
+	}
+	if inst.MIGCapable {
+		t.Fatal("instance must not be MIG-capable")
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance spec invalid: %v", err)
+	}
+	// Power envelope is apportioned.
+	if inst.PowerLimitW >= dev.PowerLimitW || inst.IdlePowerW >= dev.IdlePowerW {
+		t.Fatal("instance power not apportioned")
+	}
+}
+
+func TestNewPartitionRules(t *testing.T) {
+	dev := a100x()
+	g3, _ := ProfileByName("3g.40gb")
+	g4, _ := ProfileByName("4g.40gb")
+	g7, _ := ProfileByName("7g.80gb")
+	g1, _ := ProfileByName("1g.10gb")
+
+	if _, err := NewPartition(dev, g4, g3); err != nil {
+		t.Fatalf("4+3 rejected: %v", err)
+	}
+	if _, err := NewPartition(dev, g7, g1); err == nil {
+		t.Fatal("8 slices accepted")
+	}
+	if _, err := NewPartition(dev, g4, g4); err == nil {
+		t.Fatal("memory oversubscription accepted (4g+4g = 100% mem but 8 slices)")
+	}
+	if _, err := NewPartition(dev); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	v100 := gpu.MustLookup("V100-SXM2-32GB")
+	if _, err := NewPartition(v100, g1); err == nil {
+		t.Fatal("non-MIG device accepted")
+	}
+	// Instances come back largest-first.
+	part, _ := NewPartition(dev, g3, g4)
+	if part.Instances[0].Slices != 4 {
+		t.Fatal("instances not sorted largest-first")
+	}
+	if part.UsedSlices() != 7 || part.UnusedFraction() != 0 {
+		t.Fatalf("slices %d unused %v", part.UsedSlices(), part.UnusedFraction())
+	}
+}
+
+func TestEnumeratePartitions(t *testing.T) {
+	parts := EnumeratePartitions(a100x(), 2)
+	if len(parts) == 0 {
+		t.Fatal("no partitions enumerated")
+	}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if len(p.Instances) > 2 {
+			t.Fatalf("partition with %d instances", len(p.Instances))
+		}
+		if p.UsedSlices() > 7 {
+			t.Fatal("slice budget violated")
+		}
+		var names []string
+		for _, in := range p.Instances {
+			names = append(names, in.Name)
+		}
+		key := strings.Join(names, "+")
+		if seen[key] {
+			t.Fatalf("duplicate partition %s", key)
+		}
+		seen[key] = true
+	}
+	// The canonical pairs must be present.
+	for _, want := range []string{"7g.80gb", "4g.40gb+3g.40gb", "3g.40gb+3g.40gb"} {
+		if !seen[want] {
+			t.Errorf("missing partition %s (have %v)", want, keys(seen))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestRetargetTaskDilates(t *testing.T) {
+	ts := task(t, "LAMMPS", "4x") // saturation ≈ 0.99
+	half, _ := ProfileByName("3g.40gb")
+	rt, err := RetargetTask(ts, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A saturating task on a 3/7 instance dilates by ≈ 7/3 × saturation.
+	ratio := rt.SoloDuration.Seconds() / ts.SoloDuration.Seconds()
+	if ratio < 1.8 || ratio > 2.5 {
+		t.Fatalf("dilation %v, want ≈ 2.3", ratio)
+	}
+	// Demands are re-expressed against the instance.
+	if rt.Agg.Compute < 0.99 {
+		t.Fatalf("instance-relative compute %v, want ≈1", rt.Agg.Compute)
+	}
+	// Gaps are host time: unchanged.
+	if rt.Phases[0].GapAfter != ts.Phases[0].GapAfter {
+		t.Fatal("gap changed")
+	}
+	// Power drops with the achieved rate.
+	if rt.Phases[0].DynPowerW >= ts.Phases[0].DynPowerW {
+		t.Fatal("dynamic power did not scale down")
+	}
+}
+
+func TestRetargetTaskLowDemandUnchanged(t *testing.T) {
+	ts := task(t, "AthenaPK", "1x") // saturation ≈ 0.35
+	half, _ := ProfileByName("4g.40gb")
+	rt, err := RetargetTask(ts, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturation 0.35 < 4/7: no dilation.
+	if math.Abs(rt.SoloDuration.Seconds()-ts.SoloDuration.Seconds()) > 1e-6 {
+		t.Fatalf("low-demand task dilated: %v vs %v", rt.SoloDuration, ts.SoloDuration)
+	}
+	if _, err := RetargetTask(nil, half); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+func TestRunIsolation(t *testing.T) {
+	// MHD and LAMMPS on separate instances: fully isolated — no shared
+	// power capping, no contention; each dilated by its partition only.
+	dev := a100x()
+	g4, _ := ProfileByName("4g.40gb")
+	g3, _ := ProfileByName("3g.40gb")
+	part, err := NewPartition(dev, g4, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gpusim.Config{Device: dev, Seed: 1}, part, [][]Tenant{
+		{{ID: "lam", Tasks: []*workload.TaskSpec{task(t, "LAMMPS", "4x")}}},
+		{{ID: "mhd", Tasks: []*workload.TaskSpec{task(t, "Cholla-MHD", "4x")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 2 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	if len(res.Instances) != 2 {
+		t.Fatalf("instances = %d", len(res.Instances))
+	}
+	// Makespan is the slower (dilated MHD on 3 slices) instance.
+	if res.Makespan.Seconds() < 486*7.0/3*0.9*0.9 {
+		t.Fatalf("makespan %v too short for a 3-slice MHD", res.Makespan)
+	}
+	sum := res.Summary()
+	if sum.Tasks != 2 || sum.EnergyJ <= 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+func TestRunOOMOnInstance(t *testing.T) {
+	// WarpX (61 GiB) cannot run on a 40 GiB instance.
+	dev := a100x()
+	g4, _ := ProfileByName("4g.40gb")
+	part, err := NewPartition(dev, g4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gpusim.Config{Device: dev, Seed: 1}, part, [][]Tenant{
+		{{ID: "w", Tasks: []*workload.TaskSpec{task(t, "WarpX", "1x")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 0 {
+		t.Fatalf("WarpX completed on a 40 GiB instance: %d tasks", res.Tasks)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dev := a100x()
+	g7, _ := ProfileByName("7g.80gb")
+	part, _ := NewPartition(dev, g7)
+	if _, err := Run(gpusim.Config{Device: dev}, nil, nil); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+	if _, err := Run(gpusim.Config{Device: dev}, part, nil); err == nil {
+		t.Fatal("mismatched tenant groups accepted")
+	}
+	if _, err := Run(gpusim.Config{}, part, [][]Tenant{{}}); err == nil {
+		t.Fatal("missing device accepted")
+	}
+	if _, err := Run(gpusim.Config{Device: dev}, part, [][]Tenant{{}}); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+}
+
+func TestBestFit(t *testing.T) {
+	dev := a100x()
+	flows := []Tenant{
+		{ID: "heavy", Tasks: []*workload.TaskSpec{task(t, "Cholla-MHD", "4x")}},
+		{ID: "light", Tasks: []*workload.TaskSpec{task(t, "AthenaPK", "1x")}},
+	}
+	part, tenants, err := BestFit(dev, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Instances) != 2 || len(tenants) != 2 {
+		t.Fatalf("partition: %+v", part)
+	}
+	// The heavy workflow lands on the larger instance.
+	if tenants[0][0].ID != "heavy" {
+		t.Fatalf("largest instance got %s", tenants[0][0].ID)
+	}
+	if part.Instances[0].Slices < part.Instances[1].Slices {
+		t.Fatal("instances not largest-first")
+	}
+	// Infeasible: two WarpX tenants need 61 GiB each.
+	_, _, err = BestFit(dev, []Tenant{
+		{ID: "w1", Tasks: []*workload.TaskSpec{task(t, "WarpX", "1x")}},
+		{ID: "w2", Tasks: []*workload.TaskSpec{task(t, "WarpX", "1x")}},
+	})
+	if err == nil {
+		t.Fatal("infeasible placement accepted")
+	}
+	if _, _, err := BestFit(dev, nil); err == nil {
+		t.Fatal("empty flows accepted")
+	}
+}
+
+func TestMIGSoloMatchesFullDevice(t *testing.T) {
+	// A 7g.80gb instance is the whole GPU: running there must match the
+	// plain solo run.
+	dev := a100x()
+	g7, _ := ProfileByName("7g.80gb")
+	part, _ := NewPartition(dev, g7)
+	ts := task(t, "Kripke", "4x")
+	res, err := Run(gpusim.Config{Device: dev, Seed: 1}, part, [][]Tenant{
+		{{ID: "k", Tasks: []*workload.TaskSpec{ts}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := gpusim.RunSolo(gpusim.Config{Device: dev, Seed: 1}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds differ per instance (cfg.Seed + i×7919, i=0 → same), so the
+	// runs are directly comparable.
+	if math.Abs(res.Makespan.Seconds()-solo.Makespan.Seconds())/solo.Makespan.Seconds() > 0.02 {
+		t.Fatalf("7g instance %v vs full device %v", res.Makespan, solo.Makespan)
+	}
+}

@@ -1,0 +1,216 @@
+package mig
+
+import (
+	"fmt"
+	"sort"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/metrics"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+// Tenant is one process placed on a MIG instance. Tasks are full-device
+// TaskSpecs; Run retargets them onto the instance.
+type Tenant struct {
+	ID    string
+	Tasks []*workload.TaskSpec
+}
+
+// InstanceResult is one instance's isolated simulation outcome.
+type InstanceResult struct {
+	Profile Profile
+	Result  *gpusim.Result
+}
+
+// Result aggregates a partitioned execution.
+type Result struct {
+	// Makespan is the slowest instance's makespan (instances run
+	// concurrently and fully isolated).
+	Makespan simtime.Duration
+	// EnergyJ sums instance energies, instance idle tails, and the idle
+	// power of unpartitioned slices over the makespan.
+	EnergyJ float64
+	// Tasks counts completed tasks across instances.
+	Tasks int
+	// CappedFraction is capped time over (makespan × instances).
+	CappedFraction float64
+	// Instances holds per-instance results in partition order.
+	Instances []InstanceResult
+}
+
+// Summary converts to the metrics-layer view.
+func (r *Result) Summary() metrics.RunSummary {
+	avgPower := 0.0
+	if r.Makespan > 0 {
+		avgPower = r.EnergyJ / r.Makespan.Seconds()
+	}
+	return metrics.RunSummary{
+		MakespanS:      r.Makespan.Seconds(),
+		EnergyJ:        r.EnergyJ,
+		Tasks:          r.Tasks,
+		CappedFraction: r.CappedFraction,
+		AvgPowerW:      avgPower,
+	}
+}
+
+// Run executes tenants[i] on partition.Instances[i], each instance as a
+// fully isolated simulation on its derived device spec — MIG's defining
+// property ("complete partitioning of memory and compute resources").
+func Run(cfg gpusim.Config, partition *Partition, tenants [][]Tenant) (*Result, error) {
+	if partition == nil {
+		return nil, fmt.Errorf("mig: nil partition")
+	}
+	if len(tenants) != len(partition.Instances) {
+		return nil, fmt.Errorf("mig: %d tenant groups for %d instances",
+			len(tenants), len(partition.Instances))
+	}
+	device := cfg.Device
+	if device.Name == "" {
+		return nil, fmt.Errorf("mig: config needs an explicit device")
+	}
+
+	out := &Result{}
+	var cappedS float64
+	for i, prof := range partition.Instances {
+		if len(tenants[i]) == 0 {
+			continue
+		}
+		icfg := cfg
+		icfg.Device = prof.InstanceSpec(device)
+		icfg.Seed = cfg.Seed + uint64(i)*7919
+		eng, err := gpusim.New(icfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tenants[i] {
+			retargeted := make([]*workload.TaskSpec, len(t.Tasks))
+			for j, task := range t.Tasks {
+				rt, err := RetargetTask(task, prof)
+				if err != nil {
+					return nil, err
+				}
+				retargeted[j] = rt
+			}
+			if err := eng.AddClient(gpusim.Client{ID: t.ID, Tasks: retargeted}); err != nil {
+				return nil, err
+			}
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("mig: instance %s: %w", prof.Name, err)
+		}
+		out.Instances = append(out.Instances, InstanceResult{Profile: prof, Result: res})
+		if res.Makespan > out.Makespan {
+			out.Makespan = res.Makespan
+		}
+		out.EnergyJ += res.EnergyJ
+		out.Tasks += res.TasksCompleted()
+		cappedS += res.CappedTime.Seconds()
+	}
+	if len(out.Instances) == 0 {
+		return nil, fmt.Errorf("mig: no tenants placed")
+	}
+
+	// Idle accounting: instances that finish early idle until the
+	// slowest one does, and unpartitioned slices idle for the whole run.
+	for _, ir := range out.Instances {
+		tail := out.Makespan.Seconds() - ir.Result.Makespan.Seconds()
+		if tail > 0 {
+			out.EnergyJ += ir.Profile.InstanceSpec(device).IdlePowerW * tail
+		}
+	}
+	// Instances with no tenants still hold their slices.
+	for i, prof := range partition.Instances {
+		if len(tenants[i]) == 0 {
+			out.EnergyJ += prof.InstanceSpec(device).IdlePowerW * out.Makespan.Seconds()
+		}
+	}
+	out.EnergyJ += device.IdlePowerW * partition.UnusedFraction() * out.Makespan.Seconds()
+
+	if out.Makespan > 0 && len(out.Instances) > 0 {
+		out.CappedFraction = cappedS / (out.Makespan.Seconds() * float64(len(out.Instances)))
+	}
+	return out, nil
+}
+
+// BestFit searches the partition space for the configuration minimizing
+// predicted makespan with one workflow per instance. Feasibility requires
+// each workflow's peak memory to fit its instance's memory partition; the
+// score dilates each task by max(1, saturation/fraction), the same
+// granularity physics as Figure 1. Workflows are matched to instances
+// largest-predicted-work → most slices.
+//
+// This is the MIG analog of the paper's partition right-sizing: instead
+// of choosing an MPS active-thread percentage, choose slice counts.
+func BestFit(device gpu.DeviceSpec, flows []Tenant) (*Partition, [][]Tenant, error) {
+	if len(flows) == 0 {
+		return nil, nil, fmt.Errorf("mig: no workflows to place")
+	}
+	// Order workflows by descending solo work so flow i maps to
+	// instance i (partitions keep instances largest-first).
+	ordered := make([]Tenant, len(flows))
+	copy(ordered, flows)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return tenantSoloSeconds(ordered[i]) > tenantSoloSeconds(ordered[j])
+	})
+
+	var best *Partition
+	bestScore := 0.0
+	for _, part := range EnumeratePartitions(device, len(flows)) {
+		if len(part.Instances) != len(ordered) {
+			continue
+		}
+		score, ok := placementScore(device, part, ordered)
+		if !ok {
+			continue
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = part, score
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("mig: no feasible partition for %d workflows", len(flows))
+	}
+	tenants := make([][]Tenant, len(best.Instances))
+	for i := range best.Instances {
+		tenants[i] = []Tenant{ordered[i]}
+	}
+	return best, tenants, nil
+}
+
+// tenantSoloSeconds is the tenant's full-device sequential duration.
+func tenantSoloSeconds(t Tenant) float64 {
+	var s float64
+	for _, task := range t.Tasks {
+		s += task.SoloDuration.Seconds()
+	}
+	return s
+}
+
+// placementScore predicts the makespan of placing ordered[i] on
+// part.Instances[i]; ok is false when any workflow cannot fit its
+// instance's memory.
+func placementScore(device gpu.DeviceSpec, part *Partition, ordered []Tenant) (float64, bool) {
+	var makespan float64
+	for i, prof := range part.Instances {
+		inst := prof.InstanceSpec(device)
+		f := prof.Fraction()
+		var dur float64
+		for _, task := range ordered[i].Tasks {
+			if task.MaxMemMiB > inst.MemoryMiB {
+				return 0, false
+			}
+			dilation := 1.0
+			if task.Agg.Saturation > f {
+				dilation = task.Agg.Saturation / f
+			}
+			dur += task.SoloDuration.Seconds() * dilation
+		}
+		if dur > makespan {
+			makespan = dur
+		}
+	}
+	return makespan, true
+}

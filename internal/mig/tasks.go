@@ -1,0 +1,89 @@
+package mig
+
+import (
+	"fmt"
+
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+// RetargetTask maps a task calibrated on the full device onto a MIG
+// instance of fraction f:
+//
+//   - Work dilates by max(1, saturation/f): a kernel whose resident
+//     parallelism or compute demand needed more than the instance offers
+//     runs proportionally longer (the same physics as an MPS partition of
+//     the same size — MIG adds isolation, not speed).
+//   - Demands are re-expressed relative to the instance: compute and
+//     bandwidth fractions divide by f (clamped at 1), so the instance
+//     looks saturated when the kernel uses its whole share.
+//   - Active power scales with the achieved rate, bounded by the
+//     instance's share of silicon.
+//
+// The instance's memory partition is enforced by the per-instance
+// simulation (the task keeps its absolute footprint).
+func RetargetTask(task *workload.TaskSpec, p Profile) (*workload.TaskSpec, error) {
+	if task == nil {
+		return nil, fmt.Errorf("mig: nil task")
+	}
+	f := p.Fraction()
+	if f <= 0 || f > 1 {
+		return nil, fmt.Errorf("mig: profile %s has invalid fraction %v", p.Name, f)
+	}
+	out := *task
+	out.Phases = make([]workload.Phase, len(task.Phases))
+	var total simtime.Duration
+	for i, ph := range task.Phases {
+		nd := ph.Demand
+		dilation := 1.0
+		if nd.Saturation > f {
+			dilation = nd.Saturation / f
+		}
+		nd.Compute = clamp01(nd.Compute / f)
+		nd.Bandwidth = clamp01(nd.Bandwidth / f)
+		nd.SMFootprint = clamp01(nd.SMFootprint / f)
+		nd.Fill = clamp01(nd.Fill / f)
+		sat := nd.Fill
+		if nd.Compute > sat {
+			sat = nd.Compute
+		}
+		nd.Saturation = clamp01(sat)
+
+		nph := ph
+		nph.Demand = nd
+		nph.ActiveWork = simtime.FromSeconds(ph.ActiveWork.Seconds() * dilation)
+		// Achieved rate on the instance is 1/dilation of full speed, so
+		// sustained dynamic power scales the same way (and can never
+		// exceed the instance's silicon share).
+		nph.DynPowerW = ph.DynPowerW / dilation
+		if max := ph.DynPowerW * f * 1.05; nph.DynPowerW > max {
+			nph.DynPowerW = max
+		}
+		out.Phases[i] = nph
+		total += nph.ActiveWork + nph.GapAfter
+	}
+	// Aggregate demand mirrors the per-phase rescale.
+	agg := out.Agg
+	agg.Compute = clamp01(agg.Compute / f)
+	agg.Bandwidth = clamp01(agg.Bandwidth / f)
+	agg.SMFootprint = clamp01(agg.SMFootprint / f)
+	agg.Fill = clamp01(agg.Fill / f)
+	sat := agg.Fill
+	if agg.Compute > sat {
+		sat = agg.Compute
+	}
+	agg.Saturation = clamp01(sat)
+	out.Agg = agg
+	out.SoloDuration = total * simtime.Duration(out.Cycles)
+	return &out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,222 @@
+// Package mps models the CUDA Multi-Process Service control surface the
+// paper's scheduler drives: a control daemon, one server per GPU, client
+// connections (at most 48 concurrent), and SM partitioning via the active
+// thread percentage (the granularity knob swept in Figure 1).
+//
+// The model reproduces MPS semantics at the level the scheduler observes:
+//
+//   - Logical SM partitions per client (execution-resource provisioning),
+//     while memory bandwidth, caches and memory capacity remain shared —
+//     partition only caps a client's compute, never reserves bandwidth.
+//   - Memory protection: each client's allocations are isolated and
+//     accounted separately (delegated to the device allocator).
+//   - The active thread percentage is fixed at client creation, matching
+//     CUDA_MPS_ACTIVE_THREAD_PERCENTAGE behaviour (set in the client's
+//     environment before the CUDA context is created).
+package mps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultActiveThreadPct is the partition a client receives when neither
+// the server default nor a per-client value is set: all SMs.
+const DefaultActiveThreadPct = 100.0
+
+// HardClientLimit is the MPS limit on concurrently connected client
+// processes per server (48 on Volta and later).
+const HardClientLimit = 48
+
+// ErrTooManyClients is returned when a connection would exceed the client
+// limit.
+type ErrTooManyClients struct {
+	Device string
+	Limit  int
+}
+
+func (e *ErrTooManyClients) Error() string {
+	return fmt.Sprintf("mps: server for %s at client limit (%d)", e.Device, e.Limit)
+}
+
+// ErrServerStopped is returned for operations on a stopped server.
+type ErrServerStopped struct{ Device string }
+
+func (e *ErrServerStopped) Error() string {
+	return fmt.Sprintf("mps: server for %s is not running", e.Device)
+}
+
+// Client is one connected MPS client process.
+type Client struct {
+	// ID is the caller-supplied identity (the simulator uses task IDs).
+	ID string
+	// ActiveThreadPct is the client's SM partition in (0, 100].
+	ActiveThreadPct float64
+	server          *Server
+	connected       bool
+}
+
+// Partition returns the client's SM partition as a fraction in (0, 1].
+func (c *Client) Partition() float64 { return c.ActiveThreadPct / 100 }
+
+// Connected reports whether the client is still connected.
+func (c *Client) Connected() bool { return c.connected }
+
+// Server is the MPS server process for one GPU.
+type Server struct {
+	device          string
+	limit           int
+	defaultPct      float64
+	running         bool
+	clients         map[string]*Client
+	peakClients     int
+	totalConnects   int
+	rejectedConnect int
+}
+
+// NewServer creates a server for the named device with the given client
+// limit (use HardClientLimit or the device spec's MaxMPSClients).
+func NewServer(device string, clientLimit int) *Server {
+	if clientLimit <= 0 || clientLimit > HardClientLimit {
+		clientLimit = HardClientLimit
+	}
+	return &Server{
+		device:     device,
+		limit:      clientLimit,
+		defaultPct: DefaultActiveThreadPct,
+		running:    true,
+		clients:    make(map[string]*Client),
+	}
+}
+
+// Device returns the device this server manages.
+func (s *Server) Device() string { return s.device }
+
+// Running reports whether the server accepts connections.
+func (s *Server) Running() bool { return s.running }
+
+// SetDefaultActiveThreadPct sets the partition applied to clients that do
+// not specify their own (the control daemon's
+// set_default_active_thread_percentage command). It affects only future
+// connections, as real MPS does.
+func (s *Server) SetDefaultActiveThreadPct(pct float64) error {
+	if pct <= 0 || pct > 100 {
+		return fmt.Errorf("mps: default active thread percentage must be in (0,100], got %g", pct)
+	}
+	s.defaultPct = pct
+	return nil
+}
+
+// DefaultActiveThreadPct returns the server default partition.
+func (s *Server) DefaultActiveThreadPct() float64 { return s.defaultPct }
+
+// Connect attaches a new client. pct ≤ 0 means "use the server default".
+// The partition is immutable for the client's lifetime.
+func (s *Server) Connect(id string, pct float64) (*Client, error) {
+	if !s.running {
+		return nil, &ErrServerStopped{Device: s.device}
+	}
+	if id == "" {
+		return nil, fmt.Errorf("mps: client id must be non-empty")
+	}
+	if _, dup := s.clients[id]; dup {
+		return nil, fmt.Errorf("mps: client %q already connected to %s", id, s.device)
+	}
+	if len(s.clients) >= s.limit {
+		s.rejectedConnect++
+		return nil, &ErrTooManyClients{Device: s.device, Limit: s.limit}
+	}
+	if pct <= 0 {
+		pct = s.defaultPct
+	}
+	if pct > 100 {
+		return nil, fmt.Errorf("mps: active thread percentage must be in (0,100], got %g", pct)
+	}
+	c := &Client{ID: id, ActiveThreadPct: pct, server: s, connected: true}
+	s.clients[id] = c
+	s.totalConnects++
+	if len(s.clients) > s.peakClients {
+		s.peakClients = len(s.clients)
+	}
+	return c, nil
+}
+
+// Disconnect detaches the client. Disconnecting twice is an error to catch
+// lifecycle bugs in callers.
+func (s *Server) Disconnect(c *Client) error {
+	if c == nil || !c.connected || c.server != s {
+		return fmt.Errorf("mps: disconnect of unknown or already-disconnected client")
+	}
+	delete(s.clients, c.ID)
+	c.connected = false
+	return nil
+}
+
+// ClientCount returns the number of connected clients.
+func (s *Server) ClientCount() int { return len(s.clients) }
+
+// PeakClients returns the high-water mark of concurrent clients.
+func (s *Server) PeakClients() int { return s.peakClients }
+
+// RejectedConnects returns how many connections the limit refused.
+func (s *Server) RejectedConnects() int { return s.rejectedConnect }
+
+// Clients returns the connected clients sorted by ID (deterministic).
+func (s *Server) Clients() []*Client {
+	out := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stop shuts the server down. Connected clients are disconnected, as
+// happens when the real control daemon quits.
+func (s *Server) Stop() {
+	for _, c := range s.clients {
+		c.connected = false
+	}
+	s.clients = make(map[string]*Client)
+	s.running = false
+}
+
+// ControlDaemon manages one MPS server per device, mirroring
+// nvidia-cuda-mps-control.
+type ControlDaemon struct {
+	servers map[string]*Server
+	limit   int
+}
+
+// NewControlDaemon creates a daemon whose servers use the given per-server
+// client limit.
+func NewControlDaemon(clientLimit int) *ControlDaemon {
+	return &ControlDaemon{servers: make(map[string]*Server), limit: clientLimit}
+}
+
+// ServerFor returns the running server for device, starting one if needed.
+func (d *ControlDaemon) ServerFor(device string) *Server {
+	if s, ok := d.servers[device]; ok && s.running {
+		return s
+	}
+	s := NewServer(device, d.limit)
+	d.servers[device] = s
+	return s
+}
+
+// StopAll stops every server.
+func (d *ControlDaemon) StopAll() {
+	for _, s := range d.servers {
+		s.Stop()
+	}
+}
+
+// Devices returns the devices with servers, sorted.
+func (d *ControlDaemon) Devices() []string {
+	out := make([]string, 0, len(d.servers))
+	for dev := range d.servers {
+		out = append(out, dev)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package mps
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConnectDisconnect(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	c, err := s.Connect("task-a", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Connected() || c.ActiveThreadPct != 50 || c.Partition() != 0.5 {
+		t.Fatalf("client state: %+v", c)
+	}
+	if s.ClientCount() != 1 {
+		t.Fatalf("count = %d", s.ClientCount())
+	}
+	if err := s.Disconnect(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Connected() || s.ClientCount() != 0 {
+		t.Fatal("disconnect did not detach client")
+	}
+	if err := s.Disconnect(c); err == nil {
+		t.Fatal("double disconnect accepted")
+	}
+}
+
+func TestClientLimit(t *testing.T) {
+	s := NewServer("gpu0", 3)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Connect(string(rune('a'+i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Connect("overflow", 0)
+	var tooMany *ErrTooManyClients
+	if !errors.As(err, &tooMany) {
+		t.Fatalf("want ErrTooManyClients, got %v", err)
+	}
+	if tooMany.Limit != 3 {
+		t.Fatalf("limit = %d", tooMany.Limit)
+	}
+	if s.RejectedConnects() != 1 {
+		t.Fatalf("rejected = %d", s.RejectedConnects())
+	}
+}
+
+func TestHardLimitApplied(t *testing.T) {
+	// Limits outside (0, 48] collapse to the MPS hard limit.
+	for _, limit := range []int{0, -5, 100} {
+		s := NewServer("gpu0", limit)
+		n := 0
+		for i := 0; i < 60; i++ {
+			if _, err := s.Connect(string(rune('A'+i)), 0); err != nil {
+				break
+			}
+			n++
+		}
+		if n != HardClientLimit {
+			t.Fatalf("limit %d admitted %d clients, want %d", limit, n, HardClientLimit)
+		}
+	}
+}
+
+func TestDefaultPartition(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	c, _ := s.Connect("a", 0)
+	if c.ActiveThreadPct != 100 {
+		t.Fatalf("default partition = %v", c.ActiveThreadPct)
+	}
+	if err := s.SetDefaultActiveThreadPct(25); err != nil {
+		t.Fatal(err)
+	}
+	// Existing client unchanged, new clients get the new default — as
+	// real MPS behaves.
+	if c.ActiveThreadPct != 100 {
+		t.Fatal("existing client partition changed")
+	}
+	c2, _ := s.Connect("b", 0)
+	if c2.ActiveThreadPct != 25 {
+		t.Fatalf("new client partition = %v", c2.ActiveThreadPct)
+	}
+}
+
+func TestSetDefaultValidation(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	for _, pct := range []float64{0, -10, 101} {
+		if err := s.SetDefaultActiveThreadPct(pct); err == nil {
+			t.Errorf("default %v accepted", pct)
+		}
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	if _, err := s.Connect("", 50); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := s.Connect("a", 150); err == nil {
+		t.Fatal("partition > 100 accepted")
+	}
+	if _, err := s.Connect("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Connect("a", 50); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestClientsSorted(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	for _, id := range []string{"zz", "aa", "mm"} {
+		s.Connect(id, 0)
+	}
+	clients := s.Clients()
+	if clients[0].ID != "aa" || clients[1].ID != "mm" || clients[2].ID != "zz" {
+		t.Fatalf("clients not sorted: %v %v %v", clients[0].ID, clients[1].ID, clients[2].ID)
+	}
+}
+
+func TestPeakClients(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	a, _ := s.Connect("a", 0)
+	b, _ := s.Connect("b", 0)
+	s.Disconnect(a)
+	s.Disconnect(b)
+	s.Connect("c", 0)
+	if s.PeakClients() != 2 {
+		t.Fatalf("peak = %d, want 2", s.PeakClients())
+	}
+	if s.ClientCount() != 1 {
+		t.Fatalf("count = %d", s.ClientCount())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewServer("gpu0", 48)
+	c, _ := s.Connect("a", 0)
+	s.Stop()
+	if s.Running() {
+		t.Fatal("server still running")
+	}
+	if c.Connected() {
+		t.Fatal("client survived server stop")
+	}
+	_, err := s.Connect("b", 0)
+	var stopped *ErrServerStopped
+	if !errors.As(err, &stopped) {
+		t.Fatalf("connect after stop: %v", err)
+	}
+}
+
+func TestControlDaemon(t *testing.T) {
+	d := NewControlDaemon(48)
+	s0 := d.ServerFor("gpu0")
+	s1 := d.ServerFor("gpu1")
+	if s0 == s1 {
+		t.Fatal("distinct devices share a server")
+	}
+	if d.ServerFor("gpu0") != s0 {
+		t.Fatal("ServerFor not idempotent")
+	}
+	devs := d.Devices()
+	if len(devs) != 2 || devs[0] != "gpu0" || devs[1] != "gpu1" {
+		t.Fatalf("devices = %v", devs)
+	}
+	// A stopped server is transparently replaced, like restarting the
+	// control daemon.
+	s0.Stop()
+	s0b := d.ServerFor("gpu0")
+	if s0b == s0 || !s0b.Running() {
+		t.Fatal("stopped server not replaced")
+	}
+	d.StopAll()
+	if d.ServerFor("gpu1").Running() != true {
+		t.Fatal("ServerFor after StopAll must start fresh")
+	}
+}

@@ -1,0 +1,82 @@
+package nvml
+
+import (
+	"fmt"
+	"sort"
+
+	"gpushare/internal/gpu"
+)
+
+// System emulates an NVML session over a node's GPUs: the handle-by-index
+// query surface schedulers and CLI tools use (nvmlDeviceGetCount,
+// nvmlDeviceGetHandleByIndex, and the static property getters).
+type System struct {
+	devices []*Device
+}
+
+// Device is one GPU handle.
+type Device struct {
+	index int
+	spec  gpu.DeviceSpec
+}
+
+// NewSystem creates a session over the given device models, e.g.
+// NewSystem("A100X", "A100X") for the paper's two-GPU node.
+func NewSystem(models ...string) (*System, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("nvml: system needs at least one device")
+	}
+	s := &System{}
+	for i, m := range models {
+		spec, err := gpu.Lookup(m)
+		if err != nil {
+			return nil, err
+		}
+		s.devices = append(s.devices, &Device{index: i, spec: spec})
+	}
+	return s, nil
+}
+
+// DeviceCount mirrors nvmlDeviceGetCount.
+func (s *System) DeviceCount() int { return len(s.devices) }
+
+// DeviceByIndex mirrors nvmlDeviceGetHandleByIndex.
+func (s *System) DeviceByIndex(i int) (*Device, error) {
+	if i < 0 || i >= len(s.devices) {
+		return nil, fmt.Errorf("nvml: device index %d out of range [0,%d)", i, len(s.devices))
+	}
+	return s.devices[i], nil
+}
+
+// Devices returns all handles in index order.
+func (s *System) Devices() []*Device {
+	out := make([]*Device, len(s.devices))
+	copy(out, s.devices)
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
+	return out
+}
+
+// Index returns the device's NVML index.
+func (d *Device) Index() int { return d.index }
+
+// Name mirrors nvmlDeviceGetName.
+func (d *Device) Name() string { return d.spec.Name }
+
+// Spec exposes the full device model.
+func (d *Device) Spec() gpu.DeviceSpec { return d.spec }
+
+// MemoryTotalMiB mirrors nvmlDeviceGetMemoryInfo.total.
+func (d *Device) MemoryTotalMiB() int64 { return d.spec.MemoryMiB }
+
+// PowerManagementLimitW mirrors nvmlDeviceGetPowerManagementLimit.
+func (d *Device) PowerManagementLimitW() float64 { return d.spec.PowerLimitW }
+
+// MaxClocksMHz mirrors nvmlDeviceGetMaxClockInfo for the SM domain.
+func (d *Device) MaxClocksMHz() int { return d.spec.BoostClockMHz }
+
+// MultiprocessorCount mirrors the CUDA device attribute query MPS sizing
+// uses.
+func (d *Device) MultiprocessorCount() int { return d.spec.SMCount }
+
+// MIGCapable reports Multi-Instance GPU support.
+func (d *Device) MIGCapable() bool { return d.spec.MIGCapable }

@@ -1,0 +1,232 @@
+// Package nvml emulates the slice of the NVIDIA Management Library (and
+// nvidia-smi / DCGM counters) the paper's profiling methodology consumes:
+// periodic sampling of power draw, utilization, memory use, SM clocks and
+// clocks-event (throttle) reasons, including the SwPowerCap reason that
+// Figure 3 is built from.
+//
+// Samples are produced by resampling a gpusim trace at a fixed interval,
+// exactly as `nvidia-smi --query-gpu=... --loop-ms=100` would observe a
+// real device.
+package nvml
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/simtime"
+)
+
+// DefaultSampleInterval matches the paper's SMI polling granularity.
+const DefaultSampleInterval = 100 * simtime.Millisecond
+
+// Sample is one polling observation of device state.
+type Sample struct {
+	// At is the sampling instant.
+	At simtime.Time
+	// PowerW is instantaneous board power draw
+	// (nvmlDeviceGetPowerUsage).
+	PowerW float64
+	// GPUUtilPct is the nvidia-smi "utilization.gpu" analog: percent of
+	// recent time at least one kernel was resident (0 or 100 at an
+	// instant in the fluid model).
+	GPUUtilPct float64
+	// SMActivityPct is the DCGM SM_ACTIVE analog: percent of device
+	// compute throughput in use — the Table II "Avg SM Utilization"
+	// integrand.
+	SMActivityPct float64
+	// MemBWUtilPct is percent of peak memory bandwidth in use.
+	MemBWUtilPct float64
+	// MemUsedMiB is the device memory reservation
+	// (nvmlDeviceGetMemoryInfo.used).
+	MemUsedMiB int64
+	// SMClockMHz is the SM clock (nvmlDeviceGetClockInfo).
+	SMClockMHz int
+	// Reasons is the clocks-event-reasons bitmask
+	// (nvmlDeviceGetCurrentClocksEventReasons).
+	Reasons gpu.ThrottleReason
+	// ResidentKernels is the number of co-resident kernel bursts (the
+	// per-process view MPS accounting would give).
+	ResidentKernels int
+}
+
+// SampleTrace polls a simulation trace at the given interval from time 0
+// through end (inclusive of the final partial interval). The trace must be
+// time-ordered, as gpusim produces it.
+func SampleTrace(spec gpu.DeviceSpec, trace []gpusim.TracePoint, end simtime.Time, interval simtime.Duration) ([]Sample, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("nvml: sample interval must be positive, got %v", interval)
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("nvml: negative trace end %v", end)
+	}
+	pm := gpu.PowerModel{Spec: spec}
+	var samples []Sample
+	idx := 0
+	for at := simtime.Zero; ; at = at.Add(interval) {
+		if at > end {
+			break
+		}
+		// Advance to the trace interval containing `at`.
+		for idx+1 < len(trace) && trace[idx+1].At <= at {
+			idx++
+		}
+		s := Sample{At: at, SMClockMHz: spec.BoostClockMHz, PowerW: spec.IdlePowerW,
+			Reasons: gpu.ThrottleGPUIdle}
+		if len(trace) > 0 && trace[idx].At <= at {
+			tp := trace[idx]
+			s.PowerW = tp.PowerW
+			s.SMActivityPct = tp.ComputeUtil * 100
+			s.MemBWUtilPct = tp.BWUtil * 100
+			s.MemUsedMiB = tp.MemUsedMiB
+			s.SMClockMHz = pm.ClockMHz(tp.ClockFactor)
+			s.ResidentKernels = tp.ActiveKernels
+			if tp.ActiveKernels > 0 {
+				s.GPUUtilPct = 100
+				s.Reasons = gpu.ThrottleNone
+			} else {
+				s.Reasons = gpu.ThrottleGPUIdle
+			}
+			if tp.Capped {
+				s.Reasons |= gpu.ThrottleSwPowerCap
+			}
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// Summary aggregates a sample series the way the paper's methodology does.
+type Summary struct {
+	// Duration covered by the samples.
+	Duration simtime.Duration
+	// AvgPowerW and PeakPowerW over the series.
+	AvgPowerW  float64
+	PeakPowerW float64
+	// EnergyJ integrated with the sampling rectangle rule (what a real
+	// SMI-polling harness computes).
+	EnergyJ float64
+	// AvgGPUUtilPct is average kernel-resident time percentage.
+	AvgGPUUtilPct float64
+	// AvgSMActivityPct is the Table II "Avg SM Utilization" figure.
+	AvgSMActivityPct float64
+	// AvgMemBWUtilPct is the Table II "Avg Memory BW Utilization" figure.
+	AvgMemBWUtilPct float64
+	// MaxMemUsedMiB is the Table II "Max Memory" figure.
+	MaxMemUsedMiB int64
+	// SwPowerCapPct is the percentage of samples with the SwPowerCap
+	// clocks-event reason — Figure 3's y-axis.
+	SwPowerCapPct float64
+	// AvgSMClockMHz is the mean SM frequency.
+	AvgSMClockMHz float64
+	// IdlePct is the percentage of samples with no resident kernel.
+	IdlePct float64
+}
+
+// Summarize reduces a sample series. It returns an error for an empty
+// series — summarizing nothing is a caller bug.
+func Summarize(samples []Sample, interval simtime.Duration) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("nvml: no samples to summarize")
+	}
+	if interval <= 0 {
+		return Summary{}, fmt.Errorf("nvml: sample interval must be positive, got %v", interval)
+	}
+	var sum Summary
+	var capped, idle int
+	for _, s := range samples {
+		sum.AvgPowerW += s.PowerW
+		if s.PowerW > sum.PeakPowerW {
+			sum.PeakPowerW = s.PowerW
+		}
+		sum.AvgGPUUtilPct += s.GPUUtilPct
+		sum.AvgSMActivityPct += s.SMActivityPct
+		sum.AvgMemBWUtilPct += s.MemBWUtilPct
+		if s.MemUsedMiB > sum.MaxMemUsedMiB {
+			sum.MaxMemUsedMiB = s.MemUsedMiB
+		}
+		sum.AvgSMClockMHz += float64(s.SMClockMHz)
+		if s.Reasons.Has(gpu.ThrottleSwPowerCap) {
+			capped++
+		}
+		if s.ResidentKernels == 0 {
+			idle++
+		}
+	}
+	n := float64(len(samples))
+	sum.AvgPowerW /= n
+	sum.AvgGPUUtilPct /= n
+	sum.AvgSMActivityPct /= n
+	sum.AvgMemBWUtilPct /= n
+	sum.AvgSMClockMHz /= n
+	sum.SwPowerCapPct = 100 * float64(capped) / n
+	sum.IdlePct = 100 * float64(idle) / n
+	sum.Duration = simtime.Duration(int64(interval) * int64(len(samples)))
+	sum.EnergyJ = sum.AvgPowerW * sum.Duration.Seconds()
+	return sum, nil
+}
+
+// IntegrateTrace reduces a simulation trace by exact piecewise-constant
+// integration — the Nsight Systems analog: trace-based and free of the
+// polling aliasing SampleTrace exhibits on sub-interval kernel bursts. The
+// paper's methodology pairs Nsight (utilization, precise) with SMI polling
+// (power, capping); the profiler uses this for the utilization columns.
+func IntegrateTrace(spec gpu.DeviceSpec, trace []gpusim.TracePoint, end simtime.Time) (Summary, error) {
+	if end <= 0 {
+		return Summary{}, fmt.Errorf("nvml: non-positive trace end %v", end)
+	}
+	var sum Summary
+	sum.Duration = simtime.Duration(end)
+	total := end.Seconds()
+	pm := gpu.PowerModel{Spec: spec}
+
+	var idleS, cappedS, activeS float64
+	if len(trace) == 0 {
+		sum.AvgPowerW = spec.IdlePowerW
+		sum.PeakPowerW = spec.IdlePowerW
+		sum.EnergyJ = spec.IdlePowerW * total
+		sum.IdlePct = 100
+		sum.AvgSMClockMHz = float64(spec.BoostClockMHz)
+		return sum, nil
+	}
+	for i, tp := range trace {
+		start := tp.At
+		stop := end
+		if i+1 < len(trace) {
+			stop = trace[i+1].At
+		}
+		if stop > end {
+			stop = end
+		}
+		dt := stop.Sub(start).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		sum.EnergyJ += tp.PowerW * dt
+		sum.AvgSMActivityPct += tp.ComputeUtil * 100 * dt
+		sum.AvgMemBWUtilPct += tp.BWUtil * 100 * dt
+		sum.AvgSMClockMHz += float64(pm.ClockMHz(tp.ClockFactor)) * dt
+		if tp.MemUsedMiB > sum.MaxMemUsedMiB {
+			sum.MaxMemUsedMiB = tp.MemUsedMiB
+		}
+		if tp.PowerW > sum.PeakPowerW {
+			sum.PeakPowerW = tp.PowerW
+		}
+		if tp.Capped {
+			cappedS += dt
+		}
+		if tp.ActiveKernels == 0 {
+			idleS += dt
+		} else {
+			activeS += dt
+		}
+	}
+	sum.AvgPowerW = sum.EnergyJ / total
+	sum.AvgSMActivityPct /= total
+	sum.AvgMemBWUtilPct /= total
+	sum.AvgSMClockMHz /= total
+	sum.SwPowerCapPct = 100 * cappedS / total
+	sum.IdlePct = 100 * idleS / total
+	sum.AvgGPUUtilPct = 100 * activeS / total
+	return sum, nil
+}

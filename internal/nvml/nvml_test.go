@@ -1,0 +1,238 @@
+package nvml
+
+import (
+	"math"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+// fakeTrace builds a two-interval trace: 1 s active at 200 W, then 1 s
+// idle.
+func fakeTrace() []gpusim.TracePoint {
+	return []gpusim.TracePoint{
+		{At: 0, PowerW: 200, ClockFactor: 1, ActiveKernels: 2, ComputeUtil: 0.6, BWUtil: 0.2, MemUsedMiB: 4096},
+		{At: simtime.Zero.Add(simtime.Second), PowerW: 55, ClockFactor: 1, ActiveKernels: 0},
+	}
+}
+
+func TestSampleTraceBasics(t *testing.T) {
+	samples, err := SampleTrace(a100x(), fakeTrace(), simtime.Zero.Add(2*simtime.Second), 100*simtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 ms .. 2000 ms inclusive → 21 samples.
+	if len(samples) != 21 {
+		t.Fatalf("samples = %d, want 21", len(samples))
+	}
+	first := samples[0]
+	if first.PowerW != 200 || first.GPUUtilPct != 100 || first.SMActivityPct != 60 ||
+		first.MemBWUtilPct != 20 || first.MemUsedMiB != 4096 || first.ResidentKernels != 2 {
+		t.Fatalf("first sample: %+v", first)
+	}
+	last := samples[len(samples)-1]
+	if last.PowerW != 55 || last.GPUUtilPct != 0 {
+		t.Fatalf("last sample: %+v", last)
+	}
+	if !last.Reasons.Has(gpu.ThrottleGPUIdle) {
+		t.Fatal("idle sample missing GpuIdle reason")
+	}
+}
+
+func TestSampleTraceCapping(t *testing.T) {
+	trace := []gpusim.TracePoint{
+		{At: 0, PowerW: 300, ClockFactor: 0.7, Capped: true, ActiveKernels: 2, ComputeUtil: 1},
+	}
+	samples, err := SampleTrace(a100x(), trace, simtime.Zero.Add(simtime.Second), 250*simtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.Reasons.Has(gpu.ThrottleSwPowerCap) {
+			t.Fatalf("capped sample missing SwPowerCap: %+v", s)
+		}
+		if s.SMClockMHz >= a100x().BoostClockMHz {
+			t.Fatalf("capped sample at boost clock: %d", s.SMClockMHz)
+		}
+	}
+}
+
+func TestSampleTraceValidation(t *testing.T) {
+	if _, err := SampleTrace(a100x(), nil, 0, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := SampleTrace(a100x(), nil, -1, simtime.Second); err == nil {
+		t.Fatal("negative end accepted")
+	}
+	// Empty trace: samples report idle defaults.
+	samples, err := SampleTrace(a100x(), nil, simtime.Zero.Add(simtime.Second), simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0].PowerW != a100x().IdlePowerW {
+		t.Fatalf("empty-trace samples: %+v", samples)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples, _ := SampleTrace(a100x(), fakeTrace(), simtime.Zero.Add(2*simtime.Second), 100*simtime.Millisecond)
+	sum, err := Summarize(samples, 100*simtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervals are [At_i, At_{i+1}): 10 active samples at 200 W
+	// (0..900 ms) + 11 idle at 55 W (1000..2000 ms).
+	wantAvg := (10*200.0 + 11*55) / 21
+	if math.Abs(sum.AvgPowerW-wantAvg) > 1e-9 {
+		t.Fatalf("avg power %v, want %v", sum.AvgPowerW, wantAvg)
+	}
+	if sum.PeakPowerW != 200 {
+		t.Fatalf("peak %v", sum.PeakPowerW)
+	}
+	if sum.MaxMemUsedMiB != 4096 {
+		t.Fatalf("max mem %v", sum.MaxMemUsedMiB)
+	}
+	wantIdle := 100 * 11.0 / 21
+	if math.Abs(sum.IdlePct-wantIdle) > 1e-9 {
+		t.Fatalf("idle %v, want %v", sum.IdlePct, wantIdle)
+	}
+	if sum.SwPowerCapPct != 0 {
+		t.Fatalf("capped %v, want 0", sum.SwPowerCapPct)
+	}
+	if sum.Duration != simtime.Duration(21)*100*simtime.Millisecond {
+		t.Fatalf("duration %v", sum.Duration)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil, simtime.Second); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := Summarize([]Sample{{}}, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestSummaryAgainstEngineMeter(t *testing.T) {
+	// Sampling a real engine trace must agree with the engine's own
+	// integrated power within sampling error.
+	ts, err := workloadTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpusim.RunSolo(gpusim.Config{Seed: 1}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SampleTrace(a100x(), res.Trace, simtime.Zero.Add(res.Makespan), DefaultSampleInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(samples, DefaultSampleInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.AvgPowerW-res.AvgPowerW)/res.AvgPowerW > 0.02 {
+		t.Fatalf("sampled power %v vs integrated %v", sum.AvgPowerW, res.AvgPowerW)
+	}
+}
+
+func TestSystem(t *testing.T) {
+	sys, err := NewSystem("A100X", "A100X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.DeviceCount() != 2 {
+		t.Fatalf("count = %d", sys.DeviceCount())
+	}
+	d, err := sys.DeviceByIndex(1)
+	if err != nil || d.Index() != 1 {
+		t.Fatalf("DeviceByIndex: %v %v", d, err)
+	}
+	if _, err := sys.DeviceByIndex(2); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if d.Name() != "NVIDIA A100X" || d.MemoryTotalMiB() != 80*1024 ||
+		d.PowerManagementLimitW() != 300 || d.MultiprocessorCount() != 108 ||
+		d.MaxClocksMHz() != 1410 || !d.MIGCapable() {
+		t.Fatalf("device getters wrong: %+v", d.Spec())
+	}
+	if _, err := NewSystem(); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := NewSystem("bogus"); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+}
+
+// workloadTask builds a short suite task for the end-to-end sampling test.
+func workloadTask() (*workload.TaskSpec, error) {
+	w, err := workload.Get("Kripke")
+	if err != nil {
+		return nil, err
+	}
+	return w.BuildTaskSpec("1x", a100x())
+}
+
+func TestIntegrateTraceExact(t *testing.T) {
+	sum, err := IntegrateTrace(a100x(), fakeTrace(), simtime.Zero.Add(2*simtime.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact integration: 1 s at 200 W + 1 s at 55 W over 2 s.
+	if math.Abs(sum.AvgPowerW-127.5) > 1e-9 {
+		t.Fatalf("avg power %v, want 127.5", sum.AvgPowerW)
+	}
+	if math.Abs(sum.EnergyJ-255) > 1e-9 {
+		t.Fatalf("energy %v, want 255", sum.EnergyJ)
+	}
+	if math.Abs(sum.AvgSMActivityPct-30) > 1e-9 { // 60% for half the time
+		t.Fatalf("SM activity %v, want 30", sum.AvgSMActivityPct)
+	}
+	if math.Abs(sum.IdlePct-50) > 1e-9 {
+		t.Fatalf("idle %v, want 50", sum.IdlePct)
+	}
+	if sum.MaxMemUsedMiB != 4096 || sum.PeakPowerW != 200 {
+		t.Fatalf("peaks: %+v", sum)
+	}
+}
+
+func TestIntegrateTraceEmptyAndInvalid(t *testing.T) {
+	sum, err := IntegrateTrace(a100x(), nil, simtime.Zero.Add(simtime.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AvgPowerW != a100x().IdlePowerW || sum.IdlePct != 100 {
+		t.Fatalf("empty trace summary: %+v", sum)
+	}
+	if _, err := IntegrateTrace(a100x(), nil, 0); err == nil {
+		t.Fatal("zero end accepted")
+	}
+}
+
+func TestIntegrateTraceAgreesWithEngineMeter(t *testing.T) {
+	ts, err := workloadTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpusim.RunSolo(gpusim.Config{Seed: 8}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := IntegrateTrace(a100x(), res.Trace, simtime.Zero.Add(res.Makespan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact integration must match the engine's own meter tightly.
+	if math.Abs(sum.EnergyJ-res.EnergyJ)/res.EnergyJ > 0.001 {
+		t.Fatalf("integrated energy %v vs engine %v", sum.EnergyJ, res.EnergyJ)
+	}
+	if math.Abs(sum.SwPowerCapPct/100-res.CappedFraction) > 0.001 {
+		t.Fatalf("capped %v vs engine %v", sum.SwPowerCapPct/100, res.CappedFraction)
+	}
+}

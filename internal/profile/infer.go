@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"gpushare/internal/workload"
+)
+
+// Scaling inference (§IV-A): "because scaling is well-understood for a
+// vast majority of HPC codes, it is possible to infer the utilization
+// characteristics of larger problem sizes from profiling information
+// gathered with smaller workloads."
+//
+// Infer fits per-quantity power laws through the workload's measured
+// profiles (the same model the workload substrate uses, so inference is
+// validated against "measured" derived sizes in tests).
+
+// Inference ceilings mirror the physical clamps in workload/scaling.go.
+const (
+	inferMaxSMPct  = 97.0
+	inferMaxBWPct  = 95.0
+	inferMaxPowerW = 295.0
+)
+
+// Infer predicts the profile of workloadName at size from the store's
+// measured profiles of the same workload. At least one measured size is
+// required; with a single size a generic quadratic-runtime model is used.
+func (s *Store) Infer(workloadName, size string) (*TaskProfile, error) {
+	targetFactor, err := workload.ParseSizeFactor(size)
+	if err != nil {
+		return nil, err
+	}
+	measured := s.ForWorkload(workloadName)
+	// Inference must come from measurements, not from other inferences.
+	base := measured[:0:0]
+	for _, p := range measured {
+		if !p.Inferred {
+			base = append(base, p)
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("profile: no measured profiles of %s to infer %s from",
+			workloadName, size)
+	}
+
+	var a, b *TaskProfile
+	switch len(base) {
+	case 1:
+		a = base[0]
+		b = nil
+	default:
+		// Use the two measured sizes bracketing (or nearest) the target.
+		a, b = base[0], base[1]
+		for i := 0; i+1 < len(base); i++ {
+			if targetFactor >= base[i].SizeFactor && targetFactor <= base[i+1].SizeFactor {
+				a, b = base[i], base[i+1]
+			}
+		}
+		if targetFactor > base[len(base)-1].SizeFactor {
+			a, b = base[len(base)-2], base[len(base)-1]
+		}
+	}
+
+	out := &TaskProfile{
+		Workload:   workloadName,
+		Size:       size,
+		Device:     a.Device,
+		SizeFactor: targetFactor,
+		Inferred:   true,
+		// Occupancy is a per-kernel property, size-invariant to first
+		// order; carry the measured value.
+		TheoreticalOccPct: a.TheoreticalOccPct,
+		AchievedOccPct:    a.AchievedOccPct,
+	}
+	if b == nil {
+		rel := targetFactor / a.SizeFactor
+		out.DurationS = a.DurationS * math.Pow(rel, 2)
+		out.MaxMemMiB = int64(float64(a.MaxMemMiB)*rel + 0.5)
+		out.AvgSMUtilPct = math.Min(a.AvgSMUtilPct*math.Sqrt(rel), inferMaxSMPct)
+		out.AvgBWUtilPct = math.Min(a.AvgBWUtilPct*math.Sqrt(rel), inferMaxBWPct)
+		out.AvgPowerW = math.Min(a.AvgPowerW*math.Pow(rel, 0.25), inferMaxPowerW)
+		out.GPUIdlePct = a.GPUIdlePct
+	} else {
+		f1, f2 := a.SizeFactor, b.SizeFactor
+		out.DurationS = fitPow(a.DurationS, b.DurationS, f1, f2, targetFactor)
+		out.MaxMemMiB = int64(fitPow(float64(a.MaxMemMiB), float64(b.MaxMemMiB), f1, f2, targetFactor) + 0.5)
+		out.AvgSMUtilPct = math.Min(fitPow(a.AvgSMUtilPct, b.AvgSMUtilPct, f1, f2, targetFactor), inferMaxSMPct)
+		out.AvgBWUtilPct = math.Min(fitPow(a.AvgBWUtilPct, b.AvgBWUtilPct, f1, f2, targetFactor), inferMaxBWPct)
+		out.AvgPowerW = math.Min(fitPow(a.AvgPowerW, b.AvgPowerW, f1, f2, targetFactor), inferMaxPowerW)
+		out.GPUIdlePct = math.Max(0, fitLinear(a.GPUIdlePct, b.GPUIdlePct, f1, f2, targetFactor))
+	}
+	out.EnergyJ = out.DurationS * out.AvgPowerW
+	return out, nil
+}
+
+// fitPow evaluates the power law through (f1,v1),(f2,v2) at f, with a
+// linear fallback for non-positive endpoints.
+func fitPow(v1, v2, f1, f2, f float64) float64 {
+	if v1 <= 0 || v2 <= 0 || f1 == f2 {
+		return fitLinear(v1, v2, f1, f2, f)
+	}
+	alpha := math.Log(v2/v1) / math.Log(f2/f1)
+	return v1 * math.Pow(f/f1, alpha)
+}
+
+func fitLinear(v1, v2, f1, f2, f float64) float64 {
+	if f1 == f2 {
+		return v1
+	}
+	t := (f - f1) / (f2 - f1)
+	v := v1 + t*(v2-v1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"testing"
+
+	"gpushare/internal/workload"
+)
+
+func measuredStore(t *testing.T, bench string, sizes ...string) *Store {
+	t.Helper()
+	pr := &Profiler{}
+	w, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := pr.ProfileWorkload(w, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	for _, p := range ps {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestInferMatchesSimulatedScaling validates the paper's scaling-inference
+// claim end to end: inferring Kripke 2x from measured 1x and 4x profiles
+// must agree with actually "running" (simulating) Kripke 2x.
+func TestInferMatchesSimulatedScaling(t *testing.T) {
+	s := measuredStore(t, "Kripke", "1x", "4x")
+	inferred, err := s.Infer("Kripke", "2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inferred.Inferred {
+		t.Fatal("inferred profile not marked")
+	}
+
+	measured := measuredStore(t, "Kripke", "2x")
+	actual, _ := measured.Get("Kripke", "2x")
+
+	if e := relErr(inferred.DurationS, actual.DurationS); e > 0.10 {
+		t.Errorf("inferred duration %v vs measured %v (err %.1f%%)",
+			inferred.DurationS, actual.DurationS, e*100)
+	}
+	if e := relErr(inferred.AvgSMUtilPct, actual.AvgSMUtilPct); e > 0.10 {
+		t.Errorf("inferred SM %v vs measured %v", inferred.AvgSMUtilPct, actual.AvgSMUtilPct)
+	}
+	if e := relErr(float64(inferred.MaxMemMiB), float64(actual.MaxMemMiB)); e > 0.10 {
+		t.Errorf("inferred mem %v vs measured %v", inferred.MaxMemMiB, actual.MaxMemMiB)
+	}
+	if e := relErr(inferred.AvgPowerW, actual.AvgPowerW); e > 0.10 {
+		t.Errorf("inferred power %v vs measured %v", inferred.AvgPowerW, actual.AvgPowerW)
+	}
+}
+
+func TestInferSinglePoint(t *testing.T) {
+	s := measuredStore(t, "LAMMPS", "1x")
+	p, err := s.Infer("LAMMPS", "2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := s.Get("LAMMPS", "1x")
+	if p.DurationS <= base.DurationS {
+		t.Error("single-point inference must scale duration up")
+	}
+	if p.MaxMemMiB <= base.MaxMemMiB {
+		t.Error("single-point inference must scale memory up")
+	}
+	if p.AvgSMUtilPct > inferMaxSMPct || p.AvgPowerW > inferMaxPowerW {
+		t.Error("inference ceilings violated")
+	}
+}
+
+func TestInferNoMeasurements(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Infer("Kripke", "2x"); err == nil {
+		t.Fatal("inference from empty store accepted")
+	}
+}
+
+func TestInferIgnoresInferredInputs(t *testing.T) {
+	// Inference chains must always root in measurements.
+	s := measuredStore(t, "Kripke", "1x", "4x")
+	if _, err := s.Lookup("Kripke", "2x"); err != nil {
+		t.Fatal(err)
+	}
+	// Now infer 3x: the cached inferred 2x must not be used as a base
+	// (both bases must be the measured 1x/4x).
+	p3, err := s.Infer("Kripke", "3x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Get("Kripke", "2x")
+	p4, _ := s.Get("Kripke", "4x")
+	if !(p3.DurationS > p2.DurationS && p3.DurationS < p4.DurationS) {
+		t.Errorf("3x duration %v not between 2x %v and 4x %v",
+			p3.DurationS, p2.DurationS, p4.DurationS)
+	}
+}
+
+func TestLookupCachesInference(t *testing.T) {
+	s := measuredStore(t, "Kripke", "1x", "4x")
+	a, err := s.Lookup("Kripke", "2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Lookup("Kripke", "2x")
+	if a != b {
+		t.Fatal("Lookup did not cache the inferred profile")
+	}
+}
+
+func TestInferBadSize(t *testing.T) {
+	s := measuredStore(t, "Kripke", "1x")
+	if _, err := s.Infer("Kripke", "zz"); err == nil {
+		t.Fatal("bad size label accepted")
+	}
+}
+
+func TestFitHelpers(t *testing.T) {
+	if got := fitPow(10, 40, 1, 2, 4); relErr(got, 160) > 1e-9 {
+		t.Fatalf("fitPow = %v, want 160 (v ∝ f²)", got)
+	}
+	if got := fitPow(0, 10, 0, 10, 5); got != 5 {
+		t.Fatalf("fitPow linear fallback = %v", got)
+	}
+	if got := fitLinear(4, 4, 2, 2, 9); got != 4 {
+		t.Fatalf("fitLinear degenerate = %v", got)
+	}
+	if got := fitLinear(10, -30, 0, 1, 0.5); got != 0 {
+		t.Fatalf("fitLinear negative clamp = %v", got)
+	}
+}

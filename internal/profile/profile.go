@@ -1,0 +1,195 @@
+// Package profile implements the paper's offline profiling step (§IV-A):
+// run each workflow task alone on a GPU, observe it through the Nsight/SMI
+// analogs, and record the utilization, memory, power and occupancy profile
+// the scheduler predicts interference from.
+//
+// Profiles serialize to JSON so a profiling campaign can be stored and
+// shipped to schedulers ("offline profiling only requires the time it
+// takes to run a workflow task").
+package profile
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/nvml"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workload"
+)
+
+// TaskProfile is the per-task record the scheduler consumes — one row of
+// the paper's Table II plus the Table I occupancy columns and the idle/
+// capping observations used in §V.
+type TaskProfile struct {
+	// Workload and Size identify the task.
+	Workload string `json:"workload"`
+	Size     string `json:"size"`
+	// Device is the GPU model profiled on.
+	Device string `json:"device"`
+
+	// DurationS is the solo wall time in seconds.
+	DurationS float64 `json:"duration_s"`
+	// MaxMemMiB is the maximum resident device memory (Table II).
+	MaxMemMiB int64 `json:"max_mem_mib"`
+	// AvgSMUtilPct is average SM utilization percent (Table II).
+	AvgSMUtilPct float64 `json:"avg_sm_util_pct"`
+	// AvgBWUtilPct is average memory-bandwidth utilization percent
+	// (Table II).
+	AvgBWUtilPct float64 `json:"avg_bw_util_pct"`
+	// AvgPowerW is average board power (Table II).
+	AvgPowerW float64 `json:"avg_power_w"`
+	// EnergyJ is total board energy (Table II).
+	EnergyJ float64 `json:"energy_j"`
+	// GPUIdlePct is the percentage of wall time with no resident kernel.
+	GPUIdlePct float64 `json:"gpu_idle_pct"`
+	// TheoreticalOccPct / AchievedOccPct are Table I's occupancy columns.
+	TheoreticalOccPct float64 `json:"theoretical_occ_pct"`
+	AchievedOccPct    float64 `json:"achieved_occ_pct"`
+	// SwPowerCapPct is the share of samples under SW power capping during
+	// the solo run (baseline for Figure 3).
+	SwPowerCapPct float64 `json:"sw_power_cap_pct"`
+	// SizeFactor is the numeric problem-size factor, kept for scaling
+	// inference.
+	SizeFactor float64 `json:"size_factor"`
+	// Inferred marks profiles produced by scaling inference rather than
+	// measurement.
+	Inferred bool `json:"inferred,omitempty"`
+}
+
+// Key returns the store key "workload/size".
+func (p *TaskProfile) Key() string { return Key(p.Workload, p.Size) }
+
+// Key builds a store key.
+func Key(workloadName, size string) string { return workloadName + "/" + size }
+
+// Profiler runs offline profiling campaigns on a simulated device.
+type Profiler struct {
+	// Config is the simulation configuration used for solo runs. The
+	// zero value profiles on an A100X with default contention.
+	Config gpusim.Config
+	// SampleInterval is the SMI polling interval; zero selects the
+	// paper's 100 ms.
+	SampleInterval simtime.Duration
+}
+
+// ProfileTask runs one task alone and returns its profile.
+func (pr *Profiler) ProfileTask(task *workload.TaskSpec) (*TaskProfile, error) {
+	if task == nil {
+		return nil, fmt.Errorf("profile: nil task")
+	}
+	interval := pr.SampleInterval
+	if interval <= 0 {
+		interval = nvml.DefaultSampleInterval
+	}
+	// A profiling run that cannot even allocate its memory must surface
+	// as an error, not as a zero-length profile.
+	cfg := pr.Config
+	cfg.OOM = gpusim.OOMAbort
+	res, err := gpusim.RunSolo(cfg, task)
+	if err != nil {
+		return nil, fmt.Errorf("profile: solo run of %s/%s: %w", task.Workload, task.Size, err)
+	}
+	spec := pr.Config.Device
+	if spec.Name == "" {
+		spec = defaultDevice()
+	}
+	// Utilization and idle time come from exact trace integration (the
+	// Nsight Systems analog). The SMI polling view is cross-checked
+	// against it: a large disagreement means the sampling interval is
+	// aliasing the workload's burst structure, which a real profiling
+	// campaign must know about.
+	sum, err := nvml.IntegrateTrace(spec, res.Trace, simtime.Zero.Add(res.Makespan))
+	if err != nil {
+		return nil, err
+	}
+	samples, err := nvml.SampleTrace(spec, res.Trace, simtime.Zero.Add(res.Makespan), interval)
+	if err != nil {
+		return nil, err
+	}
+	smi, err := nvml.Summarize(samples, interval)
+	if err != nil {
+		return nil, err
+	}
+	if d := smi.AvgPowerW - sum.AvgPowerW; d > 0.5*sum.AvgPowerW || d < -0.5*sum.AvgPowerW {
+		return nil, fmt.Errorf("profile: SMI sampling diverges from trace integration "+
+			"(%.1f W vs %.1f W): choose a finer SampleInterval than %v",
+			smi.AvgPowerW, sum.AvgPowerW, interval)
+	}
+	factor, err := workload.ParseSizeFactor(task.Size)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskProfile{
+		Workload:          task.Workload,
+		Size:              task.Size,
+		Device:            spec.Name,
+		DurationS:         res.Makespan.Seconds(),
+		MaxMemMiB:         task.MaxMemMiB,
+		AvgSMUtilPct:      sum.AvgSMActivityPct,
+		AvgBWUtilPct:      sum.AvgMemBWUtilPct,
+		AvgPowerW:         res.AvgPowerW,
+		EnergyJ:           res.EnergyJ,
+		GPUIdlePct:        sum.IdlePct,
+		TheoreticalOccPct: task.Agg.TheoreticalOcc * 100,
+		AchievedOccPct:    task.Agg.AchievedOcc * 100,
+		SwPowerCapPct:     sum.SwPowerCapPct,
+		SizeFactor:        factor,
+	}, nil
+}
+
+// ProfileWorkload profiles every requested size of a benchmark.
+func (pr *Profiler) ProfileWorkload(w *workload.Workload, sizes []string) ([]*TaskProfile, error) {
+	spec := pr.Config.Device
+	if spec.Name == "" {
+		spec = defaultDevice()
+	}
+	var out []*TaskProfile
+	for _, size := range sizes {
+		task, err := w.BuildTaskSpec(size, spec)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pr.ProfileTask(task)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ProfileSuite profiles the whole benchmark suite at the given sizes,
+// skipping sizes a benchmark cannot derive.
+func (pr *Profiler) ProfileSuite(sizes []string) (*Store, error) {
+	spec := pr.Config.Device
+	if spec.Name == "" {
+		spec = defaultDevice()
+	}
+	store := NewStore()
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			task, err := w.BuildTaskSpec(size, spec)
+			if err != nil {
+				continue // size not derivable for this benchmark
+			}
+			if task.MaxMemMiB > spec.MemoryMiB {
+				// The size does not fit the device — the paper hit the
+				// same wall scaling BerkeleyGW-Epsilon ("due to resource
+				// limitations of our evaluation environment", §V-A).
+				continue
+			}
+			p, err := pr.ProfileTask(task)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.Add(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return store, nil
+}

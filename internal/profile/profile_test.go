@@ -1,0 +1,205 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workload"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func profileOf(t *testing.T, bench, size string) *TaskProfile {
+	t.Helper()
+	w, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := w.BuildTaskSpec(size, defaultDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &Profiler{}
+	p, err := pr.ProfileTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProfilerReproducesTableII closes the loop: profiling the simulated
+// workloads must re-measure the paper's Table II values the workloads were
+// calibrated to.
+func TestProfilerReproducesTableII(t *testing.T) {
+	cases := []struct {
+		bench, size    string
+		smPct, bwPct   float64
+		powerW, energy float64
+		memMiB         int64
+	}{
+		{"LAMMPS", "4x", 96.28, 7.13, 258.38, 29390.48, 4977},
+		{"Cholla-MHD", "1x", 72.58, 31.01, 234.24, 9849.99, 2175},
+		{"AthenaPK", "1x", 7.54, 0.01, 90.09, 234.24, 563},
+		{"WarpX", "4x", 77.28, 19.75, 244.32, 85756.49, 61453},
+	}
+	for _, c := range cases {
+		p := profileOf(t, c.bench, c.size)
+		if e := relErr(p.AvgSMUtilPct, c.smPct); e > 0.05 {
+			t.Errorf("%s/%s SM %.2f vs paper %.2f", c.bench, c.size, p.AvgSMUtilPct, c.smPct)
+		}
+		if c.bwPct > 0.5 {
+			if e := relErr(p.AvgBWUtilPct, c.bwPct); e > 0.05 {
+				t.Errorf("%s/%s BW %.2f vs paper %.2f", c.bench, c.size, p.AvgBWUtilPct, c.bwPct)
+			}
+		}
+		if e := relErr(p.AvgPowerW, c.powerW); e > 0.03 {
+			t.Errorf("%s/%s power %.2f vs paper %.2f", c.bench, c.size, p.AvgPowerW, c.powerW)
+		}
+		if e := relErr(p.EnergyJ, c.energy); e > 0.05 {
+			t.Errorf("%s/%s energy %.2f vs paper %.2f", c.bench, c.size, p.EnergyJ, c.energy)
+		}
+		if p.MaxMemMiB != c.memMiB {
+			t.Errorf("%s/%s mem %d vs paper %d", c.bench, c.size, p.MaxMemMiB, c.memMiB)
+		}
+	}
+}
+
+func TestProfileIdleConsistentWithDuty(t *testing.T) {
+	p := profileOf(t, "AthenaPK", "1x")
+	w := workload.MustGet("AthenaPK")
+	sp, _ := w.Profile("1x")
+	measuredDuty := 1 - p.GPUIdlePct/100
+	if e := relErr(measuredDuty, sp.Duty); e > 0.08 {
+		t.Errorf("measured duty %.3f vs calibrated %.3f", measuredDuty, sp.Duty)
+	}
+}
+
+func TestProfileOccupancyColumns(t *testing.T) {
+	p := profileOf(t, "LAMMPS", "1x")
+	if relErr(p.TheoreticalOccPct, 35.0) > 0.01 {
+		t.Errorf("theo occ %.2f, want 35", p.TheoreticalOccPct)
+	}
+	if relErr(p.AchievedOccPct, 32.7) > 0.01 {
+		t.Errorf("ach occ %.2f, want 32.7", p.AchievedOccPct)
+	}
+}
+
+func TestProfileTaskNil(t *testing.T) {
+	pr := &Profiler{}
+	if _, err := pr.ProfileTask(nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+func TestProfileWorkloadAndSuite(t *testing.T) {
+	pr := &Profiler{}
+	w := workload.MustGet("Kripke")
+	ps, err := pr.ProfileWorkload(w, []string{"1x", "2x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Size != "1x" || ps[1].Size != "2x" {
+		t.Fatalf("profiles: %+v", ps)
+	}
+
+	store, err := pr.ProfileSuite([]string{"1x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(workload.Names()) {
+		t.Fatalf("suite store has %d profiles, want %d", store.Len(), len(workload.Names()))
+	}
+}
+
+func TestStoreAddGetReplace(t *testing.T) {
+	s := NewStore()
+	p := &TaskProfile{Workload: "X", Size: "1x", SizeFactor: 1, DurationS: 1, AvgPowerW: 100}
+	if err := s.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(p); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	got, ok := s.Get("X", "1x")
+	if !ok || got != p {
+		t.Fatal("Get missed")
+	}
+	p2 := &TaskProfile{Workload: "X", Size: "1x", SizeFactor: 1, DurationS: 2, AvgPowerW: 100}
+	s.Replace(p2)
+	got, _ = s.Get("X", "1x")
+	if got != p2 {
+		t.Fatal("Replace did not overwrite")
+	}
+	if err := s.Add(nil); err == nil {
+		t.Fatal("Add(nil) accepted")
+	}
+}
+
+func TestStoreKeysSortedAndForWorkload(t *testing.T) {
+	s := NewStore()
+	for _, k := range []struct {
+		w, sz string
+		f     float64
+	}{{"B", "4x", 4}, {"A", "1x", 1}, {"B", "1x", 1}} {
+		_ = s.Add(&TaskProfile{Workload: k.w, Size: k.sz, SizeFactor: k.f})
+	}
+	keys := s.Keys()
+	want := []string{"A/1x", "B/1x", "B/4x"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v", keys)
+		}
+	}
+	bs := s.ForWorkload("B")
+	if len(bs) != 2 || bs[0].SizeFactor != 1 || bs[1].SizeFactor != 4 {
+		t.Fatalf("ForWorkload = %+v", bs)
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	pr := &Profiler{Config: gpusim.Config{Seed: 3}}
+	w := workload.MustGet("Cholla-Gravity")
+	ps, err := pr.ProfileWorkload(w, []string{"1x", "4x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	for _, p := range ps {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("round trip lost profiles: %d vs %d", loaded.Len(), s.Len())
+	}
+	a, _ := s.Get("Cholla-Gravity", "4x")
+	b, _ := loaded.Get("Cholla-Gravity", "4x")
+	if a.EnergyJ != b.EnergyJ || a.MaxMemMiB != b.MaxMemMiB || a.AvgSMUtilPct != b.AvgSMUtilPct {
+		t.Fatalf("round trip changed values: %+v vs %+v", a, b)
+	}
+}
+
+func TestLoadStoreRejectsBadInput(t *testing.T) {
+	if _, err := LoadStore(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadStore(strings.NewReader(`{"version": 99, "profiles": []}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package recommend
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/interference"
+	"gpushare/internal/metrics"
+	"gpushare/internal/profile"
+	"gpushare/internal/workload"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+func suiteProfiles(t *testing.T) []*profile.TaskProfile {
+	t.Helper()
+	pr := &profile.Profiler{Config: gpusim.Config{Seed: 1}}
+	store, err := pr.ProfileSuite([]string{"4x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.All()
+}
+
+func getProfile(t *testing.T, ps []*profile.TaskProfile, name string) *profile.TaskProfile {
+	t.Helper()
+	for _, p := range ps {
+		if p.Workload == name {
+			return p
+		}
+	}
+	t.Fatalf("profile %s missing", name)
+	return nil
+}
+
+func TestPredictPairLowUtil(t *testing.T) {
+	ps := suiteProfiles(t)
+	ath := getProfile(t, ps, "AthenaPK")
+	pred, err := PredictPair(a100x(), ath, ath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Throughput < 1.5 || pred.Throughput > 2.05 {
+		t.Errorf("AthenaPK self-pair predicted %vx, want ≈1.9x", pred.Throughput)
+	}
+	if pred.EnergyEfficiency < 1.2 {
+		t.Errorf("AthenaPK self-pair efficiency %v", pred.EnergyEfficiency)
+	}
+}
+
+func TestPredictPairHighUtil(t *testing.T) {
+	ps := suiteProfiles(t)
+	lam := getProfile(t, ps, "LAMMPS")
+	pred, err := PredictPair(a100x(), lam, lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Throughput > 1.2 {
+		t.Errorf("LAMMPS self-pair predicted %vx, want near parity", pred.Throughput)
+	}
+}
+
+func TestPredictPairCapacityViolation(t *testing.T) {
+	ps := suiteProfiles(t)
+	wx := getProfile(t, ps, "WarpX")
+	pred, err := PredictPair(a100x(), wx, wx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Estimate.Has(interference.Capacity) {
+		t.Fatal("WarpX self-pair should violate capacity")
+	}
+	if pred.Throughput != 1 || pred.EnergyEfficiency != 1 {
+		t.Fatalf("capacity-violating pair must predict sequential: %+v", pred)
+	}
+}
+
+func TestPredictPairCapping(t *testing.T) {
+	ps := suiteProfiles(t)
+	mhd := getProfile(t, ps, "Cholla-MHD")
+	lam := getProfile(t, ps, "LAMMPS")
+	pred, err := PredictPair(a100x(), mhd, lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.PredictedCapped {
+		t.Error("MHD+LAMMPS should be predicted to cap")
+	}
+}
+
+func TestPredictPairValidation(t *testing.T) {
+	ps := suiteProfiles(t)
+	if _, err := PredictPair(a100x(), nil, ps[0]); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := *ps[0]
+	bad.DurationS = 0
+	if _, err := PredictPair(a100x(), &bad, ps[0]); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestPredictionsTrackSimulation validates the analytic model against the
+// simulator: over candidate pairs, predicted and simulated throughput
+// must agree in rank (the model's job is choosing combinations, not
+// absolute accuracy).
+func TestPredictionsTrackSimulation(t *testing.T) {
+	ps := suiteProfiles(t)
+	dev := a100x()
+	pairs := [][2]string{
+		{"AthenaPK", "AthenaPK"},
+		{"AthenaPK", "Kripke"},
+		{"AthenaPK", "LAMMPS"},
+		{"Kripke", "Cholla-Gravity"},
+		{"LAMMPS", "LAMMPS"},
+		{"Cholla-MHD", "LAMMPS"},
+	}
+	var predicted, simulated []float64
+	for _, pair := range pairs {
+		a := getProfile(t, ps, pair[0])
+		b := getProfile(t, ps, pair[1])
+		pred, err := PredictPair(dev, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted = append(predicted, pred.Throughput)
+
+		ta, err := workload.MustGet(pair[0]).BuildTaskSpec("4x", dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := workload.MustGet(pair[1]).BuildTaskSpec("4x", dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := gpusim.RunSequential(gpusim.Config{Seed: 3}, []*workload.TaskSpec{ta, tb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps, err := gpusim.RunClients(gpusim.Config{Seed: 3, Mode: gpusim.ShareMPS}, []gpusim.Client{
+			{ID: "a", Tasks: []*workload.TaskSpec{ta}},
+			{ID: "b", Tasks: []*workload.TaskSpec{tb}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := metrics.Compare(metrics.Summarize(seq), metrics.Summarize(mps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated = append(simulated, rel.Throughput)
+	}
+	if rho := spearman(predicted, simulated); rho < 0.7 {
+		t.Fatalf("prediction/simulation rank correlation %.2f too low\npred: %v\nsim:  %v",
+			rho, predicted, simulated)
+	}
+	// Absolute agreement within 25% on every pair.
+	for i := range predicted {
+		if rel := math.Abs(predicted[i]-simulated[i]) / simulated[i]; rel > 0.25 {
+			t.Errorf("pair %v: predicted %.2f vs simulated %.2f", pairs[i], predicted[i], simulated[i])
+		}
+	}
+}
+
+// spearman computes the rank correlation of two equal-length series.
+func spearman(x, y []float64) float64 {
+	rx, ry := ranks(x), ranks(y)
+	n := float64(len(x))
+	var d2 float64
+	for i := range rx {
+		d := rx[i] - ry[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for rank, i := range idx {
+		out[i] = float64(rank)
+	}
+	return out
+}
+
+func TestRecommendOrdering(t *testing.T) {
+	ps := suiteProfiles(t)
+	recs, err := Recommend(a100x(), ps, ByThroughput, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Throughput > recs[i-1].Throughput+1e-9 {
+			t.Fatal("recommendations not sorted by throughput")
+		}
+	}
+	// Rule-violating pairs are excluded by default.
+	for _, r := range recs {
+		if r.Estimate.Interferes {
+			t.Fatalf("interfering pair recommended: %s", r.Key())
+		}
+	}
+	// The top recommendation involves a low-utilization workload.
+	top := recs[0]
+	if top.A.Workload != "AthenaPK" && top.B.Workload != "AthenaPK" {
+		t.Errorf("top recommendation %s should involve the lowest-util workload", top.Key())
+	}
+	// includeInterfering widens the candidate set.
+	all, err := Recommend(a100x(), ps, ByThroughput, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(recs) {
+		t.Fatal("includeInterfering did not widen the set")
+	}
+	// Capacity violations stay excluded even then.
+	for _, r := range all {
+		if r.Estimate.Has(interference.Capacity) {
+			t.Fatalf("capacity-violating pair recommended: %s", r.Key())
+		}
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	ps := suiteProfiles(t)
+	a, _ := Recommend(a100x(), ps, ByProduct, false)
+	b, _ := Recommend(a100x(), ps, ByProduct, false)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic recommendation count")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatal("nondeterministic recommendation order")
+		}
+	}
+}
+
+func TestKernelSimilarity(t *testing.T) {
+	ps := suiteProfiles(t)
+	lam := getProfile(t, ps, "LAMMPS")
+	ath := getProfile(t, ps, "AthenaPK")
+	mhd := getProfile(t, ps, "Cholla-MHD")
+
+	if s := KernelSimilarity(lam, lam); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self-similarity = %v", s)
+	}
+	if s1, s2 := KernelSimilarity(lam, ath), KernelSimilarity(ath, lam); s1 != s2 {
+		t.Fatal("similarity not symmetric")
+	}
+	for _, pair := range [][2]*profile.TaskProfile{{lam, ath}, {lam, mhd}, {ath, mhd}} {
+		s := KernelSimilarity(pair[0], pair[1])
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity out of range: %v", s)
+		}
+	}
+	// A compute-dense pair (LAMMPS vs Kripke) is more alike than LAMMPS
+	// vs the bandwidth-heavy MHD in the bandwidth dimension; at minimum,
+	// distinct workloads are less similar than identical ones.
+	if KernelSimilarity(lam, ath) >= 1 {
+		t.Fatal("distinct workloads fully similar")
+	}
+	if KernelSimilarity(nil, lam) != 0 {
+		t.Fatal("nil similarity not 0")
+	}
+}
+
+func TestClusterProfiles(t *testing.T) {
+	ps := suiteProfiles(t)
+	clusters, err := ClusterProfiles(ps, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range clusters {
+		if len(c.Members) == 0 || c.Representative == nil {
+			t.Fatal("empty cluster")
+		}
+		total += len(c.Members)
+	}
+	if total != len(ps) {
+		t.Fatalf("clusters cover %d of %d profiles", total, len(ps))
+	}
+	// A loose threshold merges more.
+	loose, _ := ClusterProfiles(ps, 0.9)
+	if len(loose) > len(clusters) {
+		t.Fatal("looser threshold produced more clusters")
+	}
+	// The analysis plan shrinks quadratically with clustering.
+	plan := AnalysisPlan(loose)
+	full := len(ps) * (len(ps) + 1) / 2
+	if len(plan) >= full {
+		t.Fatalf("analysis plan %d not smaller than full %d", len(plan), full)
+	}
+	if _, err := ClusterProfiles(ps, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpushare/internal/profile"
+)
+
+// Kernel similarity (§VI): workloads whose kernels stress the same
+// resources in the same proportions behave alike under collocation, so
+// one member of a similarity cluster can stand in for the others in
+// pairwise analysis — cutting the offline campaign from O(n²) to
+// O(clusters²).
+
+// featureVector embeds a profile in the resource-demand space the
+// interference model cares about. Components are normalized to [0, 1].
+func featureVector(p *profile.TaskProfile) []float64 {
+	return []float64{
+		p.AvgSMUtilPct / 100,
+		p.AvgBWUtilPct / 100,
+		p.AchievedOccPct / 100,
+		p.TheoreticalOccPct / 100,
+		1 - p.GPUIdlePct/100,
+		math.Min(1, p.AvgPowerW/400),
+	}
+}
+
+// KernelSimilarity returns the cosine similarity of two profiles'
+// resource-demand vectors, in [0, 1] (all components are non-negative).
+// 1 means the workloads stress resources in identical proportions.
+func KernelSimilarity(a, b *profile.TaskProfile) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	va, vb := featureVector(a), featureVector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += va[i] * vb[i]
+		na += va[i] * va[i]
+		nb += vb[i] * vb[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Cluster groups profiles whose pairwise similarity is at least
+// threshold, greedily in key order (deterministic). Each cluster's first
+// member is its representative.
+type Cluster struct {
+	Representative *profile.TaskProfile
+	Members        []*profile.TaskProfile
+}
+
+// ClusterProfiles builds similarity clusters at the given threshold
+// (sensible values are 0.95-0.995; higher means more, tighter clusters).
+func ClusterProfiles(profiles []*profile.TaskProfile, threshold float64) ([]Cluster, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("recommend: similarity threshold must be in (0,1], got %g", threshold)
+	}
+	sorted := make([]*profile.TaskProfile, len(profiles))
+	copy(sorted, profiles)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key() < sorted[j].Key() })
+
+	var clusters []Cluster
+	for _, p := range sorted {
+		placed := false
+		for i := range clusters {
+			if KernelSimilarity(clusters[i].Representative, p) >= threshold {
+				clusters[i].Members = append(clusters[i].Members, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, Cluster{Representative: p, Members: []*profile.TaskProfile{p}})
+		}
+	}
+	return clusters, nil
+}
+
+// AnalysisPlan lists the pairwise analyses an offline campaign needs when
+// similarity clustering stands representatives in for members: one entry
+// per unordered representative pair (including self-pairs).
+func AnalysisPlan(clusters []Cluster) [][2]*profile.TaskProfile {
+	var out [][2]*profile.TaskProfile
+	for i := 0; i < len(clusters); i++ {
+		for j := i; j < len(clusters); j++ {
+			out = append(out, [2]*profile.TaskProfile{
+				clusters[i].Representative, clusters[j].Representative,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars — the harness's stand-in for
+// the paper's grouped bar figures (Figures 2-5).
+type BarChart struct {
+	Title string
+	// Width is the bar area width in characters (default 50).
+	Width int
+	items []barItem
+}
+
+type barItem struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 50} }
+
+// Add appends a labeled value.
+func (c *BarChart) Add(label string, value float64) {
+	c.items = append(c.items, barItem{label: label, value: value})
+}
+
+// Render writes the chart. Bars are scaled to the maximum value; a marker
+// column at 1.0 shows the sequential-baseline parity line when values
+// straddle it.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.items) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, it := range c.items {
+		if it.value > maxVal {
+			maxVal = it.value
+		}
+		if len(it.label) > labelW {
+			labelW = len(it.label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	parity := -1
+	if maxVal > 1 {
+		parity = int(1 / maxVal * float64(width))
+	}
+	for _, it := range c.items {
+		n := int(math.Round(it.value / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		if parity >= 0 && parity < len(bar) {
+			mark := byte('|')
+			if bar[parity] == '#' {
+				mark = '+'
+			}
+			bar = bar[:parity] + string(mark) + bar[parity+1:]
+		}
+		fmt.Fprintf(&b, "%-*s %s %8.3f\n", labelW, it.label, bar, it.value)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one line of an XY chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one XY observation.
+type Point struct{ X, Y float64 }
+
+// LineChart renders multiple series as an ASCII scatter grid — the
+// harness's stand-in for the paper's Figure 1 throughput-vs-partition
+// curves.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height of the plot area in characters (defaults 60×16).
+	Width, Height int
+	series        []Series
+}
+
+// NewLineChart creates a chart.
+func NewLineChart(title, xlabel, ylabel string) *LineChart {
+	return &LineChart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 60, Height: 16}
+}
+
+// AddSeries appends a named series.
+func (c *LineChart) AddSeries(s Series) { c.series = append(c.series, s) }
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart.
+func (c *LineChart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 10 {
+		width = 60
+	}
+	if height <= 4 {
+		height = 16
+	}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if first {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.Points {
+			x := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			y := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f  (%s)\n", "", width/2, minX, width-width/2, maxX, c.XLabel)
+	// Legend in series order.
+	legend := make([]string, len(c.series))
+	for i, s := range c.series {
+		legend[i] = fmt.Sprintf("%c=%s", seriesMarks[i%len(seriesMarks)], s.Name)
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%8s  y: %s   legend: %s\n", "", c.YLabel, strings.Join(legend, "  "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Fatalf("rows missing: %q", out)
+	}
+	// Columns align: "alpha" and "beta " pad to the same width.
+	idxAlpha := strings.Index(lines[3], "1")
+	idxBeta := strings.Index(lines[4], "2.50")
+	if idxAlpha != idxBeta {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idxAlpha, idxBeta, out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only-a")
+	tb.AddRow("a", "b", "dropped-extra")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dropped-extra") {
+		t.Fatal("extra cell rendered")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "note")
+	tb.AddRow("x", `say "hi", ok`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\nx,\"say \"\"hi\"\", ok\"\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Bars")
+	c.Add("small", 0.5)
+	c.Add("big", 2.0)
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Bars") || !strings.Contains(out, "small") {
+		t.Fatalf("chart output: %q", out)
+	}
+	// Parity marker appears since max > 1.
+	if !strings.ContainsAny(out, "|+") {
+		t.Fatal("parity marker missing")
+	}
+	// Bigger value → longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[1]) >= count(lines[2]) {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	var sb strings.Builder
+	if err := NewBarChart("Empty").Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart must say so")
+	}
+	c := NewBarChart("Zeros")
+	c.Add("z", 0)
+	sb.Reset()
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	c := NewLineChart("Curve", "x", "y")
+	c.AddSeries(Series{Name: "s1", Points: []Point{{0, 0}, {50, 5}, {100, 10}}})
+	c.AddSeries(Series{Name: "s2", Points: []Point{{0, 10}, {100, 0}}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Curve") || !strings.Contains(out, "legend") {
+		t.Fatalf("chart output missing pieces: %q", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series marks missing")
+	}
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "s2") {
+		t.Fatal("legend entries missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewLineChart("E", "x", "y").Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty line chart must say so")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Single point: min == max on both axes must not divide by zero.
+	c := NewLineChart("One", "x", "y")
+	c.AddSeries(Series{Name: "p", Points: []Point{{5, 5}}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

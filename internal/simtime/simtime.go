@@ -1,0 +1,119 @@
+// Package simtime provides the time base for the discrete-event GPU
+// simulator.
+//
+// Simulated time is a monotonically increasing nanosecond counter starting
+// at zero when a simulation begins. Using integer nanoseconds (rather than
+// float64 seconds) keeps event ordering exact and makes simulations
+// bit-for-bit reproducible across runs and platforms, which the experiment
+// harness relies on.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in simulated time, expressed as nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It is layout- and
+// semantics-compatible with time.Duration so the two convert freely.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Zero is the origin of simulated time.
+const Zero Time = 0
+
+// Forever is a sentinel instant later than any reachable simulation time.
+// It is used as the horizon for "no deadline".
+const Forever Time = Time(1<<63 - 1)
+
+// Add returns the instant d after t. Additions that would overflow saturate
+// at Forever; the simulator treats that as "never".
+func (t Time) Add(d Duration) Time {
+	s := Time(int64(t) + int64(d))
+	if d > 0 && s < t {
+		return Forever
+	}
+	return s
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(int64(t) - int64(u)) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant as a floating-point number of seconds since
+// the simulation origin.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as seconds with microsecond precision, e.g.
+// "12.345678s". The fixed precision keeps log output diff-stable.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts the simulated duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration like time.Duration does.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// FromSeconds converts floating-point seconds to a Duration, rounding to
+// the nearest nanosecond. Negative inputs are preserved (callers validate).
+func FromSeconds(s float64) Duration {
+	if s >= 0 {
+		return Duration(s*float64(Second) + 0.5)
+	}
+	return Duration(s*float64(Second) - 0.5)
+}
+
+// FromStd converts a time.Duration to a simulated Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits d to the inclusive range [lo, hi].
+func Clamp(d, lo, hi Duration) Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

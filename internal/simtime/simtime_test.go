@@ -1,0 +1,130 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddSub(t *testing.T) {
+	base := Zero.Add(3 * Second)
+	if got := base.Sub(Zero); got != 3*Second {
+		t.Fatalf("Sub = %v, want 3s", got)
+	}
+	if got := base.Add(-1 * Second); got != Zero.Add(2*Second) {
+		t.Fatalf("Add negative = %v, want 2s", got)
+	}
+}
+
+func TestAddOverflowSaturates(t *testing.T) {
+	almost := Time(math.MaxInt64 - 10)
+	if got := almost.Add(Hour); got != Forever {
+		t.Fatalf("overflowing Add = %v, want Forever", got)
+	}
+	if got := Forever.Add(Second); got != Forever {
+		t.Fatalf("Forever.Add = %v, want Forever", got)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	a, b := Zero.Add(Second), Zero.Add(2*Second)
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("Before ordering wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Fatal("After ordering wrong")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Fatal("Before/After must be strict")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Duration.Seconds = %v, want 1.5", got)
+	}
+	if got := Zero.Add(250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Time.Seconds = %v, want 0.25", got)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Duration
+	}{
+		{0, 0},
+		{1, Second},
+		{1.5, 1500 * Millisecond},
+		{-2, -2 * Second},
+		{1e-9, Nanosecond},
+	}
+	for _, c := range cases {
+		if got := FromSeconds(c.in); got != c.want {
+			t.Errorf("FromSeconds(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTripProperty(t *testing.T) {
+	f := func(ms int32) bool {
+		d := Duration(ms) * Millisecond
+		return FromSeconds(d.Seconds()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		// Keep values well inside the representable range.
+		tm := Time(base % (1 << 40))
+		d := Duration(delta)
+		return tm.Add(d).Sub(tm) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := Zero.Add(1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("Time.String = %q", got)
+	}
+	if got := Forever.String(); got != "forever" {
+		t.Fatalf("Forever.String = %q", got)
+	}
+	if got := (90 * Second).String(); got != "1m30s" {
+		t.Fatalf("Duration.String = %q", got)
+	}
+}
+
+func TestStdConversion(t *testing.T) {
+	if got := (2 * Second).Std(); got != 2*time.Second {
+		t.Fatalf("Std = %v", got)
+	}
+	if got := FromStd(3 * time.Millisecond); got != 3*Millisecond {
+		t.Fatalf("FromStd = %v", got)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	a, b := Zero.Add(Second), Zero.Add(2*Second)
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Fatal("Min wrong")
+	}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatal("Max wrong")
+	}
+	if got := Clamp(5*Second, Second, 3*Second); got != 3*Second {
+		t.Fatalf("Clamp above = %v", got)
+	}
+	if got := Clamp(0, Second, 3*Second); got != Second {
+		t.Fatalf("Clamp below = %v", got)
+	}
+	if got := Clamp(2*Second, Second, 3*Second); got != 2*Second {
+		t.Fatalf("Clamp inside = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace exports simulation results as Chrome trace-event JSON
+// (the about://tracing / Perfetto format), the reproduction's analog of an
+// Nsight Systems timeline: per-client task spans plus device-level
+// counters for power, utilization and clock state.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpushare/internal/gpusim"
+)
+
+// chromeEvent is one trace-event record. Only the fields the format
+// requires are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Device-counter and client-span process IDs.
+const (
+	pidDevice  = 0
+	pidClients = 1
+)
+
+// WriteChrome serializes the result as a Chrome trace. Task executions
+// become duration ('X') events on one thread per client; device power,
+// compute/bandwidth utilization, clock factor and resident-kernel count
+// become counter ('C') series.
+func WriteChrome(w io.Writer, res *gpusim.Result) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	var events []chromeEvent
+
+	// Thread metadata + task spans, clients in deterministic order.
+	ids := make([]string, 0, len(res.Clients))
+	for id := range res.Clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for tid, id := range ids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidClients, Tid: tid,
+			Args: map[string]any{"name": id},
+		})
+		cr := res.Clients[id]
+		for _, task := range cr.Tasks {
+			name := task.Workload + "/" + task.Size
+			if task.OOM {
+				name += " (OOM)"
+			}
+			dur := task.Duration().Seconds() * 1e6
+			if dur <= 0 {
+				dur = 1 // zero-length markers still render
+			}
+			events = append(events, chromeEvent{
+				Name: name, Ph: "X",
+				Ts:  task.Start.Seconds() * 1e6,
+				Dur: dur,
+				Pid: pidClients, Tid: tid,
+				Args: map[string]any{"oom": task.OOM},
+			})
+		}
+	}
+
+	// Device counters from the piecewise-constant trace.
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidDevice,
+		Args: map[string]any{"name": "GPU (" + res.Mode.String() + ")"},
+	})
+	for _, tp := range res.Trace {
+		ts := tp.At.Seconds() * 1e6
+		events = append(events,
+			chromeEvent{Name: "power_w", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"watts": tp.PowerW}},
+			chromeEvent{Name: "compute_util", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"fraction": tp.ComputeUtil}},
+			chromeEvent{Name: "membw_util", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"fraction": tp.BWUtil}},
+			chromeEvent{Name: "clock_factor", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"factor": tp.ClockFactor}},
+			chromeEvent{Name: "resident_kernels", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"count": tp.ActiveKernels}},
+			chromeEvent{Name: "mem_used_mib", Ph: "C", Ts: ts, Pid: pidDevice,
+				Args: map[string]any{"mib": tp.MemUsedMiB}},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

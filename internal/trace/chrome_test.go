@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workload"
+)
+
+func TestWriteChrome(t *testing.T) {
+	dev := gpu.MustLookup("A100X")
+	k, err := workload.MustGet("Kripke").BuildTaskSpec("1x", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.MustGet("Cholla-Gravity").BuildTaskSpec("1x", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpusim.RunClients(gpusim.Config{Seed: 1, Mode: gpusim.ShareMPS}, []gpusim.Client{
+		{ID: "kripke", Tasks: []*workload.TaskSpec{k}},
+		{ID: "gravity", Tasks: []*workload.TaskSpec{g}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var spans, counters, meta int
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e["name"].(string)] = true
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("span with non-positive duration")
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("spans = %d, want one per task", spans)
+	}
+	if counters == 0 {
+		t.Fatal("no counter events")
+	}
+	if meta < 3 {
+		t.Fatalf("metadata events = %d", meta)
+	}
+	for _, want := range []string{"Kripke/1x", "Cholla-Gravity/1x", "power_w", "compute_util"} {
+		if !names[want] {
+			t.Fatalf("missing event %q", want)
+		}
+	}
+}
+
+func TestWriteChromeOOMMarker(t *testing.T) {
+	dev := gpu.MustLookup("A100X")
+	wx, err := workload.MustGet("WarpX").BuildTaskSpec("1x", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpusim.RunClients(gpusim.Config{Seed: 1, Mode: gpusim.ShareMPS}, []gpusim.Client{
+		{ID: "a", Tasks: []*workload.TaskSpec{wx}},
+		{ID: "b", Tasks: []*workload.TaskSpec{wx}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(OOM)")) {
+		t.Fatal("OOM task not marked in trace")
+	}
+}
+
+func TestWriteChromeNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}

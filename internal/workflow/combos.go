@@ -1,0 +1,88 @@
+package workflow
+
+import "fmt"
+
+// Combination is one row of the paper's Table III: a set of workflows
+// evaluated together.
+type Combination struct {
+	ID        int
+	Workflows []Workflow
+}
+
+// Name returns "combo-N".
+func (c Combination) Name() string { return fmt.Sprintf("combo-%d", c.ID) }
+
+// TaskCount is the total task executions across the combination.
+func (c Combination) TaskCount() int {
+	n := 0
+	for _, w := range c.Workflows {
+		n += w.TaskCount()
+	}
+	return n
+}
+
+// wf is a table-literal helper.
+func wf(comboID, idx int, tasks ...Task) Workflow {
+	return Workflow{Name: fmt.Sprintf("combo-%d-wf-%d", comboID, idx), Tasks: tasks}
+}
+
+// Combinations returns the paper's Table III workflow combinations 1–10,
+// verbatim.
+func Combinations() []Combination {
+	return []Combination{
+		{ID: 1, Workflows: []Workflow{
+			wf(1, 1, Task{"AthenaPK", "4x", 5}),
+			wf(1, 2, Task{"LAMMPS", "4x", 3}),
+		}},
+		{ID: 2, Workflows: []Workflow{
+			wf(2, 1, Task{"Epsilon", "1x", 1}),
+			wf(2, 2, Task{"Athena", "8x", 1}),
+			wf(2, 3, Task{"Athena", "4x", 14}),
+		}},
+		{ID: 3, Workflows: []Workflow{
+			wf(3, 1, Task{"Kripke", "4x", 11}),
+			wf(3, 2, Task{"WarpX", "2x", 8}),
+		}},
+		{ID: 4, Workflows: []Workflow{
+			wf(4, 1, Task{"Kripke", "4x", 13}),
+			wf(4, 2, Task{"WarpX", "4x", 2}),
+		}},
+		{ID: 5, Workflows: []Workflow{
+			wf(5, 1, Task{"Epsilon", "1x", 1}),
+			wf(5, 2, Task{"MHD", "4x", 2}),
+		}},
+		{ID: 6, Workflows: []Workflow{
+			wf(6, 1, Task{"Gravity", "4x", 4}),
+			wf(6, 2, Task{"Kripke", "2x", 48}),
+		}},
+		{ID: 7, Workflows: []Workflow{
+			wf(7, 1, Task{"MHD", "4x", 2}),
+			wf(7, 2, Task{"LAMMPS", "4x", 8}),
+		}},
+		{ID: 8, Workflows: []Workflow{
+			wf(8, 1, Task{"Athena", "1x", 300}),
+			wf(8, 2, Task{"Gravity", "1x", 50}),
+			wf(8, 3, Task{"Athena", "1x", 300}),
+			wf(8, 4, Task{"Gravity", "1x", 50}),
+		}},
+		{ID: 9, Workflows: []Workflow{
+			wf(9, 1, Task{"Athena", "1x", 300}),
+			wf(9, 2, Task{"Gravity", "1x", 50}),
+		}},
+		{ID: 10, Workflows: []Workflow{
+			wf(10, 1, Task{"MHD", "4x", 1}),
+			wf(10, 2, Task{"LAMMPS", "4x", 4}),
+			wf(10, 3, Task{"MHD", "4x", 1}),
+			wf(10, 4, Task{"LAMMPS", "4x", 4}),
+		}},
+	}
+}
+
+// Combo returns Table III combination id (1-based).
+func Combo(id int) (Combination, error) {
+	combos := Combinations()
+	if id < 1 || id > len(combos) {
+		return Combination{}, fmt.Errorf("workflow: combination %d out of range [1,%d]", id, len(combos))
+	}
+	return combos[id-1], nil
+}

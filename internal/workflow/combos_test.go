@@ -1,0 +1,85 @@
+package workflow
+
+import "testing"
+
+// TestCombinationsMatchTableIII pins the paper's Table III verbatim.
+func TestCombinationsMatchTableIII(t *testing.T) {
+	want := [][]Task{
+		{{"AthenaPK", "4x", 5}, {"LAMMPS", "4x", 3}},
+		{{"Epsilon", "1x", 1}, {"Athena", "8x", 1}, {"Athena", "4x", 14}},
+		{{"Kripke", "4x", 11}, {"WarpX", "2x", 8}},
+		{{"Kripke", "4x", 13}, {"WarpX", "4x", 2}},
+		{{"Epsilon", "1x", 1}, {"MHD", "4x", 2}},
+		{{"Gravity", "4x", 4}, {"Kripke", "2x", 48}},
+		{{"MHD", "4x", 2}, {"LAMMPS", "4x", 8}},
+		{{"Athena", "1x", 300}, {"Gravity", "1x", 50}, {"Athena", "1x", 300}, {"Gravity", "1x", 50}},
+		{{"Athena", "1x", 300}, {"Gravity", "1x", 50}},
+		{{"MHD", "4x", 1}, {"LAMMPS", "4x", 4}, {"MHD", "4x", 1}, {"LAMMPS", "4x", 4}},
+	}
+	combos := Combinations()
+	if len(combos) != 10 {
+		t.Fatalf("combinations = %d, want 10", len(combos))
+	}
+	for i, c := range combos {
+		if c.ID != i+1 {
+			t.Errorf("combo %d has ID %d", i, c.ID)
+		}
+		if len(c.Workflows) != len(want[i]) {
+			t.Errorf("combo %d has %d workflows, want %d", c.ID, len(c.Workflows), len(want[i]))
+			continue
+		}
+		for j, w := range c.Workflows {
+			if len(w.Tasks) != 1 {
+				t.Errorf("combo %d wf %d has %d tasks, want 1", c.ID, j, len(w.Tasks))
+				continue
+			}
+			got := w.Tasks[0]
+			exp := want[i][j]
+			if got.Benchmark != exp.Benchmark || got.Size != exp.Size || got.Iterations != exp.Iterations {
+				t.Errorf("combo %d wf %d = %v, want %v", c.ID, j, got, exp)
+			}
+			if err := w.Validate(); err != nil {
+				t.Errorf("combo %d wf %d invalid: %v", c.ID, j, err)
+			}
+		}
+	}
+}
+
+func TestComboLookup(t *testing.T) {
+	c, err := Combo(6)
+	if err != nil || c.ID != 6 {
+		t.Fatalf("Combo(6) = %v, %v", c.ID, err)
+	}
+	if c.Name() != "combo-6" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	for _, id := range []int{0, 11, -1} {
+		if _, err := Combo(id); err == nil {
+			t.Errorf("Combo(%d) accepted", id)
+		}
+	}
+}
+
+func TestComboTaskCount(t *testing.T) {
+	c, _ := Combo(8)
+	if got := c.TaskCount(); got != 700 {
+		t.Fatalf("combo 8 task count = %d, want 700", got)
+	}
+	c, _ = Combo(5)
+	if got := c.TaskCount(); got != 3 {
+		t.Fatalf("combo 5 task count = %d, want 3", got)
+	}
+}
+
+func TestCombosBuildable(t *testing.T) {
+	// Every combination must expand to engine tasks (exercises the
+	// derived sizes Athena 8x, WarpX 2x, Kripke 2x).
+	spec := a100x()
+	for _, c := range Combinations() {
+		for _, w := range c.Workflows {
+			if _, err := w.BuildSpecs(spec); err != nil {
+				t.Errorf("combo %d workflow %s: %v", c.ID, w.Name, err)
+			}
+		}
+	}
+}

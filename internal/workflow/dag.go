@@ -1,0 +1,118 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG captures data dependencies between workflows: "an entire queue of
+// workflow tasks as well as data dependencies between them is known
+// before workflow execution" (§IV-B). A workflow may start only after all
+// workflows it depends on have completed; workflows with no path between
+// them are free to be co-scheduled.
+type DAG struct {
+	nodes map[string]Workflow
+	// deps[w] lists the workflows w waits for.
+	deps map[string]map[string]bool
+}
+
+// NewDAG returns an empty dependency graph.
+func NewDAG() *DAG {
+	return &DAG{
+		nodes: make(map[string]Workflow),
+		deps:  make(map[string]map[string]bool),
+	}
+}
+
+// AddWorkflow inserts a node. Names must be unique.
+func (d *DAG) AddWorkflow(w Workflow) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if _, dup := d.nodes[w.Name]; dup {
+		return fmt.Errorf("workflow: duplicate DAG node %q", w.Name)
+	}
+	d.nodes[w.Name] = w
+	d.deps[w.Name] = make(map[string]bool)
+	return nil
+}
+
+// AddDependency declares that `after` must wait for `before`. Both nodes
+// must exist; self-dependencies are rejected immediately, cycles at
+// Levels time.
+func (d *DAG) AddDependency(after, before string) error {
+	if after == before {
+		return fmt.Errorf("workflow: %q cannot depend on itself", after)
+	}
+	if _, ok := d.nodes[after]; !ok {
+		return fmt.Errorf("workflow: unknown DAG node %q", after)
+	}
+	if _, ok := d.nodes[before]; !ok {
+		return fmt.Errorf("workflow: unknown DAG node %q", before)
+	}
+	d.deps[after][before] = true
+	return nil
+}
+
+// Len returns the node count.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// Levels computes the topological layering: level i contains every
+// workflow whose dependencies all lie in levels < i. Workflows within one
+// level are mutually independent — the collocation candidates the
+// scheduler packs. An error reports a dependency cycle.
+func (d *DAG) Levels() ([][]Workflow, error) {
+	if len(d.nodes) == 0 {
+		return nil, fmt.Errorf("workflow: empty DAG")
+	}
+	remaining := make(map[string]int, len(d.nodes))
+	for name, deps := range d.deps {
+		remaining[name] = len(deps)
+	}
+	dependents := make(map[string][]string)
+	for name, deps := range d.deps {
+		for dep := range deps {
+			dependents[dep] = append(dependents[dep], name)
+		}
+	}
+
+	var levels [][]Workflow
+	frontier := make([]string, 0, len(d.nodes))
+	for name, n := range remaining {
+		if n == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	done := 0
+	for len(frontier) > 0 {
+		sort.Strings(frontier) // deterministic level ordering
+		level := make([]Workflow, len(frontier))
+		for i, name := range frontier {
+			level[i] = d.nodes[name]
+		}
+		levels = append(levels, level)
+		done += len(frontier)
+
+		var next []string
+		for _, name := range frontier {
+			for _, dep := range dependents[name] {
+				remaining[dep]--
+				if remaining[dep] == 0 {
+					next = append(next, dep)
+				}
+			}
+		}
+		frontier = next
+	}
+	if done != len(d.nodes) {
+		var stuck []string
+		for name, n := range remaining {
+			if n > 0 {
+				stuck = append(stuck, name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("workflow: dependency cycle involving %v", stuck)
+	}
+	return levels, nil
+}

@@ -1,0 +1,114 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func node(name string) Workflow {
+	return Workflow{Name: name, Tasks: []Task{{Benchmark: "Kripke", Size: "1x", Iterations: 1}}}
+}
+
+func buildDAG(t *testing.T, names []string, edges [][2]string) *DAG {
+	t.Helper()
+	d := NewDAG()
+	for _, n := range names {
+		if err := d.AddWorkflow(node(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := d.AddDependency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func levelNames(levels [][]Workflow) []string {
+	var out []string
+	for _, level := range levels {
+		var names []string
+		for _, w := range level {
+			names = append(names, w.Name)
+		}
+		out = append(out, strings.Join(names, "+"))
+	}
+	return out
+}
+
+func TestDAGDiamond(t *testing.T) {
+	// A → {B, C} → D.
+	d := buildDAG(t, []string{"A", "B", "C", "D"},
+		[][2]string{{"B", "A"}, {"C", "A"}, {"D", "B"}, {"D", "C"}})
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := levelNames(levels)
+	want := []string{"A", "B+C", "D"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDAGIndependentNodesShareALevel(t *testing.T) {
+	d := buildDAG(t, []string{"x", "y", "z"}, nil)
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 || len(levels[0]) != 3 {
+		t.Fatalf("levels = %v", levelNames(levels))
+	}
+	// Deterministic order within the level.
+	if levels[0][0].Name != "x" || levels[0][2].Name != "z" {
+		t.Fatalf("level order = %v", levelNames(levels))
+	}
+}
+
+func TestDAGCycleDetection(t *testing.T) {
+	d := buildDAG(t, []string{"A", "B", "C"},
+		[][2]string{{"B", "A"}, {"C", "B"}, {"A", "C"}})
+	if _, err := d.Levels(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestDAGValidation(t *testing.T) {
+	d := NewDAG()
+	if err := d.AddWorkflow(Workflow{Name: "bad"}); err == nil {
+		t.Fatal("invalid workflow accepted")
+	}
+	if err := d.AddWorkflow(node("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddWorkflow(node("A")); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := d.AddDependency("A", "A"); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if err := d.AddDependency("A", "ghost"); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+	if err := d.AddDependency("ghost", "A"); err == nil {
+		t.Fatal("unknown dependent accepted")
+	}
+	if _, err := NewDAG().Levels(); err == nil {
+		t.Fatal("empty DAG accepted")
+	}
+}
+
+func TestDAGRedundantEdgeIdempotent(t *testing.T) {
+	d := buildDAG(t, []string{"A", "B"}, [][2]string{{"B", "A"}, {"B", "A"}})
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 {
+		t.Fatalf("levels = %v", levelNames(levels))
+	}
+}

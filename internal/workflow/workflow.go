@@ -1,0 +1,184 @@
+// Package workflow models HPC workflows the way the paper schedules them:
+// a workflow is a sequence of tasks (benchmark runs at a problem size,
+// each possibly iterated), workflows arrive in a queue known ahead of
+// execution, and groups of workflows are co-scheduled on GPUs.
+//
+// It also defines the paper's Table III workflow combinations and the
+// uniform N×M configurations of Figures 4 and 5.
+package workflow
+
+import (
+	"fmt"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/workload"
+)
+
+// Task is one step of a workflow: a benchmark at a problem size, run for
+// a number of iterations (each iteration is one full task execution, as in
+// Table III's "# Iter." columns).
+type Task struct {
+	// Benchmark is the workload name or paper alias ("Epsilon", "MHD").
+	Benchmark string
+	// Size is the problem-size label ("1x", "4x").
+	Size string
+	// Iterations is the repeat count; it must be at least 1.
+	Iterations int
+}
+
+// Validate checks the task and resolves the benchmark name.
+func (t Task) Validate() error {
+	if _, err := workload.Get(t.Benchmark); err != nil {
+		return err
+	}
+	if _, err := workload.ParseSizeFactor(t.Size); err != nil {
+		return err
+	}
+	if t.Iterations < 1 {
+		return fmt.Errorf("workflow: task %s/%s: iterations must be >= 1, got %d",
+			t.Benchmark, t.Size, t.Iterations)
+	}
+	return nil
+}
+
+func (t Task) String() string {
+	return fmt.Sprintf("%s/%s x%d", t.Benchmark, t.Size, t.Iterations)
+}
+
+// Workflow is a named sequence of tasks executed in order.
+type Workflow struct {
+	Name  string
+	Tasks []Task
+}
+
+// Validate checks the workflow.
+func (w Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workflow: workflow with empty name")
+	}
+	if len(w.Tasks) == 0 {
+		return fmt.Errorf("workflow %s: no tasks", w.Name)
+	}
+	for _, t := range w.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("workflow %s: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// TaskCount returns the total number of task executions (iterations
+// expanded).
+func (w Workflow) TaskCount() int {
+	n := 0
+	for _, t := range w.Tasks {
+		n += t.Iterations
+	}
+	return n
+}
+
+// BuildSpecs expands the workflow into the engine's task sequence on the
+// given device: one TaskSpec per iteration, in order.
+func (w Workflow) BuildSpecs(spec gpu.DeviceSpec) ([]*workload.TaskSpec, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*workload.TaskSpec
+	for _, t := range w.Tasks {
+		wl, err := workload.Get(t.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := wl.BuildTaskSpec(t.Size, spec)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s: %w", w.Name, err)
+		}
+		for i := 0; i < t.Iterations; i++ {
+			out = append(out, ts)
+		}
+	}
+	return out, nil
+}
+
+// UniqueTasks returns the distinct (benchmark, size) pairs of the
+// workflow — the set the profiler must cover before scheduling.
+func (w Workflow) UniqueTasks() []Task {
+	seen := make(map[string]bool)
+	var out []Task
+	for _, t := range w.Tasks {
+		k := t.Benchmark + "/" + t.Size
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, Task{Benchmark: t.Benchmark, Size: t.Size, Iterations: 1})
+		}
+	}
+	return out
+}
+
+// Queue is the pre-existing queue of workflows the scheduler assumes
+// (§IV-B): "an entire queue of workflow tasks ... is known before workflow
+// execution."
+type Queue struct {
+	items []Workflow
+}
+
+// NewQueue builds a queue in arrival order.
+func NewQueue(workflows ...Workflow) (*Queue, error) {
+	q := &Queue{}
+	for _, w := range workflows {
+		if err := q.Push(w); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// Push appends a workflow.
+func (q *Queue) Push(w Workflow) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	q.items = append(q.items, w)
+	return nil
+}
+
+// Pop removes and returns the front workflow.
+func (q *Queue) Pop() (Workflow, bool) {
+	if len(q.items) == 0 {
+		return Workflow{}, false
+	}
+	w := q.items[0]
+	q.items = q.items[1:]
+	return w, true
+}
+
+// Len returns the queue length.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Items returns the queued workflows in order (copy).
+func (q *Queue) Items() []Workflow {
+	out := make([]Workflow, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// Uniform builds the N×M workflow sets of Figures 4 and 5: parallel
+// workflows each consisting of seqTasks sequential runs of the same
+// benchmark task. The paper labels these "<seqTasks>x<parallel>".
+func Uniform(benchmark, size string, seqTasks, parallel int) ([]Workflow, error) {
+	if seqTasks < 1 || parallel < 1 {
+		return nil, fmt.Errorf("workflow: uniform set needs positive dimensions, got %dx%d",
+			seqTasks, parallel)
+	}
+	out := make([]Workflow, parallel)
+	for i := range out {
+		out[i] = Workflow{
+			Name:  fmt.Sprintf("%s-%s-%dx%d-w%d", benchmark, size, seqTasks, parallel, i),
+			Tasks: []Task{{Benchmark: benchmark, Size: size, Iterations: seqTasks}},
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"gpushare/internal/gpu"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{Benchmark: "Kripke", Size: "1x", Iterations: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Task{
+		{Benchmark: "Nope", Size: "1x", Iterations: 1},
+		{Benchmark: "Kripke", Size: "zz", Iterations: 1},
+		{Benchmark: "Kripke", Size: "1x", Iterations: 0},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad task %d accepted", i)
+		}
+	}
+	if got := good.String(); got != "Kripke/1x x2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWorkflowValidateAndCount(t *testing.T) {
+	w := Workflow{Name: "wf", Tasks: []Task{
+		{Benchmark: "Kripke", Size: "1x", Iterations: 3},
+		{Benchmark: "LAMMPS", Size: "1x", Iterations: 2},
+	}}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TaskCount() != 5 {
+		t.Fatalf("TaskCount = %d", w.TaskCount())
+	}
+	if err := (Workflow{Name: "", Tasks: w.Tasks}).Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := (Workflow{Name: "x"}).Validate(); err == nil {
+		t.Fatal("empty tasks accepted")
+	}
+}
+
+func TestBuildSpecsExpandsIterations(t *testing.T) {
+	w := Workflow{Name: "wf", Tasks: []Task{
+		{Benchmark: "Kripke", Size: "1x", Iterations: 3},
+		{Benchmark: "Gravity", Size: "1x", Iterations: 1},
+	}}
+	specs, err := w.BuildSpecs(a100x())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("specs = %d, want 4", len(specs))
+	}
+	if specs[0].Workload != "Kripke" || specs[3].Workload != "Cholla-Gravity" {
+		t.Fatalf("order: %s .. %s", specs[0].Workload, specs[3].Workload)
+	}
+	// Iterations share one TaskSpec instance (immutable by the engine).
+	if specs[0] != specs[1] {
+		t.Fatal("iteration specs should be shared")
+	}
+}
+
+func TestUniqueTasks(t *testing.T) {
+	w := Workflow{Name: "wf", Tasks: []Task{
+		{Benchmark: "Kripke", Size: "1x", Iterations: 3},
+		{Benchmark: "Kripke", Size: "1x", Iterations: 5},
+		{Benchmark: "Kripke", Size: "4x", Iterations: 1},
+	}}
+	u := w.UniqueTasks()
+	if len(u) != 2 {
+		t.Fatalf("unique = %v", u)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q, err := NewQueue(
+		Workflow{Name: "a", Tasks: []Task{{Benchmark: "Kripke", Size: "1x", Iterations: 1}}},
+		Workflow{Name: "b", Tasks: []Task{{Benchmark: "Kripke", Size: "1x", Iterations: 1}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	w, ok := q.Pop()
+	if !ok || w.Name != "a" {
+		t.Fatalf("Pop = %v, %v", w.Name, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Pop did not shrink queue")
+	}
+	items := q.Items()
+	items[0].Name = "mutated"
+	if q.Items()[0].Name != "b" {
+		t.Fatal("Items leaked internal storage")
+	}
+	q.Pop()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+}
+
+func TestQueueRejectsInvalid(t *testing.T) {
+	if _, err := NewQueue(Workflow{Name: "bad"}); err == nil {
+		t.Fatal("invalid workflow accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	wfs, err := Uniform("AthenaPK", "4x", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wfs) != 3 {
+		t.Fatalf("workflows = %d", len(wfs))
+	}
+	for _, w := range wfs {
+		if w.TaskCount() != 2 {
+			t.Fatalf("workflow %s has %d tasks", w.Name, w.TaskCount())
+		}
+		if !strings.Contains(w.Name, "2x3") {
+			t.Fatalf("name %q missing config label", w.Name)
+		}
+	}
+	if _, err := Uniform("AthenaPK", "4x", 0, 1); err == nil {
+		t.Fatal("zero seq tasks accepted")
+	}
+	if _, err := Uniform("Nope", "4x", 1, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

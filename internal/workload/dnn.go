@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DNN workload presets. The paper's motivation covers "most scientific
+// and HPC-scale DNN applications" (§Abstract) and contrasts its
+// task-level approach with kernel-level DNN schedulers like Orion (§II-B,
+// §III); these presets let users model such workloads without the HPC
+// suite's calibration data. Parameters follow the public utilization
+// characteristics of the respective workload classes on A100-class parts.
+var dnnPresets = map[string]SyntheticParams{
+	// Training: long compute-dense steps, high occupancy, steady power.
+	"dnn-train-large": {
+		Name:              "dnn-train-large",
+		DurationS:         240,
+		MaxMemMiB:         38000,
+		AvgSMPct:          92,
+		AvgBWPct:          35,
+		AvgPowerW:         285,
+		Duty:              0.97,
+		TheoreticalOccPct: 50,
+		FillFraction:      0.95,
+		Balance:           0.95,
+	},
+	// Fine-tuning: moderate batches, some input-pipeline gaps.
+	"dnn-train-small": {
+		Name:              "dnn-train-small",
+		DurationS:         90,
+		MaxMemMiB:         12000,
+		AvgSMPct:          55,
+		AvgBWPct:          18,
+		AvgPowerW:         190,
+		Duty:              0.80,
+		TheoreticalOccPct: 50,
+		FillFraction:      0.70,
+		Balance:           0.92,
+	},
+	// Batch inference: short kernels, request gaps, low utilization —
+	// the class of workload MPS sharing benefits most (§III: "on the
+	// client side, applications are often optimized for minimal latency
+	// rather than GPU utilization").
+	"dnn-infer-batch": {
+		Name:              "dnn-infer-batch",
+		DurationS:         30,
+		MaxMemMiB:         6000,
+		AvgSMPct:          22,
+		AvgBWPct:          8,
+		AvgPowerW:         120,
+		Duty:              0.45,
+		TheoreticalOccPct: 37.5,
+		FillFraction:      0.40,
+		Balance:           0.85,
+	},
+	// Interactive inference: sparse requests, mostly idle.
+	"dnn-infer-online": {
+		Name:              "dnn-infer-online",
+		DurationS:         60,
+		MaxMemMiB:         4000,
+		AvgSMPct:          8,
+		AvgBWPct:          3,
+		AvgPowerW:         85,
+		Duty:              0.20,
+		TheoreticalOccPct: 37.5,
+		FillFraction:      0.25,
+		Balance:           0.80,
+	},
+}
+
+// DNNPresetNames lists the available DNN presets, sorted.
+func DNNPresetNames() []string {
+	names := make([]string, 0, len(dnnPresets))
+	for n := range dnnPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewDNNWorkload builds one of the DNN preset workloads. Unlike suite
+// benchmarks, preset instances are not cached: each call returns a fresh
+// workload (so callers may mutate derived profiles freely).
+func NewDNNWorkload(preset string) (*Workload, error) {
+	p, ok := dnnPresets[preset]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown DNN preset %q (known: %v)",
+			preset, DNNPresetNames())
+	}
+	return NewSynthetic(p)
+}

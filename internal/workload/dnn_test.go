@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestDNNPresets(t *testing.T) {
+	names := DNNPresetNames()
+	if len(names) != 4 {
+		t.Fatalf("presets = %v", names)
+	}
+	spec := a100x()
+	for _, name := range names {
+		w, err := NewDNNWorkload(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		task, err := w.BuildTaskSpec("1x", spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if task.SoloDuration <= 0 || task.MaxMemMiB <= 0 {
+			t.Fatalf("%s: degenerate task %+v", name, task)
+		}
+	}
+	if _, err := NewDNNWorkload("dnn-magic"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestDNNInferenceIsMPSFriendly(t *testing.T) {
+	// The inference presets are the low-utilization class the paper's
+	// motivation targets: two of them must pass the interference rules
+	// (combined SM well under 100%) while two large trainers must not.
+	infer, err := NewDNNWorkload("dnn-infer-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := NewDNNWorkload("dnn-train-large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := infer.Profile("1x")
+	pt, _ := train.Profile("1x")
+	if pi.AvgSMPct*2 > 100 {
+		t.Fatalf("inference pair should fit: 2×%.1f%%", pi.AvgSMPct)
+	}
+	if pt.AvgSMPct*2 < 100 {
+		t.Fatalf("training pair should violate the SM rule: 2×%.1f%%", pt.AvgSMPct)
+	}
+}
+
+func TestDNNWorkloadsFreshInstances(t *testing.T) {
+	a, _ := NewDNNWorkload("dnn-infer-online")
+	b, _ := NewDNNWorkload("dnn-infer-online")
+	if a == b {
+		t.Fatal("presets must not be cached (mutable derived profiles)")
+	}
+}

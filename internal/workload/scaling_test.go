@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestDerivedSizesInterpolate(t *testing.T) {
+	w := MustGet("Kripke")
+	p1, _ := w.Profile("1x")
+	p2, err := w.Profile("2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, _ := w.Profile("4x")
+	if !p2.Derived {
+		t.Fatal("2x must be marked derived")
+	}
+	// Interpolated quantities must fall between the calibrated
+	// endpoints.
+	checks := []struct {
+		name      string
+		v1, v, v4 float64
+	}{
+		{"mem", float64(p1.MaxMemMiB), float64(p2.MaxMemMiB), float64(p4.MaxMemMiB)},
+		{"sm", p1.AvgSMPct, p2.AvgSMPct, p4.AvgSMPct},
+		{"bw", p1.AvgBWPct, p2.AvgBWPct, p4.AvgBWPct},
+		{"power", p1.AvgPowerW, p2.AvgPowerW, p4.AvgPowerW},
+		{"duty", p1.Duty, p2.Duty, p4.Duty},
+		{"duration", p1.SoloDuration().Seconds(), p2.SoloDuration().Seconds(), p4.SoloDuration().Seconds()},
+	}
+	for _, c := range checks {
+		lo, hi := c.v1, c.v4
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if c.v < lo || c.v > hi {
+			t.Errorf("Kripke 2x %s = %v outside [%v, %v]", c.name, c.v, lo, hi)
+		}
+	}
+}
+
+func TestDerivedExtrapolation(t *testing.T) {
+	w := MustGet("AthenaPK")
+	p4, _ := w.Profile("4x")
+	p8, err := w.Profile("8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p8.Derived {
+		t.Fatal("8x must be derived")
+	}
+	if p8.SoloDuration() <= p4.SoloDuration() {
+		t.Error("8x must run longer than 4x")
+	}
+	if p8.MaxMemMiB <= p4.MaxMemMiB {
+		t.Error("8x must use more memory than 4x")
+	}
+	if p8.AvgSMPct <= p4.AvgSMPct {
+		t.Error("8x must utilize more than 4x")
+	}
+	// Physical ceilings.
+	if p8.AvgSMPct > maxSMPct || p8.AvgBWPct > maxBWPct ||
+		p8.Duty > maxDuty || p8.AvgPowerW > maxPowerW {
+		t.Errorf("8x exceeds ceilings: SM %v BW %v duty %v P %v",
+			p8.AvgSMPct, p8.AvgBWPct, p8.Duty, p8.AvgPowerW)
+	}
+	// SM utilization can never exceed the duty cycle.
+	if p8.AvgSMPct > p8.Duty*100+1e-9 {
+		t.Errorf("8x SM %v%% exceeds duty %v", p8.AvgSMPct, p8.Duty)
+	}
+}
+
+func TestDerivedProfileCached(t *testing.T) {
+	w := MustGet("Cholla-Gravity")
+	a, err := w.Profile("2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Profile("2x")
+	if a != b {
+		t.Fatal("derived profiles must be cached")
+	}
+}
+
+func TestEpsilonSinglePointScaling(t *testing.T) {
+	// BerkeleyGW-Epsilon has one calibrated size; derivation must use
+	// its documented O(N^4) exponent.
+	w := MustGet("BerkeleyGW-Epsilon")
+	p1, _ := w.Profile("1x")
+	p2, err := w.Profile("2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p2.SoloDuration().Seconds() / p1.SoloDuration().Seconds()
+	// Power is also scaled slightly, so the duration ratio is close to
+	// but not exactly 2^4 = 16.
+	if ratio < 14 || ratio > 18 {
+		t.Fatalf("Epsilon 2x/1x duration ratio = %v, want ≈16 (O(N^4))", ratio)
+	}
+	if p2.MaxMemMiB <= p1.MaxMemMiB {
+		t.Fatal("Epsilon 2x memory must exceed 1x")
+	}
+}
+
+func TestWarpXMemoryConstantAcrossSizes(t *testing.T) {
+	// Table II reports the same 61453 MiB at 1x and 4x (pre-allocated
+	// particle buffers); interpolation must preserve that.
+	w := MustGet("WarpX")
+	p2, err := w.Profile("2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MaxMemMiB != 61453 {
+		t.Fatalf("WarpX 2x mem = %d, want 61453", p2.MaxMemMiB)
+	}
+}
+
+func TestDerivedSizesUsedByCombos(t *testing.T) {
+	// The Table III combinations need Athena 8x, WarpX 2x, Kripke 2x.
+	for _, c := range []struct{ bench, size string }{
+		{"AthenaPK", "8x"}, {"WarpX", "2x"}, {"Kripke", "2x"},
+	} {
+		w := MustGet(c.bench)
+		if _, err := w.Profile(c.size); err != nil {
+			t.Errorf("%s/%s not derivable: %v", c.bench, c.size, err)
+		}
+	}
+}
+
+func TestBracket(t *testing.T) {
+	sorted := []float64{1, 4, 8}
+	cases := []struct{ f, lo, hi float64 }{
+		{2, 1, 4},
+		{4, 1, 4}, // exact endpoint: first enclosing interval wins
+		{6, 4, 8},
+		{0.5, 1, 4},
+		{10, 4, 8},
+	}
+	for _, c := range cases {
+		lo, hi := bracket(sorted, c.f)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bracket(%v) = %v,%v want %v,%v", c.f, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	// Through (1,10) and (4,160): v = 10·f^2.
+	if got := powerLaw(10, 160, 1, 4, 2); relErr(got, 40) > 1e-9 {
+		t.Fatalf("powerLaw(2) = %v, want 40", got)
+	}
+	// Zero endpoint falls back to linear.
+	if got := powerLaw(0, 10, 1, 4, 2.5); relErr(got, 5) > 1e-9 {
+		t.Fatalf("powerLaw linear fallback = %v, want 5", got)
+	}
+	// Degenerate interval.
+	if got := powerLaw(7, 9, 3, 3, 5); got != 7 {
+		t.Fatalf("powerLaw degenerate = %v, want 7", got)
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/kernel"
+)
+
+// SyntheticParams describes a synthetic workload for tests, ablations and
+// users modelling their own codes. All utilization quantities follow
+// Table II semantics (time-averaged, percent of device).
+type SyntheticParams struct {
+	// Name labels the workload; it must not collide with suite names.
+	Name string
+	// DurationS is the solo run time in seconds.
+	DurationS float64
+	// MaxMemMiB is the device-memory footprint.
+	MaxMemMiB int64
+	// AvgSMPct is the average SM utilization in percent (0, 100).
+	AvgSMPct float64
+	// AvgBWPct is the average memory-bandwidth utilization in percent.
+	AvgBWPct float64
+	// AvgPowerW is the average solo board power; if zero, it is derived
+	// from utilization via a generic linear model.
+	AvgPowerW float64
+	// Duty is the kernel-resident wall-time fraction; if zero it
+	// defaults to min(0.98, AvgSMPct/100 + 0.25).
+	Duty float64
+	// TheoreticalOccPct is the target theoretical warp occupancy; if
+	// zero, 50% is used.
+	TheoreticalOccPct float64
+	// FillFraction is the warp-slot fill (Figure 1 saturation partition);
+	// if zero, 0.9 is used.
+	FillFraction float64
+	// Balance is the achieved-occupancy load-balance factor; if zero,
+	// 0.9 is used.
+	Balance float64
+}
+
+// NewSynthetic builds a single-size ("1x") workload from params on the
+// calibration device. The generic power model used when AvgPowerW is zero
+// is idle + 2.1·SM% + 0.6·BW% watts, a least-squares fit over Table II.
+func NewSynthetic(params SyntheticParams) (*Workload, error) {
+	p := params
+	if p.Name == "" {
+		return nil, fmt.Errorf("workload: synthetic needs a name")
+	}
+	if _, taken := byName[p.Name]; taken {
+		return nil, fmt.Errorf("workload: synthetic name %q collides with suite benchmark", p.Name)
+	}
+	if p.DurationS <= 0 {
+		return nil, fmt.Errorf("workload: synthetic %s: duration must be positive", p.Name)
+	}
+	if p.AvgSMPct <= 0 || p.AvgSMPct >= 100 {
+		return nil, fmt.Errorf("workload: synthetic %s: AvgSMPct must be in (0,100), got %g", p.Name, p.AvgSMPct)
+	}
+	if p.AvgBWPct < 0 || p.AvgBWPct > 100 {
+		return nil, fmt.Errorf("workload: synthetic %s: AvgBWPct must be in [0,100], got %g", p.Name, p.AvgBWPct)
+	}
+	if p.MaxMemMiB <= 0 {
+		return nil, fmt.Errorf("workload: synthetic %s: MaxMemMiB must be positive", p.Name)
+	}
+	spec := calibrationDevice
+	if p.Duty == 0 {
+		p.Duty = math.Min(0.98, p.AvgSMPct/100+0.25)
+	}
+	if p.Duty <= 0 || p.Duty > 1 || p.Duty*100 < p.AvgSMPct {
+		return nil, fmt.Errorf("workload: synthetic %s: duty %g inconsistent with SM%% %g",
+			p.Name, p.Duty, p.AvgSMPct)
+	}
+	if p.AvgPowerW == 0 {
+		p.AvgPowerW = spec.IdlePowerW + 2.1*p.AvgSMPct + 0.6*p.AvgBWPct
+	}
+	if p.AvgPowerW < spec.IdlePowerW {
+		return nil, fmt.Errorf("workload: synthetic %s: power %.1f W below idle %.1f W",
+			p.Name, p.AvgPowerW, spec.IdlePowerW)
+	}
+	if p.TheoreticalOccPct == 0 {
+		p.TheoreticalOccPct = 50
+	}
+	if p.FillFraction == 0 {
+		p.FillFraction = 0.9
+	}
+	if p.Balance == 0 {
+		p.Balance = 0.9
+	}
+
+	cfg, occ, err := FitLaunchConfig(spec, p.TheoreticalOccPct/100)
+	if err != nil {
+		return nil, fmt.Errorf("workload: synthetic %s: %w", p.Name, err)
+	}
+	cfg.GridBlocks = occ.GridForFill(spec, p.FillFraction)
+
+	d := &benchDef{
+		name:        p.Name,
+		desc:        "synthetic workload",
+		theoOccPct:  occ.Theoretical * 100,
+		achOccPct:   occ.Theoretical * 100 * math.Min(p.FillFraction, 1) * p.Balance,
+		scalingNote: "synthetic: runtime ∝ factor^2, memory ∝ factor",
+		durExp:      2,
+		memExp:      1,
+		classes: []classTmpl{{
+			name:    "synthetic_kernel",
+			weight:  1,
+			threads: cfg.ThreadsPerBlock,
+			regs:    cfg.RegistersPerThread,
+			smem:    cfg.SharedMemPerBlock,
+			fill1x:  p.FillFraction,
+			balance: p.Balance,
+			iota1x:  math.Min(maxIntensity, p.AvgSMPct/100/p.Duty),
+			bw1x:    p.AvgBWPct / 100 / p.Duty,
+		}},
+		cal: map[float64]sizeCal{
+			1: {
+				maxMemMiB: p.MaxMemMiB,
+				bwPct:     p.AvgBWPct,
+				smPct:     p.AvgSMPct,
+				powerW:    p.AvgPowerW,
+				energyJ:   p.AvgPowerW * p.DurationS,
+				duty:      p.Duty,
+			},
+		},
+	}
+	w := &Workload{
+		Name:              d.name,
+		Description:       d.desc,
+		TheoreticalOccPct: d.theoOccPct,
+		AchievedOccPct:    d.achOccPct,
+		ScalingNote:       d.scalingNote,
+		def:               d,
+		sizes:             make(map[string]*SizeProfile),
+	}
+	prof, err := d.buildProfile("1x", 1, d.cal[1], false)
+	if err != nil {
+		return nil, err
+	}
+	w.sizes["1x"] = prof
+	return w, nil
+}
+
+// FitLaunchConfig searches for a launch configuration whose theoretical
+// occupancy is as close as possible to target (a fraction in (0, 1]). The
+// search is deterministic: block sizes {64, 128, 256, 512} crossed with
+// register counts in steps of 8, smallest block size winning ties.
+func FitLaunchConfig(spec gpu.DeviceSpec, target float64) (kernel.LaunchConfig, kernel.Occupancy, error) {
+	if target <= 0 || target > 1 {
+		return kernel.LaunchConfig{}, kernel.Occupancy{}, fmt.Errorf(
+			"workload: occupancy target must be in (0,1], got %g", target)
+	}
+	best := kernel.LaunchConfig{}
+	var bestOcc kernel.Occupancy
+	bestErr := math.Inf(1)
+	for _, threads := range []int{64, 128, 256, 512} {
+		for regs := 32; regs <= 248; regs += 8 {
+			cfg := kernel.LaunchConfig{
+				ThreadsPerBlock:    threads,
+				RegistersPerThread: regs,
+				GridBlocks:         spec.SMCount, // placeholder
+			}
+			occ, err := kernel.ComputeOccupancy(spec, cfg)
+			if err != nil {
+				continue
+			}
+			e := math.Abs(occ.Theoretical - target)
+			if e < bestErr-1e-12 {
+				bestErr = e
+				best = cfg
+				bestOcc = occ
+			}
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return kernel.LaunchConfig{}, kernel.Occupancy{}, fmt.Errorf(
+			"workload: no launch configuration found for occupancy %.2f", target)
+	}
+	return best, bestOcc, nil
+}

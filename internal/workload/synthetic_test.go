@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"gpushare/internal/kernel"
+)
+
+func TestNewSynthetic(t *testing.T) {
+	w, err := NewSynthetic(SyntheticParams{
+		Name:      "test-synth",
+		DurationS: 10,
+		MaxMemMiB: 1024,
+		AvgSMPct:  40,
+		AvgBWPct:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Profile("1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(p.SoloDuration().Seconds(), 10) > 1e-6 {
+		t.Fatalf("duration = %v", p.SoloDuration().Seconds())
+	}
+	spec := a100x()
+	agg, err := kernel.AggregateDemand(spec, p.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(agg.Compute*p.Duty*100, 40) > 0.02 {
+		t.Fatalf("synthetic SM util = %v, want 40", agg.Compute*p.Duty*100)
+	}
+	task, err := w.BuildTaskSpec("1x", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.MaxMemMiB != 1024 {
+		t.Fatalf("task mem = %d", task.MaxMemMiB)
+	}
+	// Derived size works through the generic exponents.
+	if _, err := w.Profile("2x"); err != nil {
+		t.Fatalf("synthetic 2x: %v", err)
+	}
+}
+
+func TestNewSyntheticDefaultsPower(t *testing.T) {
+	w, err := NewSynthetic(SyntheticParams{
+		Name: "test-synth-power", DurationS: 5, MaxMemMiB: 100, AvgSMPct: 50, AvgBWPct: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := w.Profile("1x")
+	want := a100x().IdlePowerW + 2.1*50 + 0.6*10
+	if relErr(p.AvgPowerW, want) > 1e-9 {
+		t.Fatalf("default power = %v, want %v", p.AvgPowerW, want)
+	}
+}
+
+func TestNewSyntheticValidation(t *testing.T) {
+	base := SyntheticParams{Name: "v", DurationS: 1, MaxMemMiB: 10, AvgSMPct: 50}
+	cases := []func(*SyntheticParams){
+		func(p *SyntheticParams) { p.Name = "" },
+		func(p *SyntheticParams) { p.Name = "LAMMPS" }, // suite collision
+		func(p *SyntheticParams) { p.DurationS = 0 },
+		func(p *SyntheticParams) { p.AvgSMPct = 0 },
+		func(p *SyntheticParams) { p.AvgSMPct = 100 },
+		func(p *SyntheticParams) { p.AvgBWPct = 101 },
+		func(p *SyntheticParams) { p.MaxMemMiB = 0 },
+		func(p *SyntheticParams) { p.Duty = 0.2 },     // duty < SM%
+		func(p *SyntheticParams) { p.AvgPowerW = 10 }, // below idle
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if _, err := NewSynthetic(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestFitLaunchConfig(t *testing.T) {
+	spec := a100x()
+	for _, target := range []float64{0.125, 0.25, 0.375, 0.5, 0.75, 1.0} {
+		cfg, occ, err := FitLaunchConfig(spec, target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if relErr(occ.Theoretical, target) > 0.05 {
+			t.Errorf("target %v: fit %v (cfg %+v)", target, occ.Theoretical, cfg)
+		}
+	}
+	if _, _, err := FitLaunchConfig(spec, 0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, _, err := FitLaunchConfig(spec, 1.5); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+}
+
+func TestFitLaunchConfigDeterministic(t *testing.T) {
+	spec := a100x()
+	a, _, _ := FitLaunchConfig(spec, 0.4)
+	b, _, _ := FitLaunchConfig(spec, 0.4)
+	if a != b {
+		t.Fatalf("FitLaunchConfig not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/kernel"
+)
+
+func a100x() gpu.DeviceSpec { return gpu.MustLookup("A100X") }
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// paperTable1 pins Table I of the paper (1x problem size).
+var paperTable1 = map[string]struct{ achieved, theoretical float64 }{
+	"AthenaPK":           {13.3, 51.32},
+	"BerkeleyGW-Epsilon": {23.97, 41.67},
+	"Cholla-Gravity":     {31.45, 37.5},
+	"Kripke":             {32.61, 43.63},
+	"Cholla-MHD":         {17.72, 19.32},
+	"LAMMPS":             {32.7, 35.0},
+	"WarpX":              {24.81, 92.55},
+}
+
+func TestTableICalibration(t *testing.T) {
+	spec := a100x()
+	for name, want := range paperTable1 {
+		w := MustGet(name)
+		p, err := w.Profile("1x")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		agg, err := kernel.AggregateDemand(spec, p.Classes)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e := relErr(agg.TheoreticalOcc*100, want.theoretical); e > 0.01 {
+			t.Errorf("%s theoretical occupancy %.2f%% vs paper %.2f%% (err %.1f%%)",
+				name, agg.TheoreticalOcc*100, want.theoretical, e*100)
+		}
+		if e := relErr(agg.AchievedOcc*100, want.achieved); e > 0.01 {
+			t.Errorf("%s achieved occupancy %.2f%% vs paper %.2f%% (err %.1f%%)",
+				name, agg.AchievedOcc*100, want.achieved, e*100)
+		}
+	}
+}
+
+// paperTable2 pins Table II of the paper.
+var paperTable2 = map[string]map[string]struct {
+	memMiB  int64
+	bwPct   float64
+	smPct   float64
+	powerW  float64
+	energyJ float64
+}{
+	"AthenaPK": {
+		"1x": {563, 0.01, 7.54, 90.09, 234.24},
+		"4x": {2093, 1.78, 30.29, 88.86, 5407.36},
+	},
+	"BerkeleyGW-Epsilon": {
+		"1x": {30157, 2.63, 9.04, 94.41, 319448.05},
+	},
+	"Cholla-Gravity": {
+		"1x": {615, 0.51, 13.6, 88.43, 309.51},
+		"4x": {5063, 4.45, 45.16, 138.75, 20285.8},
+	},
+	"Kripke": {
+		"1x": {621, 0.27, 26.56, 123.3, 382.24},
+		"4x": {5481, 3.78, 63.21, 148.16, 12467.54},
+	},
+	"Cholla-MHD": {
+		"1x": {2175, 31.01, 72.58, 234.24, 9849.99},
+		"4x": {6753, 41.29, 88.58, 261.64, 127249.21},
+	},
+	"LAMMPS": {
+		"1x": {2321, 4.24, 63.0, 196.79, 580.54},
+		"4x": {4977, 7.13, 96.28, 258.38, 29390.48},
+	},
+	"WarpX": {
+		"1x": {61453, 0.04, 33.29, 117.14, 2588.8},
+		"4x": {61453, 19.75, 77.28, 244.32, 85756.49},
+	},
+}
+
+func TestTableIICalibration(t *testing.T) {
+	spec := a100x()
+	for name, sizes := range paperTable2 {
+		w := MustGet(name)
+		for size, want := range sizes {
+			p, err := w.Profile(size)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, size, err)
+			}
+			if p.MaxMemMiB != want.memMiB {
+				t.Errorf("%s/%s mem %d vs paper %d", name, size, p.MaxMemMiB, want.memMiB)
+			}
+			if p.AvgPowerW != want.powerW {
+				t.Errorf("%s/%s power %v vs paper %v", name, size, p.AvgPowerW, want.powerW)
+			}
+			if p.EnergyJ != want.energyJ {
+				t.Errorf("%s/%s energy %v vs paper %v", name, size, p.EnergyJ, want.energyJ)
+			}
+			// Demand aggregates must reproduce the table's utilization
+			// columns through the class normalization (2% tolerance for
+			// intensity-clamp residue).
+			agg, err := kernel.AggregateDemand(spec, p.Classes)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, size, err)
+			}
+			if e := relErr(agg.Compute*p.Duty*100, want.smPct); e > 0.02 {
+				t.Errorf("%s/%s SM util %.2f%% vs paper %.2f%%",
+					name, size, agg.Compute*p.Duty*100, want.smPct)
+			}
+			if want.bwPct > 0.1 {
+				if e := relErr(agg.Bandwidth*p.Duty*100, want.bwPct); e > 0.02 {
+					t.Errorf("%s/%s BW util %.2f%% vs paper %.2f%%",
+						name, size, agg.Bandwidth*p.Duty*100, want.bwPct)
+				}
+			}
+		}
+	}
+}
+
+func TestSoloDurationMatchesEnergyOverPower(t *testing.T) {
+	for name, sizes := range paperTable2 {
+		w := MustGet(name)
+		for size, want := range sizes {
+			p, _ := w.Profile(size)
+			wantDur := want.energyJ / want.powerW
+			if e := relErr(p.SoloDuration().Seconds(), wantDur); e > 1e-6 {
+				t.Errorf("%s/%s solo duration %v vs %v", name, size, p.SoloDuration().Seconds(), wantDur)
+			}
+		}
+	}
+}
+
+func TestActiveDynPowerConsistency(t *testing.T) {
+	// idle + duty × activeDyn must reproduce the table's average power.
+	spec := a100x()
+	for _, name := range Names() {
+		w := MustGet(name)
+		for _, size := range w.Sizes() {
+			p, _ := w.Profile(size)
+			reconstructed := spec.IdlePowerW + p.Duty*p.ActiveDynPowerW(spec)
+			if e := relErr(reconstructed, p.AvgPowerW); e > 1e-9 {
+				t.Errorf("%s/%s power reconstruction %v vs %v", name, size, reconstructed, p.AvgPowerW)
+			}
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	aliases := map[string]string{
+		"Athena":     "AthenaPK",
+		"Epsilon":    "BerkeleyGW-Epsilon",
+		"BerkeleyGW": "BerkeleyGW-Epsilon",
+		"Gravity":    "Cholla-Gravity",
+		"MHD":        "Cholla-MHD",
+	}
+	for alias, canonical := range aliases {
+		w, err := Get(alias)
+		if err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+		if w.Name != canonical {
+			t.Errorf("alias %q resolved to %q, want %q", alias, w.Name, canonical)
+		}
+	}
+	if _, err := Get("NotABenchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestGetReturnsSameInstance(t *testing.T) {
+	a := MustGet("Kripke")
+	b := MustGet("Kripke")
+	if a != b {
+		t.Fatal("Get must cache workload instances")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("suite has %d benchmarks, want 7", len(names))
+	}
+	if names[0] != "AthenaPK" || names[6] != "WarpX" {
+		t.Fatalf("unexpected order: %v", names)
+	}
+}
+
+func TestParseSizeFactor(t *testing.T) {
+	good := map[string]float64{"1x": 1, "2x": 2, "4x": 4, "8x": 8, "1.5x": 1.5, " 4x ": 4}
+	for in, want := range good {
+		got, err := ParseSizeFactor(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSizeFactor(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, in := range []string{"", "x", "0x", "-2x", "abc"} {
+		if _, err := ParseSizeFactor(in); err == nil {
+			t.Errorf("ParseSizeFactor(%q) accepted", in)
+		}
+	}
+}
+
+func TestBuildTaskSpec(t *testing.T) {
+	spec := a100x()
+	w := MustGet("LAMMPS")
+	task, err := w.BuildTaskSpec("4x", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Workload != "LAMMPS" || task.Size != "4x" {
+		t.Fatalf("identity: %s/%s", task.Workload, task.Size)
+	}
+	if task.Cycles < minCycles || task.Cycles > maxCycles {
+		t.Fatalf("cycles = %d out of [%d,%d]", task.Cycles, minCycles, maxCycles)
+	}
+	// Sum of phase durations × cycles must equal the solo duration.
+	var perCycle float64
+	for _, ph := range task.Phases {
+		perCycle += ph.ActiveWork.Seconds() + ph.GapAfter.Seconds()
+	}
+	total := perCycle * float64(task.Cycles)
+	if e := relErr(total, task.SoloDuration.Seconds()); e > 0.001 {
+		t.Fatalf("phase sum %v vs solo duration %v", total, task.SoloDuration.Seconds())
+	}
+	// Active share must equal the duty cycle.
+	var activePerCycle float64
+	for _, ph := range task.Phases {
+		activePerCycle += ph.ActiveWork.Seconds()
+	}
+	if e := relErr(activePerCycle/perCycle, task.Duty); e > 0.001 {
+		t.Fatalf("active share %v vs duty %v", activePerCycle/perCycle, task.Duty)
+	}
+}
+
+func TestTaskSpecPhasePowerAveragesToCalibration(t *testing.T) {
+	// The duty-weighted phase power must reconstruct Table II's average:
+	// Σ_phases dynPower×activeTime / totalTime + idle = avg power.
+	spec := a100x()
+	for _, name := range Names() {
+		w := MustGet(name)
+		for _, size := range w.Sizes() {
+			task, err := w.BuildTaskSpec(size, spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, size, err)
+			}
+			var energyPerCycle, timePerCycle float64
+			for _, ph := range task.Phases {
+				energyPerCycle += ph.DynPowerW * ph.ActiveWork.Seconds()
+				timePerCycle += ph.ActiveWork.Seconds() + ph.GapAfter.Seconds()
+			}
+			avg := spec.IdlePowerW + energyPerCycle/timePerCycle
+			if e := relErr(avg, task.Profile.AvgPowerW); e > 0.02 {
+				t.Errorf("%s/%s reconstructed power %v vs calibrated %v",
+					name, size, avg, task.Profile.AvgPowerW)
+			}
+		}
+	}
+}
+
+func TestTotalActiveWork(t *testing.T) {
+	spec := a100x()
+	task, _ := MustGet("Kripke").BuildTaskSpec("1x", spec)
+	want := task.SoloDuration.Seconds() * task.Duty
+	if e := relErr(task.TotalActiveWork().Seconds(), want); e > 0.001 {
+		t.Fatalf("total active work %v vs duty×duration %v",
+			task.TotalActiveWork().Seconds(), want)
+	}
+}
+
+func TestBuildTaskSpecUnknownSize(t *testing.T) {
+	spec := a100x()
+	if _, err := MustGet("Kripke").BuildTaskSpec("bogus", spec); err == nil {
+		t.Fatal("bogus size accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Package xrand provides a small deterministic pseudo-random source for the
+// simulator.
+//
+// The experiment harness requires bit-identical output for a given seed, so
+// the simulator does not use math/rand's global source (whose seeding and
+// algorithm are version-dependent). Instead it uses SplitMix64, a tiny,
+// well-studied generator with excellent statistical quality for the modest
+// jitter workloads here (kernel duration noise, arrival perturbation).
+package xrand
+
+import "math"
+
+// Source is a deterministic SplitMix64 PRNG. The zero value is a valid
+// generator seeded with 0. Source is not safe for concurrent use; each
+// simulated client owns its own Source (see gpusim) so streams never
+// interleave nondeterministically.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Fork derives an independent child generator from the current state and a
+// stream label, so that per-client streams are stable regardless of the
+// order clients draw numbers.
+func (s *Source) Fork(label uint64) *Source {
+	// Mix the label through one SplitMix64 step of a copy, leaving the
+	// parent's state untouched.
+	z := s.state + 0x9e3779b97f4a7c15*(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Source{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits → [0,1) with full double precision.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Jitter returns a multiplicative factor uniform in [1-amp, 1+amp], used to
+// perturb kernel durations. amp is clamped to [0, 0.99].
+func (s *Source) Jitter(amp float64) float64 {
+	if amp <= 0 {
+		return 1
+	}
+	if amp > 0.99 {
+		amp = 0.99
+	}
+	return 1 + amp*(2*s.Float64()-1)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

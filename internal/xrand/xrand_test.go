@@ -1,0 +1,160 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	// Forking must not disturb the parent stream.
+	p1 := New(7)
+	p1.Fork(1)
+	p1.Fork(2)
+	if parent.Uint64() != p1.Uint64() {
+		t.Fatal("Fork mutated parent state")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling forks produced identical first values")
+	}
+	// Same label from same state → same stream.
+	c1b := New(7).Fork(1)
+	c1c := New(7).Fork(1)
+	for i := 0; i < 100; i++ {
+		if c1b.Uint64() != c1c.Uint64() {
+			t.Fatal("same-label forks diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(42)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	s := New(9)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestJitter(t *testing.T) {
+	s := New(5)
+	if got := s.Jitter(0); got != 1 {
+		t.Fatalf("Jitter(0) = %v, want 1", got)
+	}
+	if got := s.Jitter(-1); got != 1 {
+		t.Fatalf("Jitter(-1) = %v, want 1", got)
+	}
+	for i := 0; i < 10000; i++ {
+		v := s.Jitter(0.1)
+		if v < 0.9 || v > 1.1 {
+			t.Fatalf("Jitter(0.1) out of range: %v", v)
+		}
+	}
+	// Excessive amplitude is clamped to keep factors positive.
+	for i := 0; i < 1000; i++ {
+		if v := s.Jitter(5); v <= 0 {
+			t.Fatalf("Jitter(5) non-positive: %v", v)
+		}
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	s := New(77)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Jitter(0.2)
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.005 {
+		t.Fatalf("Jitter mean = %v, want ≈1", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ≈2", math.Sqrt(variance))
+	}
+}
+
+func TestPermIsPermutationProperty(t *testing.T) {
+	s := New(3)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := s.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
