@@ -1,0 +1,43 @@
+# Tier-1 verification is `make check`; each sub-target is also callable
+# on its own. `make vet` runs the project-specific determinism analyzers
+# (see DESIGN.md "Determinism invariants").
+
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: all build test race vet fmt fuzz check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project-specific static analysis: nodeterminism, maporder, floateq,
+# errcheckio (internal/analysis, driven by cmd/vetrepro).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vetrepro ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short fuzzing sessions over the properties the simulator depends on:
+# predictor symmetry/no-panic and event-queue pop ordering. Native Go
+# fuzzing takes one target per invocation.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzPredictInterference -fuzztime=$(FUZZTIME) ./internal/interference
+	$(GO) test -run='^$$' -fuzz=FuzzEventQueue -fuzztime=$(FUZZTIME) ./internal/eventq
+
+check: fmt build vet test race
+
+clean:
+	$(GO) clean ./...

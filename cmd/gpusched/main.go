@@ -274,7 +274,9 @@ func printPlan(plan *core.Plan) {
 				strings.Join(parts, ","), grp.Estimate.String())
 		}
 	}
-	t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
 	fmt.Println()
 }
 

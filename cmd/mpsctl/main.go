@@ -53,7 +53,9 @@ func main() {
 			t.AddRowf(d.Index(), d.Name(), d.MultiprocessorCount(), d.MemoryTotalMiB(),
 				d.PowerManagementLimitW(), d.MaxClocksMHz(), d.MIGCapable())
 		}
-		t.Render(os.Stdout)
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 
 	case "status":
 		spec, err := gpu.Lookup(*device)
@@ -74,7 +76,9 @@ func main() {
 		for _, c := range server.Clients() {
 			t.AddRowf(c.ID, c.ActiveThreadPct, c.Connected())
 		}
-		t.Render(os.Stdout)
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("clients: %d connected, peak %d, rejected %d (limit %d)\n",
 			server.ClientCount(), server.PeakClients(), server.RejectedConnects(), spec.MaxMPSClients)
 
@@ -124,7 +128,9 @@ func main() {
 		for _, r := range rows {
 			t.AddRowf(r.pct, r.dur, 3600/r.dur, full/r.dur)
 		}
-		t.Render(os.Stdout)
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 
 	default:
 		usage()

@@ -1,0 +1,134 @@
+// Command vetrepro is the reproduction's multichecker: it runs the
+// project-specific determinism and invariant analyzers from
+// internal/analysis over the module.
+//
+// Standalone mode (the Makefile's `make vet` and CI's check):
+//
+//	go run ./cmd/vetrepro ./...
+//	vetrepro ./internal/core ./internal/gpusim
+//
+// It exits 0 when the tree is clean and 1 with file:line:col findings on
+// stderr otherwise.
+//
+// Vettool mode: when built to a binary, the command also speaks the
+// `go vet -vettool` unit-checker protocol (-V=full version handshake and
+// per-package *.cfg JSON units), so it composes with the standard vet
+// pipeline:
+//
+//	go build -o /tmp/vetrepro ./cmd/vetrepro
+//	go vet -vettool=/tmp/vetrepro ./...
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpushare/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// `go vet` probes the tool's identity with -V=full and its flag set
+	// with -flags before handing it package units.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		// The go command derives a tool buildID from this line (the same
+		// handshake cmd/compile -V=full answers), hashing the binary so
+		// rebuilt tools invalidate vet's action cache.
+		id, err := selfBuildID()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetrepro:", err)
+			return 1
+		}
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progName(), id)
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool-specific flags
+		return 0
+	}
+	// In vettool mode the go command hands the tool one *.cfg file per
+	// package unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0])
+	}
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "help") {
+		usage()
+		return 0
+	}
+	return runStandalone(args)
+}
+
+// runStandalone loads packages by pattern and prints findings.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetrepro:", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetrepro:", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetrepro:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vetrepro: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: vetrepro [package patterns]
+
+Runs the project's determinism and invariant analyzers:
+
+`)
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, `
+With no patterns, analyzes ./.... Also usable as go vet -vettool=$(which vetrepro).
+`)
+}
+
+func progName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// selfBuildID content-hashes the running binary, split in the
+// XXXX/XXXX/XXXX/XXXX shape the go command expects of build IDs.
+func selfBuildID() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	sum := fmt.Sprintf("%x", h.Sum(nil))
+	return fmt.Sprintf("%s/%s/%s/%s", sum[:16], sum[16:32], sum[32:48], sum[48:64]), nil
+}

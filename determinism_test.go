@@ -1,0 +1,99 @@
+package gpushare_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpushare"
+)
+
+// TestEndToEndDeterminism runs the full pipeline — profile, plan,
+// simulate under MPS, compare against sequential — twice from scratch
+// with the same seed and asserts the JSON-serialized outcomes are
+// identical byte for byte.
+//
+// This is the regression net under everything the static analyzers
+// enforce: a single time.Now, unsorted map range or float drift anywhere
+// in the pipeline shows up here as a byte diff. JSON is the comparison
+// medium because it is also the artifact format experiments persist;
+// encoding/json serializes maps in sorted key order, so any difference
+// is real nondeterminism, not map-marshaling noise.
+func TestEndToEndDeterminism(t *testing.T) {
+	first := runPipelineJSON(t)
+	second := runPipelineJSON(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two identically seeded end-to-end runs produced different JSON:\nrun1 %d bytes, run2 %d bytes\nfirst divergence near byte %d",
+			len(first), len(second), firstDiff(first, second))
+	}
+}
+
+// runPipelineJSON executes one fully independent end-to-end schedule and
+// returns the serialized outcome. Everything — store, queue, scheduler,
+// engine — is rebuilt so no state leaks between the two runs.
+func runPipelineJSON(t *testing.T) []byte {
+	t.Helper()
+	device := gpushare.MustLookupDevice("A100X")
+	cfg := gpushare.SimConfig{Device: device, Seed: 42}
+
+	// Offline profiling campaign over two benchmarks.
+	profiler := &gpushare.Profiler{Config: cfg}
+	store := gpushare.NewProfileStore()
+	for _, name := range []string{"AthenaPK", "Kripke"} {
+		w, err := gpushare.GetWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := w.BuildTaskSpec("4x", device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profiler.ProfileTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A small mixed queue: 2 AthenaPK and 2 Kripke workflows on a
+	// 2-GPU pool.
+	athena, err := gpushare.UniformWorkflows("AthenaPK", "4x", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kripke, err := gpushare.UniformWorkflows("Kripke", "4x", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := gpushare.NewWorkflowQueue(append(athena, kripke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := gpushare.NewScheduler(device, 2, store, gpushare.ThroughputPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.ScheduleAndRun(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

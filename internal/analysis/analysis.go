@@ -1,0 +1,151 @@
+// Package analysis is the reproduction's static-analysis layer: a small,
+// dependency-free reimplementation of the go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus a package loader and driver.
+//
+// The repo's credibility rests on the simulator being bit-for-bit
+// deterministic: collocation choices, interference predictions and
+// figure/table output must reproduce run-to-run. The seed ships
+// internal/simtime and internal/xrand instead of time/math-rand precisely
+// for that — but conventions rot unless a tool enforces them. This package
+// holds four project-specific analyzers that do:
+//
+//   - nodeterminism: forbids wall-clock and math/rand use in simulator
+//     packages (use simtime / xrand);
+//   - maporder: flags order-dependent effects inside map-range loops
+//     (Go randomizes map iteration order) without a following sort;
+//   - floateq: flags ==/!= on float operands in metric-bearing packages
+//     (use internal/floats epsilon helpers);
+//   - errcheckio: flags silently dropped errors from writer calls in the
+//     reporting layer and the CLIs.
+//
+// The framework is built only on the standard library (go/ast, go/types,
+// go/importer) so it works in hermetic builds with no module proxy:
+// dependency type information comes from compiler export data located via
+// `go list -export`. cmd/vetrepro is the multichecker driver, runnable
+// standalone (`go run ./cmd/vetrepro ./...`) or as `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. It mirrors golang.org/x/tools/go/analysis
+// but carries an explicit package scope: project-specific invariants only
+// hold in specific layers (e.g. wall-clock time is fine in cmd/, fatal in
+// the simulator).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -flags.
+	Name string
+	// Doc is a one-paragraph description shown by `vetrepro help`.
+	Doc string
+	// Match reports whether the analyzer applies to the package with the
+	// given import path. A nil Match applies everywhere.
+	Match func(importPath string) bool
+	// Run performs the check on one package and reports findings via
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer is in scope for importPath.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	return a.Match == nil || a.Match(importPath)
+}
+
+// Pass carries one analyzed package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report collects diagnostics; set by the driver.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its types.Object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Diagnostic is one finding, with a resolved file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every in-scope analyzer to every package and returns
+// the findings sorted by (file, line, column, analyzer) so output is
+// deterministic regardless of internal map iteration.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by position then analyzer name.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,118 @@
+// Package analysistest runs an analyzer over a golden corpus directory
+// and checks its diagnostics against `// want "regexp"` comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest —
+// reimplemented on the repo's stdlib-only analysis framework.
+//
+// A corpus is one directory of Go files under testdata/. Each line that
+// should trigger a diagnostic carries a trailing comment of the form
+//
+//	code() // want "pattern"
+//
+// where pattern is a regular expression matched against the diagnostic
+// message. A line may carry several `// want` expectations. The test
+// fails on any unmatched expectation and on any unexpected diagnostic,
+// so every corpus exercises both positive and negative cases by
+// construction.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gpushare/internal/analysis"
+)
+
+// wantRe extracts the quoted pattern of one `want` clause.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir as one package pretending to be asImportPath, applies the
+// analyzer, and verifies diagnostics against the corpus expectations.
+// asImportPath must satisfy the analyzer's scope, otherwise the corpus
+// would vacuously pass; Run fails fast on that misconfiguration.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, asImportPath string) {
+	t.Helper()
+	if !a.AppliesTo(asImportPath) {
+		t.Fatalf("analyzer %s is out of scope for %q; corpus would test nothing", a.Name, asImportPath)
+	}
+	pkg, err := analysis.LoadDir(dir, asImportPath)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+
+	expects := collectExpectations(t, pkg)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !claimExpectation(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(d), d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// collectExpectations parses the `// want` comments of every corpus file.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(c.Text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					expects = append(expects, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// claimExpectation marks the first unmatched expectation on the
+// diagnostic's line whose pattern matches.
+func claimExpectation(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posOf(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}

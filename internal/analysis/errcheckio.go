@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckIO flags silently dropped errors from output writes in the
+// reporting layer and the CLI tools.
+//
+// The harness's deliverables are rendered tables, CSV files and charts;
+// a failed write (full disk, closed pipe, broken redirect) that is
+// silently ignored truncates an experiment artifact without any signal.
+// The analyzer flags statement-position calls — the silent form — of
+// fmt.Fprint*, io.WriteString, (*json.Encoder).Encode and the repo's
+// Render/RenderCSV methods. Exemptions: writes into in-memory buffers
+// (*strings.Builder, *bytes.Buffer never fail) and best-effort
+// diagnostics to os.Stderr. An explicit `_ =` assignment also passes:
+// it is a visible acknowledgment, not a silent drop.
+var ErrCheckIO = &Analyzer{
+	Name:  "errcheckio",
+	Doc:   "flag dropped errors from writer calls (fmt.Fprint*, encoders, Render) in report and cmd packages",
+	Match: matchSuffixes(writerPackages...),
+	Run:   runErrCheckIO,
+}
+
+func runErrCheckIO(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, bad := droppedWriteError(pass, call); bad {
+				pass.Reportf(call.Pos(),
+					"error from %s is dropped; output writes can fail — check or return it", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// droppedWriteError reports whether call is a write whose error result
+// the surrounding statement discards, returning a display name.
+func droppedWriteError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+
+	if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			switch obj.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 && exemptWriter(pass, call.Args[0]) {
+					return "", false
+				}
+				return "fmt." + obj.Name(), true
+			}
+		case "io":
+			if obj.Name() == "WriteString" {
+				if len(call.Args) > 0 && exemptWriter(pass, call.Args[0]) {
+					return "", false
+				}
+				return "io.WriteString", true
+			}
+		}
+		return "", false
+	}
+
+	// Method calls whose last result is error: the repo's renderers and
+	// stream encoders.
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !lastResultIsError(s.Obj()) {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Render", "RenderCSV":
+		return "(" + s.Recv().String() + ")." + sel.Sel.Name, true
+	case "Encode":
+		if named, ok := derefNamed(s.Recv()); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "encoding/json" {
+			return "(*json.Encoder).Encode", true
+		}
+	}
+	return "", false
+}
+
+// exemptWriter reports whether the writer expression never meaningfully
+// fails: in-memory builders/buffers, or the best-effort stderr stream.
+func exemptWriter(pass *Pass, w ast.Expr) bool {
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && obj.Name() == "Stderr" {
+			return true
+		}
+	}
+	if named, ok := derefNamed(pass.TypeOf(w)); ok {
+		pkg := named.Obj().Pkg()
+		if pkg == nil {
+			return false
+		}
+		switch pkg.Path() + "." + named.Obj().Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// lastResultIsError reports whether fn's final result type is error.
+func lastResultIsError(fn types.Object) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestErrCheckIO(t *testing.T) {
+	analysistest.Run(t, "testdata/errcheckio", analysis.ErrCheckIO, "gpushare/internal/report")
+}
+
+func TestErrCheckIOScope(t *testing.T) {
+	for _, p := range []string{
+		"gpushare/internal/report",
+		"gpushare/internal/experiments",
+		"gpushare/cmd/gpusched",
+		"gpushare/cmd/mpsctl",
+	} {
+		if !analysis.ErrCheckIO.AppliesTo(p) {
+			t.Errorf("errcheckio must apply to %s", p)
+		}
+	}
+	if analysis.ErrCheckIO.AppliesTo("gpushare/internal/gpusim") {
+		t.Fatalf("errcheckio must not apply to the simulator core")
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags ==/!= between floating-point operands in the packages
+// that carry utilization, energy and metric arithmetic.
+//
+// Utilization percentages and energy joules are accumulated through
+// chains of float64 arithmetic; exact equality on such values compares
+// rounding noise, so a scheduler decision or metric label can flip
+// between platforms even when simulation inputs are identical. The
+// sanctioned helpers live in internal/floats (AlmostEq / EqWithin /
+// IsInt), which compare within a relative epsilon.
+var FloatEq = &Analyzer{
+	Name:  "floateq",
+	Doc:   "flag ==/!= on float operands in metric-bearing packages (use internal/floats)",
+	Match: matchSuffixes(metricPackages...),
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) || !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			// Two untyped constants compare exactly at compile time.
+			xv, xc := pass.TypesInfo.Types[bin.X]
+			yv, yc := pass.TypesInfo.Types[bin.Y]
+			if xc && yc && xv.Value != nil && yv.Value != nil {
+				return true
+			}
+			// `x != x` is the portable NaN test; leave it alone.
+			if bin.Op == token.NEQ && sameIdent(pass, bin.X, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"exact %s comparison of floating-point values compares rounding noise; use floats.AlmostEq or floats.EqWithin", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameIdent reports whether x and y are the same single variable.
+func sameIdent(pass *Pass, x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	return ok1 && ok2 && pass.ObjectOf(xi) != nil && pass.ObjectOf(xi) == pass.ObjectOf(yi)
+}

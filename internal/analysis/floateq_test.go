@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/floateq", analysis.FloatEq, "gpushare/internal/metrics")
+}
+
+func TestFloatEqScope(t *testing.T) {
+	// The trace merger in gpusim compares successive operating points
+	// exactly on purpose (identical points merge; nearly-identical points
+	// are distinct observations), so gpusim stays out of scope.
+	if analysis.FloatEq.AppliesTo("gpushare/internal/gpusim") {
+		t.Fatalf("floateq must not apply to internal/gpusim")
+	}
+	for _, p := range []string{
+		"gpushare/internal/core",
+		"gpushare/internal/interference",
+		"gpushare/internal/metrics",
+	} {
+		if !analysis.FloatEq.AppliesTo(p) {
+			t.Errorf("floateq must apply to %s", p)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// MapOrder flags order-dependent effects inside `for ... range m` loops
+// over maps.
+//
+// Go randomizes map iteration order per run, so any loop that appends to
+// a slice, writes output, or otherwise accumulates order-sensitive state
+// while ranging a map produces different bytes on every execution — the
+// classic hidden-nondeterminism leak that corrupts reproducible
+// experiments. The sanctioned idiom is: collect keys, sort, then iterate
+// the sorted slice. The analyzer recognizes that idiom: an append-only
+// collection loop is exempt when the collected slice is passed to a
+// sort.* / slices.* call later in the same block.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent effects (appends, output writes) inside map-range loops without a following sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, parents)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range loop for order-sensitive sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	appendTargets := map[types.Object]bool{}
+	wroteOutput := false
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(s.Lhs) {
+					continue
+				}
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				// Appending to a variable declared inside the loop body
+				// restarts every iteration and carries no order.
+				if obj != nil && obj.Pos() < rng.Pos() {
+					appendTargets[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputWrite(pass, s) {
+				wroteOutput = true
+			}
+		}
+		return true
+	})
+
+	if wroteOutput {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is nondeterministic: loop writes output directly; collect keys, sort, then iterate")
+		return
+	}
+	if len(appendTargets) == 0 {
+		return
+	}
+	// Report per unsorted target, ordered by declaration position so the
+	// analyzer's own output is deterministic.
+	bad := make([]types.Object, 0, len(appendTargets))
+	for obj := range appendTargets {
+		if !sortedAfter(pass, rng, parents, obj) {
+			bad = append(bad, obj)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].Pos() < bad[j].Pos() })
+	for _, obj := range bad {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is nondeterministic: loop appends to %q with no sort afterwards; sort the slice before using it", obj.Name())
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call in
+// a statement following the range loop within its enclosing block.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	block, idx := enclosingBlock(rng, parents)
+	if block == nil {
+		return false
+	}
+	for _, stmt := range block.List[idx+1:] {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingBlock climbs parents to find the block directly containing the
+// statement chain of n, returning the block and n's statement index.
+func enclosingBlock(n ast.Node, parents map[ast.Node]ast.Node) (*ast.BlockStmt, int) {
+	child := n
+	for p := parents[child]; p != nil; p = parents[child] {
+		if block, ok := p.(*ast.BlockStmt); ok {
+			for i, s := range block.List {
+				if s == child {
+					return block, i
+				}
+			}
+			return nil, 0
+		}
+		child = p
+	}
+	return nil, 0
+}
+
+// buildParents records each node's parent within file.
+func buildParents(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortCall recognizes any function in package sort or slices.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := selectedPackageObject(pass, sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sort" || p == "slices"
+}
+
+// isOutputWrite recognizes calls that emit bytes whose order the reader
+// observes: fmt.Fprint*, io.WriteString, and Write*/Add* builder methods
+// on writer-like receivers.
+func isOutputWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			switch obj.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		case "io":
+			return obj.Name() == "WriteString"
+		}
+		return false
+	}
+	// Method call: builder/report mutators whose call order shows in the
+	// rendered output.
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune",
+		"AddRow", "AddRowf", "AddSeries", "Add":
+		return isMethodCall(pass, sel)
+	}
+	return false
+}
+
+// isMethodCall reports whether sel resolves to a method selection.
+func isMethodCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}

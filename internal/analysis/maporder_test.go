@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/maporder", analysis.MapOrder, "gpushare/internal/gpusim")
+}
+
+func TestMapOrderAppliesEverywhere(t *testing.T) {
+	// Map iteration order is nondeterministic in every package; the
+	// analyzer is deliberately unscoped.
+	for _, p := range []string{"gpushare", "gpushare/cmd/gpusched", "gpushare/internal/report"} {
+		if !analysis.MapOrder.AppliesTo(p) {
+			t.Errorf("maporder must apply to %s", p)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoDeterminism forbids nondeterministic time and randomness sources in
+// simulator packages.
+//
+// The discrete-event simulator must be bit-for-bit reproducible for a
+// given seed: experiment tables and figures are regression-tested
+// byte-for-byte, and the scheduler's collocation decisions must replay
+// identically. Wall-clock reads (time.Now, time.Since, timers/tickers)
+// and the math/rand generators (whose global seeding and algorithms are
+// Go-version-dependent) both break that. Simulated time lives in
+// internal/simtime; seeded deterministic randomness lives in
+// internal/xrand.
+var NoDeterminism = &Analyzer{
+	Name:  "nodeterminism",
+	Doc:   "forbid wall-clock and math/rand use in simulator packages (use internal/simtime and internal/xrand)",
+	Match: matchSuffixes(simulatorPackages...),
+	Run:   runNoDeterminism,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Pure conversions and constants (time.Duration, time.Second, ...) stay
+// allowed: simtime deliberately interoperates with time.Duration.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "use simtime.Time carried by the event loop",
+	"Since":     "use simtime.Time.Sub on event-loop instants",
+	"Until":     "use simtime.Time.Sub on event-loop instants",
+	"Sleep":     "schedule an event on the simulator queue instead",
+	"Tick":      "schedule recurring events on the simulator queue instead",
+	"NewTimer":  "schedule an event on the simulator queue instead",
+	"NewTicker": "schedule recurring events on the simulator queue instead",
+	"After":     "schedule an event on the simulator queue instead",
+	"AfterFunc": "schedule an event on the simulator queue instead",
+}
+
+func runNoDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Importing math/rand (v1 or v2) at all is a finding: even a
+		// "locally seeded" generator drifts across Go versions, and the
+		// import invites global-source use. xrand's SplitMix64 is the
+		// sanctioned generator.
+		for _, spec := range file.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"import of %s in a simulator package; use internal/xrand for deterministic, version-stable randomness", path)
+			}
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := selectedPackageObject(pass, sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "time" {
+				if hint, bad := forbiddenTimeFuncs[obj.Name()]; bad {
+					pass.Reportf(sel.Pos(),
+						"call to time.%s in a simulator package breaks reproducibility; %s", obj.Name(), hint)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectedPackageObject resolves pkg.Name selector uses to the named
+// package-level object, or nil when sel is a field/method selection.
+func selectedPackageObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, isPkg := pass.ObjectOf(id).(*types.PkgName); !isPkg {
+		return nil
+	}
+	return pass.ObjectOf(sel.Sel)
+}

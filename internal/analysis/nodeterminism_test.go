@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/nodeterminism", analysis.NoDeterminism, "gpushare/internal/gpusim")
+}
+
+func TestNoDeterminismScope(t *testing.T) {
+	// Wall-clock use is legitimate outside the simulator: cmd/ tools may
+	// time real work.
+	if analysis.NoDeterminism.AppliesTo("gpushare/cmd/gpusched") {
+		t.Fatalf("nodeterminism must not apply to cmd packages")
+	}
+	for _, p := range []string{
+		"gpushare/internal/core",
+		"gpushare/internal/gpusim",
+		"gpushare/internal/eventq",
+		"gpushare/internal/experiments",
+		"gpushare/internal/interference",
+		"gpushare/internal/mps",
+	} {
+		if !analysis.NoDeterminism.AppliesTo(p) {
+			t.Errorf("nodeterminism must apply to %s", p)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Corpus for the errcheckio analyzer: statement-position writer calls
+// whose error silently vanishes are flagged; in-memory buffers, stderr
+// diagnostics and explicit acknowledgment are not.
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// table mimics the repo's report renderers.
+type table struct{}
+
+func (t *table) Render(w io.Writer) error    { _, err := io.WriteString(w, "t"); return err }
+func (t *table) RenderCSV(w io.Writer) error { _, err := io.WriteString(w, "t"); return err }
+
+func bad(w io.Writer, t *table) {
+	fmt.Fprintf(w, "x=%d\n", 1)           // want "error from fmt.Fprintf is dropped"
+	fmt.Fprintln(w, "done")               // want "error from fmt.Fprintln is dropped"
+	io.WriteString(w, "raw")              // want "error from io.WriteString is dropped"
+	t.Render(os.Stdout)                   // want "error from .*Render is dropped"
+	t.RenderCSV(w)                        // want "error from .*RenderCSV is dropped"
+	json.NewEncoder(w).Encode(struct{}{}) // want "error from .*Encode.* is dropped"
+}
+
+func good(w io.Writer, t *table) error {
+	// In-memory builders never fail.
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d\n", 1)
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "done")
+	// Best-effort diagnostics to stderr.
+	fmt.Fprintln(os.Stderr, "warning: something")
+	// Checked and returned.
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s", b.String()); err != nil {
+		return err
+	}
+	// Explicit acknowledgment is visible in review; not a silent drop.
+	_ = t.RenderCSV(w)
+	return nil
+}

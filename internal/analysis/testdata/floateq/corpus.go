@@ -1,0 +1,32 @@
+// Corpus for the floateq analyzer: exact equality on float operands is
+// flagged in metric-bearing packages; integer comparisons, constant
+// folding and the NaN idiom are not.
+package corpus
+
+func badEq(a, b float64) bool {
+	return a == b // want "exact == comparison of floating-point values"
+}
+
+func badNeq(util float64) bool {
+	return util != 0 // want "exact != comparison of floating-point values"
+}
+
+func badFloat32(x float32) bool {
+	if x == 1.5 { // want "exact == comparison of floating-point values"
+		return true
+	}
+	return false
+}
+
+// goodInt: integer equality is exact.
+func goodInt(a, b int64) bool { return a == b }
+
+// goodOrdering: <, <=, >, >= on floats are fine — thresholds are the
+// intended float comparison.
+func goodOrdering(a, b float64) bool { return a < b || a >= 2*b }
+
+// goodConst: two constants fold at compile time.
+func goodConst() bool { return 0.1+0.2 == 0.3 }
+
+// goodNaN: x != x is the portable NaN test.
+func goodNaN(x float64) bool { return x != x }

@@ -1,0 +1,86 @@
+// Corpus for the maporder analyzer: order-dependent effects inside
+// map-range loops are flagged unless the collected slice is sorted
+// afterwards in the same block.
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// badAppend leaks map order into the returned slice.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to \"keys\" with no sort afterwards"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badWrite emits bytes in map order.
+func badWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "loop writes output directly"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// badBuilder accumulates rendered text in map order.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "loop writes output directly"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// goodSortedAfter is the sanctioned collect-sort-iterate idiom.
+func goodSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice also counts: the slice is ordered before anyone reads it.
+func goodSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodAggregate folds commutatively; no order escapes.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodLocalAppend restarts the slice each iteration, so no cross-key
+// ordering survives the loop.
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// goodSliceRange ranges a slice, which is ordered; not a finding.
+func goodSliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Corpus for the nodeterminism analyzer. The package pretends to be a
+// simulator package (the test passes an internal/gpusim-style import
+// path), so wall-clock and math/rand use must be flagged while pure
+// time conversions stay allowed.
+package corpus
+
+import (
+	"math/rand" // want "import of math/rand in a simulator package"
+	"time"
+)
+
+// bad: wall-clock reads and timers leak host time into the simulation.
+func bad() time.Duration {
+	start := time.Now()          // want "call to time.Now in a simulator package"
+	time.Sleep(time.Millisecond) // want "call to time.Sleep in a simulator package"
+	_ = time.After(time.Second)  // want "call to time.After in a simulator package"
+	_ = rand.Float64()
+	return time.Since(start) // want "call to time.Since in a simulator package"
+}
+
+// good: duration constants, conversions and arithmetic carry no clock.
+func good(d time.Duration) time.Duration {
+	total := 2 * time.Second
+	if d > time.Millisecond {
+		total += d.Round(time.Microsecond)
+	}
+	return total
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"gpushare/internal/floats"
 	"gpushare/internal/gpu"
 	"gpushare/internal/interference"
 	"gpushare/internal/profile"
@@ -260,7 +261,7 @@ func (s *Scheduler) rightSize(g *Group) {
 		return
 	}
 	headroom := s.Policy.PartitionHeadroom
-	if headroom == 0 {
+	if floats.IsZero(headroom) {
 		headroom = 1.2
 	}
 	for i, m := range g.Members {

@@ -1,0 +1,101 @@
+package eventq
+
+import (
+	"testing"
+
+	"gpushare/internal/simtime"
+)
+
+// FuzzEventQueue drives the queue with an arbitrary operation tape and
+// checks the invariant the simulator's causality depends on: popped
+// events are nondecreasing in time, and events at equal instants fire in
+// scheduling order (the (time, seq) total order that makes runs
+// reproducible).
+//
+// The tape is consumed two bytes at a time: the first selects the
+// operation (schedule / cancel / pop), the second parameterizes it
+// (firing delay or cancel target). Schedules are relative to the last
+// popped instant, mirroring the simulator loop's monotone-time guard —
+// the queue itself is time-agnostic and would happily accept (and
+// immediately surface) an event in the past.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x05, 0x00, 0x03, 0x80, 0x00, 0x80, 0x00})
+	f.Add([]byte{0x00, 0x01, 0x40, 0x00, 0x00, 0x01, 0x80, 0x00})
+	f.Add([]byte{0x00, 0xff, 0x00, 0x00, 0x40, 0x01, 0x00, 0xff, 0x80, 0x00})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var q Queue
+		type scheduled struct {
+			ev  *Event
+			at  simtime.Time
+			seq int
+		}
+		var live []scheduled
+		nextSeq := 0
+		lastAt := simtime.Zero
+		lastSeq := -1
+
+		popOne := func() {
+			ev, ok := q.Pop()
+			if !ok {
+				if len(live) != 0 {
+					t.Fatalf("Pop reported empty with %d live events", len(live))
+				}
+				return
+			}
+			// Find the popped event among the live records.
+			idx := -1
+			for i, s := range live {
+				if s.ev == ev {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Fatalf("popped unknown or cancelled event at %v", ev.At)
+			}
+			s := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			if ev.At != s.at {
+				t.Fatalf("event time mutated: scheduled %v, popped %v", s.at, ev.At)
+			}
+			if ev.At < lastAt {
+				t.Fatalf("pop order regressed in time: %v after %v", ev.At, lastAt)
+			}
+			if ev.At == lastAt && s.seq < lastSeq {
+				t.Fatalf("equal-time events fired out of scheduling order: seq %d after %d", s.seq, lastSeq)
+			}
+			lastAt, lastSeq = ev.At, s.seq
+		}
+
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			switch {
+			case op < 0x40: // schedule at now + delay (possibly duplicate times)
+				at := lastAt.Add(simtime.Duration(arg))
+				ev := q.Schedule(at, func(simtime.Time) {})
+				live = append(live, scheduled{ev: ev, at: at, seq: nextSeq})
+				nextSeq++
+			case op < 0x80: // cancel an arbitrary live event
+				if len(live) > 0 {
+					idx := int(arg) % len(live)
+					q.Cancel(live[idx].ev)
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			default: // pop
+				popOne()
+			}
+			if got := q.Len(); got != len(live) {
+				t.Fatalf("Len=%d, want %d live events", got, len(live))
+			}
+		}
+
+		// Drain: the tail must also come out in order.
+		for len(live) > 0 {
+			popOne()
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatalf("Pop returned an event from a drained queue")
+		}
+	})
+}

@@ -149,11 +149,15 @@ func RenderFig2(results []ComboResult, w io.Writer) error {
 	if err := thpt.Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	if err := eff.Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 
 	t := report.NewTable("Fig 2 data",
 		"Combo", "Tasks", "Seq makespan s", "MPS thpt x", "MPS eff x",
@@ -177,7 +181,9 @@ func RenderFig3(results []ComboResult, w io.Writer) error {
 	if err := chart.Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 
 	t := report.NewTable("Fig 3 data",
 		"Combo", "Seq capped %", "MPS capped %", "TS capped %",

@@ -82,13 +82,17 @@ func ExtOnline(opts Options, w io.Writer) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nsharing:    makespan %8.1fs  energy %10.0f J\n",
-		out.Sharing.MakespanS, out.Sharing.EnergyJ)
-	fmt.Fprintf(w, "sequential: makespan %8.1fs  energy %10.0f J\n",
-		out.Sequential.MakespanS, out.Sequential.EnergyJ)
-	fmt.Fprintf(w, "throughput %.2fx  efficiency %.2fx  mean wait %.1fs  max wait %.1fs\n",
+	if _, err := fmt.Fprintf(w, "\nsharing:    makespan %8.1fs  energy %10.0f J\n",
+		out.Sharing.MakespanS, out.Sharing.EnergyJ); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "sequential: makespan %8.1fs  energy %10.0f J\n",
+		out.Sequential.MakespanS, out.Sequential.EnergyJ); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "throughput %.2fx  efficiency %.2fx  mean wait %.1fs  max wait %.1fs\n",
 		out.Relative.Throughput, out.Relative.EnergyEfficiency, out.MeanWaitS, out.MaxWaitS)
-	return nil
+	return err
 }
 
 func init() {

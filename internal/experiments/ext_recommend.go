@@ -37,7 +37,9 @@ func ExtRecommend(opts Options, w io.Writer) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 
 	clusters, err := recommend.ClusterProfiles(store.All(), 0.97)
 	if err != nil {
@@ -61,9 +63,9 @@ func ExtRecommend(opts Options, w io.Writer) error {
 	}
 	full := store.Len() * (store.Len() + 1) / 2
 	plan := recommend.AnalysisPlan(clusters)
-	fmt.Fprintf(w, "\npairwise analyses: %d with clustering vs %d exhaustive (%.0f%% saved)\n",
+	_, err = fmt.Fprintf(w, "\npairwise analyses: %d with clustering vs %d exhaustive (%.0f%% saved)\n",
 		len(plan), full, 100*(1-float64(len(plan))/float64(full)))
-	return nil
+	return err
 }
 
 func init() {

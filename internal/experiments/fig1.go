@@ -129,7 +129,9 @@ func RenderFig1(series []Fig1Series, w io.Writer) error {
 		if err := chart.Render(w); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
 
 	t := report.NewTable("Fig 1 data",

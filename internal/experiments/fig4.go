@@ -182,7 +182,9 @@ func renderConfigPoints(title string, points []ConfigPoint, w io.Writer) error {
 		if err := chart.Render(w); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
 	t := report.NewTable(title+" data",
 		"Benchmark", "Config", "Clients", "Thpt x", "Eff x", "TxE", "TxTxE", "MPS capped %")

@@ -1,0 +1,43 @@
+// Package floats holds the sanctioned floating-point comparison helpers
+// the floateq analyzer directs to.
+//
+// Utilization percentages, energy joules and metric products are built
+// from chains of float64 arithmetic; exact ==/!= on such values compares
+// accumulated rounding noise and can flip a scheduler decision or a
+// metric label between platforms. These helpers compare within a
+// relative epsilon instead, with an absolute floor near zero.
+package floats
+
+import "math"
+
+// Eps is the default comparison tolerance. It is far looser than one ULP
+// but far tighter than any physically meaningful difference in the
+// simulator's percent/joule/second scales.
+const Eps = 1e-9
+
+// AlmostEq reports whether a and b are equal within the default
+// tolerance: |a-b| <= Eps * max(1, |a|, |b|). The max(1, ...) term makes
+// the test absolute near zero and relative for large magnitudes.
+func AlmostEq(a, b float64) bool { return EqWithin(a, b, Eps) }
+
+// EqWithin is AlmostEq with a caller-chosen tolerance.
+func EqWithin(a, b, eps float64) bool {
+	if a == b { // fast path: also handles shared infinities
+		return true
+	}
+	// Distinct non-finite values are never close: without this guard the
+	// eps*Inf bound below would call +Inf and -Inf equal.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= eps*scale
+}
+
+// IsZero reports whether x is indistinguishable from zero.
+func IsZero(x float64) bool { return math.Abs(x) <= Eps }
+
+// IsInt reports whether x holds an integral value (within tolerance of
+// its truncation), e.g. for deciding whether a metric exponent renders
+// as "TxTxE" or falls back to "T^2.5*E^1".
+func IsInt(x float64) bool { return AlmostEq(x, math.Trunc(x)) }

@@ -1,0 +1,66 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{0, 1e-12, true},                   // absolute floor near zero
+		{0, 1e-6, false},                   //
+		{1e9, 1e9 * (1 + 1e-12), true},     // relative at large magnitude
+		{1e9, 1e9 * (1 + 1e-6), false},     //
+		{0.1 + 0.2, 0.3, true},             // the classic
+		{math.Inf(1), math.Inf(1), true},   // shared infinity via fast path
+		{math.Inf(1), math.Inf(-1), false}, //
+		{math.NaN(), math.NaN(), false},    // NaN equals nothing
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEq(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqWithin(t *testing.T) {
+	if !EqWithin(100, 101, 0.02) {
+		t.Errorf("EqWithin(100, 101, 0.02) must hold (2%% of 101 > 1)")
+	}
+	if EqWithin(100, 101, 0.001) {
+		t.Errorf("EqWithin(100, 101, 0.001) must not hold")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(1e-12) || !IsZero(-1e-12) {
+		t.Errorf("IsZero must accept values within Eps of zero")
+	}
+	if IsZero(1e-6) || IsZero(-1) {
+		t.Errorf("IsZero must reject clearly nonzero values")
+	}
+}
+
+func TestIsInt(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, -3, 1e6} {
+		if !IsInt(x) {
+			t.Errorf("IsInt(%g) must hold", x)
+		}
+	}
+	for _, x := range []float64{0.5, 1.1, -2.7} {
+		if IsInt(x) {
+			t.Errorf("IsInt(%g) must not hold", x)
+		}
+	}
+	// The product weights arrive from flag parsing and arithmetic; a
+	// value that drifted by rounding still renders as integral.
+	if !IsInt(3.0000000000001e0 - 1e-13) {
+		t.Errorf("IsInt must tolerate rounding drift")
+	}
+}

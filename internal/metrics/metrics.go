@@ -8,6 +8,7 @@ import (
 	"math"
 	"strings"
 
+	"gpushare/internal/floats"
 	"gpushare/internal/gpusim"
 )
 
@@ -110,7 +111,7 @@ func (p Product) Validate() error {
 		return fmt.Errorf("metrics: product weights must be non-negative, got (%g, %g)",
 			p.ThroughputWeight, p.EfficiencyWeight)
 	}
-	if p.ThroughputWeight == 0 && p.EfficiencyWeight == 0 {
+	if floats.IsZero(p.ThroughputWeight) && floats.IsZero(p.EfficiencyWeight) {
 		return fmt.Errorf("metrics: product weights must not both be zero")
 	}
 	return nil
@@ -126,7 +127,7 @@ func (p Product) Eval(r Relative) float64 {
 // integral weights, falling back to exponent notation otherwise.
 func (p Product) String() string {
 	tw, ew := p.ThroughputWeight, p.EfficiencyWeight
-	if tw == math.Trunc(tw) && ew == math.Trunc(ew) && tw+ew > 0 && tw+ew <= 6 {
+	if floats.IsInt(tw) && floats.IsInt(ew) && tw+ew > 0 && tw+ew <= 6 {
 		var parts []string
 		for i := 0; i < int(tw); i++ {
 			parts = append(parts, "T")
