@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet fmt fuzz check clean
+.PHONY: all build test test-race race vet fmt fuzz check clean
 
 all: build
 
@@ -14,6 +14,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Focused race check over the packages that share state across the
+# parallel runner's worker pool (fast enough for the inner dev loop;
+# `make race` still covers everything).
+test-race:
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/core
 
 race:
 	$(GO) test -race ./...

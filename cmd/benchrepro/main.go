@@ -6,6 +6,7 @@
 //	benchrepro -list
 //	benchrepro -run all
 //	benchrepro -run table1,fig2 -seed 7 -quick
+//	benchrepro -run fig4 -j 8
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "trimmed sweeps for fast runs")
 		device = flag.String("device", "A100X", "device model (see -devices)")
 		devs   = flag.Bool("devices", false, "list device models and exit")
+		jobs   = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
 
@@ -46,7 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.Options{Device: spec, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Device: spec, Seed: *seed, Quick: *quick, Workers: *jobs}
 
 	var ids []string
 	if *run == "all" {

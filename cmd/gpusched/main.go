@@ -27,6 +27,7 @@ import (
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
+	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/recommend"
 	"gpushare/internal/report"
@@ -66,6 +67,7 @@ func main() {
 		baselines = flag.Bool("baselines", false, "also run naive-FIFO and time-slicing baselines")
 		recFlag   = flag.Bool("recommend", false, "print the analytic pair recommendations for the queue's tasks")
 		traceDir  = flag.String("trace-dir", "", "write Chrome traces (one per collocation group) into this directory")
+		jobs      = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
 
@@ -98,6 +100,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched.Workers = *jobs
+	// One session-wide cache: with -baselines the naive-FIFO and
+	// time-sliced executions revisit many of the plan's configurations.
+	sched.Cache = parallel.NewCache()
 	if *recFlag {
 		if err := printRecommendations(spec, store); err != nil {
 			fatal(err)

@@ -3,6 +3,7 @@ package gpushare_test
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 
 	"gpushare"
@@ -86,6 +87,64 @@ func runPipelineJSON(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// TestOOMDeterminism extends the determinism contract to the OOM path:
+// a run where several identically-arriving clients blow the device's
+// memory must (a) produce byte-identical JSON across repeats and (b)
+// report OOMFailures in sorted order, independent of the event-firing
+// order the failures were recorded in.
+func TestOOMDeterminism(t *testing.T) {
+	first, firstOOMs := runOOMJSON(t)
+	second, secondOOMs := runOOMJSON(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two identically seeded OOM runs produced different JSON:\nrun1 %d bytes, run2 %d bytes\nfirst divergence near byte %d",
+			len(first), len(second), firstDiff(first, second))
+	}
+	if len(firstOOMs) == 0 {
+		t.Fatal("config was expected to produce OOM failures but produced none")
+	}
+	if !sort.StringsAreSorted(firstOOMs) {
+		t.Fatalf("OOMFailures not sorted: %v", firstOOMs)
+	}
+	if !sort.StringsAreSorted(secondOOMs) {
+		t.Fatalf("OOMFailures not sorted on rerun: %v", secondOOMs)
+	}
+}
+
+// runOOMJSON simulates clients whose IDs are deliberately not in sorted
+// order and whose tasks exceed device memory, alongside one client that
+// fits, and returns the serialized result plus the OOM failure list.
+func runOOMJSON(t *testing.T) ([]byte, []string) {
+	t.Helper()
+	device := gpushare.MustLookupDevice("A100X")
+	w, err := gpushare.GetWorkload("AthenaPK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := w.BuildTaskSpec("4x", device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := *fits
+	huge.MaxMemMiB = device.MemoryMiB + 1 // can never be reserved
+
+	cfg := gpushare.SimConfig{Device: device, Seed: 42}
+	clients := []gpushare.SimClient{
+		// IDs chosen so append order (arrival order) != sorted order.
+		{ID: "zeta", Tasks: []*gpushare.TaskSpec{&huge}},
+		{ID: "alpha", Tasks: []*gpushare.TaskSpec{&huge}},
+		{ID: "mid", Tasks: []*gpushare.TaskSpec{fits}},
+	}
+	res, err := gpushare.RunClients(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, res.OOMFailures
 }
 
 func firstDiff(a, b []byte) int {

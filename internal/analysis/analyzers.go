@@ -12,6 +12,7 @@ var simulatorPackages = []string{
 	"internal/experiments",
 	"internal/interference",
 	"internal/mps",
+	"internal/parallel",
 }
 
 // metricPackages carry float64 utilization/energy arithmetic where exact

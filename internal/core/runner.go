@@ -6,6 +6,7 @@ import (
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
 	"gpushare/internal/mps"
+	"gpushare/internal/parallel"
 	"gpushare/internal/workflow"
 )
 
@@ -40,30 +41,56 @@ func (s *Scheduler) Execute(plan *Plan, simCfg gpusim.Config) (*Outcome, error) 
 
 	// An MPS control daemon per pool, one server per GPU: exercised here
 	// so plans respect real client-connection semantics (limits,
-	// partition-at-connect).
+	// partition-at-connect). Servers are created up front — the daemon is
+	// not safe for concurrent mutation — and each GPU's wave sequence then
+	// runs on the worker pool. Waves within a GPU stay serial: they share
+	// one MPS server, and a GPU's client-connection window is exactly one
+	// wave wide.
 	daemon := mps.NewControlDaemon(plan.Device.MaxMPSClients)
 	defer daemon.StopAll()
+	servers := make([]*mps.Server, len(plan.PerGPU))
+	for gpuIdx := range plan.PerGPU {
+		servers[gpuIdx] = daemon.ServerFor(fmt.Sprintf("gpu%d", gpuIdx))
+	}
+
+	type gpuOutcome struct {
+		groups   []GroupResult
+		makespan float64
+		energyJ  float64
+		cappedS  float64
+		tasks    int
+	}
+	perGPU, err := parallel.Map(s.Workers, len(plan.PerGPU), func(gpuIdx int) (gpuOutcome, error) {
+		var o gpuOutcome
+		for waveIdx, g := range plan.PerGPU[gpuIdx] {
+			res, err := s.runGroup(servers[gpuIdx], g, simCfg, gpuIdx, waveIdx)
+			if err != nil {
+				return gpuOutcome{}, err
+			}
+			o.groups = append(o.groups, GroupResult{
+				GPU: gpuIdx, Wave: waveIdx, Group: g, Result: res,
+			})
+			o.makespan += res.Makespan.Seconds()
+			o.energyJ += res.EnergyJ
+			o.cappedS += res.CappedTime.Seconds()
+			o.tasks += res.TasksCompleted()
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	out := &Outcome{Plan: plan}
 	gpuMakespans := make([]float64, len(plan.PerGPU))
 	var totalEnergy, totalCappedS float64
 	totalTasks := 0
-
-	for gpuIdx, waves := range plan.PerGPU {
-		server := daemon.ServerFor(fmt.Sprintf("gpu%d", gpuIdx))
-		for waveIdx, g := range waves {
-			res, err := s.runGroup(server, g, simCfg, gpuIdx, waveIdx)
-			if err != nil {
-				return nil, err
-			}
-			out.Groups = append(out.Groups, GroupResult{
-				GPU: gpuIdx, Wave: waveIdx, Group: g, Result: res,
-			})
-			gpuMakespans[gpuIdx] += res.Makespan.Seconds()
-			totalEnergy += res.EnergyJ
-			totalCappedS += res.CappedTime.Seconds()
-			totalTasks += res.TasksCompleted()
-		}
+	for gpuIdx, o := range perGPU {
+		out.Groups = append(out.Groups, o.groups...)
+		gpuMakespans[gpuIdx] = o.makespan
+		totalEnergy += o.energyJ
+		totalCappedS += o.cappedS
+		totalTasks += o.tasks
 	}
 
 	out.Sharing = poolSummary(plan, gpuMakespans, totalEnergy, totalCappedS, totalTasks)
@@ -90,11 +117,8 @@ func (s *Scheduler) Execute(plan *Plan, simCfg gpusim.Config) (*Outcome, error) 
 // runGroup executes one collocation group: each member workflow becomes
 // one MPS client (or one time-sliced process).
 func (s *Scheduler) runGroup(server *mps.Server, g *Group, simCfg gpusim.Config, gpuIdx, waveIdx int) (*gpusim.Result, error) {
-	eng, err := gpusim.New(simCfg)
-	if err != nil {
-		return nil, err
-	}
-	var clients []*mps.Client
+	var mpsClients []*mps.Client
+	var simClients []gpusim.Client
 	for i, m := range g.Members {
 		id := fmt.Sprintf("g%d-w%d-%s", gpuIdx, waveIdx, m.Workflow.Name)
 		partition := 1.0
@@ -104,25 +128,29 @@ func (s *Scheduler) runGroup(server *mps.Server, g *Group, simCfg gpusim.Config,
 		if simCfg.Mode == gpusim.ShareMPS {
 			mc, err := server.Connect(id, partition*100)
 			if err != nil {
+				for _, prev := range mpsClients {
+					_ = server.Disconnect(prev)
+				}
 				return nil, fmt.Errorf("core: MPS connect %s: %w", id, err)
 			}
-			clients = append(clients, mc)
+			mpsClients = append(mpsClients, mc)
 			partition = mc.Partition()
 		}
 		tasks, err := m.Workflow.BuildSpecs(s.Device)
 		if err != nil {
+			for _, prev := range mpsClients {
+				_ = server.Disconnect(prev)
+			}
 			return nil, err
 		}
-		if err := eng.AddClient(gpusim.Client{
+		simClients = append(simClients, gpusim.Client{
 			ID:        id,
 			Partition: partition,
 			Tasks:     tasks,
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
-	res, err := eng.Run()
-	for _, mc := range clients {
+	res, err := s.Cache.RunClients(simCfg, simClients)
+	for _, mc := range mpsClients {
 		_ = server.Disconnect(mc)
 	}
 	if err != nil {
@@ -146,26 +174,36 @@ func (s *Scheduler) runSequentialBaseline(plan *Plan, simCfg gpusim.Config) (met
 	seqCfg := simCfg
 	seqCfg.Mode = gpusim.ShareMPS // single client; mode is irrelevant
 
+	// Each workflow's solo run is independent: fan them out on the worker
+	// pool, seeding run i by SplitMix64 stream split from the base seed —
+	// a function of the run index alone, so the derived jitter streams are
+	// identical at any worker count (and well-separated between runs,
+	// unlike consecutive raw seeds).
+	results, err := parallel.Map(s.Workers, len(wfs), func(i int) (*gpusim.Result, error) {
+		tasks, err := wfs[i].BuildSpecs(s.Device)
+		if err != nil {
+			return nil, err
+		}
+		cfg := seqCfg
+		cfg.Seed = parallel.SplitSeed(seqCfg.Seed, i)
+		return s.Cache.RunSequential(cfg, tasks)
+	})
+	if err != nil {
+		return metrics.RunSummary{}, err
+	}
+
+	// Greedy earliest-available-GPU packing is inherently sequential in
+	// queue order; fold the in-order results serially.
 	gpuMakespans := make([]float64, len(plan.PerGPU))
 	var totalEnergy, totalCappedS float64
 	totalTasks := 0
-	for i, w := range wfs {
+	for _, res := range results {
 		// Earliest-available GPU; ties to lowest index.
 		best := 0
 		for g := 1; g < len(gpuMakespans); g++ {
 			if gpuMakespans[g] < gpuMakespans[best] {
 				best = g
 			}
-		}
-		tasks, err := w.BuildSpecs(s.Device)
-		if err != nil {
-			return metrics.RunSummary{}, err
-		}
-		cfg := seqCfg
-		cfg.Seed = seqCfg.Seed + uint64(i)
-		res, err := gpusim.RunSequential(cfg, tasks)
-		if err != nil {
-			return metrics.RunSummary{}, err
 		}
 		gpuMakespans[best] += res.Makespan.Seconds()
 		totalEnergy += res.EnergyJ

@@ -8,6 +8,7 @@ import (
 	"gpushare/internal/floats"
 	"gpushare/internal/gpu"
 	"gpushare/internal/interference"
+	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/workflow"
 	"gpushare/internal/workload"
@@ -93,6 +94,14 @@ type Scheduler struct {
 	Profiles *profile.Store
 	// Policy selects objective and knobs.
 	Policy Policy
+	// Workers bounds the worker pool Execute fans independent simulation
+	// runs out on (per-GPU wave sequences, per-workflow baseline runs);
+	// <= 0 selects GOMAXPROCS. Outcomes are byte-identical at any worker
+	// count (DESIGN.md §8).
+	Workers int
+	// Cache optionally memoizes simulation runs across Execute calls;
+	// nil runs uncached.
+	Cache *parallel.Cache
 }
 
 // NewScheduler constructs a scheduler with validation.

@@ -7,6 +7,7 @@ import (
 
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
+	"gpushare/internal/parallel"
 	"gpushare/internal/report"
 	"gpushare/internal/workflow"
 	"gpushare/internal/workload"
@@ -68,7 +69,7 @@ func RunCombo(opts Options, c workflow.Combination) (ComboResult, error) {
 	}
 
 	seqCfg := opts.simConfig()
-	seqRes, err := gpusim.RunSequential(seqCfg, allTasks)
+	seqRes, err := opts.cache().RunSequential(seqCfg, allTasks)
 	if err != nil {
 		return ComboResult{}, fmt.Errorf("combo %d sequential: %w", c.ID, err)
 	}
@@ -76,7 +77,7 @@ func RunCombo(opts Options, c workflow.Combination) (ComboResult, error) {
 
 	mpsCfg := opts.simConfig()
 	mpsCfg.Mode = gpusim.ShareMPS
-	mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+	mpsRes, err := opts.cache().RunClients(mpsCfg, clients)
 	if err != nil {
 		return ComboResult{}, fmt.Errorf("combo %d mps: %w", c.ID, err)
 	}
@@ -87,7 +88,7 @@ func RunCombo(opts Options, c workflow.Combination) (ComboResult, error) {
 
 	tsCfg := opts.simConfig()
 	tsCfg.Mode = gpusim.ShareTimeSlice
-	tsRes, err := gpusim.RunClients(tsCfg, clients)
+	tsRes, err := opts.cache().RunClients(tsCfg, clients)
 	if err != nil {
 		return ComboResult{}, fmt.Errorf("combo %d time-slicing: %w", c.ID, err)
 	}
@@ -113,22 +114,27 @@ type cacheKey struct {
 	device string
 	seed   uint64
 	quick  bool
+	// cache distinguishes sessions using different simulation caches:
+	// tests that install a fresh Options.Cache to force real runs must
+	// not be served the memo of another session (and vice versa), while
+	// default-cache callers keep sharing one memo entry.
+	cache *parallel.Cache
 }
 
-// RunCombos evaluates all Table III combinations. Results are memoized
-// per (device, seed, quick) so Figures 2 and 3 share one set of runs.
+// RunCombos evaluates all Table III combinations in parallel. Results are
+// memoized per (device, seed, quick, cache) so Figures 2 and 3 share one
+// set of runs.
 func RunCombos(opts Options) ([]ComboResult, error) {
-	key := cacheKey{device: opts.device().Name, seed: opts.Seed, quick: opts.Quick}
+	key := cacheKey{device: opts.device().Name, seed: opts.Seed, quick: opts.Quick, cache: opts.cache()}
 	if v, ok := comboCache.Load(key); ok {
 		return v.([]ComboResult), nil
 	}
-	var out []ComboResult
-	for _, c := range workflow.Combinations() {
-		r, err := RunCombo(opts, c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	combos := workflow.Combinations()
+	out, err := parallel.Map(opts.workers(), len(combos), func(i int) (ComboResult, error) {
+		return RunCombo(opts, combos[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	comboCache.Store(key, out)
 	return out, nil

@@ -14,6 +14,7 @@ import (
 
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
+	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 )
 
@@ -27,6 +28,15 @@ type Options struct {
 	// iteration counts) for fast test runs; full runs reproduce the
 	// paper's exact configurations.
 	Quick bool
+	// Workers bounds the worker pool for independent simulation runs
+	// within a sweep (the CLIs' -j flag); <= 0 selects GOMAXPROCS.
+	// Output is byte-identical at any worker count (DESIGN.md §8).
+	Workers int
+	// Cache memoizes simulation runs across an experiment session so
+	// repeated configurations (e.g. per-figure sequential baselines) are
+	// computed once. Nil selects a process-wide shared cache; a warm
+	// cache changes timing, never bytes.
+	Cache *parallel.Cache
 }
 
 func (o Options) device() gpu.DeviceSpec {
@@ -43,6 +53,23 @@ func (o Options) simConfig() gpusim.Config {
 // profiler returns an offline profiler on the experiment's device.
 func (o Options) profiler() *profile.Profiler {
 	return &profile.Profiler{Config: o.simConfig()}
+}
+
+// defaultCache is the process-wide simulation cache experiments share when
+// Options.Cache is nil. Keys are content hashes of the full run
+// configuration, so sharing across experiments (and across seeds) can
+// never alias distinct runs.
+var defaultCache = parallel.NewCache()
+
+// workers returns the normalized worker-pool width.
+func (o Options) workers() int { return parallel.Workers(o.Workers) }
+
+// cache returns the simulation cache for this run.
+func (o Options) cache() *parallel.Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return defaultCache
 }
 
 // Experiment couples an artifact ID with its runner.

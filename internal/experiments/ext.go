@@ -7,6 +7,7 @@ import (
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
 	"gpushare/internal/mig"
+	"gpushare/internal/parallel"
 	"gpushare/internal/report"
 	"gpushare/internal/workflow"
 	"gpushare/internal/workload"
@@ -38,32 +39,36 @@ func migCombos() []int { return []int{1, 3, 4, 5, 6, 7} }
 // than MPS" but "is less flexible").
 func ExtMIG(opts Options) ([]MIGComparisonRow, error) {
 	device := opts.device()
-	var rows []MIGComparisonRow
-	for _, id := range migCombos() {
+	ids := migCombos()
+	return parallel.Map(opts.workers(), len(ids), func(i int) (MIGComparisonRow, error) {
+		id := ids[i]
 		c, err := workflow.Combo(id)
 		if err != nil {
-			return nil, err
+			return MIGComparisonRow{}, err
 		}
 		clients, allTasks, err := comboClients(opts, c)
 		if err != nil {
-			return nil, err
+			return MIGComparisonRow{}, err
 		}
 
-		seqRes, err := gpusim.RunSequential(opts.simConfig(), allTasks)
+		// The sequential and MPS runs are the exact configurations
+		// RunCombo evaluates for Figures 2/3, so a warm cache serves
+		// both from memory here.
+		seqRes, err := opts.cache().RunSequential(opts.simConfig(), allTasks)
 		if err != nil {
-			return nil, err
+			return MIGComparisonRow{}, err
 		}
 		seq := metrics.Summarize(seqRes)
 
 		mpsCfg := opts.simConfig()
 		mpsCfg.Mode = gpusim.ShareMPS
-		mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+		mpsRes, err := opts.cache().RunClients(mpsCfg, clients)
 		if err != nil {
-			return nil, err
+			return MIGComparisonRow{}, err
 		}
 		relMPS, err := metrics.Compare(seq, metrics.Summarize(mpsRes))
 		if err != nil {
-			return nil, err
+			return MIGComparisonRow{}, err
 		}
 
 		flows := make([]mig.Tenant, len(clients))
@@ -75,16 +80,15 @@ func ExtMIG(opts Options) ([]MIGComparisonRow, error) {
 		if err != nil {
 			row.MIGInfeasible = true
 			row.Partition = "infeasible (memory partitions)"
-			rows = append(rows, row)
-			continue
+			return row, nil
 		}
 		migRes, err := mig.Run(opts.simConfig(), part, tenants)
 		if err != nil {
-			return nil, fmt.Errorf("combo %d: %w", id, err)
+			return MIGComparisonRow{}, fmt.Errorf("combo %d: %w", id, err)
 		}
 		relMIG, err := metrics.Compare(seq, migRes.Summary())
 		if err != nil {
-			return nil, fmt.Errorf("combo %d: %w", id, err)
+			return MIGComparisonRow{}, fmt.Errorf("combo %d: %w", id, err)
 		}
 		label := ""
 		for i, in := range part.Instances {
@@ -95,9 +99,8 @@ func ExtMIG(opts Options) ([]MIGComparisonRow, error) {
 		}
 		row.Partition = label
 		row.MIG = relMIG
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderExtMIG prints the comparison.
@@ -146,40 +149,39 @@ func ExtPowerCap(opts Options) ([]PowerCapPoint, error) {
 		return nil, err
 	}
 
-	var out []PowerCapPoint
-	for _, limit := range limits {
+	return parallel.Map(opts.workers(), len(limits), func(i int) (PowerCapPoint, error) {
+		limit := limits[i]
 		dev := base
 		dev.PowerLimitW = limit
 		if err := dev.Validate(); err != nil {
-			return nil, err
+			return PowerCapPoint{}, err
 		}
 		cfg := gpusim.Config{Device: dev, Seed: opts.Seed}
-		seqRes, err := gpusim.RunSequential(cfg, []*workload.TaskSpec{mhd, lam})
+		seqRes, err := opts.cache().RunSequential(cfg, []*workload.TaskSpec{mhd, lam})
 		if err != nil {
-			return nil, err
+			return PowerCapPoint{}, err
 		}
 		mpsCfg := cfg
 		mpsCfg.Mode = gpusim.ShareMPS
-		mpsRes, err := gpusim.RunClients(mpsCfg, []gpusim.Client{
+		mpsRes, err := opts.cache().RunClients(mpsCfg, []gpusim.Client{
 			{ID: "mhd", Tasks: []*workload.TaskSpec{mhd}},
 			{ID: "lam", Tasks: []*workload.TaskSpec{lam}},
 		})
 		if err != nil {
-			return nil, err
+			return PowerCapPoint{}, err
 		}
 		rel, err := metrics.Compare(metrics.Summarize(seqRes), metrics.Summarize(mpsRes))
 		if err != nil {
-			return nil, err
+			return PowerCapPoint{}, err
 		}
-		out = append(out, PowerCapPoint{
+		return PowerCapPoint{
 			LimitW:     limit,
 			Throughput: rel.Throughput,
 			Efficiency: rel.EnergyEfficiency,
 			CappedPct:  100 * mpsRes.CappedFraction,
 			AvgPowerW:  mpsRes.AvgPowerW,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderExtPowerCap prints the sweep.

@@ -5,6 +5,7 @@ import (
 
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
+	"gpushare/internal/parallel"
 	"gpushare/internal/report"
 	"gpushare/internal/workload"
 )
@@ -30,19 +31,19 @@ func ExtMechanisms(opts Options) ([]MechanismRow, error) {
 		{{"AthenaPK", "4x"}, {"LAMMPS", "4x"}},
 		{{"Cholla-MHD", "4x"}, {"LAMMPS", "4x"}},
 	}
-	var rows []MechanismRow
-	for _, pair := range pairs {
+	return parallel.Map(opts.workers(), len(pairs), func(i int) (MechanismRow, error) {
+		pair := pairs[i]
 		ta, err := workload.MustGet(pair[0].bench).BuildTaskSpec(pair[0].size, dev)
 		if err != nil {
-			return nil, err
+			return MechanismRow{}, err
 		}
 		tb, err := workload.MustGet(pair[1].bench).BuildTaskSpec(pair[1].size, dev)
 		if err != nil {
-			return nil, err
+			return MechanismRow{}, err
 		}
-		seqRes, err := gpusim.RunSequential(opts.simConfig(), []*workload.TaskSpec{ta, tb})
+		seqRes, err := opts.cache().RunSequential(opts.simConfig(), []*workload.TaskSpec{ta, tb})
 		if err != nil {
-			return nil, err
+			return MechanismRow{}, err
 		}
 		seq := metrics.Summarize(seqRes)
 
@@ -50,16 +51,16 @@ func ExtMechanisms(opts Options) ([]MechanismRow, error) {
 		for _, mode := range []gpusim.ShareMode{gpusim.ShareTimeSlice, gpusim.ShareMPS, gpusim.ShareStreams} {
 			cfg := opts.simConfig()
 			cfg.Mode = mode
-			res, err := gpusim.RunClients(cfg, []gpusim.Client{
+			res, err := opts.cache().RunClients(cfg, []gpusim.Client{
 				{ID: "a", Tasks: []*workload.TaskSpec{ta}},
 				{ID: "b", Tasks: []*workload.TaskSpec{tb}},
 			})
 			if err != nil {
-				return nil, err
+				return MechanismRow{}, err
 			}
 			rel, err := metrics.Compare(seq, metrics.Summarize(res))
 			if err != nil {
-				return nil, err
+				return MechanismRow{}, err
 			}
 			switch mode {
 			case gpusim.ShareTimeSlice:
@@ -70,9 +71,8 @@ func ExtMechanisms(opts Options) ([]MechanismRow, error) {
 				row.Streams = rel
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderExtMechanisms prints the comparison.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gpushare/internal/gpusim"
+	"gpushare/internal/parallel"
 	"gpushare/internal/report"
 	"gpushare/internal/workload"
 )
@@ -54,10 +55,21 @@ func Fig1Partitions(quick bool) []int {
 }
 
 // Fig1 sweeps MPS SM partition size for each panel benchmark and measures
-// solo task throughput.
+// solo task throughput. Every (benchmark, partition) point is an
+// independent simulation, so the full sweep fans out on the worker pool;
+// each point's configuration embeds only opts.Seed, so output bytes are
+// identical at any worker count.
 func Fig1(opts Options) ([]Fig1Series, error) {
-	var series []Fig1Series
-	for _, c := range fig1Cases() {
+	cases := fig1Cases()
+	partitions := Fig1Partitions(opts.Quick)
+
+	type job struct {
+		caseIdx int
+		task    *workload.TaskSpec
+		pct     int
+	}
+	var jobs []job
+	for ci, c := range cases {
 		w, err := workload.Get(c.bench)
 		if err != nil {
 			return nil, err
@@ -66,41 +78,53 @@ func Fig1(opts Options) ([]Fig1Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := Fig1Series{Benchmark: c.bench, Size: c.size}
+		for _, pct := range partitions {
+			jobs = append(jobs, job{caseIdx: ci, task: task, pct: pct})
+		}
+	}
+
+	points, err := parallel.Map(opts.workers(), len(jobs), func(i int) (Fig1Point, error) {
+		j := jobs[i]
+		c := cases[j.caseIdx]
+		cfg := opts.simConfig()
+		cfg.Mode = gpusim.ShareMPS
+		res, err := opts.cache().RunClients(cfg, []gpusim.Client{{
+			ID:        fmt.Sprintf("fig1-%s-%s-p%d", c.bench, c.size, j.pct),
+			Partition: float64(j.pct) / 100,
+			Tasks:     []*workload.TaskSpec{j.task},
+		}})
+		if err != nil {
+			return Fig1Point{}, err
+		}
+		return Fig1Point{
+			Benchmark: c.bench, Size: c.size, PartitionPct: j.pct,
+			TasksPerHour: 3600 / res.Makespan.Seconds(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	series := make([]Fig1Series, len(cases))
+	for ci, c := range cases {
+		series[ci] = Fig1Series{Benchmark: c.bench, Size: c.size}
+	}
+	for i, p := range points {
+		ci := jobs[i].caseIdx
+		series[ci].Points = append(series[ci].Points, p)
+	}
+	for ci := range series {
 		var at100 float64
-		for _, pct := range Fig1Partitions(opts.Quick) {
-			cfg := opts.simConfig()
-			cfg.Mode = gpusim.ShareMPS
-			eng, err := gpusim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := eng.AddClient(gpusim.Client{
-				ID:        fmt.Sprintf("fig1-%s-%s-p%d", c.bench, c.size, pct),
-				Partition: float64(pct) / 100,
-				Tasks:     []*workload.TaskSpec{task},
-			}); err != nil {
-				return nil, err
-			}
-			res, err := eng.Run()
-			if err != nil {
-				return nil, err
-			}
-			tph := 3600 / res.Makespan.Seconds()
-			s.Points = append(s.Points, Fig1Point{
-				Benchmark: c.bench, Size: c.size, PartitionPct: pct,
-				TasksPerHour: tph,
-			})
-			if pct == 100 {
-				at100 = tph
+		for _, p := range series[ci].Points {
+			if p.PartitionPct == 100 {
+				at100 = p.TasksPerHour
 			}
 		}
-		for i := range s.Points {
+		for i := range series[ci].Points {
 			if at100 > 0 {
-				s.Points[i].RelThroughput = s.Points[i].TasksPerHour / at100
+				series[ci].Points[i].RelThroughput = series[ci].Points[i].TasksPerHour / at100
 			}
 		}
-		series = append(series, s)
 	}
 	return series, nil
 }

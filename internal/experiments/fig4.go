@@ -6,6 +6,7 @@ import (
 
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
+	"gpushare/internal/parallel"
 	"gpushare/internal/report"
 	"gpushare/internal/workflow"
 	"gpushare/internal/workload"
@@ -60,13 +61,13 @@ func RunConfig(opts Options, bench, size string, seqTasks, parallel int) (Config
 		allTasks = append(allTasks, tasks...)
 	}
 
-	seqRes, err := gpusim.RunSequential(opts.simConfig(), allTasks)
+	seqRes, err := opts.cache().RunSequential(opts.simConfig(), allTasks)
 	if err != nil {
 		return ConfigPoint{}, err
 	}
 	mpsCfg := opts.simConfig()
 	mpsCfg.Mode = gpusim.ShareMPS
-	mpsRes, err := gpusim.RunClients(mpsCfg, clients)
+	mpsRes, err := opts.cache().RunClients(mpsCfg, clients)
 	if err != nil {
 		return ConfigPoint{}, err
 	}
@@ -142,24 +143,27 @@ func maxFeasibleClients(opts Options, bench, size string) (int, error) {
 // memory footprint cannot fit the device are skipped, as the scheduler's
 // capacity rule would never produce them.
 func Fig4(opts Options) ([]ConfigPoint, error) {
-	var out []ConfigPoint
+	type job struct {
+		bench, size string
+		clients     int
+	}
+	var jobs []job
 	for _, b := range fig4Benches() {
 		maxClients, err := maxFeasibleClients(opts, b.bench, b.size)
 		if err != nil {
 			return nil, err
 		}
-		for _, parallel := range Fig4Cardinalities(opts.Quick) {
-			if parallel > maxClients {
+		for _, n := range Fig4Cardinalities(opts.Quick) {
+			if n > maxClients {
 				continue
 			}
-			p, err := RunConfig(opts, b.bench, b.size, 2, parallel)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
+			jobs = append(jobs, job{bench: b.bench, size: b.size, clients: n})
 		}
 	}
-	return out, nil
+	return parallel.Map(opts.workers(), len(jobs), func(i int) (ConfigPoint, error) {
+		j := jobs[i]
+		return RunConfig(opts, j.bench, j.size, 2, j.clients)
+	})
 }
 
 // renderConfigPoints renders the shared Fig 4/5 panel set.

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"io"
+
+	"gpushare/internal/parallel"
 )
 
 // Fig5Configs returns the scheduling configurations of Figure 5: the
@@ -24,7 +26,11 @@ func Fig5Configs(quick bool) []struct{ SeqTasks, Parallel int } {
 // low-utilization workloads as Figure 4. Configurations whose concurrent
 // memory footprint cannot fit the device are skipped.
 func Fig5(opts Options) ([]ConfigPoint, error) {
-	var out []ConfigPoint
+	type job struct {
+		bench, size        string
+		seqTasks, parallel int
+	}
+	var jobs []job
 	for _, b := range fig4Benches() {
 		maxClients, err := maxFeasibleClients(opts, b.bench, b.size)
 		if err != nil {
@@ -34,14 +40,13 @@ func Fig5(opts Options) ([]ConfigPoint, error) {
 			if cfg.Parallel > maxClients {
 				continue
 			}
-			p, err := RunConfig(opts, b.bench, b.size, cfg.SeqTasks, cfg.Parallel)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
+			jobs = append(jobs, job{b.bench, b.size, cfg.SeqTasks, cfg.Parallel})
 		}
 	}
-	return out, nil
+	return parallel.Map(opts.workers(), len(jobs), func(i int) (ConfigPoint, error) {
+		j := jobs[i]
+		return RunConfig(opts, j.bench, j.size, j.seqTasks, j.parallel)
+	})
 }
 
 func init() {

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"gpushare/internal/parallel"
+)
+
+// renderAll regenerates every registered experiment with the given worker
+// count into one byte stream. Each invocation gets its own fresh
+// simulation cache so the runs are real (not served from another
+// invocation's memo), isolating the worker count as the only variable.
+func renderAll(t *testing.T, workers int, cache *parallel.Cache) []byte {
+	t.Helper()
+	opts := Options{Seed: 42, Quick: true, Workers: workers, Cache: cache}
+	var buf bytes.Buffer
+	for _, e := range All() {
+		if err := e.Run(opts, &buf); err != nil {
+			t.Fatalf("experiment %s at -j %d: %v", e.ID, workers, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestExperimentsByteIdenticalAcrossWorkerCounts is the determinism
+// contract of the parallel runner (DESIGN.md §8): every experiment
+// regenerator produces byte-identical output at -j 1, -j 4 and -j 16.
+func TestExperimentsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every experiment three times")
+	}
+	serial := renderAll(t, 1, parallel.NewCache())
+	if len(serial) == 0 {
+		t.Fatal("serial render produced no output")
+	}
+	for _, workers := range []int{4, 16} {
+		got := renderAll(t, workers, parallel.NewCache())
+		if !bytes.Equal(serial, got) {
+			t.Errorf("-j %d output differs from -j 1: %d vs %d bytes, first divergence at byte %d",
+				workers, len(got), len(serial), firstDiff(serial, got))
+		}
+	}
+}
+
+// TestExperimentsWarmCacheSameBytes reruns every experiment against the
+// cache the first pass populated: the rerun must be served largely from
+// memory (hits strictly increase) and still produce identical bytes — a
+// warm cache changes timing, never output.
+func TestExperimentsWarmCacheSameBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every experiment twice")
+	}
+	cache := parallel.NewCache()
+	cold := renderAll(t, 4, cache)
+	st := cache.Stats()
+	if st.Misses == 0 {
+		t.Fatal("cold pass recorded no cache misses; experiments are not routed through the cache")
+	}
+	warm := renderAll(t, 4, cache)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm-cache rerun differs from cold run: %d vs %d bytes, first divergence at byte %d",
+			len(warm), len(cold), firstDiff(cold, warm))
+	}
+	st2 := cache.Stats()
+	if st2.Hits <= st.Hits {
+		t.Errorf("warm rerun did not hit the cache: hits %d -> %d", st.Hits, st2.Hits)
+	}
+	if st2.Misses != st.Misses {
+		t.Errorf("warm rerun recomputed %d configurations; want all served from cache", st2.Misses-st.Misses)
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

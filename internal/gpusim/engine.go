@@ -260,6 +260,9 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 
+	// OOM failures accumulate in event-firing order; sort so Result is
+	// independent of tie-breaking between simultaneous reservations.
+	sort.Strings(e.oomFailures)
 	res := &Result{
 		Mode:            e.cfg.Mode,
 		Makespan:        simtime.Duration(e.now),

@@ -123,14 +123,15 @@ type Summary struct {
 	IdlePct float64
 }
 
-// Summarize reduces a sample series. It returns an error for an empty
-// series — summarizing nothing is a caller bug.
+// Summarize reduces a sample series. An empty series reduces to the zero
+// Summary: a zero-makespan run produces no samples, and dividing by the
+// zero sample count would poison every averaged field with NaN.
 func Summarize(samples []Sample, interval simtime.Duration) (Summary, error) {
-	if len(samples) == 0 {
-		return Summary{}, fmt.Errorf("nvml: no samples to summarize")
-	}
 	if interval <= 0 {
 		return Summary{}, fmt.Errorf("nvml: sample interval must be positive, got %v", interval)
+	}
+	if len(samples) == 0 {
+		return Summary{}, nil
 	}
 	var sum Summary
 	var capped, idle int
@@ -171,9 +172,16 @@ func Summarize(samples []Sample, interval simtime.Duration) (Summary, error) {
 // polling aliasing SampleTrace exhibits on sub-interval kernel bursts. The
 // paper's methodology pairs Nsight (utilization, precise) with SMI polling
 // (power, capping); the profiler uses this for the utilization columns.
+//
+// A zero end (an empty or zero-makespan run) integrates to the zero
+// Summary rather than dividing by zero time; a negative end is still a
+// caller bug and errors.
 func IntegrateTrace(spec gpu.DeviceSpec, trace []gpusim.TracePoint, end simtime.Time) (Summary, error) {
-	if end <= 0 {
-		return Summary{}, fmt.Errorf("nvml: non-positive trace end %v", end)
+	if end < 0 {
+		return Summary{}, fmt.Errorf("nvml: negative trace end %v", end)
+	}
+	if end == 0 {
+		return Summary{}, nil
 	}
 	var sum Summary
 	sum.Duration = simtime.Duration(end)

@@ -110,11 +110,23 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeErrors(t *testing.T) {
-	if _, err := Summarize(nil, simtime.Second); err == nil {
-		t.Fatal("empty series accepted")
-	}
 	if _, err := Summarize([]Sample{{}}, 0); err == nil {
 		t.Fatal("zero interval accepted")
+	}
+}
+
+// TestSummarizeEmptySeries is the zero-makespan regression: an empty
+// series must reduce to the zero Summary, not NaN-poisoned averages.
+func TestSummarizeEmptySeries(t *testing.T) {
+	sum, err := Summarize(nil, simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != (Summary{}) {
+		t.Fatalf("empty series summary = %+v, want zero Summary", sum)
+	}
+	if math.IsNaN(sum.AvgPowerW) || math.IsNaN(sum.SwPowerCapPct) || math.IsNaN(sum.IdlePct) {
+		t.Fatalf("empty series summary contains NaN: %+v", sum)
 	}
 }
 
@@ -210,8 +222,26 @@ func TestIntegrateTraceEmptyAndInvalid(t *testing.T) {
 	if sum.AvgPowerW != a100x().IdlePowerW || sum.IdlePct != 100 {
 		t.Fatalf("empty trace summary: %+v", sum)
 	}
-	if _, err := IntegrateTrace(a100x(), nil, 0); err == nil {
-		t.Fatal("zero end accepted")
+	if _, err := IntegrateTrace(a100x(), nil, -1); err == nil {
+		t.Fatal("negative end accepted")
+	}
+}
+
+// TestIntegrateTraceZeroEnd is the zero-makespan regression: integrating
+// over zero time must yield the zero Summary, not AvgPowerW = 0/0 = NaN
+// (which previously poisoned downstream CappedFraction-style metrics).
+func TestIntegrateTraceZeroEnd(t *testing.T) {
+	for _, trace := range [][]gpusim.TracePoint{nil, fakeTrace()} {
+		sum, err := IntegrateTrace(a100x(), trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != (Summary{}) {
+			t.Fatalf("zero-end summary = %+v, want zero Summary", sum)
+		}
+		if math.IsNaN(sum.AvgPowerW) || math.IsNaN(sum.SwPowerCapPct) || math.IsNaN(sum.AvgGPUUtilPct) {
+			t.Fatalf("zero-end summary contains NaN: %+v", sum)
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+package parallel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workload"
+)
+
+// DefaultMaxEntries bounds a cache's resident result count. Simulation
+// results retain their full device trace, so an unbounded cache inside a
+// long benchmark loop would grow without limit; once full, further
+// configurations are computed uncached (a bypass), which affects timing
+// only — never output bytes, since recomputation is deterministic.
+const DefaultMaxEntries = 512
+
+// Cache is a content-addressed memoization cache for simulation runs,
+// keyed by a canonical hash of the full run configuration (gpusim.Config
+// including device, sharing mode, contention parameters and seed, plus
+// the complete client set). Identical configurations — e.g. the
+// sequential baseline a figure re-simulates per panel — are computed once
+// and shared.
+//
+// A Cache is safe for concurrent use. Concurrent requests for the same
+// key are deduplicated: one caller computes, the rest block and share the
+// result. Returned results are shared between callers and MUST be treated
+// as read-only; every existing consumer (metrics, nvml, report) only
+// reads them.
+//
+// The key is conservative: configurations that normalize to the same
+// effective run (zero contention fields vs explicit defaults, partition 0
+// vs 1) hash differently and are computed separately. That costs duplicate
+// work, never a wrong hit.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	max     int
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	bypasses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *gpusim.Result
+	err  error
+}
+
+// NewCache returns an empty cache bounded at DefaultMaxEntries results.
+func NewCache() *Cache { return NewCacheSize(DefaultMaxEntries) }
+
+// NewCacheSize returns an empty cache holding at most max results;
+// max <= 0 selects DefaultMaxEntries.
+func NewCacheSize(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{entries: make(map[string]*cacheEntry), max: max}
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts lookups served from an existing entry (including
+	// lookups that blocked on an in-flight computation of the same key).
+	Hits int64
+	// Misses counts lookups that inserted and computed a new entry.
+	Misses int64
+	// Bypasses counts lookups computed uncached because the cache was
+	// full.
+	Bypasses int64
+	// Entries is the current resident result count.
+	Entries int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Bypasses: c.bypasses.Load(),
+		Entries:  n,
+	}
+}
+
+// Reset drops every cached result, keeping the counters.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+}
+
+// Key returns the canonical content hash of one run configuration. The
+// encoding is deterministic: JSON over plain exported-field structs
+// (encoding/json writes struct fields in declaration order), hashed with
+// SHA-256. Everything that can change a run's outcome is covered — the
+// device spec, sharing mode, contention parameters, seed, OOM policy,
+// power-cap switch, and each client's ID, partition, arrival and full
+// task content (phases, demands, cycles, memory footprint).
+func Key(cfg gpusim.Config, clients []gpusim.Client) (string, error) {
+	payload := struct {
+		Config  gpusim.Config
+		Clients []gpusim.Client
+	}{cfg, clients}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("parallel: canonical cache key: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunClients is a memoized gpusim.RunClients: the first request for a
+// configuration computes it, subsequent requests share the result. A nil
+// *Cache is valid and simply runs uncached.
+func (c *Cache) RunClients(cfg gpusim.Config, clients []gpusim.Client) (*gpusim.Result, error) {
+	if c == nil {
+		return gpusim.RunClients(cfg, clients)
+	}
+	key, err := Key(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if len(c.entries) >= c.max {
+			c.mu.Unlock()
+			c.bypasses.Add(1)
+			return gpusim.RunClients(cfg, clients)
+		}
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = gpusim.RunClients(cfg, clients) })
+	return e.res, e.err
+}
+
+// RunSequential is a memoized gpusim.RunSequential (all tasks
+// back-to-back under a single client). The client shape matches
+// gpusim.RunSequential exactly, so a cached sequential baseline is
+// byte-identical to an uncached one.
+func (c *Cache) RunSequential(cfg gpusim.Config, tasks []*workload.TaskSpec) (*gpusim.Result, error) {
+	if len(tasks) == 0 {
+		return gpusim.RunSequential(cfg, tasks) // surface its validation error
+	}
+	return c.RunClients(cfg, []gpusim.Client{{ID: "sequential", Tasks: tasks}})
+}
+
+// RunSolo is a memoized gpusim.RunSolo (one task alone — the offline
+// profiling configuration).
+func (c *Cache) RunSolo(cfg gpusim.Config, task *workload.TaskSpec) (*gpusim.Result, error) {
+	if task == nil {
+		return gpusim.RunSolo(cfg, task) // surface its validation error
+	}
+	return c.RunClients(cfg, []gpusim.Client{{
+		ID:    fmt.Sprintf("solo-%s-%s", task.Workload, task.Size),
+		Tasks: []*workload.TaskSpec{task},
+	}})
+}

@@ -1,0 +1,271 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/gpusim"
+	"gpushare/internal/workload"
+)
+
+func testTask(t *testing.T) *workload.TaskSpec {
+	t.Helper()
+	w, err := workload.Get("AthenaPK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := w.BuildTaskSpec("4x", gpu.MustLookup("A100X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func testConfig() gpusim.Config {
+	return gpusim.Config{Device: gpu.MustLookup("A100X"), Seed: 7}
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	clients := []gpusim.Client{{ID: "a", Tasks: []*workload.TaskSpec{task}}}
+
+	k1, err := Key(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same inputs hash differently: %s vs %s", k1, k2)
+	}
+
+	cfg2 := cfg
+	cfg2.Seed++
+	if k, _ := Key(cfg2, clients); k == k1 {
+		t.Fatal("seed change must change the key")
+	}
+	cfg3 := cfg
+	cfg3.Mode = gpusim.ShareTimeSlice
+	if k, _ := Key(cfg3, clients); k == k1 {
+		t.Fatal("share-mode change must change the key")
+	}
+	renamed := []gpusim.Client{{ID: "b", Tasks: clients[0].Tasks}}
+	if k, _ := Key(cfg, renamed); k == k1 {
+		t.Fatal("client ID change must change the key")
+	}
+}
+
+func TestCacheHitReturnsIdenticalResult(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	clients := []gpusim.Client{{ID: "c", Tasks: []*workload.TaskSpec{task}}}
+
+	c := NewCache()
+	r1, err := c.RunClients(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.RunClients(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second lookup must return the cached *Result pointer")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+
+	// A cached result must be byte-identical to an uncached run.
+	plain, err := gpusim.RunClients(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(r1)
+	b, _ := json.Marshal(plain)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached result differs from direct gpusim.RunClients run")
+	}
+}
+
+func TestCacheSequentialMatchesHelper(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	tasks := []*workload.TaskSpec{task, task}
+
+	c := NewCache()
+	cached, err := c.RunSequential(cfg, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := gpusim.RunSequential(cfg, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(cached)
+	b, _ := json.Marshal(plain)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Cache.RunSequential differs from gpusim.RunSequential")
+	}
+
+	// The equivalent RunClients shape must hit the same entry.
+	if _, err := c.RunClients(cfg, []gpusim.Client{{ID: "sequential", Tasks: tasks}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want the client-shape lookup to hit the sequential entry", st)
+	}
+}
+
+func TestCacheSoloMatchesHelper(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+
+	c := NewCache()
+	cached, err := c.RunSolo(cfg, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := gpusim.RunSolo(cfg, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(cached)
+	b, _ := json.Marshal(plain)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Cache.RunSolo differs from gpusim.RunSolo")
+	}
+}
+
+func TestNilCacheRunsUncached(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	var c *Cache
+	res, err := c.RunClients(cfg, []gpusim.Client{{ID: "n", Tasks: []*workload.TaskSpec{task}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil cache must still run the simulation")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+// TestCacheSingleflight hammers one key from many goroutines and asserts
+// exactly one computation happened (one miss, the rest hits, all sharing
+// one pointer).
+func TestCacheSingleflight(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	clients := []gpusim.Client{{ID: "sf", Tasks: []*workload.TaskSpec{task}}}
+
+	c := NewCache()
+	const callers = 16
+	results := make([]*gpusim.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.RunClients(cfg, clients)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different result pointers")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits on one entry", st, callers-1)
+	}
+}
+
+// TestCacheFullBypasses fills a 1-entry cache and asserts the second key
+// is computed uncached (a bypass) with correct output, while the first
+// key still hits.
+func TestCacheFullBypasses(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	c1 := []gpusim.Client{{ID: "one", Tasks: []*workload.TaskSpec{task}}}
+	c2 := []gpusim.Client{{ID: "two", Tasks: []*workload.TaskSpec{task}}}
+
+	c := NewCacheSize(1)
+	if _, err := c.RunClients(cfg, c1); err != nil {
+		t.Fatal(err)
+	}
+	bypassed, err := c.RunClients(cfg, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := gpusim.RunClients(cfg, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(bypassed)
+	b, _ := json.Marshal(plain)
+	if !bytes.Equal(a, b) {
+		t.Fatal("bypassed run differs from direct run")
+	}
+	if _, err := c.RunClients(cfg, c1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Bypasses != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 bypass, 1 entry", st)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	clients := []gpusim.Client{{ID: "r", Tasks: []*workload.TaskSpec{task}}}
+
+	c := NewCache()
+	if _, err := c.RunClients(cfg, clients); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after Reset = %d, want 0", st.Entries)
+	}
+	if _, err := c.RunClients(cfg, clients); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("misses after Reset+rerun = %d, want 2", st.Misses)
+	}
+}
+
+// TestCacheErrorMemoized: an erroring configuration is memoized too — the
+// error is deterministic, so recomputing it would only waste work.
+func TestCacheErrorMemoized(t *testing.T) {
+	cfg := testConfig()
+	c := NewCache()
+	_, err1 := c.RunClients(cfg, nil)
+	if err1 == nil {
+		t.Fatal("empty client set should error")
+	}
+	_, err2 := c.RunClients(cfg, nil)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("memoized error mismatch: %v vs %v", err1, err2)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want the error entry to be memoized", st)
+	}
+}

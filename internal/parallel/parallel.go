@@ -1,0 +1,110 @@
+// Package parallel is the bounded worker-pool execution layer for
+// independent simulation runs.
+//
+// Every paper artifact is a fan-out of fully independent gpusim runs
+// (partition sweeps, combination studies, cardinality sweeps), and the
+// scheduler's sequential baseline is a fan-out of per-workflow solo runs.
+// This package runs such fan-outs on a bounded number of workers while
+// preserving the determinism contract (DESIGN.md §7): results are
+// collected in submission order, per-run seeds derive only from the base
+// seed and the run index (never from worker identity or scheduling
+// order), so output is byte-identical to serial execution at any worker
+// count.
+//
+// The package deliberately imports neither time nor math/rand: it is a
+// simulator package under the nodeterminism analyzer.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the default worker-pool width: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers normalizes a caller-supplied worker count: values <= 0 select
+// DefaultWorkers.
+func Workers(n int) int {
+	if n <= 0 {
+		return DefaultWorkers()
+	}
+	return n
+}
+
+// SplitSeed derives the seed of run index run from base by one SplitMix64
+// mixing step — the same stream-splitting scheme xrand.Source.Fork uses
+// for per-client jitter streams. Derived seeds depend only on (base, run),
+// never on which worker executes the run or in what order runs complete,
+// so a parallel sweep seeds its runs exactly as the serial sweep does.
+func SplitSeed(base uint64, run int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(run)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines (workers <= 0 selects
+// DefaultWorkers) and returns the results in index order.
+//
+// Error semantics match serial execution deterministically: if any fn
+// returns an error, Map returns the error of the lowest failing index —
+// the error a serial loop would have stopped on — regardless of worker
+// count or completion order. All n calls are attempted (no early
+// cancellation), so fn must be safe to run after a lower index has
+// failed; simulation runs are pure, so this only costs wasted work on
+// error paths.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without results: it runs fn(0..n-1) on at most workers
+// goroutines and returns the lowest-index error, if any.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

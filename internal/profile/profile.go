@@ -11,6 +11,7 @@ package profile
 import (
 	"fmt"
 
+	"gpushare/internal/floats"
 	"gpushare/internal/gpusim"
 	"gpushare/internal/nvml"
 	"gpushare/internal/simtime"
@@ -110,7 +111,7 @@ func (pr *Profiler) ProfileTask(task *workload.TaskSpec) (*TaskProfile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d := smi.AvgPowerW - sum.AvgPowerW; d > 0.5*sum.AvgPowerW || d < -0.5*sum.AvgPowerW {
+	if samplingDiverges(smi.AvgPowerW, sum.AvgPowerW) {
 		return nil, fmt.Errorf("profile: SMI sampling diverges from trace integration "+
 			"(%.1f W vs %.1f W): choose a finer SampleInterval than %v",
 			smi.AvgPowerW, sum.AvgPowerW, interval)
@@ -135,6 +136,17 @@ func (pr *Profiler) ProfileTask(task *workload.TaskSpec) (*TaskProfile, error) {
 		SwPowerCapPct:     sum.SwPowerCapPct,
 		SizeFactor:        factor,
 	}, nil
+}
+
+// samplingDiverges reports whether the SMI-polled average power disagrees
+// with the exact trace integration by more than 50%. The comparison is
+// relative with an absolute floor (floats.EqWithin's max(1,·) scale):
+// near-zero integrated power — a zero-makespan or fully idle-capped run —
+// tolerates ±0.5 W absolute instead of demanding a 50% band around ~0,
+// which the previous hand-rolled `d > 0.5*sum || d < -0.5*sum` check
+// misfired on.
+func samplingDiverges(sampledW, integratedW float64) bool {
+	return !floats.EqWithin(sampledW, integratedW, 0.5)
 }
 
 // ProfileWorkload profiles every requested size of a benchmark.

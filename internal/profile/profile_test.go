@@ -203,3 +203,30 @@ func TestLoadStoreRejectsBadInput(t *testing.T) {
 		t.Fatal("wrong version accepted")
 	}
 }
+
+// TestSamplingDivergesNearZero is the near-zero regression for the
+// sampled-vs-integrated power cross-check: with integrated power ~0 W the
+// old hand-rolled 50% band demanded agreement within a vanishing window
+// and rejected any sampled value, including tiny absolute differences.
+// The floats-based check is absolute (±0.5 W) near zero.
+func TestSamplingDivergesNearZero(t *testing.T) {
+	cases := []struct {
+		name                  string
+		sampledW, integratedW float64
+		diverges              bool
+	}{
+		{"exact agreement", 200, 200, false},
+		{"within 50 percent", 240, 200, false},
+		{"beyond 50 percent", 450, 200, true},
+		{"both zero", 0, 0, false},
+		{"near-zero integrated, tiny sampled offset", 0.3, 0, false},
+		{"near-zero integrated, real divergence", 120, 0.1, true},
+		{"sub-watt jitter around a sub-watt signal", 0.6, 0.2, false},
+	}
+	for _, c := range cases {
+		if got := samplingDiverges(c.sampledW, c.integratedW); got != c.diverges {
+			t.Errorf("%s: samplingDiverges(%g, %g) = %v, want %v",
+				c.name, c.sampledW, c.integratedW, got, c.diverges)
+		}
+	}
+}
