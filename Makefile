@@ -4,8 +4,10 @@
 
 GO ?= go
 FUZZTIME ?= 15s
+# Experiment driven by `make profile`; override e.g. PROFILE_RUN=fig1,fig5.
+PROFILE_RUN ?= fig4
 
-.PHONY: all build test test-race race vet fmt fuzz check clean
+.PHONY: all build test test-race race vet fmt fuzz check clean profile bench-smoke
 
 all: build
 
@@ -43,7 +45,19 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPredictInterference -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueue -fuzztime=$(FUZZTIME) ./internal/eventq
 
+# One-command pprof workflow for perf PRs: profile a real experiment run
+# end to end, then inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+profile:
+	$(GO) run ./cmd/benchrepro -run $(PROFILE_RUN) -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
+
+# Compile-and-run smoke over the engine hot-path benchmark so it cannot
+# silently rot (CI runs this; -benchtime=1x keeps it fast).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=EngineSteadyState -benchtime=1x ./internal/gpusim
+
 check: fmt build vet test race
 
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

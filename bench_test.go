@@ -358,6 +358,13 @@ func BenchmarkAblationInterferenceAwareness(b *testing.B) {
 }
 
 // --- Simulator micro-benches ---
+//
+// These exercise the engine end to end through the public API, so their
+// allocs/op include per-run setup (client registration, result assembly).
+// The steady-state hot path itself — pop, advance, dispatch, recompute —
+// is measured in isolation by BenchmarkEngineSteadyState in
+// internal/gpusim (white-box, step-driven), which must report 0 allocs/op;
+// before/after numbers are recorded in BENCH_engine.json.
 
 // BenchmarkEngineSoloLAMMPS measures raw engine speed on one calibrated
 // task (≈114 simulated seconds).

@@ -7,12 +7,15 @@
 //	benchrepro -run all
 //	benchrepro -run table1,fig2 -seed 7 -quick
 //	benchrepro -run fig4 -j 8
+//	benchrepro -run fig4 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpushare/internal/experiments"
@@ -28,8 +31,41 @@ func main() {
 		device = flag.String("device", "A100X", "device model (see -devices)")
 		devs   = flag.Bool("devices", false, "list device models and exit")
 		jobs   = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
+		cpupro = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		mempro = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpupro != "" {
+		f, err := os.Create(*cpupro)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("cpuprofile: %w", err))
+			}
+		}()
+	}
+	if *mempro != "" {
+		defer func() {
+			f, err := os.Create(*mempro)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(fmt.Errorf("memprofile: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("memprofile: %w", err))
+			}
+		}()
+	}
 
 	if *devs {
 		for _, m := range gpu.Models() {

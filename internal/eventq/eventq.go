@@ -3,132 +3,228 @@
 //
 // Events are ordered by (time, sequence): two events scheduled for the same
 // instant fire in the order they were scheduled. The secondary key makes
-// simulations deterministic — Go's container/heap alone gives no stable
-// order for equal priorities, and nondeterministic tie-breaking would make
-// experiment output irreproducible.
+// simulations deterministic — a binary heap alone gives no stable order for
+// equal priorities, and nondeterministic tie-breaking would make experiment
+// output irreproducible.
+//
+// The queue is built for a zero-allocation steady state. Events carry a
+// typed payload (Kind + Data) instead of a closure, so scheduling captures
+// no environment, and retired events are recycled through an internal
+// freelist. Every event ends its life through exactly one path — Cancel for
+// events still in the heap, Free for events handed out by Pop — so the
+// freelist can neither leak events nor receive one twice.
 package eventq
 
-import (
-	"container/heap"
+import "gpushare/internal/simtime"
 
-	"gpushare/internal/simtime"
-)
+// Kind tags an event's payload so the owner of the queue can dispatch it
+// without a per-event closure. The queue itself never interprets it.
+type Kind uint8
 
-// Event is a unit of scheduled work. The callback runs when simulated time
-// reaches At.
+// Event is a unit of scheduled work, dispatched by the queue's owner on
+// (Kind, Data) when simulated time reaches At.
+//
+// Event handles are pooled: a handle is valid from Schedule until the event
+// is cancelled (Cancel) or retired after firing (Free), after which the
+// queue may reuse the same Event for a future Schedule. Holding a handle
+// past retirement and cancelling it later would cancel an unrelated event —
+// owners must drop or overwrite handles at retirement.
 type Event struct {
 	At   simtime.Time
-	Fire func(now simtime.Time)
+	Kind Kind
+	// Data is the dispatch operand. Store pointers (or nil): a pointer
+	// boxed in an interface does not allocate.
+	Data any
 
 	seq      uint64
 	index    int // position in the heap, -1 if popped or cancelled
 	canceled bool
 }
 
-// Cancelled reports whether the event was cancelled before firing.
+// Cancelled reports whether the event was cancelled before firing. Only
+// meaningful until the queue reuses the handle.
 func (e *Event) Cancelled() bool { return e.canceled }
 
 // Queue is a deterministic event queue. The zero value is ready to use.
 // Queue is not safe for concurrent use; the simulation loop is single-
 // threaded by design (see gpusim).
 type Queue struct {
-	h       eventHeap
+	h       []*Event
+	free    []*Event
 	nextSeq uint64
 }
 
-// Len returns the number of pending (non-cancelled) events.
-func (q *Queue) Len() int {
-	n := 0
-	for _, e := range q.h {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending events in O(1). Cancelled events are
+// removed from the heap eagerly, so the heap length is exact.
+func (q *Queue) Len() int { return len(q.h) }
 
 // Empty reports whether no live events remain.
-func (q *Queue) Empty() bool { return q.Len() == 0 }
+func (q *Queue) Empty() bool { return len(q.h) == 0 }
 
-// Schedule enqueues fn to run at instant at and returns a handle that can
-// be cancelled. Scheduling in the past is a programming error guarded by
-// the simulator loop, not here: the queue itself is time-agnostic.
-func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
-	e := &Event{At: at, Fire: fn, seq: q.nextSeq}
+// Schedule enqueues an event firing at instant at and returns its handle,
+// which stays valid until the event is cancelled or freed. Scheduling in
+// the past is a programming error guarded by the simulator loop, not here:
+// the queue itself is time-agnostic.
+func (q *Queue) Schedule(at simtime.Time, kind Kind, data any) *Event {
+	e := q.acquire()
+	e.At = at
+	e.Kind = kind
+	e.Data = data
+	e.seq = q.nextSeq
 	q.nextSeq++
-	heap.Push(&q.h, e)
+	q.push(e)
 	return e
 }
 
-// Cancel removes the event from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes the event from the queue and recycles it. Cancelling nil,
+// an already-cancelled event, or an event already handed out by Pop is a
+// no-op (a popped event is retired by its new owner via Free).
 func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&q.h, e.index)
+	if e.index < 0 {
+		return // popped: the Pop caller owns retirement
+	}
+	q.remove(e.index)
+	q.release(e)
 }
 
-// PeekTime returns the firing time of the earliest live event. ok is false
-// when the queue is empty.
+// PeekTime returns the firing time of the earliest event. ok is false when
+// the queue is empty.
 func (q *Queue) PeekTime() (at simtime.Time, ok bool) {
-	q.drainCancelled()
 	if len(q.h) == 0 {
 		return 0, false
 	}
 	return q.h[0].At, true
 }
 
-// Pop removes and returns the earliest live event. ok is false when the
-// queue is empty.
+// Pop removes and returns the earliest event. ok is false when the queue
+// is empty. Ownership of the handle transfers to the caller, who must
+// return it with Free once dispatched (or let it leak to the GC).
 func (q *Queue) Pop() (e *Event, ok bool) {
-	q.drainCancelled()
 	if len(q.h) == 0 {
 		return nil, false
 	}
-	ev := heap.Pop(&q.h).(*Event)
-	return ev, true
+	return q.popMin(), true
 }
 
-func (q *Queue) drainCancelled() {
-	for len(q.h) > 0 && q.h[0].canceled {
-		heap.Pop(&q.h)
+// Free retires an event obtained from Pop, returning it to the freelist.
+// Freeing nil is a no-op. Freeing an event still in the heap is a
+// programming error and panics: it would let the queue hand the same Event
+// out twice.
+func (q *Queue) Free(e *Event) {
+	if e == nil {
+		return
 	}
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+	if e.index >= 0 {
+		panic("eventq: Free of an event still in the queue")
 	}
-	return h[i].seq < h[j].seq
+	q.release(e)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// acquire takes an Event from the freelist (or allocates one) and resets
+// it for reuse.
+func (q *Queue) acquire() *Event {
+	if n := len(q.free); n > 0 {
+		e := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.canceled = false
+		return e
+	}
+	return &Event{index: -1}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// release is the single retirement path: every cancelled or freed event
+// passes through here exactly once.
+func (q *Queue) release(e *Event) {
+	e.Data = nil // drop the payload reference for the GC
+	q.free = append(q.free, e)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+// --- binary heap on (At, seq), hand-rolled to keep the hot path free of
+// interface dispatch ---
+
+func (q *Queue) less(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.h)
+	q.h = append(q.h, e)
+	q.up(e.index)
+}
+
+func (q *Queue) popMin() *Event {
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[0].index = 0
+	q.h[n] = nil
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+func (q *Queue) remove(i int) {
+	e := q.h[i]
+	n := len(q.h) - 1
+	if i != n {
+		q.h[i] = q.h[n]
+		q.h[i].index = i
+	}
+	q.h[n] = nil
+	q.h = q.h[:n]
+	if i < n {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	e.index = -1
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		q.h[i].index = i
+		q.h[parent].index = parent
+		i = parent
+	}
+}
+
+// down sifts the element at i toward the leaves and reports whether it
+// moved.
+func (q *Queue) down(i int) bool {
+	n := len(q.h)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(q.h[right], q.h[left]) {
+			least = right
+		}
+		if !q.less(q.h[least], q.h[i]) {
+			break
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		q.h[i].index = i
+		q.h[least].index = least
+		i = least
+	}
+	return i > start
 }

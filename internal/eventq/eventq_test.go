@@ -10,20 +10,27 @@ import (
 
 func at(s float64) simtime.Time { return simtime.Zero.Add(simtime.FromSeconds(s)) }
 
-func TestPopOrder(t *testing.T) {
-	var q Queue
+// drainData pops every event and returns the *int payloads in pop order.
+func drainData(q *Queue) []int {
 	var fired []int
-	for i, sec := range []float64{3, 1, 2, 0.5} {
-		i := i
-		q.Schedule(at(sec), func(simtime.Time) { fired = append(fired, i) })
-	}
 	for {
 		ev, ok := q.Pop()
 		if !ok {
-			break
+			return fired
 		}
-		ev.Fire(ev.At)
+		fired = append(fired, *ev.Data.(*int))
+		q.Free(ev)
 	}
+}
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	ids := make([]int, 4)
+	for i, sec := range []float64{3, 1, 2, 0.5} {
+		ids[i] = i
+		q.Schedule(at(sec), 0, &ids[i])
+	}
+	fired := drainData(&q)
 	want := []int{3, 1, 2, 0}
 	for i := range want {
 		if fired[i] != want[i] {
@@ -34,18 +41,12 @@ func TestPopOrder(t *testing.T) {
 
 func TestTieBreakIsFIFO(t *testing.T) {
 	var q Queue
-	var fired []int
+	ids := make([]int, 100)
 	for i := 0; i < 100; i++ {
-		i := i
-		q.Schedule(at(1), func(simtime.Time) { fired = append(fired, i) })
+		ids[i] = i
+		q.Schedule(at(1), 0, &ids[i])
 	}
-	for {
-		ev, ok := q.Pop()
-		if !ok {
-			break
-		}
-		ev.Fire(ev.At)
-	}
+	fired := drainData(&q)
 	for i := range fired {
 		if fired[i] != i {
 			t.Fatalf("same-time events fired out of schedule order: %v", fired[:10])
@@ -55,9 +56,9 @@ func TestTieBreakIsFIFO(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	var q Queue
-	fired := 0
-	e1 := q.Schedule(at(1), func(simtime.Time) { fired++ })
-	q.Schedule(at(2), func(simtime.Time) { fired++ })
+	one, two := 1, 2
+	e1 := q.Schedule(at(1), 0, &one)
+	q.Schedule(at(2), 0, &two)
 	q.Cancel(e1)
 	if !e1.Cancelled() {
 		t.Fatal("event not marked cancelled")
@@ -65,26 +66,19 @@ func TestCancel(t *testing.T) {
 	if q.Len() != 1 {
 		t.Fatalf("Len after cancel = %d, want 1", q.Len())
 	}
-	n := 0
-	for {
-		ev, ok := q.Pop()
-		if !ok {
-			break
-		}
-		ev.Fire(ev.At)
-		n++
-	}
-	if n != 1 || fired != 1 {
-		t.Fatalf("popped %d fired %d, want 1/1", n, fired)
+	fired := drainData(&q)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired %v, want [2]", fired)
 	}
 }
 
 func TestCancelIdempotentAndNil(t *testing.T) {
 	var q Queue
-	e := q.Schedule(at(1), func(simtime.Time) {})
+	e := q.Schedule(at(1), 0, nil)
 	q.Cancel(e)
 	q.Cancel(e) // second cancel is a no-op
 	q.Cancel(nil)
+	q.Free(nil)
 	if !q.Empty() {
 		t.Fatal("queue should be empty after cancel")
 	}
@@ -95,8 +89,8 @@ func TestPeekTime(t *testing.T) {
 	if _, ok := q.PeekTime(); ok {
 		t.Fatal("PeekTime on empty queue returned ok")
 	}
-	e1 := q.Schedule(at(5), func(simtime.Time) {})
-	q.Schedule(at(7), func(simtime.Time) {})
+	e1 := q.Schedule(at(5), 0, nil)
+	q.Schedule(at(7), 0, nil)
 	if got, ok := q.PeekTime(); !ok || got != at(5) {
 		t.Fatalf("PeekTime = %v,%v want %v", got, ok, at(5))
 	}
@@ -110,19 +104,84 @@ func TestRescheduleViaCancel(t *testing.T) {
 	// The engine's pattern: cancel the old finish event, schedule a new
 	// one at a different time.
 	var q Queue
-	var firedAt []simtime.Time
-	e := q.Schedule(at(10), func(now simtime.Time) { firedAt = append(firedAt, now) })
+	e := q.Schedule(at(10), 0, nil)
 	q.Cancel(e)
-	q.Schedule(at(4), func(now simtime.Time) { firedAt = append(firedAt, now) })
+	q.Schedule(at(4), 0, nil)
+	var firedAt []simtime.Time
 	for {
 		ev, ok := q.Pop()
 		if !ok {
 			break
 		}
-		ev.Fire(ev.At)
+		firedAt = append(firedAt, ev.At)
+		q.Free(ev)
 	}
 	if len(firedAt) != 1 || firedAt[0] != at(4) {
 		t.Fatalf("firedAt = %v", firedAt)
+	}
+}
+
+func TestKindAndDataSurviveRecycling(t *testing.T) {
+	// Drive the freelist hard: every retired event must come back with
+	// the kind and payload of its latest Schedule, not a stale one.
+	var q Queue
+	vals := []int{10, 20, 30}
+	for round := 0; round < 50; round++ {
+		for i := range vals {
+			q.Schedule(at(float64(i)), Kind(i), &vals[i])
+		}
+		for i := 0; i < len(vals); i++ {
+			ev, ok := q.Pop()
+			if !ok {
+				t.Fatal("queue drained early")
+			}
+			if ev.Kind != Kind(i) || *ev.Data.(*int) != vals[i] {
+				t.Fatalf("round %d: got kind %d data %v, want kind %d data %d",
+					round, ev.Kind, ev.Data, i, vals[i])
+			}
+			q.Free(ev)
+		}
+	}
+	if len(q.free) == 0 {
+		t.Fatal("freelist never populated")
+	}
+	if got := len(q.free); got > len(vals) {
+		t.Fatalf("freelist grew to %d events, want ≤ %d (recycling broken)", got, len(vals))
+	}
+}
+
+func TestFreeOfScheduledEventPanics(t *testing.T) {
+	var q Queue
+	e := q.Schedule(at(1), 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of a scheduled event did not panic")
+		}
+	}()
+	q.Free(e)
+}
+
+func TestLenIsLive(t *testing.T) {
+	var q Queue
+	events := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		events = append(events, q.Schedule(at(float64(i)), 0, nil))
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	q.Cancel(events[3])
+	q.Cancel(events[7])
+	if q.Len() != 8 {
+		t.Fatalf("Len after cancels = %d, want 8", q.Len())
+	}
+	if ev, ok := q.Pop(); !ok || ev.At != at(0) {
+		t.Fatalf("Pop = %v,%v", ev, ok)
+	} else {
+		q.Free(ev)
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len after pop = %d, want 7", q.Len())
 	}
 }
 
@@ -130,7 +189,7 @@ func TestPopSortedProperty(t *testing.T) {
 	f := func(times []uint16) bool {
 		var q Queue
 		for _, ms := range times {
-			q.Schedule(simtime.Zero.Add(simtime.Duration(ms)*simtime.Millisecond), func(simtime.Time) {})
+			q.Schedule(simtime.Zero.Add(simtime.Duration(ms)*simtime.Millisecond), 0, nil)
 		}
 		var popped []simtime.Time
 		for {
@@ -139,6 +198,7 @@ func TestPopSortedProperty(t *testing.T) {
 				break
 			}
 			popped = append(popped, ev.At)
+			q.Free(ev)
 		}
 		if len(popped) != len(times) {
 			return false

@@ -10,7 +10,9 @@ import (
 // checks the invariant the simulator's causality depends on: popped
 // events are nondecreasing in time, and events at equal instants fire in
 // scheduling order (the (time, seq) total order that makes runs
-// reproducible).
+// reproducible). Popped events are returned through Free, so the tape also
+// exercises freelist recycling: a recycled Event must carry its latest
+// payload, never a stale one.
 //
 // The tape is consumed two bytes at a time: the first selects the
 // operation (schedule / cancel / pop), the second parameterizes it
@@ -43,7 +45,9 @@ func FuzzEventQueue(f *testing.F) {
 				}
 				return
 			}
-			// Find the popped event among the live records.
+			// Find the popped event among the live records. Handles are
+			// recycled only after Cancel/Free removes them from live, so
+			// pointer identity is unambiguous here.
 			idx := -1
 			for i, s := range live {
 				if s.ev == ev {
@@ -59,6 +63,9 @@ func FuzzEventQueue(f *testing.F) {
 			if ev.At != s.at {
 				t.Fatalf("event time mutated: scheduled %v, popped %v", s.at, ev.At)
 			}
+			if got := *ev.Data.(*int); got != s.seq {
+				t.Fatalf("event payload mutated: scheduled seq %d, popped %d", s.seq, got)
+			}
 			if ev.At < lastAt {
 				t.Fatalf("pop order regressed in time: %v after %v", ev.At, lastAt)
 			}
@@ -66,6 +73,7 @@ func FuzzEventQueue(f *testing.F) {
 				t.Fatalf("equal-time events fired out of scheduling order: seq %d after %d", s.seq, lastSeq)
 			}
 			lastAt, lastSeq = ev.At, s.seq
+			q.Free(ev)
 		}
 
 		for i := 0; i+1 < len(tape); i += 2 {
@@ -73,7 +81,9 @@ func FuzzEventQueue(f *testing.F) {
 			switch {
 			case op < 0x40: // schedule at now + delay (possibly duplicate times)
 				at := lastAt.Add(simtime.Duration(arg))
-				ev := q.Schedule(at, func(simtime.Time) {})
+				id := new(int)
+				*id = nextSeq
+				ev := q.Schedule(at, Kind(arg), id)
 				live = append(live, scheduled{ev: ev, at: at, seq: nextSeq})
 				nextSeq++
 			case op < 0x80: // cancel an arbitrary live event

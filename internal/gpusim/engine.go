@@ -111,7 +111,21 @@ const (
 	phaseDone
 )
 
-// burst is one resident kernel burst in the fluid model.
+// Event kinds dispatched by the engine loop. The operand type is fixed per
+// kind; see dispatch.
+const (
+	// evTaskStart fires at a client's arrival instant. Data: *clientState.
+	evTaskStart eventq.Kind = iota
+	// evBurstFinish fires when a resident burst's work reaches zero at the
+	// current rates. Data: *burst.
+	evBurstFinish
+	// evGapEnd fires at the end of a host-side gap. Data: *clientState.
+	evGapEnd
+)
+
+// burst is one resident kernel burst in the fluid model. bursts are pooled
+// on the engine: acquireBurst/releaseBurst recycle them so steady-state
+// execution allocates nothing.
 type burst struct {
 	client    *clientState
 	demand    kernel.Demand
@@ -119,6 +133,13 @@ type burst struct {
 	remaining float64 // solo-rate seconds of work left
 	rate      float64 // current achieved rate (updated each recompute)
 	finishEv  *eventq.Event
+	// capShare is the MPS partition cap on this burst's rate (1 outside
+	// MPS or above saturation); capCompute is demand.Compute × capShare.
+	// Both are fixed for the burst's lifetime and hoisted out of
+	// preThrottleRates, which would otherwise redo the division on every
+	// recompute.
+	capShare   float64
+	capCompute float64
 }
 
 // clientState is the engine-side state machine for one client.
@@ -154,8 +175,15 @@ type Engine struct {
 	trace        []TracePoint
 	oomFailures  []string
 	peakResident int
+	events       int
 	ran          bool
 	fatalErr     error
+
+	// Reusable hot-path scratch: preThrottleRates' two per-call rate
+	// slices and the burst freelist. Sized once in start.
+	powerScratch    []float64
+	progressScratch []float64
+	burstFree       []*burst
 }
 
 // New creates an engine for cfg.
@@ -214,43 +242,104 @@ func (e *Engine) AddClient(c Client) error {
 	return nil
 }
 
-// Run executes the simulation to completion and returns the result. Run
-// may be called once per Engine.
-func (e *Engine) Run() (*Result, error) {
+// maxTracePrealloc caps the trace buffer's up-front capacity; longer
+// traces fall back to amortized append growth.
+const maxTracePrealloc = 1 << 16
+
+// start validates the client set, preallocates the per-run buffers and
+// schedules the arrival events. It is the prologue of Run, split out so
+// white-box benchmarks can drive the loop step by step.
+func (e *Engine) start() error {
 	if e.ran {
-		return nil, fmt.Errorf("gpusim: Run called twice")
+		return fmt.Errorf("gpusim: Run called twice")
 	}
 	e.ran = true
 	if len(e.clients) == 0 {
-		return nil, fmt.Errorf("gpusim: no clients")
+		return fmt.Errorf("gpusim: no clients")
 	}
+
+	// Preallocate everything the steady state would otherwise grow by
+	// repeated append: the rate scratch slices (at most one resident
+	// burst per client), each client's task records (exactly one record
+	// per task, OOM or not), and the trace buffer (at most one merged
+	// point per burst/gap boundary, plus arrivals and slack).
+	n := len(e.clients)
+	e.powerScratch = make([]float64, n)
+	e.progressScratch = make([]float64, n)
+	traceEst := 4
+	for _, cs := range e.clients {
+		cs.result.Tasks = make([]TaskRecord, 0, len(cs.spec.Tasks))
+		traceEst += 2
+		for _, t := range cs.spec.Tasks {
+			traceEst += 2*t.Cycles*len(t.Phases) + 2
+		}
+	}
+	if traceEst > maxTracePrealloc {
+		traceEst = maxTracePrealloc
+	}
+	e.trace = make([]TracePoint, 0, traceEst)
 
 	e.decision = e.power.Decide(0)
 	for _, cs := range e.clients {
-		cs := cs
-		e.queue.Schedule(cs.spec.Arrival, func(now simtime.Time) {
-			e.startNextTask(cs)
-		})
+		e.queue.Schedule(cs.spec.Arrival, evTaskStart, cs)
+	}
+	return nil
+}
+
+// step pops and dispatches one event. It returns false when the queue is
+// drained or an error occurred.
+func (e *Engine) step() (bool, error) {
+	ev, ok := e.queue.Pop()
+	if !ok {
+		return false, nil
+	}
+	if ev.At < e.now {
+		return false, fmt.Errorf("gpusim: time went backwards: %v -> %v", e.now, ev.At)
+	}
+	e.advance(ev.At)
+	e.dispatch(ev)
+	e.queue.Free(ev)
+	if e.fatalErr != nil {
+		return false, e.fatalErr
+	}
+	e.recompute()
+	e.events++
+	return true, nil
+}
+
+// dispatch routes a popped event to its handler by kind.
+func (e *Engine) dispatch(ev *eventq.Event) {
+	switch ev.Kind {
+	case evTaskStart:
+		e.startNextTask(ev.Data.(*clientState))
+	case evBurstFinish:
+		e.finishBurst(ev.Data.(*burst), ev)
+	case evGapEnd:
+		e.finishBurstAdvance(ev.Data.(*clientState))
+	default:
+		e.fatalErr = fmt.Errorf("gpusim: unknown event kind %d", ev.Kind)
+	}
+}
+
+// Run executes the simulation to completion and returns the result. Run
+// may be called once per Engine.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.start(); err != nil {
+		return nil, err
 	}
 
 	const maxEvents = 200_000_000 // defensive bound; never hit in practice
-	for events := 0; ; events++ {
-		if events > maxEvents {
+	for {
+		if e.events > maxEvents {
 			return nil, fmt.Errorf("gpusim: event budget exceeded (livelock?)")
 		}
-		ev, ok := e.queue.Pop()
+		ok, err := e.step()
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			break
 		}
-		if ev.At < e.now {
-			return nil, fmt.Errorf("gpusim: time went backwards: %v -> %v", e.now, ev.At)
-		}
-		e.advance(ev.At)
-		ev.Fire(ev.At)
-		if e.fatalErr != nil {
-			return nil, e.fatalErr
-		}
-		e.recompute()
 	}
 
 	for _, cs := range e.clients {
@@ -288,8 +377,9 @@ func (e *Engine) advance(now simtime.Time) {
 	dt := now.Sub(e.lastAdvance)
 	if dt > 0 {
 		e.meter.Accumulate(dt, e.decision)
+		secs := dt.Seconds()
 		for _, b := range e.active {
-			b.remaining -= b.rate * dt.Seconds()
+			b.remaining -= b.rate * secs
 			if b.remaining < 0 {
 				b.remaining = 0
 			}
@@ -335,26 +425,33 @@ func (e *Engine) recompute() {
 	e.computeUtil = math.Min(cUtil, 1)
 	e.bwUtil = math.Min(bUtil, 1)
 
-	// Reschedule finish events at the new rates.
+	// Refresh finish events at the new rates. Reschedule-skip: when the
+	// recomputed finish instant equals the already-scheduled one — the
+	// common case whenever an event leaves a burst's rate unchanged —
+	// the pending event is kept as is. Fire times are byte-identical to
+	// unconditional rescheduling by construction, because the skip
+	// triggers only on exact equality of the quantized instant.
 	for _, b := range e.active {
-		if b.finishEv != nil {
-			e.queue.Cancel(b.finishEv)
-		}
-		b := b
 		delay := simtime.FromSeconds(b.remaining / b.rate)
 		if delay < 0 {
 			delay = 0
 		}
-		b.finishEv = e.queue.Schedule(e.now.Add(delay), func(now simtime.Time) {
-			e.finishBurst(b)
-		})
+		at := e.now.Add(delay)
+		if b.finishEv != nil {
+			if b.finishEv.At == at {
+				continue
+			}
+			e.queue.Cancel(b.finishEv)
+		}
+		b.finishEv = e.queue.Schedule(at, evBurstFinish, b)
 	}
 
 	e.appendTrace()
 }
 
 // preThrottleRates computes each active burst's achieved rate before clock
-// throttling. It returns two aligned slices:
+// throttling. It returns two aligned slices (engine-owned scratch, valid
+// until the next call):
 //
 //   - powerRates drive the power model: partition caps, capacity sharing
 //     and bandwidth stalls included, but not the second-order efficiency
@@ -363,8 +460,12 @@ func (e *Engine) recompute() {
 //     overheads and drive actual task progress.
 func (e *Engine) preThrottleRates() (powerRates, progressRates []float64) {
 	n := len(e.active)
-	powerRates = make([]float64, n)
-	progressRates = make([]float64, n)
+	if cap(e.powerScratch) < n {
+		e.powerScratch = make([]float64, n)
+		e.progressScratch = make([]float64, n)
+	}
+	powerRates = e.powerScratch[:n]
+	progressRates = e.progressScratch[:n]
 
 	if e.cfg.Mode == ShareTimeSlice {
 		// Round-robin fluid approximation: each runnable process gets an
@@ -388,16 +489,12 @@ func (e *Engine) preThrottleRates() (powerRates, progressRates []float64) {
 	// Partition cap: a partition smaller than the kernel's saturation
 	// fraction dilates it (Figure 1's granularity effect). Streams have
 	// no partitioning — "there is no SM performance isolation" (§II-B).
+	// The per-burst cap and its compute-demand product are computed once
+	// at startBurst (burst.capShare / burst.capCompute).
 	var computeDemand, occSum float64
 	for i, b := range e.active {
-		cap := 1.0
-		if e.cfg.Mode == ShareMPS {
-			if p := b.client.spec.Partition; p < b.demand.Saturation {
-				cap = p / b.demand.Saturation
-			}
-		}
-		powerRates[i] = cap
-		computeDemand += b.demand.Compute * cap
+		powerRates[i] = b.capShare
+		computeDemand += b.capCompute
 		occSum += b.demand.AchievedOcc
 	}
 
@@ -525,6 +622,24 @@ func (e *Engine) startNextTask(cs *clientState) {
 	cs.result.End = e.now
 }
 
+// acquireBurst takes a burst from the engine freelist or allocates one.
+func (e *Engine) acquireBurst() *burst {
+	if n := len(e.burstFree); n > 0 {
+		b := e.burstFree[n-1]
+		e.burstFree[n-1] = nil
+		e.burstFree = e.burstFree[:n-1]
+		return b
+	}
+	return &burst{}
+}
+
+// releaseBurst recycles a retired burst. The caller must have unlinked it
+// from the active set, its client, and its finish event.
+func (e *Engine) releaseBurst(b *burst) {
+	*b = burst{}
+	e.burstFree = append(e.burstFree, b)
+}
+
 // startBurst makes the client's current phase resident.
 func (e *Engine) startBurst(cs *clientState) {
 	task := cs.spec.Tasks[cs.taskIdx]
@@ -536,36 +651,67 @@ func (e *Engine) startBurst(cs *clientState) {
 		e.finishBurstAdvance(cs)
 		return
 	}
-	b := &burst{
-		client:    cs,
-		demand:    ph.Demand,
-		dynPowerW: ph.DynPowerW,
-		remaining: work,
-		rate:      1,
+	b := e.acquireBurst()
+	b.client = cs
+	b.demand = ph.Demand
+	b.dynPowerW = ph.DynPowerW
+	b.remaining = work
+	b.rate = 1
+	b.capShare = 1
+	if e.cfg.Mode == ShareMPS {
+		if p := cs.spec.Partition; p < ph.Demand.Saturation {
+			b.capShare = p / ph.Demand.Saturation
+		}
 	}
+	b.capCompute = ph.Demand.Compute * b.capShare
 	cs.burst = b
 	cs.phase = phaseActive
-	e.active = append(e.active, b)
-	sort.SliceStable(e.active, func(i, j int) bool {
-		return e.active[i].client.idx < e.active[j].client.idx
+	e.insertActive(b)
+}
+
+// insertActive inserts b into the active set, which is kept sorted by
+// client index (each client has at most one resident burst, so indices are
+// unique). Binary-search insertion replaces the sort.SliceStable the
+// engine used to run after every append.
+func (e *Engine) insertActive(b *burst) {
+	idx := b.client.idx
+	i := sort.Search(len(e.active), func(i int) bool {
+		return e.active[i].client.idx > idx
 	})
+	e.active = append(e.active, nil)
+	copy(e.active[i+1:], e.active[i:])
+	e.active[i] = b
+}
+
+// removeActive removes b from the sorted active set.
+func (e *Engine) removeActive(b *burst) {
+	idx := b.client.idx
+	i := sort.Search(len(e.active), func(i int) bool {
+		return e.active[i].client.idx >= idx
+	})
+	if i < len(e.active) && e.active[i] == b {
+		copy(e.active[i:], e.active[i+1:])
+		e.active[len(e.active)-1] = nil
+		e.active = e.active[:len(e.active)-1]
+	}
 }
 
 // finishBurst retires a completed burst and moves the client to its gap.
-func (e *Engine) finishBurst(b *burst) {
-	if b.remaining > 1e-9 {
-		// A stale finish event that lost a race with recompute; the
-		// rescheduled event will handle completion.
+// ev is the firing event; the event-identity guard (b.finishEv == ev) is
+// exact — unlike the former remaining-work epsilon, it cannot mis-fire for
+// bursts shorter than the epsilon, and it costs one pointer compare.
+func (e *Engine) finishBurst(b *burst, ev *eventq.Event) {
+	if b.finishEv != ev {
+		// Stale: ev is no longer the burst's scheduled finish event.
+		// Unreachable while cancelled events never fire; kept as
+		// defense in depth for the pooled-event lifecycle.
 		return
 	}
+	b.finishEv = nil
 	cs := b.client
-	for i, a := range e.active {
-		if a == b {
-			e.active = append(e.active[:i], e.active[i+1:]...)
-			break
-		}
-	}
+	e.removeActive(b)
 	cs.burst = nil
+	e.releaseBurst(b)
 
 	task := cs.spec.Tasks[cs.taskIdx]
 	gap := task.Phases[cs.phaseIdx].GapAfter
@@ -577,9 +723,7 @@ func (e *Engine) finishBurst(b *burst) {
 		return
 	}
 	cs.phase = phaseGap
-	e.queue.Schedule(e.now.Add(gap), func(now simtime.Time) {
-		e.finishBurstAdvance(cs)
-	})
+	e.queue.Schedule(e.now.Add(gap), evGapEnd, cs)
 }
 
 // finishBurstAdvance moves the client past the current phase's gap to the

@@ -8,6 +8,8 @@ import (
 
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
+	"gpushare/internal/kernel"
+	"gpushare/internal/simtime"
 	"gpushare/internal/workload"
 )
 
@@ -58,6 +60,42 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 	renamed := []gpusim.Client{{ID: "b", Tasks: clients[0].Tasks}}
 	if k, _ := Key(cfg, renamed); k == k1 {
 		t.Fatal("client ID change must change the key")
+	}
+}
+
+// TestKeyStableAcrossRefactors pins the canonical hash of a hand-built
+// configuration. The key covers only run *inputs* (gpusim.Config and the
+// client set), so engine-internal refactors — event representation, burst
+// pooling, scratch buffers — must never move it: a change here means the
+// content-addressed cache silently forgot every prior result (or worse,
+// that an input-relevant field was dropped from the encoding).
+func TestKeyStableAcrossRefactors(t *testing.T) {
+	const want = "b9183f85bc36ee0f99a0ef19f8d69fb59e479c1e19f3a7d85171da488b3d1387"
+	spec := &workload.TaskSpec{
+		Workload: "pinned", Size: "1x",
+		SoloDuration: 10 * simtime.Second,
+		Duty:         0.5,
+		MaxMemMiB:    2048,
+		Phases: []workload.Phase{{
+			Demand:     kernel.Demand{SMFootprint: 0.5, Fill: 0.25, Compute: 0.25, Saturation: 0.25, Bandwidth: 0.1, TheoreticalOcc: 0.5, AchievedOcc: 0.25},
+			ActiveWork: 5 * simtime.Millisecond,
+			GapAfter:   1 * simtime.Millisecond,
+			DynPowerW:  25,
+		}},
+		Cycles: 100,
+		Agg:    kernel.Demand{Compute: 0.25, Bandwidth: 0.1},
+	}
+	cfg := gpusim.Config{Device: gpu.MustLookup("A100X"), Mode: gpusim.ShareMPS, Seed: 42}
+	clients := []gpusim.Client{
+		{ID: "a", Partition: 0.5, Tasks: []*workload.TaskSpec{spec}},
+		{ID: "b", Tasks: []*workload.TaskSpec{spec}},
+	}
+	got, err := Key(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("canonical cache key moved:\n got  %s\n want %s\nif the input encoding changed intentionally, update the pin and note it in DESIGN.md §8", got, want)
 	}
 }
 
