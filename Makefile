@@ -7,7 +7,7 @@ FUZZTIME ?= 15s
 # Experiment driven by `make profile`; override e.g. PROFILE_RUN=fig1,fig5.
 PROFILE_RUN ?= fig4
 
-.PHONY: all build test test-race race vet fmt fuzz check clean profile bench-smoke
+.PHONY: all build test test-race race vet fmt fuzz check clean profile bench-smoke obs-smoke
 
 all: build
 
@@ -55,6 +55,12 @@ profile:
 # silently rot (CI runs this; -benchtime=1x keeps it fast).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=EngineSteadyState -benchtime=1x ./internal/gpusim
+
+# Live-endpoint smoke: benchrepro with telemetry serving, /healthz and
+# /debug/pprof probed, /metrics diffed against the committed golden
+# snapshot (CI runs this; see scripts/obs_smoke.sh to regenerate).
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 check: fmt build vet test race
 

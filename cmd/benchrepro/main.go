@@ -8,18 +8,23 @@
 //	benchrepro -run table1,fig2 -seed 7 -quick
 //	benchrepro -run fig4 -j 8
 //	benchrepro -run fig4 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	benchrepro -run table2 -quick -http 127.0.0.1:8377
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"gpushare/internal/experiments"
 	"gpushare/internal/gpu"
+	"gpushare/internal/obs"
 )
 
 func main() {
@@ -33,8 +38,32 @@ func main() {
 		jobs   = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 		cpupro = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		mempro = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
+		htaddr = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address and keep serving after the runs (gauge benchrepro_run_complete flips to 1 when they finish)")
+		metOut = flag.String("metrics-out", "", "write the final telemetry metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	// Telemetry is opt-in: the hub exists only when something consumes it,
+	// so plain runs keep the instrumentation on its no-op path. The wall
+	// clock is injected here — cmd/ is outside the nodeterminism analyzer
+	// scope — and feeds spans only, never the metrics snapshot.
+	var hub *obs.Hub
+	if *htaddr != "" || *metOut != "" {
+		hub = obs.NewHub(func() int64 { return time.Now().UnixNano() })
+		obs.SetActive(hub)
+	}
+	if *htaddr != "" {
+		ln, err := net.Listen("tcp", *htaddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler(hub)); err != nil {
+				fatal(fmt.Errorf("http: %w", err))
+			}
+		}()
+	}
 
 	if *cpupro != "" {
 		f, err := os.Create(*cpupro)
@@ -105,6 +134,27 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Println()
+	}
+
+	if hub != nil {
+		hub.Gauge("benchrepro_run_complete").Set(1)
+	}
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := hub.Metrics.WriteJSON(f); err != nil {
+			fatal(fmt.Errorf("metrics-out: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("metrics-out: %w", err))
+		}
+		fmt.Printf("wrote %s\n", *metOut)
+	}
+	if *htaddr != "" {
+		fmt.Println("runs complete; serving telemetry until interrupted")
+		select {}
 	}
 }
 

@@ -13,20 +13,29 @@
 //	gpusched -combo 6 -policy energy
 //	gpusched -uniform AthenaPK:4x:2x8 -policy throughput -rightsize
 //	gpusched -queue queue.json -profiles profiles.json -gpus 2
+//
+// The serve form runs the same pipeline with telemetry enabled and then
+// keeps serving /metrics, /healthz and /debug/pprof for inspection:
+//
+//	gpusched serve -http 127.0.0.1:8378 -combo 6
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gpushare/internal/core"
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
+	"gpushare/internal/obs"
 	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/recommend"
@@ -66,10 +75,45 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		baselines = flag.Bool("baselines", false, "also run naive-FIFO and time-slicing baselines")
 		recFlag   = flag.Bool("recommend", false, "print the analytic pair recommendations for the queue's tasks")
-		traceDir  = flag.String("trace-dir", "", "write Chrome traces (one per collocation group) into this directory")
+		traceDir  = flag.String("trace-dir", "", "write Chrome traces (one per collocation group, plus a combined timeline.json with telemetry spans) into this directory")
 		jobs      = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
+		htaddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (serve mode defaults to 127.0.0.1:8378)")
 	)
-	flag.Parse()
+	// "gpusched serve ..." is the inspection form: telemetry on, HTTP
+	// endpoint up, process kept alive after the run.
+	args := os.Args[1:]
+	serveMode := len(args) > 0 && args[0] == "serve"
+	if serveMode {
+		args = args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if serveMode && *htaddr == "" {
+		*htaddr = "127.0.0.1:8378"
+	}
+
+	// Telemetry: on for serve mode, an HTTP endpoint, or trace export
+	// (the combined timeline wants the recorded spans); otherwise the
+	// instrumentation stays on its no-op path. The wall clock is injected
+	// from here — cmd/ is outside the nodeterminism analyzer scope.
+	var hub *obs.Hub
+	if serveMode || *htaddr != "" || *traceDir != "" {
+		hub = obs.NewHub(func() int64 { return time.Now().UnixNano() })
+		obs.SetActive(hub)
+	}
+	if *htaddr != "" {
+		ln, err := net.Listen("tcp", *htaddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler(hub)); err != nil {
+				fatal(fmt.Errorf("http: %w", err))
+			}
+		}()
+	}
 
 	if *schema {
 		fmt.Println(queueSchema)
@@ -123,12 +167,6 @@ func main() {
 	}
 	printOutcome("interference-aware MPS", outcome)
 
-	if *traceDir != "" {
-		if err := writeTraces(*traceDir, outcome); err != nil {
-			fatal(err)
-		}
-	}
-
 	if *baselines {
 		naive, err := sched.NaiveFIFOPlan(queue, policyClientCap(policy, spec))
 		if err != nil {
@@ -145,6 +183,20 @@ func main() {
 			fatal(err)
 		}
 		printOutcome("time-slicing", tsOut)
+	}
+
+	// Traces are written after the baselines so the combined timeline's
+	// telemetry spans cover everything the process simulated.
+	if *traceDir != "" {
+		if err := writeTraces(*traceDir, outcome, hub); err != nil {
+			fatal(err)
+		}
+	}
+
+	if serveMode {
+		hub.Gauge("gpusched_run_complete").Set(1)
+		fmt.Println("run complete; serving telemetry until interrupted")
+		select {}
 	}
 }
 
@@ -314,8 +366,11 @@ func printRecommendations(spec gpu.DeviceSpec, store *profile.Store) error {
 	return nil
 }
 
-// writeTraces saves one Chrome trace JSON per executed collocation group.
-func writeTraces(dir string, outcome *core.Outcome) error {
+// writeTraces saves one Chrome trace JSON per executed collocation group,
+// plus timeline.json: every group's device counters and task spans joined
+// with the telemetry spans (engine bursts in sim time; scheduler, cache
+// and worker-pool phases in wall time) in one chrome://tracing view.
+func writeTraces(dir string, outcome *core.Outcome, hub *obs.Hub) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -335,6 +390,31 @@ func writeTraces(dir string, outcome *core.Outcome) error {
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
+
+	path := filepath.Join(dir, "timeline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	for i, gr := range outcome.Groups {
+		if err := tw.Result(gr.Result, trace.PidResultBase+2*i,
+			fmt.Sprintf("gpu%d-wave%d", gr.GPU, gr.Wave)); err != nil {
+			break
+		}
+	}
+	if hub != nil {
+		tw.Spans(hub.Spans.Snapshot(), trace.PidObsSim, trace.PidObsWall)
+	}
+	err = tw.Close()
+	cerr := f.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

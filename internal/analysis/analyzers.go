@@ -12,6 +12,7 @@ var simulatorPackages = []string{
 	"internal/experiments",
 	"internal/interference",
 	"internal/mps",
+	"internal/obs",
 	"internal/parallel",
 }
 

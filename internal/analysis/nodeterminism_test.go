@@ -24,6 +24,7 @@ func TestNoDeterminismScope(t *testing.T) {
 		"gpushare/internal/experiments",
 		"gpushare/internal/interference",
 		"gpushare/internal/mps",
+		"gpushare/internal/obs",
 		"gpushare/internal/parallel",
 	} {
 		if !analysis.NoDeterminism.AppliesTo(p) {

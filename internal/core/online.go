@@ -8,6 +8,7 @@ import (
 	"gpushare/internal/gpusim"
 	"gpushare/internal/interference"
 	"gpushare/internal/metrics"
+	"gpushare/internal/obs"
 	"gpushare/internal/simtime"
 	"gpushare/internal/workflow"
 )
@@ -63,6 +64,10 @@ type onlineResident struct {
 	end simtime.Time
 }
 
+// queueWaitBoundsMs bucket online queueing delay in simulated
+// milliseconds (the paper's workflows run seconds to minutes).
+var queueWaitBoundsMs = []int64{0, 10, 100, 1_000, 10_000, 60_000, 600_000}
+
 // ScheduleOnline emulates online operation: workflows are dispatched at or
 // after their arrival, to the first GPU where the paper's rules admit them
 // alongside the residents; otherwise they wait for a predicted completion.
@@ -77,6 +82,8 @@ func (s *Scheduler) ScheduleOnline(arrivals []Arrival, simCfg gpusim.Config) (*O
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("core: no arrivals")
 	}
+	hub := obs.Active()
+	defer hub.StartWall("scheduler", "ScheduleOnline").End()
 	simCfg.Device = s.Device
 
 	sorted := make([]Arrival, len(arrivals))
@@ -150,6 +157,15 @@ func (s *Scheduler) ScheduleOnline(arrivals []Arrival, simCfg gpusim.Config) (*O
 					WaitedS:          now.Sub(a.At).Seconds(),
 					RunningAlongside: alongside,
 				})
+				// Dispatch telemetry: the decision loop is serial and
+				// queue waits are sim-time durations, so all of this is
+				// deterministic.
+				hub.Counter("dispatch_total").Inc()
+				hub.Counter("dispatch_waited_simns_total").Add(int64(now.Sub(a.At)))
+				hub.Histogram("dispatch_queue_wait_ms", queueWaitBoundsMs).
+					Observe(int64(now.Sub(a.At) / simtime.Millisecond))
+				hub.Histogram("dispatch_collocated_clients", groupOccupancyBounds).
+					Observe(int64(len(alongside) + 1))
 				break
 			}
 			// Wait for the next predicted completion.

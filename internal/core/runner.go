@@ -6,6 +6,7 @@ import (
 	"gpushare/internal/gpusim"
 	"gpushare/internal/metrics"
 	"gpushare/internal/mps"
+	"gpushare/internal/obs"
 	"gpushare/internal/parallel"
 	"gpushare/internal/workflow"
 )
@@ -37,6 +38,8 @@ func (s *Scheduler) Execute(plan *Plan, simCfg gpusim.Config) (*Outcome, error) 
 	if plan == nil || plan.WorkflowCount() == 0 {
 		return nil, fmt.Errorf("core: empty plan")
 	}
+	hub := obs.Active()
+	defer hub.StartWall("scheduler", "Execute").End()
 	simCfg.Device = plan.Device
 
 	// An MPS control daemon per pool, one server per GPU: exercised here
@@ -117,6 +120,14 @@ func (s *Scheduler) Execute(plan *Plan, simCfg gpusim.Config) (*Outcome, error) 
 // runGroup executes one collocation group: each member workflow becomes
 // one MPS client (or one time-sliced process).
 func (s *Scheduler) runGroup(server *mps.Server, g *Group, simCfg gpusim.Config, gpuIdx, waveIdx int) (*gpusim.Result, error) {
+	hub := obs.Active()
+	hub.Counter("sched_waves_total").Inc()
+	detail := ""
+	if hub.SpansEnabled() {
+		detail = fmt.Sprintf("gpu%d-wave%d", gpuIdx, waveIdx)
+	}
+	sp := hub.StartWall("scheduler", "runGroup")
+	defer sp.EndDetail(detail)
 	var mpsClients []*mps.Client
 	var simClients []gpusim.Client
 	for i, m := range g.Members {

@@ -8,6 +8,7 @@ import (
 	"gpushare/internal/floats"
 	"gpushare/internal/gpu"
 	"gpushare/internal/interference"
+	"gpushare/internal/obs"
 	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/workflow"
@@ -140,6 +141,8 @@ func (s *Scheduler) BuildPlan(q *workflow.Queue) (*Plan, error) {
 	if q == nil || q.Len() == 0 {
 		return nil, fmt.Errorf("core: empty workflow queue")
 	}
+	hub := obs.Active()
+	defer hub.StartWall("scheduler", "BuildPlan").End()
 	items := q.Items()
 	profiles := make([]*WorkflowProfile, len(items))
 	for i, w := range items {
@@ -197,8 +200,22 @@ func (s *Scheduler) BuildPlan(q *workflow.Queue) (*Plan, error) {
 		plan.PerGPU[best] = append(plan.PerGPU[best], g)
 		load[best] += g.PredictedDurationS()
 	}
+
+	// Collocation-group occupancy: how full the packer ran each group.
+	// Group composition is a pure function of the queue and policy, so
+	// these are deterministic.
+	hub.Counter("sched_plans_total").Inc()
+	hub.Counter("sched_groups_total").Add(int64(len(groups)))
+	occ := hub.Histogram("sched_group_occupancy", groupOccupancyBounds)
+	for _, g := range groups {
+		occ.Observe(int64(len(g.Members)))
+	}
 	return plan, nil
 }
+
+// groupOccupancyBounds bucket collocation-group member counts (the MPS
+// client limit is 48 on the paper's device).
+var groupOccupancyBounds = []int64{1, 2, 3, 4, 6, 8, 16, 32}
 
 // pickCandidate selects the next workflow to add to a group: the first
 // (lowest-utilization) fitting candidate by default, or — under
@@ -236,13 +253,25 @@ func (s *Scheduler) pickCandidate(order []*WorkflowProfile, assigned map[*Workfl
 	return best
 }
 
-// estimate runs the interference predictor over a member set.
+// estimate runs the interference predictor over a member set and counts
+// the outcome. Prediction outcomes are pure functions of the profiles,
+// so the counters are deterministic.
 func (s *Scheduler) estimate(members []*WorkflowProfile) interference.Estimate {
 	views := make([]*profile.TaskProfile, len(members))
 	for i, m := range members {
 		views[i] = m.profileView()
 	}
-	return interference.Predict(s.Device, views)
+	est := interference.Predict(s.Device, views)
+	if hub := obs.Active(); hub != nil {
+		hub.Counter("sched_predict_total").Inc()
+		if est.Interferes {
+			hub.Counter("sched_predict_interfering_total").Inc()
+		}
+		if est.Has(interference.Capacity) {
+			hub.Counter("sched_predict_capacity_total").Inc()
+		}
+	}
+	return est
 }
 
 // fits applies criteria 2 and 3 to adding cand to the group.

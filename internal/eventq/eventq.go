@@ -52,6 +52,25 @@ type Queue struct {
 	h       []*Event
 	free    []*Event
 	nextSeq uint64
+
+	// Telemetry counters (plain integers: the queue is single-threaded
+	// and the increments cost one instruction each, so they are always
+	// on). The engine folds them into the obs registry at run end.
+	acquires     uint64
+	freelistHits uint64
+}
+
+// Stats reports the queue's freelist effectiveness: Acquires counts every
+// Schedule; FreelistHits counts those served by a recycled Event rather
+// than a fresh allocation. In steady state the hit rate converges to 1.
+type Stats struct {
+	Acquires     uint64
+	FreelistHits uint64
+}
+
+// Stats returns the current counter values.
+func (q *Queue) Stats() Stats {
+	return Stats{Acquires: q.acquires, FreelistHits: q.freelistHits}
 }
 
 // Len returns the number of pending events in O(1). Cancelled events are
@@ -127,7 +146,9 @@ func (q *Queue) Free(e *Event) {
 // acquire takes an Event from the freelist (or allocates one) and resets
 // it for reuse.
 func (q *Queue) acquire() *Event {
+	q.acquires++
 	if n := len(q.free); n > 0 {
+		q.freelistHits++
 		e := q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]

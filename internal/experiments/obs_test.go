@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"gpushare/internal/obs"
+	"gpushare/internal/parallel"
+)
+
+// renderWithHub regenerates every experiment at the given worker count
+// under a fresh telemetry hub and returns (experiment output, metrics
+// snapshot JSON). The cache is sized above the session's unique
+// configuration count so no capacity bypasses occur: under capacity,
+// hit/miss counts depend only on the request multiset, which is exactly
+// the property the snapshot comparison pins.
+func renderWithHub(t *testing.T, workers int) ([]byte, []byte) {
+	t.Helper()
+	hub := obs.NewHub(nil)
+	prev := obs.SetActive(hub)
+	defer obs.SetActive(prev)
+	out := renderAll(t, workers, parallel.NewCacheSize(1<<14))
+	var snap bytes.Buffer
+	if err := hub.Metrics.WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return out, snap.Bytes()
+}
+
+// TestMetricsSnapshotByteIdenticalAcrossWorkerCounts extends the
+// determinism contract (DESIGN.md §8, §10) to the telemetry layer: the
+// metrics snapshot — engine event and pool counters, cache hit/miss
+// totals, scheduler histograms, worker-pool task counts — is
+// byte-identical at -j 1, -j 4 and -j 16, not just the experiment output.
+// Every registry value is an int64 folded through commutative updates,
+// so worker interleaving cannot show up here.
+func TestMetricsSnapshotByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every experiment three times")
+	}
+	serialOut, serialSnap := renderWithHub(t, 1)
+	if len(serialSnap) == 0 || bytes.Equal(serialSnap, []byte("{}")) {
+		t.Fatal("serial run recorded no metrics")
+	}
+	for _, workers := range []int{4, 16} {
+		out, snap := renderWithHub(t, workers)
+		if !bytes.Equal(serialOut, out) {
+			t.Errorf("-j %d experiment output differs from -j 1 (first divergence at byte %d)",
+				workers, firstDiff(serialOut, out))
+		}
+		if !bytes.Equal(serialSnap, snap) {
+			t.Errorf("-j %d metrics snapshot differs from -j 1:\n-j 1:\n%s\n-j %d:\n%s",
+				workers, serialSnap, workers, snap)
+		}
+	}
+}
+
+// TestExperimentOutputUnchangedByTelemetry pins the no-observer-effect
+// contract: running with a live hub (counters folding, engine spans
+// recording) produces byte-identical experiment output to running with
+// telemetry disabled. Quick single-experiment form so it runs in -short.
+func TestExperimentOutputUnchangedByTelemetry(t *testing.T) {
+	run := func(hub *obs.Hub) []byte {
+		prev := obs.SetActive(hub)
+		defer obs.SetActive(prev)
+		opts := Options{Seed: 42, Quick: true, Workers: 4, Cache: parallel.NewCache()}
+		var buf bytes.Buffer
+		for _, id := range []string{"table2", "fig1"} {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(opts, &buf); err != nil {
+				t.Fatalf("experiment %s: %v", id, err)
+			}
+		}
+		return buf.Bytes()
+	}
+	off := run(nil)
+	on := run(obs.NewHub(nil))
+	if !bytes.Equal(off, on) {
+		t.Errorf("enabling telemetry changed experiment output (first divergence at byte %d)",
+			firstDiff(off, on))
+	}
+}

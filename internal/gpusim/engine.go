@@ -8,6 +8,7 @@ import (
 	"gpushare/internal/eventq"
 	"gpushare/internal/gpu"
 	"gpushare/internal/kernel"
+	"gpushare/internal/obs"
 	"gpushare/internal/simtime"
 	"gpushare/internal/xrand"
 )
@@ -140,6 +141,9 @@ type burst struct {
 	// recompute.
 	capShare   float64
 	capCompute float64
+	// startedAt is the residency instant, kept for the burst's telemetry
+	// span (one store per burst; recorded only when spans are enabled).
+	startedAt simtime.Time
 }
 
 // clientState is the engine-side state machine for one client.
@@ -184,6 +188,22 @@ type Engine struct {
 	powerScratch    []float64
 	progressScratch []float64
 	burstFree       []*burst
+
+	// Telemetry. The hot loop maintains plain integer counters only
+	// (always on: one instruction each, no allocation); hub/spans are
+	// captured from obs.Active at New and consulted on cold paths — the
+	// counters are folded into the registry once at Run end, and burst
+	// spans are recorded per retired burst only when a recorder is
+	// attached. With telemetry disabled (nil hub, the default) the
+	// steady state stays at 0 allocs/op; see TestSteadyStateZeroAllocs.
+	hub           *obs.Hub
+	spans         *obs.SpanRecorder
+	spanTrack     string
+	reschedSkips  int64
+	reschedTakes  int64
+	burstReuses   int64
+	burstAllocs   int64
+	heapHighWater int
 }
 
 // New creates an engine for cfg.
@@ -201,12 +221,17 @@ func New(cfg Config) (*Engine, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		params: params,
 		power:  gpu.PowerModel{Spec: cfg.Device},
 		mem:    gpu.NewMemAllocator(cfg.Device.Name, cfg.Device.MemoryMiB),
-	}, nil
+		hub:    obs.Active(),
+	}
+	if e.hub != nil {
+		e.spans = e.hub.Spans
+	}
+	return e, nil
 }
 
 // AddClient registers a client before Run.
@@ -279,6 +304,13 @@ func (e *Engine) start() error {
 	}
 	e.trace = make([]TracePoint, 0, traceEst)
 
+	// The span track labels this engine's timeline row; the first
+	// client's ID is deterministic and unique enough across the runs a
+	// session traces (scheduler groups name clients g<gpu>-w<wave>-...).
+	if e.spans != nil {
+		e.spanTrack = "engine:" + e.clients[0].spec.ID
+	}
+
 	e.decision = e.power.Decide(0)
 	for _, cs := range e.clients {
 		e.queue.Schedule(cs.spec.Arrival, evTaskStart, cs)
@@ -289,6 +321,9 @@ func (e *Engine) start() error {
 // step pops and dispatches one event. It returns false when the queue is
 // drained or an error occurred.
 func (e *Engine) step() (bool, error) {
+	if n := e.queue.Len(); n > e.heapHighWater {
+		e.heapHighWater = n
+	}
 	ev, ok := e.queue.Pop()
 	if !ok {
 		return false, nil
@@ -368,7 +403,33 @@ func (e *Engine) Run() (*Result, error) {
 	for _, cs := range e.clients {
 		res.Clients[cs.spec.ID] = cs.result
 	}
+	e.flushObs()
 	return res, nil
+}
+
+// flushObs folds the engine's plain hot-loop counters into the active
+// metrics registry. It runs once per completed Run — a cold path — so
+// the event loop itself never touches the registry. Every value is a
+// commutative integer aggregate, so totals across concurrently running
+// engines are independent of worker count and interleaving (DESIGN.md
+// §10).
+func (e *Engine) flushObs() {
+	h := e.hub
+	if h == nil || h.Metrics == nil {
+		return
+	}
+	m := h.Metrics
+	m.Counter("engine_runs_total").Inc()
+	m.Counter("engine_events_total").Add(int64(e.events))
+	m.Counter("engine_resched_skipped_total").Add(e.reschedSkips)
+	m.Counter("engine_resched_taken_total").Add(e.reschedTakes)
+	m.Counter("engine_burst_pool_reuse_total").Add(e.burstReuses)
+	m.Counter("engine_burst_pool_alloc_total").Add(e.burstAllocs)
+	m.Counter("engine_oom_failures_total").Add(int64(len(e.oomFailures)))
+	m.Gauge("engine_heap_depth_max").SetMax(int64(e.heapHighWater))
+	qs := e.queue.Stats()
+	m.Counter("eventq_acquires_total").Add(int64(qs.Acquires))
+	m.Counter("eventq_freelist_hits_total").Add(int64(qs.FreelistHits))
 }
 
 // advance integrates burst progress and energy from lastAdvance to now
@@ -439,10 +500,12 @@ func (e *Engine) recompute() {
 		at := e.now.Add(delay)
 		if b.finishEv != nil {
 			if b.finishEv.At == at {
+				e.reschedSkips++
 				continue
 			}
 			e.queue.Cancel(b.finishEv)
 		}
+		e.reschedTakes++
 		b.finishEv = e.queue.Schedule(at, evBurstFinish, b)
 	}
 
@@ -625,11 +688,13 @@ func (e *Engine) startNextTask(cs *clientState) {
 // acquireBurst takes a burst from the engine freelist or allocates one.
 func (e *Engine) acquireBurst() *burst {
 	if n := len(e.burstFree); n > 0 {
+		e.burstReuses++
 		b := e.burstFree[n-1]
 		e.burstFree[n-1] = nil
 		e.burstFree = e.burstFree[:n-1]
 		return b
 	}
+	e.burstAllocs++
 	return &burst{}
 }
 
@@ -657,6 +722,7 @@ func (e *Engine) startBurst(cs *clientState) {
 	b.dynPowerW = ph.DynPowerW
 	b.remaining = work
 	b.rate = 1
+	b.startedAt = e.now
 	b.capShare = 1
 	if e.cfg.Mode == ShareMPS {
 		if p := cs.spec.Partition; p < ph.Demand.Saturation {
@@ -711,6 +777,11 @@ func (e *Engine) finishBurst(b *burst, ev *eventq.Event) {
 	cs := b.client
 	e.removeActive(b)
 	cs.burst = nil
+	if e.spans != nil {
+		t := cs.spec.Tasks[cs.taskIdx]
+		e.spans.RecordSim(e.spanTrack, t.Workload+"/"+t.Size, cs.spec.ID,
+			b.startedAt, e.now)
+	}
 	e.releaseBurst(b)
 
 	task := cs.spec.Tasks[cs.taskIdx]

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"gpushare/internal/kernel"
+	"gpushare/internal/obs"
 	"gpushare/internal/simtime"
 	"gpushare/internal/workload"
 )
@@ -149,5 +150,54 @@ func TestStepDrainsLikeRun(t *testing.T) {
 	}
 	if stepped.events != ran.events {
 		t.Fatalf("step-driven events %d != Run events %d", stepped.events, ran.events)
+	}
+}
+
+// TestSteadyStateZeroAllocsTelemetryDisabled pins the telemetry
+// instrumentation's disabled-path cost at exactly zero allocations: with
+// no active hub (the default), the added counters are plain integer
+// fields and the span branches never taken, so the steady-state step
+// remains allocation-free. Kept separate from TestSteadyStateZeroAllocs
+// so a future change that installs a process-default hub cannot silently
+// weaken the pin.
+func TestSteadyStateZeroAllocsTelemetryDisabled(t *testing.T) {
+	prev := obs.SetActive(nil)
+	defer obs.SetActive(prev)
+	eng := steadyEngine(t, 8, 4000, 1)
+	avg := testing.AllocsPerRun(4000, func() {
+		ok, err := eng.step()
+		if err != nil || !ok {
+			t.Fatalf("step: ok=%v err=%v", ok, err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("telemetry-disabled steady-state step allocates %.2f times per event, want 0", avg)
+	}
+}
+
+// BenchmarkEngineSteadyStateObs is BenchmarkEngineSteadyState with a live
+// telemetry hub: hot-path counters still only bump engine-local integers
+// (folded into the registry once per Run), but every finished burst now
+// records a sim-time span, so the delta against the base benchmark is the
+// full enabled-telemetry overhead (recorded in BENCH_engine.json).
+func BenchmarkEngineSteadyStateObs(b *testing.B) {
+	prev := obs.SetActive(obs.NewHub(nil))
+	defer obs.SetActive(prev)
+	const nClients, cycles = 8, 4000
+	seed := uint64(1)
+	eng := steadyEngine(b, nClients, cycles, seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := eng.step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.StopTimer()
+			seed++
+			eng = steadyEngine(b, nClients, cycles, seed)
+			b.StartTimer()
+		}
 	}
 }

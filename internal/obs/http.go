@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live inspection endpoint for a hub:
+//
+//	/metrics        deterministic JSON snapshot of the metrics registry
+//	/healthz        liveness probe ("ok")
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// The handler is read-only and safe to serve while simulations run. A nil
+// hub (or nil registry) serves an empty snapshot.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var reg *Registry
+		if h != nil {
+			reg = h.Metrics
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			// The header is already out; nothing to do but drop the
+			// connection, which WriteJSON's error already implies.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"gpushare/internal/simtime"
+)
+
+// Hub bundles the telemetry sinks one process shares: a metrics registry
+// and a span recorder. Either field may be nil; every method is safe on a
+// nil *Hub, so instrumented code reads the active hub once and calls
+// through unconditionally.
+type Hub struct {
+	Metrics *Registry
+	Spans   *SpanRecorder
+}
+
+// NewHub returns a hub with a fresh registry and span recorder. clock
+// supplies wall-clock nanoseconds for wall-time spans (nil disables
+// them); the CLIs pass time.Now().UnixNano from outside the
+// nodeterminism analyzer scope.
+func NewHub(clock func() int64) *Hub {
+	return &Hub{Metrics: NewRegistry(), Spans: NewSpanRecorder(clock, 0)}
+}
+
+// Counter resolves a registry counter; nil when telemetry is off.
+func (h *Hub) Counter(name string) *Counter {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics.Counter(name)
+}
+
+// Gauge resolves a registry gauge; nil when telemetry is off.
+func (h *Hub) Gauge(name string) *Gauge {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics.Gauge(name)
+}
+
+// Histogram resolves a registry histogram; nil when telemetry is off.
+func (h *Hub) Histogram(name string, bounds []int64) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics.Histogram(name, bounds)
+}
+
+// SimSpan records a completed sim-time span.
+func (h *Hub) SimSpan(track, name, detail string, start, end simtime.Time) {
+	if h == nil {
+		return
+	}
+	h.Spans.RecordSim(track, name, detail, start, end)
+}
+
+// StartWall opens a wall-time span (no-op Span when telemetry is off or
+// no clock was injected).
+func (h *Hub) StartWall(track, name string) Span {
+	if h == nil {
+		return Span{}
+	}
+	return h.Spans.StartWall(track, name)
+}
+
+// SpansEnabled reports whether span recording is active — instrumented
+// code uses it to skip building span arguments entirely.
+func (h *Hub) SpansEnabled() bool {
+	return h != nil && h.Spans != nil
+}
+
+// active is the process-wide hub. The default is nil: telemetry off, all
+// instrumentation no-op, zero allocations on the simulator hot path.
+var active atomic.Pointer[Hub]
+
+// Active returns the process-wide hub, or nil when telemetry is
+// disabled.
+func Active() *Hub { return active.Load() }
+
+// SetActive installs h as the process-wide hub and returns the previous
+// one (for restore in tests). It is safe to call concurrently, but
+// components capture the hub at construction time (e.g. gpusim.New), so
+// install it before starting work you want observed.
+func SetActive(h *Hub) *Hub { return active.Swap(h) }

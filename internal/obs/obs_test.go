@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpushare/internal/simtime"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on nil handles must be a no-op, not a panic: this
+	// is what keeps disabled telemetry free on the simulator hot path.
+	var (
+		r  *Registry
+		c  *Counter
+		g  *Gauge
+		hi *Histogram
+		sr *SpanRecorder
+		h  *Hub
+	)
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g.Set(5)
+	g.SetMax(9)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	hi.Observe(7)
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	sr.RecordSim("t", "n", "", 0, 1)
+	sr.StartWall("t", "n").End()
+	if sr.Snapshot() != nil || sr.Dropped() != 0 {
+		t.Fatal("nil recorder recorded")
+	}
+	h.SimSpan("t", "n", "", 0, 1)
+	h.StartWall("t", "n").End()
+	h.Counter("x").Inc()
+	h.Gauge("x").Set(1)
+	h.Histogram("x", []int64{1}).Observe(1)
+	if h.SpansEnabled() {
+		t.Fatal("nil hub reports spans enabled")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Add(2)
+	c.Inc()
+	if got := r.Counter("events").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("depth")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Fatalf("Set did not store: %d", g.Value())
+	}
+
+	h := r.Histogram("wait", []int64{1, 10, 100})
+	for _, v := range []int64{0, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["wait"]
+	want := []int64{2, 2, 1, 1} // <=1:{0,1}, <=10:{2,10}, <=100:{11}, over:{1000}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("bucket counts %v, want %v", s.Counts, want)
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 || s.Sum != 1024 {
+		t.Fatalf("count=%d sum=%d, want 6/1024", s.Count, s.Sum)
+	}
+
+	// Re-requesting a histogram keeps the original bounds.
+	if h2 := r.Histogram("wait", []int64{7}); h2 != h {
+		t.Fatal("histogram identity not stable across lookups")
+	}
+}
+
+// TestSnapshotBytesDeterministic pins the core determinism property: the
+// same metric state yields the same bytes, regardless of the order and
+// interleaving in which the metrics were built up.
+func TestSnapshotBytesDeterministic(t *testing.T) {
+	build := func(parallel bool) []byte {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		add := func(i int) {
+			defer wg.Done()
+			r.Counter("a").Add(int64(i))
+			r.Counter("b").Inc()
+			r.Gauge("hw").SetMax(int64(i))
+			r.Histogram("h", []int64{8, 64}).Observe(int64(i))
+		}
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			if parallel {
+				go add(i)
+			} else {
+				add(i)
+			}
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := build(false)
+	for i := 0; i < 4; i++ {
+		if got := build(true); !bytes.Equal(got, serial) {
+			t.Fatalf("concurrent build produced different snapshot bytes:\n%s\nvs\n%s", got, serial)
+		}
+	}
+	if !strings.Contains(string(serial), "\"counters\"") {
+		t.Fatalf("snapshot missing sections: %s", serial)
+	}
+}
+
+func TestSpanRecorder(t *testing.T) {
+	var fake atomic.Int64
+	clock := func() int64 { return fake.Add(10) }
+	sr := NewSpanRecorder(clock, 3)
+
+	sr.RecordSim("engine", "burst", "c0", 100, 200)
+	sp := sr.StartWall("cache", "simulate")
+	sp.EndDetail("miss")
+	sr.RecordSim("engine", "burst", "c1", 50, 80)
+	sr.RecordSim("engine", "late", "", 300, 400) // over capacity
+	if sr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", sr.Dropped())
+	}
+
+	spans := sr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Sim spans sort before wall spans; within a track, by start.
+	if spans[0].Mode != SimTime || spans[0].Start != 50 {
+		t.Fatalf("unexpected first span: %+v", spans[0])
+	}
+	if spans[2].Mode != WallTime || spans[2].Detail != "miss" || spans[2].End <= spans[2].Start {
+		t.Fatalf("unexpected wall span: %+v", spans[2])
+	}
+}
+
+func TestSpanRecorderNoClock(t *testing.T) {
+	sr := NewSpanRecorder(nil, 0)
+	sr.StartWall("cache", "simulate").End() // silently skipped
+	sr.RecordSim("engine", "burst", "", 0, simtime.Time(5))
+	spans := sr.Snapshot()
+	if len(spans) != 1 || spans[0].Mode != SimTime {
+		t.Fatalf("clock-less recorder: %+v", spans)
+	}
+}
+
+func TestActiveHub(t *testing.T) {
+	prev := SetActive(nil)
+	defer SetActive(prev)
+	if Active() != nil {
+		t.Fatal("active hub not cleared")
+	}
+	h := NewHub(nil)
+	if old := SetActive(h); old != nil {
+		t.Fatal("SetActive returned wrong previous hub")
+	}
+	if Active() != h {
+		t.Fatal("Active does not return the installed hub")
+	}
+	Active().Counter("x").Inc()
+	if h.Metrics.Counter("x").Value() != 1 {
+		t.Fatal("hub counter not shared")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	h := NewHub(nil)
+	h.Counter("requests").Add(7)
+	srv := httptest.NewServer(Handler(h))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, `"requests": 7`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	// Byte-stability of the served snapshot.
+	if _, again := get("/metrics"); again != body {
+		t.Fatal("/metrics not byte-stable across requests")
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

@@ -1,0 +1,266 @@
+// Package obs is the deterministic observability layer: a metrics
+// registry, span-based tracing, and a live inspection endpoint.
+//
+// The paper's method rests on measuring shared-GPU behaviour (Nsight
+// timelines, nvidia-smi counters); this package is the reproduction's own
+// measurement substrate. It is built under the same reproducibility
+// contract as the simulator it observes (DESIGN.md §7/§10):
+//
+//   - Metric values are integers only. Counters and histogram bucket
+//     counts are commutative sums, and gauges expose explicit
+//     last-write/high-water semantics, so totals do not depend on worker
+//     interleaving and the JSON snapshot is byte-identical across runs
+//     and across -j worker counts.
+//   - The snapshot contains no wall-clock-derived fields by construction:
+//     the package does not import a clock. Wall time exists only in span
+//     records, fed by an injected clock (set by the CLIs, which live
+//     outside the nodeterminism analyzer scope), and spans are exported
+//     to Chrome traces — never into /metrics.
+//   - Everything is nil-safe: a nil *Registry, *Counter, *Gauge,
+//     *Histogram, *SpanRecorder or *Hub is a no-op, so instrumented hot
+//     paths pay one predictable branch when telemetry is disabled and
+//     allocate nothing.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing sum. All operations on a nil
+// Counter are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value. Set is last-write-wins (only
+// deterministic from single-threaded contexts); SetMax is a commutative
+// high-water update safe from any interleaving. All operations on a nil
+// Gauge are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger (high-water mark). The
+// update is commutative, so concurrent writers converge to the same value
+// regardless of order.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Add increments the gauge by delta (for resident counts).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts integer observations into fixed buckets. Bucket i
+// counts observations v <= Bounds[i]; one implicit overflow bucket counts
+// the rest. Count and Sum are integer totals, so every field of a
+// histogram is a commutative sum and snapshots are interleaving-
+// independent. All operations on a nil Histogram are no-ops.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is the exported state of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive bucket upper bounds; Counts has one extra
+	// trailing overflow bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Metric handles are created on first use and live for the registry's
+// lifetime. A Registry is safe for concurrent use; a nil *Registry
+// returns nil handles, which are themselves no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given inclusive upper bounds if needed. Bounds must be sorted
+// ascending; an existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// marshal with sorted keys (encoding/json), and every value is an
+// integer, so identical metric states produce identical bytes.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current state of every metric. A nil registry
+// yields an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+// The bytes are a pure function of the metric state: sorted keys, integer
+// values, no timestamps.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"gpushare/internal/simtime"
+)
+
+// TimeMode distinguishes the two span time bases.
+type TimeMode uint8
+
+const (
+	// SimTime spans carry simulated nanoseconds (deterministic).
+	SimTime TimeMode = iota
+	// WallTime spans carry wall-clock nanoseconds from the recorder's
+	// injected clock (non-deterministic; never exported to /metrics).
+	WallTime
+)
+
+// SpanData is one completed span. Start and End are nanoseconds in the
+// span's time base.
+type SpanData struct {
+	// Track groups related spans onto one timeline row, e.g.
+	// "engine:g0-w0-Kripke", "scheduler", "cache", "workers".
+	Track string
+	// Name is the operation, e.g. "Kripke/4x", "BuildPlan", "simulate".
+	Name string
+	// Detail is an optional free-form annotation.
+	Detail string
+	Mode   TimeMode
+	Start  int64
+	End    int64
+}
+
+// defaultMaxSpans bounds a recorder's memory; past it, spans are counted
+// as dropped instead of stored.
+const defaultMaxSpans = 1 << 18
+
+// SpanRecorder collects spans from concurrent producers. Sim-time spans
+// are recorded with explicit instants; wall-time spans come from
+// StartWall/End pairs against the injected clock. A nil *SpanRecorder is
+// a no-op.
+type SpanRecorder struct {
+	clock func() int64
+	max   int
+
+	mu      sync.Mutex
+	spans   []SpanData
+	dropped int64
+}
+
+// NewSpanRecorder returns a recorder holding at most max spans (max <= 0
+// selects a default). clock supplies wall-clock nanoseconds for
+// StartWall; a nil clock disables wall-time spans (they are silently
+// skipped), which keeps packages under the nodeterminism analyzer free of
+// any time source — the CLIs inject time.Now().UnixNano from outside the
+// analyzer scope.
+func NewSpanRecorder(clock func() int64, max int) *SpanRecorder {
+	if max <= 0 {
+		max = defaultMaxSpans
+	}
+	return &SpanRecorder{clock: clock, max: max}
+}
+
+// RecordSim records a completed sim-time span.
+func (r *SpanRecorder) RecordSim(track, name, detail string, start, end simtime.Time) {
+	if r == nil {
+		return
+	}
+	r.add(SpanData{
+		Track: track, Name: name, Detail: detail,
+		Mode: SimTime, Start: int64(start), End: int64(end),
+	})
+}
+
+// Span is an in-flight wall-time span; call End to record it. The zero
+// Span (from a nil or clock-less recorder) is a no-op.
+type Span struct {
+	rec   *SpanRecorder
+	track string
+	name  string
+	start int64
+}
+
+// StartWall opens a wall-time span. It returns the zero Span when the
+// recorder is nil or has no clock.
+func (r *SpanRecorder) StartWall(track, name string) Span {
+	if r == nil || r.clock == nil {
+		return Span{}
+	}
+	return Span{rec: r, track: track, name: name, start: r.clock()}
+}
+
+// End completes the span and records it.
+func (s Span) End() { s.EndDetail("") }
+
+// EndDetail completes the span with an annotation.
+func (s Span) EndDetail(detail string) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.add(SpanData{
+		Track: s.track, Name: s.name, Detail: detail,
+		Mode: WallTime, Start: s.start, End: s.rec.clock(),
+	})
+}
+
+func (r *SpanRecorder) add(sd SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.max {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, sd)
+}
+
+// Dropped returns how many spans were discarded at the capacity bound.
+func (r *SpanRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns a stable-ordered copy of the recorded spans: sorted by
+// (Mode, Track, Start, Name, End, Detail). For sim-time spans the order —
+// like the instants themselves — is independent of worker interleaving.
+func (r *SpanRecorder) Snapshot() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]SpanData(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.Detail < b.Detail
+	})
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"gpushare/internal/gpusim"
+	"gpushare/internal/obs"
 	"gpushare/internal/workload"
 )
 
@@ -44,10 +45,12 @@ type Cache struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	bypasses atomic.Int64
+	inflight atomic.Int64
 }
 
 type cacheEntry struct {
 	once sync.Once
+	done atomic.Bool
 	res  *gpusim.Result
 	err  error
 }
@@ -74,6 +77,14 @@ type CacheStats struct {
 	// Bypasses counts lookups computed uncached because the cache was
 	// full.
 	Bypasses int64
+	// InflightDedups counts the subset of Hits that arrived while the
+	// entry's computation was still in flight and blocked on it
+	// (singleflight deduplication). Unlike Hits/Misses — which depend
+	// only on the request multiset while the cache stays under capacity
+	// — this split is timing-dependent (at one worker it is always
+	// zero), so it is surfaced here but deliberately kept out of the
+	// deterministic obs metrics snapshot.
+	InflightDedups int64
 	// Entries is the current resident result count.
 	Entries int
 }
@@ -87,12 +98,23 @@ func (c *Cache) Stats() CacheStats {
 	n := len(c.entries)
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Bypasses: c.bypasses.Load(),
-		Entries:  n,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Bypasses:       c.bypasses.Load(),
+		InflightDedups: c.inflight.Load(),
+		Entries:        n,
 	}
 }
+
+// Hits returns the lookups served from an existing entry.
+func (c *Cache) Hits() int64 { return c.Stats().Hits }
+
+// Misses returns the lookups that computed and inserted a new entry.
+func (c *Cache) Misses() int64 { return c.Stats().Misses }
+
+// InflightDedups returns the hits that blocked on an in-flight
+// computation of the same key.
+func (c *Cache) InflightDedups() int64 { return c.Stats().InflightDedups }
 
 // Reset drops every cached result, keeping the counters.
 func (c *Cache) Reset() {
@@ -135,22 +157,44 @@ func (c *Cache) RunClients(cfg gpusim.Config, clients []gpusim.Client) (*gpusim.
 	if err != nil {
 		return nil, err
 	}
+	// Hit/miss/bypass counts are mirrored into the active obs registry:
+	// they depend only on the request multiset (an entry is inserted
+	// under the lock before its computation starts, so every later
+	// request for the key is a hit no matter how execution interleaves),
+	// which keeps the metrics snapshot identical at any -j. The
+	// inflight-dedup split is timing-dependent and stays out (see
+	// CacheStats).
+	hub := obs.Active()
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
 		if len(c.entries) >= c.max {
 			c.mu.Unlock()
 			c.bypasses.Add(1)
-			return gpusim.RunClients(cfg, clients)
+			hub.Counter("simcache_bypasses_total").Inc()
+			sp := hub.StartWall("cache", "simulate")
+			res, err := gpusim.RunClients(cfg, clients)
+			sp.EndDetail("bypass")
+			return res, err
 		}
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.misses.Add(1)
+		hub.Counter("simcache_misses_total").Inc()
 	} else {
 		c.hits.Add(1)
+		hub.Counter("simcache_hits_total").Inc()
+		if !e.done.Load() {
+			c.inflight.Add(1)
+		}
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = gpusim.RunClients(cfg, clients) })
+	e.once.Do(func() {
+		sp := hub.StartWall("cache", "simulate")
+		e.res, e.err = gpusim.RunClients(cfg, clients)
+		e.done.Store(true)
+		sp.EndDetail(key[:8])
+	})
 	return e.res, e.err
 }
 

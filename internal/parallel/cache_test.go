@@ -3,12 +3,14 @@ package parallel
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"testing"
 
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
 	"gpushare/internal/kernel"
+	"gpushare/internal/obs"
 	"gpushare/internal/simtime"
 	"gpushare/internal/workload"
 )
@@ -305,5 +307,73 @@ func TestCacheErrorMemoized(t *testing.T) {
 	}
 	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
 		t.Fatalf("stats = %+v, want the error entry to be memoized", st)
+	}
+}
+
+// TestCacheWarmRunStats pins the accessor semantics the CLIs and the obs
+// snapshot rely on: a cold pass over N distinct configurations records N
+// misses; a warm second pass over the same configurations records hits
+// equal to the first pass's misses and computes nothing new. Serial use
+// never blocks on an in-flight computation, so InflightDedups stays 0.
+func TestCacheWarmRunStats(t *testing.T) {
+	task := testTask(t)
+	cfg := testConfig()
+	c := NewCache()
+	const n = 5
+	pass := func() {
+		for i := 0; i < n; i++ {
+			clients := []gpusim.Client{{ID: fmt.Sprintf("w%d", i), Tasks: []*workload.TaskSpec{task}}}
+			if _, err := c.RunClients(cfg, clients); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pass()
+	if c.Misses() != n || c.Hits() != 0 {
+		t.Fatalf("cold pass: hits=%d misses=%d, want 0/%d", c.Hits(), c.Misses(), n)
+	}
+	cold := c.Misses()
+	pass()
+	if c.Hits() != cold {
+		t.Fatalf("warm pass hits = %d, want the cold pass's %d misses", c.Hits(), cold)
+	}
+	if c.Misses() != cold {
+		t.Fatalf("warm pass recomputed: misses %d -> %d", cold, c.Misses())
+	}
+	if c.InflightDedups() != 0 {
+		t.Fatalf("serial use recorded %d inflight dedups, want 0", c.InflightDedups())
+	}
+}
+
+// TestCacheMirrorsObsCounters checks the hit/miss/bypass totals mirrored
+// into the active telemetry hub match the cache's own counters (the
+// timing-dependent inflight split is deliberately not mirrored).
+func TestCacheMirrorsObsCounters(t *testing.T) {
+	hub := obs.NewHub(nil)
+	prev := obs.SetActive(hub)
+	defer obs.SetActive(prev)
+	task := testTask(t)
+	cfg := testConfig()
+	c := NewCacheSize(1)
+	mk := func(id string) []gpusim.Client {
+		return []gpusim.Client{{ID: id, Tasks: []*workload.TaskSpec{task}}}
+	}
+	for _, id := range []string{"a", "a", "b", "a"} { // miss, hit, bypass, hit
+		if _, err := c.RunClients(cfg, mk(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Bypasses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 hits, 1 bypass", st)
+	}
+	for name, want := range map[string]int64{
+		"simcache_misses_total":   st.Misses,
+		"simcache_hits_total":     st.Hits,
+		"simcache_bypasses_total": st.Bypasses,
+	} {
+		if got := hub.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
 	}
 }

@@ -18,6 +18,8 @@ package parallel
 import (
 	"runtime"
 	"sync"
+
+	"gpushare/internal/obs"
 )
 
 // DefaultWorkers returns the default worker-pool width: GOMAXPROCS.
@@ -62,10 +64,31 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+
+	// Telemetry: task completions are counted per run index — never per
+	// worker identity — so the aggregated totals are identical at any
+	// worker count; the serial path below increments the same counters.
+	// Wall-time spans (one per task, on the shared "workers" track) feed
+	// the Chrome timeline only, never the metrics snapshot.
+	hub := obs.Active()
+	tasksTotal := hub.Counter("parallel_tasks_total")
+	errsTotal := hub.Counter("parallel_task_errors_total")
+	hub.Counter("parallel_map_calls_total").Inc()
+	runTask := func(i int) (T, error) {
+		sp := hub.StartWall("workers", "task")
+		v, err := fn(i)
+		sp.End()
+		tasksTotal.Inc()
+		if err != nil {
+			errsTotal.Inc()
+		}
+		return v, err
+	}
+
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := runTask(i)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +105,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = runTask(i)
 			}
 		}()
 	}

@@ -1,7 +1,9 @@
 // Package trace exports simulation results as Chrome trace-event JSON
 // (the about://tracing / Perfetto format), the reproduction's analog of an
 // Nsight Systems timeline: per-client task spans plus device-level
-// counters for power, utilization and clock state.
+// counters for power, utilization and clock state, optionally joined by
+// the telemetry spans internal/obs records (engine bursts, scheduler
+// decisions, cache lookups, worker-pool tasks) in one timeline.
 package trace
 
 import (
@@ -11,6 +13,7 @@ import (
 	"sort"
 
 	"gpushare/internal/gpusim"
+	"gpushare/internal/obs"
 )
 
 // chromeEvent is one trace-event record. Only the fields the format
@@ -25,21 +28,110 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// Device-counter and client-span process IDs.
+// Process-ID layout of a combined timeline. Each exported result claims
+// two consecutive pids (device counters, client spans); the telemetry
+// processes sit below them.
 const (
-	pidDevice  = 0
-	pidClients = 1
+	// PidObsSim and PidObsWall are the conventional processes for
+	// sim-time and wall-time telemetry spans.
+	PidObsSim  = 2
+	PidObsWall = 3
+	// PidResultBase is the first pid for per-group results in a combined
+	// timeline; group i uses PidResultBase + 2*i.
+	PidResultBase = 10
 )
 
-// WriteChrome serializes the result as a Chrome trace. Task executions
-// become duration ('X') events on one thread per client; device power,
-// compute/bandwidth utilization, clock factor and resident-kernel count
-// become counter ('C') series.
-func WriteChrome(w io.Writer, res *gpusim.Result) error {
-	if res == nil {
-		return fmt.Errorf("trace: nil result")
+// Writer streams trace events as one JSON array. Every write error is
+// latched: the first error is remembered, later events are skipped (so a
+// partially written event is never followed by more data), and Close
+// still attempts the closing bracket so a sink that recovers — or a
+// truncated file a human opens — holds parseable JSON. All methods
+// return the latched error.
+type Writer struct {
+	w       io.Writer
+	err     error
+	started bool
+	closed  bool
+}
+
+// NewWriter returns a streaming trace writer over w. Call Close to
+// terminate the JSON array.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write or encoding error, if any.
+func (tw *Writer) Err() error { return tw.err }
+
+// event appends one record. The array-open bracket (or the separating
+// comma) and the event are written in a single Write call, so an
+// all-or-nothing sink failure never leaves a dangling separator.
+func (tw *Writer) event(e chromeEvent) {
+	if tw.err != nil || tw.closed {
+		return
 	}
-	var events []chromeEvent
+	data, err := json.Marshal(e)
+	if err != nil {
+		tw.err = fmt.Errorf("trace: encode event %q: %w", e.Name, err)
+		return
+	}
+	prefix := ",\n"
+	if !tw.started {
+		prefix = "[\n"
+	}
+	if _, err := tw.w.Write(append([]byte(prefix), data...)); err != nil {
+		tw.err = fmt.Errorf("trace: write event %q: %w", e.Name, err)
+		return
+	}
+	tw.started = true
+}
+
+// Close terminates the JSON array and returns the first error seen. It
+// always attempts the closing bracket, even after an earlier write
+// error, so the sink ends with well-formed JSON whenever it accepts the
+// final write. Close is idempotent.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	closing := "\n]\n"
+	if !tw.started {
+		closing = "[]\n"
+	}
+	if _, err := tw.w.Write([]byte(closing)); err != nil && tw.err == nil {
+		tw.err = fmt.Errorf("trace: write closing bracket: %w", err)
+	}
+	return tw.err
+}
+
+// Result exports one simulation result: task executions become duration
+// ('X') events on one thread per client under pid pidBase+1; device
+// power, compute/bandwidth utilization, clock factor, resident-kernel
+// count and memory become counter ('C') series under pid pidBase. label
+// names the result's processes (e.g. "gpu0-wave1"); empty selects the
+// sharing mode alone.
+func (tw *Writer) Result(res *gpusim.Result, pidBase int, label string) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if res == nil {
+		tw.err = fmt.Errorf("trace: nil result")
+		return tw.err
+	}
+	pidDevice, pidClients := pidBase, pidBase+1
+	name := "GPU (" + res.Mode.String() + ")"
+	clientsName := "clients"
+	if label != "" {
+		name = label + " " + name
+		clientsName = label + " clients"
+	}
+	tw.event(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidDevice,
+		Args: map[string]any{"name": name},
+	})
+	tw.event(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidClients,
+		Args: map[string]any{"name": clientsName},
+	})
 
 	// Thread metadata + task spans, clients in deterministic order.
 	ids := make([]string, 0, len(res.Clients))
@@ -48,7 +140,7 @@ func WriteChrome(w io.Writer, res *gpusim.Result) error {
 	}
 	sort.Strings(ids)
 	for tid, id := range ids {
-		events = append(events, chromeEvent{
+		tw.event(chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: pidClients, Tid: tid,
 			Args: map[string]any{"name": id},
 		})
@@ -62,7 +154,7 @@ func WriteChrome(w io.Writer, res *gpusim.Result) error {
 			if dur <= 0 {
 				dur = 1 // zero-length markers still render
 			}
-			events = append(events, chromeEvent{
+			tw.event(chromeEvent{
 				Name: name, Ph: "X",
 				Ts:  task.Start.Seconds() * 1e6,
 				Dur: dur,
@@ -73,28 +165,112 @@ func WriteChrome(w io.Writer, res *gpusim.Result) error {
 	}
 
 	// Device counters from the piecewise-constant trace.
-	events = append(events, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: pidDevice,
-		Args: map[string]any{"name": "GPU (" + res.Mode.String() + ")"},
-	})
 	for _, tp := range res.Trace {
 		ts := tp.At.Seconds() * 1e6
-		events = append(events,
-			chromeEvent{Name: "power_w", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"watts": tp.PowerW}},
-			chromeEvent{Name: "compute_util", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"fraction": tp.ComputeUtil}},
-			chromeEvent{Name: "membw_util", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"fraction": tp.BWUtil}},
-			chromeEvent{Name: "clock_factor", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"factor": tp.ClockFactor}},
-			chromeEvent{Name: "resident_kernels", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"count": tp.ActiveKernels}},
-			chromeEvent{Name: "mem_used_mib", Ph: "C", Ts: ts, Pid: pidDevice,
-				Args: map[string]any{"mib": tp.MemUsedMiB}},
-		)
+		tw.event(chromeEvent{Name: "power_w", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"watts": tp.PowerW}})
+		tw.event(chromeEvent{Name: "compute_util", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"fraction": tp.ComputeUtil}})
+		tw.event(chromeEvent{Name: "membw_util", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"fraction": tp.BWUtil}})
+		tw.event(chromeEvent{Name: "clock_factor", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"factor": tp.ClockFactor}})
+		tw.event(chromeEvent{Name: "resident_kernels", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"count": tp.ActiveKernels}})
+		tw.event(chromeEvent{Name: "mem_used_mib", Ph: "C", Ts: ts, Pid: pidDevice,
+			Args: map[string]any{"mib": tp.MemUsedMiB}})
+	}
+	return tw.err
+}
+
+// Spans exports telemetry spans recorded by internal/obs: sim-time spans
+// (engine bursts, in simulated time) under pidSim, wall-time spans
+// (scheduler phases, cache computes, worker-pool tasks) under pidWall.
+// Each distinct track becomes one thread. Wall timestamps are normalized
+// to the earliest wall span so both processes start near zero; sim
+// instants are exported as-is, keeping them aligned with Result
+// timelines (both simulated time).
+func (tw *Writer) Spans(spans []obs.SpanData, pidSim, pidWall int) error {
+	if tw.err != nil || len(spans) == 0 {
+		return tw.err
+	}
+	tw.event(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidSim,
+		Args: map[string]any{"name": "telemetry (sim time)"},
+	})
+	tw.event(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidWall,
+		Args: map[string]any{"name": "telemetry (wall time)"},
+	})
+
+	// Stable track→tid assignment per mode: tracks in sorted order.
+	tids := map[obs.TimeMode]map[string]int{
+		obs.SimTime:  make(map[string]int),
+		obs.WallTime: make(map[string]int),
+	}
+	var wallBase int64
+	wallSeen := false
+	for _, sd := range spans {
+		if _, ok := tids[sd.Mode][sd.Track]; !ok {
+			tids[sd.Mode][sd.Track] = 0
+		}
+		if sd.Mode == obs.WallTime && (!wallSeen || sd.Start < wallBase) {
+			wallBase, wallSeen = sd.Start, true
+		}
+	}
+	for mode, tracks := range tids {
+		names := make([]string, 0, len(tracks))
+		for t := range tracks {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		pid := pidSim
+		if mode == obs.WallTime {
+			pid = pidWall
+		}
+		for tid, t := range names {
+			tracks[t] = tid
+			tw.event(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": t},
+			})
+		}
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(events)
+	for _, sd := range spans {
+		pid, start := pidSim, sd.Start
+		end := sd.End
+		if sd.Mode == obs.WallTime {
+			pid = pidWall
+			start -= wallBase
+			end -= wallBase
+		}
+		dur := float64(end-start) / 1e3
+		if dur <= 0 {
+			dur = 1
+		}
+		var args map[string]any
+		if sd.Detail != "" {
+			args = map[string]any{"detail": sd.Detail}
+		}
+		tw.event(chromeEvent{
+			Name: sd.Name, Ph: "X",
+			Ts:  float64(start) / 1e3,
+			Dur: dur,
+			Pid: pid, Tid: tids[sd.Mode][sd.Track],
+			Args: args,
+		})
+	}
+	return tw.err
+}
+
+// WriteChrome serializes one result as a complete Chrome trace — the
+// single-result convenience over Writer.
+func WriteChrome(w io.Writer, res *gpusim.Result) error {
+	tw := NewWriter(w)
+	if err := tw.Result(res, 0, ""); err != nil {
+		tw.Close() // still terminate the array for a parseable sink
+		return err
+	}
+	return tw.Close()
 }

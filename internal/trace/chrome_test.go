@@ -3,10 +3,12 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
+	"gpushare/internal/obs"
 	"gpushare/internal/workload"
 )
 
@@ -94,5 +96,131 @@ func TestWriteChromeNil(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChrome(&buf, nil); err == nil {
 		t.Fatal("nil result accepted")
+	}
+}
+
+// failAfterWriter fails every Write once failAt bytes have passed, then
+// recovers after recoverAfter failures.
+type failAfterWriter struct {
+	buf          bytes.Buffer
+	failAt       int
+	failures     int
+	recoverAfter int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.buf.Len() >= w.failAt && w.failures < w.recoverAfter {
+		w.failures++
+		return 0, errors.New("sink full")
+	}
+	return w.buf.Write(p)
+}
+
+func traceResult(t *testing.T) *gpusim.Result {
+	t.Helper()
+	dev := gpu.MustLookup("A100X")
+	k, err := workload.MustGet("Kripke").BuildTaskSpec("1x", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpusim.RunClients(gpusim.Config{Seed: 1, Mode: gpusim.ShareMPS}, []gpusim.Client{
+		{ID: "kripke", Tasks: []*workload.TaskSpec{k}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	res := traceResult(t)
+	w := &failAfterWriter{failAt: 0, recoverAfter: 1 << 30} // fails forever
+	tw := NewWriter(w)
+	if err := tw.Result(res, 0, ""); err == nil {
+		t.Fatal("write error not propagated from Result")
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("write error not propagated from Close")
+	}
+	if err := WriteChrome(w, res); err == nil {
+		t.Fatal("WriteChrome swallowed the write error")
+	}
+}
+
+func TestWriterClosesArrayAfterError(t *testing.T) {
+	res := traceResult(t)
+	// Fail exactly once partway through, then recover: everything after
+	// the failed event is skipped, but Close still lands the bracket and
+	// the sink holds parseable JSON.
+	w := &failAfterWriter{failAt: 200, recoverAfter: 1}
+	tw := NewWriter(w)
+	if err := tw.Result(res, 0, ""); err == nil {
+		t.Fatal("write error not propagated")
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("Close dropped the latched error")
+	}
+	out := bytes.TrimSpace(w.buf.Bytes())
+	if len(out) == 0 || out[len(out)-1] != ']' {
+		t.Fatalf("output does not end with ']': %q", out)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out, &events); err != nil {
+		t.Fatalf("truncated trace is not parseable JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events survived before the failure")
+	}
+}
+
+func TestWriterEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty writer output = %q, want []", buf.Bytes())
+	}
+}
+
+func TestWriterSpans(t *testing.T) {
+	spans := []obs.SpanData{
+		{Track: "engine:a", Name: "Kripke/1x", Detail: "a", Mode: obs.SimTime, Start: 0, End: 2_000_000},
+		{Track: "engine:a", Name: "Kripke/1x", Mode: obs.SimTime, Start: 2_000_000, End: 3_000_000},
+		{Track: "scheduler", Name: "BuildPlan", Mode: obs.WallTime, Start: 5_000, End: 9_000},
+		{Track: "workers", Name: "task", Mode: obs.WallTime, Start: 6_000, End: 7_000},
+	}
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	res := traceResult(t)
+	if err := tw.Result(res, PidResultBase, "gpu0-wave0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Spans(spans, PidObsSim, PidObsWall); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("combined trace not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	wallZero := false
+	for _, e := range events {
+		pids[e["pid"].(float64)] = true
+		if e["ph"] == "X" && e["pid"].(float64) == PidObsWall && e["ts"].(float64) == 0 {
+			wallZero = true
+		}
+	}
+	for _, want := range []float64{PidObsSim, PidObsWall, PidResultBase, PidResultBase + 1} {
+		if !pids[want] {
+			t.Fatalf("pid %v missing from combined timeline", want)
+		}
+	}
+	if !wallZero {
+		t.Fatal("wall-time spans not normalized to start at zero")
 	}
 }
