@@ -39,10 +39,12 @@ fmt:
 	fi
 
 # Short fuzzing sessions over the properties the simulator depends on:
-# predictor symmetry/no-panic and event-queue pop ordering. Native Go
-# fuzzing takes one target per invocation.
+# predictor symmetry/no-panic, aggregate/Predict bit-identity (the
+# dispatcher's O(1) admission probes) and event-queue pop ordering.
+# Native Go fuzzing takes one target per invocation.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPredictInterference -fuzztime=$(FUZZTIME) ./internal/interference
+	$(GO) test -run='^$$' -fuzz=FuzzAggregateMatchesPredict -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueue -fuzztime=$(FUZZTIME) ./internal/eventq
 
 # One-command pprof workflow for perf PRs: profile a real experiment run
@@ -51,10 +53,12 @@ profile:
 	$(GO) run ./cmd/benchrepro -run $(PROFILE_RUN) -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
-# Compile-and-run smoke over the engine hot-path benchmark so it cannot
-# silently rot (CI runs this; -benchtime=1x keeps it fast).
+# Compile-and-run smoke over the hot-path benchmarks so they cannot
+# silently rot (CI runs this; -benchtime=1x and the small fleet size
+# keep it fast). Full fleet numbers live in BENCH_dispatcher.json.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=EngineSteadyState -benchtime=1x ./internal/gpusim
+	$(GO) test -run='^$$' -bench='BenchmarkScheduleOnline/2k-16gpu|BenchmarkBuildPlan/2k-16gpu' -benchtime=1x ./internal/core
 
 # Live-endpoint smoke: benchrepro with telemetry serving, /healthz and
 # /debug/pprof probed, /metrics diffed against the committed golden

@@ -18,6 +18,13 @@
 // keeps serving /metrics, /healthz and /debug/pprof for inspection:
 //
 //	gpusched serve -http 127.0.0.1:8378 -combo 6
+//
+// The bench-online form times the fleet-scale online decision path alone
+// (no simulated execution): a synthetic arrival stream is generated and
+// pushed through PlanOnline, reporting dispatch throughput and admission
+// statistics (see BENCH_dispatcher.json for pinned numbers):
+//
+//	gpusched bench-online -fleet 50000x256 -policy energy
 package main
 
 import (
@@ -78,12 +85,15 @@ func main() {
 		traceDir  = flag.String("trace-dir", "", "write Chrome traces (one per collocation group, plus a combined timeline.json with telemetry spans) into this directory")
 		jobs      = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 		htaddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (serve mode defaults to 127.0.0.1:8378)")
+		fleet     = flag.String("fleet", "10000x64", "bench-online fleet shape WORKFLOWSxGPUS")
 	)
 	// "gpusched serve ..." is the inspection form: telemetry on, HTTP
-	// endpoint up, process kept alive after the run.
+	// endpoint up, process kept alive after the run. "gpusched
+	// bench-online ..." times the decision path on a synthetic fleet.
 	args := os.Args[1:]
 	serveMode := len(args) > 0 && args[0] == "serve"
-	if serveMode {
+	benchMode := len(args) > 0 && args[0] == "bench-online"
+	if serveMode || benchMode {
 		args = args[1:]
 	}
 	if err := flag.CommandLine.Parse(args); err != nil {
@@ -122,6 +132,17 @@ func main() {
 	spec, err := gpu.Lookup(*device)
 	if err != nil {
 		fatal(err)
+	}
+
+	if benchMode {
+		policy, err := parsePolicy(*policyStr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runFleetBench(spec, policy, *fleet, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	queue, err := buildQueue(*comboID, *uniform, *queueFile)
@@ -198,6 +219,51 @@ func main() {
 		fmt.Println("run complete; serving telemetry until interrupted")
 		select {}
 	}
+}
+
+// runFleetBench times the online decision path alone at fleet scale: a
+// deterministic synthetic arrival stream through PlanOnline, no
+// simulated execution. Wall timing lives here because cmd/ sits outside
+// the nodeterminism analyzer scope.
+func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed uint64) error {
+	var workflows, gpus int
+	if _, err := fmt.Sscanf(shape, "%dx%d", &workflows, &gpus); err != nil {
+		return fmt.Errorf("-fleet wants WORKFLOWSxGPUS (e.g. 50000x256), got %q: %w", shape, err)
+	}
+	arrivals, store, err := core.GenerateFleet(spec, core.FleetSpec{
+		Workflows: workflows, TargetGPUs: gpus, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	sched, err := core.NewScheduler(spec, gpus, store, policy)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	plan, err := sched.PlanOnline(arrivals)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("fleet %dx%d (%s policy): planned %d dispatches in %v (%.0f ns/arrival)\n",
+		workflows, gpus, policy.Objective, len(plan.Dispatches), elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/float64(len(plan.Dispatches)))
+	fmt.Printf("  admission probes %d  wait events %d  retirements %d  mean wait %.1fs\n",
+		plan.Stats.Probes, plan.Stats.Waits, plan.Stats.Completions, meanWaitS(plan.Dispatches))
+	return nil
+}
+
+// meanWaitS averages the queueing delay over the dispatch log.
+func meanWaitS(dispatches []core.DispatchEvent) float64 {
+	if len(dispatches) == 0 {
+		return 0
+	}
+	var total float64
+	for _, d := range dispatches {
+		total += d.WaitedS
+	}
+	return total / float64(len(dispatches))
 }
 
 // policyClientCap mirrors the policy's cap for the naive baseline so the

@@ -56,5 +56,6 @@ func All() []*Analyzer {
 		MapOrder,
 		FloatEq,
 		ErrCheckIO,
+		ShadowBuiltin,
 	}
 }

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// ShadowBuiltin flags declarations that shadow a predeclared identifier
+// (cap, len, min, max, new, copy, ...).
+//
+// Shadowing a builtin is legal Go, but inside the shadowing scope the
+// builtin silently stops working — `cap := policy.clientCap(...)` turns
+// every later `cap(buf)` in the function into a type error or, worse, a
+// call of the local. The scheduler's decision path is exactly the kind
+// of long, hot function where such a local lingers for years, so the
+// convention is enforced mechanically: rename the local after what it
+// holds (clientCap, bufLen) instead of what it resembles.
+//
+// Struct fields and methods are exempt — selectors like p.cap never
+// compete with the builtin's scope.
+var ShadowBuiltin = &Analyzer{
+	Name: "shadowbuiltin",
+	Doc:  "flag declarations (vars, params, funcs, types) that shadow predeclared identifiers",
+	Run:  runShadowBuiltin,
+}
+
+func runShadowBuiltin(pass *Pass) error {
+	// Defs holds every defining identifier in the package. Iteration
+	// order is irrelevant: the driver sorts diagnostics by position.
+	for ident, obj := range pass.TypesInfo.Defs {
+		if obj == nil || ident.Name == "_" {
+			continue
+		}
+		if types.Universe.Lookup(ident.Name) == nil {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			if o.IsField() {
+				continue // fields live behind selectors, not in scope
+			}
+		case *types.Func:
+			if o.Type().(*types.Signature).Recv() != nil {
+				continue // methods are selected, never bare identifiers
+			}
+		case *types.TypeName, *types.Const:
+			// package-level or local; all shadow.
+		default:
+			continue // labels, imports: no scope competition with builtins
+		}
+		pass.Reportf(ident.Pos(),
+			"declaration of %q shadows the predeclared identifier; rename it (e.g. clientCap for a client limit)", ident.Name)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestShadowBuiltin(t *testing.T) {
+	analysistest.Run(t, "testdata/shadowbuiltin", analysis.ShadowBuiltin, "gpushare/internal/core")
+}
+
+func TestShadowBuiltinScope(t *testing.T) {
+	// Builtins can be shadowed anywhere, so the check has no package
+	// scope: it applies to every layer.
+	for _, p := range []string{
+		"gpushare/internal/core",
+		"gpushare/internal/gpusim",
+		"gpushare/cmd/benchrepro",
+	} {
+		if !analysis.ShadowBuiltin.AppliesTo(p) {
+			t.Errorf("shadowbuiltin must apply to %s", p)
+		}
+	}
+}

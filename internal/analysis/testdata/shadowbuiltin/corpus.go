@@ -1,0 +1,46 @@
+// Corpus for the shadowbuiltin analyzer: declarations shadowing
+// predeclared identifiers are flagged wherever they bind a scope name;
+// struct fields and methods (reached through selectors) are not.
+package corpus
+
+func badLocal(limit int) int {
+	cap := limit * 2 // want "declaration of \"cap\" shadows the predeclared identifier"
+	return cap
+}
+
+func badParam(len int) int { // want "declaration of \"len\" shadows the predeclared identifier"
+	return len + 1
+}
+
+func badShortRange() int {
+	total := 0
+	for _, max := range []int{1, 2, 3} { // want "declaration of \"max\" shadows the predeclared identifier"
+		total += max
+	}
+	return total
+}
+
+var badPackageVar = 0 // just a name check below
+
+// min shadows the predeclared min at package scope.
+var min = badPackageVar // want "declaration of \"min\" shadows the predeclared identifier"
+
+func badFunc() {}
+
+// new shadows the builtin allocator for the whole package.
+func copy() {} // want "declaration of \"copy\" shadows the predeclared identifier"
+
+type badType struct {
+	// goodField: fields are selected (x.cap), never bare, so they do not
+	// shadow.
+	cap int
+	len int
+}
+
+// goodMethod: methods are reached through selectors too.
+func (b badType) append() int { return b.cap + b.len }
+
+func goodNames(clientCap, bufLen int) int {
+	buf := make([]int, 0, clientCap)
+	return bufLen + cap(buf)
+}

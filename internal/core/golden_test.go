@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpushare/internal/gpusim"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workflow"
+	"gpushare/internal/xrand"
+)
+
+// Golden pins for the scheduling decision path. The files under
+// testdata/ were generated from the pre-aggregate implementation (the
+// O(n²·k) rescan dispatcher); the incremental rewrite must reproduce
+// them byte for byte — the paper's rules are additive, so the aggregate
+// path is exactly as strict as full recomputation when the float
+// operation order is preserved (DESIGN.md §11).
+//
+// Regenerate (only when intentionally changing decision semantics) with:
+//
+//	GOLDEN_UPDATE=1 go test -run TestGolden ./internal/core
+
+// goldenGroup is one collocation group, flattened for JSON.
+type goldenGroup struct {
+	Members    []string  `json:"members"`
+	Partitions []float64 `json:"partitions"`
+	SMPct      float64   `json:"sm_pct"`
+	BWPct      float64   `json:"bw_pct"`
+	MemMiB     int64     `json:"mem_mib"`
+	Types      []string  `json:"types,omitempty"`
+	Severity   float64   `json:"severity"`
+}
+
+// goldenPlanCase is one BuildPlan scenario.
+type goldenPlanCase struct {
+	Name   string          `json:"name"`
+	PerGPU [][]goldenGroup `json:"per_gpu"`
+}
+
+// goldenDispatchCase is one PlanOnline scenario. Suite cases embed the
+// full log; fleet cases (thousands of dispatches) pin a SHA-256 over the
+// marshalled log plus the dispatch count, keeping testdata reviewable.
+type goldenDispatchCase struct {
+	Name       string          `json:"name"`
+	Dispatches []DispatchEvent `json:"dispatches,omitempty"`
+	Count      int             `json:"count,omitempty"`
+	SHA256     string          `json:"sha256,omitempty"`
+}
+
+func digestDispatches(t *testing.T, dispatches []DispatchEvent) (int, string) {
+	t.Helper()
+	data, err := json.Marshal(dispatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	return len(dispatches), hex.EncodeToString(sum[:])
+}
+
+func flattenPlan(p *Plan) [][]goldenGroup {
+	out := make([][]goldenGroup, len(p.PerGPU))
+	for g, waves := range p.PerGPU {
+		out[g] = []goldenGroup{}
+		for _, grp := range waves {
+			types := make([]string, len(grp.Estimate.Types))
+			for i, t := range grp.Estimate.Types {
+				types[i] = string(t)
+			}
+			out[g] = append(out[g], goldenGroup{
+				Members:    grp.Names(),
+				Partitions: grp.Partitions,
+				SMPct:      grp.Estimate.CombinedSMUtilPct,
+				BWPct:      grp.Estimate.CombinedBWUtilPct,
+				MemMiB:     grp.Estimate.CombinedMaxMemMiB,
+				Types:      types,
+				Severity:   grp.Estimate.Severity,
+			})
+		}
+	}
+	return out
+}
+
+// mixedArrivals builds a deterministic suite-benchmark arrival stream in
+// the style of the ext-online experiment.
+func mixedArrivals(seed uint64, count int) []Arrival {
+	mix := []struct {
+		bench, size string
+		iters       int
+	}{
+		{"AthenaPK", "4x", 2},
+		{"Cholla-Gravity", "1x", 20},
+		{"Kripke", "4x", 1},
+		{"LAMMPS", "1x", 15},
+		{"Cholla-MHD", "1x", 2},
+		{"Kripke", "1x", 20},
+		{"AthenaPK", "1x", 30},
+	}
+	rng := xrand.New(seed)
+	arrivals := make([]Arrival, 0, count)
+	now := simtime.Zero
+	for i := 0; i < count; i++ {
+		m := mix[rng.Intn(len(mix))]
+		arrivals = append(arrivals, Arrival{
+			At: now,
+			Workflow: workflow.Workflow{
+				Name: fmt.Sprintf("job-%03d-%s", i, m.bench),
+				Tasks: []workflow.Task{
+					{Benchmark: m.bench, Size: m.size, Iterations: m.iters},
+				},
+			},
+		})
+		now = now.Add(simtime.FromSeconds(5 + rng.Float64()*40))
+	}
+	return arrivals
+}
+
+// goldenCompare marshals got, then diffs or rewrites the golden file.
+func goldenCompare(t *testing.T, file string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", file)
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with GOLDEN_UPDATE=1 to create): %v", path, err)
+	}
+	if !bytes.Equal(want, data) {
+		t.Fatalf("%s diverged from the pre-rewrite decision path:\n--- want\n%s\n--- got\n%s",
+			path, want, data)
+	}
+}
+
+// TestGoldenPlans pins BuildPlan output (grouping, placement, partitions,
+// estimates) across policies.
+func TestGoldenPlans(t *testing.T) {
+	store := suiteStore(t)
+	mixed := []workflow.Workflow{
+		wfOne("athena-a", "AthenaPK", "4x", 2),
+		wfOne("athena-b", "AthenaPK", "1x", 6),
+		wfOne("gravity", "Cholla-Gravity", "1x", 8),
+		wfOne("kripke-a", "Kripke", "4x", 1),
+		wfOne("kripke-b", "Kripke", "1x", 9),
+		wfOne("lammps-a", "LAMMPS", "4x", 1),
+		wfOne("lammps-b", "LAMMPS", "1x", 4),
+		wfOne("mhd", "Cholla-MHD", "1x", 3),
+		wfOne("gw", "BerkeleyGW", "1x", 5),
+		wfOne("warpx", "WarpX", "1x", 1),
+		wfOne("athena-c", "AthenaPK", "4x", 1),
+		wfOne("kripke-c", "Kripke", "4x", 2),
+	}
+	rightsized := EnergyPolicy()
+	rightsized.RightSizePartitions = true
+	opposing := EnergyPolicy()
+	opposing.PairOpposingPower = true
+	interfering := EnergyPolicy()
+	interfering.AllowInterferingPairs = true
+
+	cases := []struct {
+		name   string
+		gpus   int
+		policy Policy
+	}{
+		{"energy-1gpu", 1, EnergyPolicy()},
+		{"energy-4gpu", 4, EnergyPolicy()},
+		{"throughput-2gpu", 2, ThroughputPolicy()},
+		{"rightsize-2gpu", 2, rightsized},
+		{"opposing-power-1gpu", 1, opposing},
+		{"allow-interfering-2gpu", 2, interfering},
+	}
+	var got []goldenPlanCase
+	for _, c := range cases {
+		s, err := NewScheduler(a100x(), c.gpus, store, c.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.BuildPlan(queueOf(t, mixed...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, goldenPlanCase{Name: c.name, PerGPU: flattenPlan(plan)})
+	}
+	goldenCompare(t, "golden_plans.json", got)
+}
+
+// TestGoldenDispatchLogs pins the online dispatcher's decision log:
+// suite-benchmark streams across pool sizes and policies, plus synthetic
+// fleet streams large enough to exercise the wait loop heavily.
+func TestGoldenDispatchLogs(t *testing.T) {
+	store := suiteStore(t)
+	interfering := EnergyPolicy()
+	interfering.AllowInterferingPairs = true
+
+	var got []goldenDispatchCase
+	suiteCases := []struct {
+		name   string
+		gpus   int
+		policy Policy
+		seed   uint64
+		count  int
+	}{
+		{"energy-1gpu", 1, EnergyPolicy(), 11, 40},
+		{"energy-4gpu", 4, EnergyPolicy(), 12, 80},
+		{"throughput-2gpu", 2, ThroughputPolicy(), 13, 60},
+		{"allow-interfering-2gpu", 2, interfering, 14, 60},
+	}
+	for _, c := range suiteCases {
+		s, err := NewScheduler(a100x(), c.gpus, store, c.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.planOnline(mixedArrivals(c.seed, c.count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, goldenDispatchCase{Name: "suite-" + c.name, Dispatches: plan.Dispatches})
+	}
+
+	fleetCases := []struct {
+		name      string
+		workflows int
+		gpus      int
+		policy    Policy
+		seed      uint64
+	}{
+		{"fleet-energy-2000x16", 2000, 16, EnergyPolicy(), 21},
+		{"fleet-throughput-1500x32", 1500, 32, ThroughputPolicy(), 22},
+	}
+	for _, c := range fleetCases {
+		arrivals, fstore, err := GenerateFleet(a100x(), FleetSpec{
+			Workflows: c.workflows, TargetGPUs: c.gpus, Seed: c.seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(a100x(), c.gpus, fstore, c.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.planOnline(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, digest := digestDispatches(t, plan.Dispatches)
+		got = append(got, goldenDispatchCase{Name: c.name, Count: count, SHA256: digest})
+	}
+	goldenCompare(t, "golden_dispatch.json", got)
+}
+
+// TestGoldenOnlineOutcome pins one full ScheduleOnline run end to end —
+// dispatch log plus executed summaries — so the planning/execution seam
+// cannot drift.
+func TestGoldenOnlineOutcome(t *testing.T) {
+	store := suiteStore(t)
+	s, err := NewScheduler(a100x(), 2, store, EnergyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.ScheduleOnline(mixedArrivals(31, 16), gpusim.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_online_outcome.json", out)
+}

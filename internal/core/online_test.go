@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
+	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
+	"gpushare/internal/profile"
 	"gpushare/internal/simtime"
 )
 
@@ -114,6 +117,97 @@ func TestScheduleOnlineMultiGPU(t *testing.T) {
 		if d.WaitedS != 0 {
 			t.Fatalf("waiting despite free GPU: %+v", d)
 		}
+	}
+}
+
+func TestScheduleOnlineAllowInterferingPairs(t *testing.T) {
+	// Under recommendation 2 the SM rule is advisory: two LAMMPS
+	// workflows that the default policy serializes (see
+	// TestScheduleOnlineInterferenceGating) collocate immediately.
+	store := suiteStore(t)
+	policy := EnergyPolicy()
+	policy.AllowInterferingPairs = true
+	s, _ := NewScheduler(a100x(), 1, store, policy)
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("l1", "LAMMPS", "4x", 1)},
+		{At: at(0), Workflow: wfOne("l2", "LAMMPS", "4x", 1)},
+	}
+	out, err := s.ScheduleOnline(arrivals, gpusim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := out.Dispatches[1]
+	if second.WaitedS != 0 {
+		t.Fatalf("interference-tolerant dispatch still waited %vs", second.WaitedS)
+	}
+	if len(second.RunningAlongside) != 1 || second.RunningAlongside[0] != "l1" {
+		t.Fatalf("second LAMMPS alongside %v, want [l1]", second.RunningAlongside)
+	}
+}
+
+func TestPlanOnlineAllowInterferingNeverOOMs(t *testing.T) {
+	// AllowInterferingPairs tolerates compute/bandwidth violations but
+	// never capacity: two 61 GiB WarpX workflows still serialize.
+	store := suiteStore(t)
+	policy := EnergyPolicy()
+	policy.AllowInterferingPairs = true
+	s, _ := NewScheduler(a100x(), 1, store, policy)
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("w1", "WarpX", "1x", 1)},
+		{At: at(0), Workflow: wfOne("w2", "WarpX", "1x", 1)},
+	}
+	plan, err := s.PlanOnline(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Dispatches[1].WaitedS <= 0 {
+		t.Fatal("second WarpX must wait for memory even under AllowInterferingPairs")
+	}
+	if plan.Stats.Waits == 0 {
+		t.Fatal("wait loop never ran")
+	}
+}
+
+// oversizedStore profiles a well-behaved workload plus one whose memory
+// footprint exceeds the device, for exercising the no-fit error path.
+func oversizedStore(t *testing.T, device gpu.DeviceSpec) *profile.Store {
+	t.Helper()
+	store := profile.NewStore()
+	for _, p := range []*profile.TaskProfile{
+		{Workload: "small", Size: "1x", AvgSMUtilPct: 20, AvgBWUtilPct: 10,
+			MaxMemMiB: 1024, DurationS: 30, EnergyJ: 3000},
+		{Workload: "huge", Size: "1x", AvgSMUtilPct: 20, AvgBWUtilPct: 10,
+			MaxMemMiB: device.MemoryMiB + 1, DurationS: 30, EnergyJ: 3000},
+	} {
+		if err := store.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func TestPlanOnlineNoFitMidQueue(t *testing.T) {
+	// A workflow that cannot fit an empty GPU (solo capacity violation)
+	// must fail the plan with a diagnostic, not spin the wait loop —
+	// including mid-queue, after earlier arrivals dispatched fine.
+	device := a100x()
+	s, err := NewScheduler(device, 2, oversizedStore(t, device), EnergyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []Arrival{
+		{At: at(0), Workflow: wfOne("ok-1", "small", "1x", 1)},
+		{At: at(1), Workflow: wfOne("ok-2", "small", "1x", 1)},
+		{At: at(2), Workflow: wfOne("doomed", "huge", "1x", 1)},
+		{At: at(3), Workflow: wfOne("ok-3", "small", "1x", 1)},
+	}
+	_, err = s.PlanOnline(arrivals)
+	if err == nil {
+		t.Fatal("oversized workflow admitted")
+	}
+	if !strings.Contains(err.Error(), "doomed") ||
+		!strings.Contains(err.Error(), "cannot be admitted") {
+		t.Fatalf("error %q does not identify the doomed workflow", err)
 	}
 }
 

@@ -161,22 +161,51 @@ func (s *Scheduler) BuildPlan(q *workflow.Queue) (*Plan, error) {
 		return order[i].AvgSMUtilPct < order[j].AvgSMUtilPct
 	})
 
-	cap := s.Policy.clientCap(s.Device.MaxMPSClients)
-	assigned := make(map[*WorkflowProfile]bool, len(order))
+	// Candidate index: loads pre-extracted in packing order so every
+	// admission probe is three additions against the group's aggregate
+	// (no per-probe profile views, no Predict rescan).
+	clientCap := s.Policy.clientCap(s.Device.MaxMPSClients)
+	loads := make([]interference.Load, len(order))
+	for i, wp := range order {
+		loads[i] = wp.load()
+	}
+	assigned := make([]bool, len(order))
+	// rejectedIn[j] marks the group (by id) that last rejected candidate
+	// j: group sums only grow, so a rejection holds for the rest of that
+	// group's construction (used by the opposing-power scan, which has no
+	// cursor).
+	rejectedIn := make([]int, len(order))
+	for i := range rejectedIn {
+		rejectedIn[i] = -1
+	}
+	agg := interference.NewAggregate(s.Device)
 	var groups []*Group
-	for _, seed := range order {
-		if assigned[seed] {
+	for seedIdx, seed := range order {
+		if assigned[seedIdx] {
 			continue
 		}
 		g := &Group{Members: []*WorkflowProfile{seed}}
-		assigned[seed] = true
-		for len(g.Members) < cap {
-			cand := s.pickCandidate(order, assigned, g.Members)
-			if cand == nil {
+		assigned[seedIdx] = true
+		agg.Reset()
+		agg.Add(loads[seedIdx])
+		// First-fit cursor: everything before the seed is assigned, and a
+		// candidate the growing group rejected once stays rejected, so the
+		// scan never revisits an index within one group.
+		cursor := seedIdx + 1
+		groupID := len(groups)
+		for len(g.Members) < clientCap {
+			var cand int
+			if s.Policy.PairOpposingPower {
+				cand = s.pickOpposingPower(order, loads, assigned, rejectedIn, groupID, &agg, g.Members)
+			} else {
+				cand = s.pickFirstFit(loads, assigned, &agg, &cursor)
+			}
+			if cand < 0 {
 				break
 			}
-			g.Members = append(g.Members, cand)
+			g.Members = append(g.Members, order[cand])
 			assigned[cand] = true
+			agg.Add(loads[cand])
 		}
 		g.Estimate = s.estimate(g.Members)
 		s.rightSize(g)
@@ -217,37 +246,65 @@ func (s *Scheduler) BuildPlan(q *workflow.Queue) (*Plan, error) {
 // client limit is 48 on the paper's device).
 var groupOccupancyBounds = []int64{1, 2, 3, 4, 6, 8, 16, 32}
 
-// pickCandidate selects the next workflow to add to a group: the first
-// (lowest-utilization) fitting candidate by default, or — under
-// recommendation 3 (PairOpposingPower) — the fitting candidate whose
-// predicted average power is farthest from the group's current mean
-// ("pair workflows with opposing power profiles").
-func (s *Scheduler) pickCandidate(order []*WorkflowProfile, assigned map[*WorkflowProfile]bool, members []*WorkflowProfile) *WorkflowProfile {
-	if !s.Policy.PairOpposingPower {
-		for _, cand := range order {
-			if !assigned[cand] && s.fits(members, cand) {
-				return cand
-			}
-		}
-		return nil
+// admits applies criteria 2 and 3 to an O(1) probe outcome: capacity
+// violations (OOM) are never acceptable; other interference is tolerated
+// only under AllowInterferingPairs. Identical to the retired fits()
+// check, which recomputed the same sums with a full Predict rescan.
+func (s *Scheduler) admits(out interference.Outcome) bool {
+	if out.Capacity {
+		return false // OOM is never acceptable
 	}
+	if s.Policy.AllowInterferingPairs {
+		return true
+	}
+	return !out.Interferes()
+}
+
+// pickFirstFit selects the first (lowest-utilization) candidate the
+// group's aggregate admits, resuming from cursor: rejections are final
+// within a group (sums only grow), so each group scans the candidate
+// index at most once end to end.
+func (s *Scheduler) pickFirstFit(loads []interference.Load, assigned []bool, agg *interference.Aggregate, cursor *int) int {
+	for j := *cursor; j < len(loads); j++ {
+		if assigned[j] {
+			continue
+		}
+		if s.admits(agg.Admit(loads[j])) {
+			*cursor = j + 1
+			return j
+		}
+	}
+	*cursor = len(loads)
+	return -1
+}
+
+// pickOpposingPower selects — under recommendation 3 — the fitting
+// candidate whose predicted average power is farthest from the group's
+// current mean ("pair workflows with opposing power profiles"). The scan
+// order and strict-improvement tie-break match the retired pickCandidate
+// exactly; rejectedIn only skips candidates this group already rejected.
+func (s *Scheduler) pickOpposingPower(order []*WorkflowProfile, loads []interference.Load, assigned []bool, rejectedIn []int, groupID int, agg *interference.Aggregate, members []*WorkflowProfile) int {
 	var groupPower float64
 	for _, m := range members {
 		groupPower += m.avgPowerW()
 	}
 	groupPower /= float64(len(members))
-	var best *WorkflowProfile
+	best := -1
 	bestDelta := -1.0
-	for _, cand := range order {
-		if assigned[cand] || !s.fits(members, cand) {
+	for j := range order {
+		if assigned[j] || rejectedIn[j] == groupID {
 			continue
 		}
-		delta := cand.avgPowerW() - groupPower
+		if !s.admits(agg.Admit(loads[j])) {
+			rejectedIn[j] = groupID
+			continue
+		}
+		delta := order[j].avgPowerW() - groupPower
 		if delta < 0 {
 			delta = -delta
 		}
 		if delta > bestDelta {
-			best, bestDelta = cand, delta
+			best, bestDelta = j, delta
 		}
 	}
 	return best
@@ -272,18 +329,6 @@ func (s *Scheduler) estimate(members []*WorkflowProfile) interference.Estimate {
 		}
 	}
 	return est
-}
-
-// fits applies criteria 2 and 3 to adding cand to the group.
-func (s *Scheduler) fits(members []*WorkflowProfile, cand *WorkflowProfile) bool {
-	est := s.estimate(append(append([]*WorkflowProfile{}, members...), cand))
-	if est.Has(interference.Capacity) {
-		return false // OOM is never acceptable
-	}
-	if s.Policy.AllowInterferingPairs {
-		return true
-	}
-	return !est.Interferes
 }
 
 // rightSize assigns each member an MPS partition covering its predicted

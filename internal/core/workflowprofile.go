@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gpushare/internal/interference"
 	"gpushare/internal/profile"
 	"gpushare/internal/workflow"
 )
@@ -59,10 +60,24 @@ func (wp *WorkflowProfile) profileView() *profile.TaskProfile {
 	}
 }
 
+// load is the workflow's contribution to the additive interference
+// rules — the same three quantities profileView exposes to Predict, so
+// aggregate probes over loads are bit-identical to Predict over views.
+func (wp *WorkflowProfile) load() interference.Load {
+	return interference.Load{
+		SMPct:  wp.AvgSMUtilPct,
+		BWPct:  wp.AvgBWUtilPct,
+		MemMiB: wp.MaxMemMiB,
+	}
+}
+
 // BuildWorkflowProfile aggregates the store's task profiles over a
 // workflow, inferring missing sizes by scaling.
 func BuildWorkflowProfile(store *profile.Store, w workflow.Workflow) (*WorkflowProfile, error) {
-	if err := w.Validate(); err != nil {
+	// Shape-only validation: planning resolves benchmarks through the
+	// profile store, so store-only benchmarks (fleet archetypes) are
+	// legal here; the store lookup below rejects anything it lacks.
+	if err := w.ValidateShape(); err != nil {
 		return nil, err
 	}
 	if store == nil {

@@ -67,8 +67,8 @@ func (m *PowerModel) Decide(rawDynamicW float64) GovernorDecision {
 	// meet the budget the device runs at the floor slightly above the
 	// limit, which matches observed NVML behaviour under extreme load.
 	factor := budget / demand
-	if min := m.Spec.MinClockFactor(); factor < min {
-		factor = min
+	if floor := m.Spec.MinClockFactor(); factor < floor {
+		factor = floor
 	}
 	d.ClockFactor = factor
 	d.PowerW = m.Spec.IdlePowerW + factor*demand

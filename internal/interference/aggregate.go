@@ -1,0 +1,166 @@
+package interference
+
+import (
+	"gpushare/internal/gpu"
+	"gpushare/internal/profile"
+)
+
+// Incremental interference aggregates. The paper's §IV-B rules are
+// additive — summed average SM%, summed average BW%, summed maximum
+// memory against device limits — so an admission decision for "group +
+// candidate" needs only the group's running sums, not a rescan of every
+// member. Aggregate maintains those sums with O(1) Admit/Add probes; the
+// fleet dispatcher runs one per GPU so each arrival costs three
+// comparisons per device instead of an O(residents) recomputation with
+// allocations (the property arXiv:2105.10312 and arXiv:2505.08562 demand
+// of per-arrival admission control at scale).
+//
+// Bit-identity contract: every sum Aggregate exposes is produced by the
+// same left-to-right float64 fold Predict performs over the same member
+// sequence. Add extends the fold by one term (exactly Predict's next
+// loop iteration); Remove re-folds the remaining members in order rather
+// than subtracting (float subtraction does not invert addition). The
+// FuzzAggregateMatchesPredict target pins the equivalence bit for bit.
+
+// Load is one member's contribution to the additive rules — the three
+// Table II quantities Predict reads from a task profile.
+type Load struct {
+	// SMPct is the average SM utilization in percent.
+	SMPct float64
+	// BWPct is the average memory-bandwidth utilization in percent.
+	BWPct float64
+	// MemMiB is the maximum memory footprint.
+	MemMiB int64
+}
+
+// ProfileLoad extracts a profile's contribution. A nil profile
+// contributes zero, matching Predict's nil skip.
+func ProfileLoad(p *profile.TaskProfile) Load {
+	if p == nil {
+		return Load{}
+	}
+	return Load{SMPct: p.AvgSMUtilPct, BWPct: p.AvgBWUtilPct, MemMiB: p.MaxMemMiB}
+}
+
+// Outcome is one admission probe's result: the combined utilizations the
+// candidate group would have, and which rules it would violate. It is a
+// plain value — probing allocates nothing.
+type Outcome struct {
+	CombinedSMUtilPct float64
+	CombinedBWUtilPct float64
+	CombinedMaxMemMiB int64
+	DeviceMemMiB      int64
+
+	// Compute, Bandwidth, Capacity report the violated rules, evaluated
+	// with exactly Predict's comparisons.
+	Compute   bool
+	Bandwidth bool
+	Capacity  bool
+}
+
+// Interferes is the paper's binary prediction: any rule violated.
+func (o Outcome) Interferes() bool { return o.Compute || o.Bandwidth || o.Capacity }
+
+// Aggregate holds the running sums for one collocation group (one GPU's
+// residents, or one packing group under construction). The zero value is
+// an empty group on a zero-memory device; use NewAggregate to bind a
+// device.
+type Aggregate struct {
+	deviceMemMiB int64
+
+	// loads holds the member sequence in insertion order — the fold
+	// order, which Remove preserves.
+	loads []Load
+
+	smSum  float64
+	bwSum  float64
+	memSum int64
+}
+
+// NewAggregate returns an empty group on the given device.
+func NewAggregate(device gpu.DeviceSpec) Aggregate {
+	return Aggregate{deviceMemMiB: device.MemoryMiB}
+}
+
+// Reset empties the group, keeping allocated capacity.
+func (a *Aggregate) Reset() {
+	a.loads = a.loads[:0]
+	a.smSum, a.bwSum, a.memSum = 0, 0, 0
+}
+
+// Len returns the member count.
+func (a *Aggregate) Len() int { return len(a.loads) }
+
+// At returns member i's load.
+func (a *Aggregate) At(i int) Load { return a.loads[i] }
+
+// outcome evaluates the rules for explicit combined sums.
+func (a *Aggregate) outcome(sm, bw float64, mem int64) Outcome {
+	return Outcome{
+		CombinedSMUtilPct: sm,
+		CombinedBWUtilPct: bw,
+		CombinedMaxMemMiB: mem,
+		DeviceMemMiB:      a.deviceMemMiB,
+		Compute:           sm > 100,
+		Bandwidth:         bw > 100,
+		Capacity:          mem > a.deviceMemMiB,
+	}
+}
+
+// Admit probes "group + candidate" in O(1): the combined sums are the
+// group's fold extended by one term, exactly the value Predict computes
+// over append(members, candidate). The group is not modified.
+func (a *Aggregate) Admit(l Load) Outcome {
+	return a.outcome(a.smSum+l.SMPct, a.bwSum+l.BWPct, a.memSum+l.MemMiB)
+}
+
+// Current evaluates the rules for the group as it stands.
+func (a *Aggregate) Current() Outcome {
+	return a.outcome(a.smSum, a.bwSum, a.memSum)
+}
+
+// Add appends a member, extending each running fold by one term.
+func (a *Aggregate) Add(l Load) {
+	a.loads = append(a.loads, l)
+	a.smSum += l.SMPct
+	a.bwSum += l.BWPct
+	a.memSum += l.MemMiB
+}
+
+// RemoveAt deletes member i, preserving the order of the remaining
+// members, and re-folds the sums from scratch: subtracting the departed
+// member would drift from Predict's left-to-right fold over the new
+// sequence, re-folding matches it bit for bit. O(members).
+func (a *Aggregate) RemoveAt(i int) {
+	copy(a.loads[i:], a.loads[i+1:])
+	a.loads = a.loads[:len(a.loads)-1]
+	a.smSum, a.bwSum, a.memSum = 0, 0, 0
+	for _, l := range a.loads {
+		a.smSum += l.SMPct
+		a.bwSum += l.BWPct
+		a.memSum += l.MemMiB
+	}
+}
+
+// Estimate renders the group as a full Estimate, identical to
+// Predict(device, members) over the same sequence.
+func (a *Aggregate) Estimate() Estimate {
+	e := Estimate{
+		CombinedSMUtilPct: a.smSum,
+		CombinedBWUtilPct: a.bwSum,
+		CombinedMaxMemMiB: a.memSum,
+		DeviceMemMiB:      a.deviceMemMiB,
+	}
+	if e.CombinedSMUtilPct > 100 {
+		e.Types = append(e.Types, Compute)
+	}
+	if e.CombinedBWUtilPct > 100 {
+		e.Types = append(e.Types, Bandwidth)
+	}
+	if e.CombinedMaxMemMiB > a.deviceMemMiB {
+		e.Types = append(e.Types, Capacity)
+	}
+	e.Interferes = len(e.Types) > 0
+	e.Severity = severity(e)
+	return e
+}

@@ -1,0 +1,198 @@
+package interference
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gpushare/internal/gpu"
+	"gpushare/internal/profile"
+)
+
+func aggProfile(name string, sm, bw float64, mem int64) *profile.TaskProfile {
+	return &profile.TaskProfile{Workload: name, Size: "s",
+		AvgSMUtilPct: sm, AvgBWUtilPct: bw, MaxMemMiB: mem}
+}
+
+// requireEstimateBitEqual compares an Aggregate-derived estimate to
+// Predict's, bit for bit on the float fields.
+func requireEstimateBitEqual(t *testing.T, got, want Estimate) {
+	t.Helper()
+	if math.Float64bits(got.CombinedSMUtilPct) != math.Float64bits(want.CombinedSMUtilPct) {
+		t.Fatalf("SM sum diverged: got %x want %x",
+			math.Float64bits(got.CombinedSMUtilPct), math.Float64bits(want.CombinedSMUtilPct))
+	}
+	if math.Float64bits(got.CombinedBWUtilPct) != math.Float64bits(want.CombinedBWUtilPct) {
+		t.Fatalf("BW sum diverged: got %x want %x",
+			math.Float64bits(got.CombinedBWUtilPct), math.Float64bits(want.CombinedBWUtilPct))
+	}
+	if got.CombinedMaxMemMiB != want.CombinedMaxMemMiB {
+		t.Fatalf("mem sum diverged: got %d want %d", got.CombinedMaxMemMiB, want.CombinedMaxMemMiB)
+	}
+	if got.DeviceMemMiB != want.DeviceMemMiB {
+		t.Fatalf("device mem diverged: got %d want %d", got.DeviceMemMiB, want.DeviceMemMiB)
+	}
+	if got.Interferes != want.Interferes {
+		t.Fatalf("Interferes diverged: got %v want %v", got.Interferes, want.Interferes)
+	}
+	if !reflect.DeepEqual(got.Types, want.Types) {
+		t.Fatalf("Types diverged: got %v want %v", got.Types, want.Types)
+	}
+	if math.Float64bits(got.Severity) != math.Float64bits(want.Severity) {
+		t.Fatalf("Severity diverged: got %v want %v", got.Severity, want.Severity)
+	}
+}
+
+// TestAggregateMatchesPredict walks a member sequence through
+// Add/RemoveAt and checks the aggregate's Estimate stays bit-identical
+// to Predict over the surviving sequence at every step.
+func TestAggregateMatchesPredict(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	members := []*profile.TaskProfile{
+		aggProfile("a", 33.3, 21.7, 18000),
+		aggProfile("b", 0.1, 0.2, 1),
+		aggProfile("c", 66.6, 77.7, 60000),
+		aggProfile("d", 12.5, 3.125, 4096),
+		aggProfile("e", 99.999, 100.001, 81920),
+	}
+
+	agg := NewAggregate(device)
+	var seq []*profile.TaskProfile
+	for _, m := range members {
+		// Probe before admitting: Admit must equal Predict over seq+m.
+		out := agg.Admit(ProfileLoad(m))
+		want := Predict(device, append(append([]*profile.TaskProfile{}, seq...), m))
+		if out.Interferes() != want.Interferes {
+			t.Fatalf("Admit(%s) Interferes=%v, Predict says %v", m.Workload, out.Interferes(), want.Interferes)
+		}
+		if math.Float64bits(out.CombinedSMUtilPct) != math.Float64bits(want.CombinedSMUtilPct) ||
+			math.Float64bits(out.CombinedBWUtilPct) != math.Float64bits(want.CombinedBWUtilPct) ||
+			out.CombinedMaxMemMiB != want.CombinedMaxMemMiB {
+			t.Fatalf("Admit(%s) sums diverged from Predict", m.Workload)
+		}
+		agg.Add(ProfileLoad(m))
+		seq = append(seq, m)
+		requireEstimateBitEqual(t, agg.Estimate(), Predict(device, seq))
+	}
+
+	// Remove from the middle, front, and back; re-check after each.
+	for _, i := range []int{2, 0, len(seq) - 1 - 2} {
+		agg.RemoveAt(i)
+		seq = append(seq[:i], seq[i+1:]...)
+		requireEstimateBitEqual(t, agg.Estimate(), Predict(device, seq))
+	}
+	if agg.Len() != len(seq) {
+		t.Fatalf("Len=%d want %d", agg.Len(), len(seq))
+	}
+
+	agg.Reset()
+	if agg.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", agg.Len())
+	}
+	requireEstimateBitEqual(t, agg.Estimate(), Predict(device, nil))
+}
+
+// TestAggregateNilProfileLoad pins the nil-skip parity: Predict skips
+// nil profiles, ProfileLoad maps nil to a zero load.
+func TestAggregateNilProfileLoad(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	agg.Add(ProfileLoad(nil))
+	agg.Add(ProfileLoad(aggProfile("a", 40, 50, 1000)))
+	want := Predict(device, []*profile.TaskProfile{nil, aggProfile("a", 40, 50, 1000)})
+	requireEstimateBitEqual(t, agg.Estimate(), want)
+}
+
+// TestAggregateOutcomeRules checks each rule flag fires on exactly its
+// threshold semantics (> , not >=).
+func TestAggregateOutcomeRules(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	agg.Add(Load{SMPct: 100, BWPct: 100, MemMiB: device.MemoryMiB})
+	cur := agg.Current()
+	if cur.Interferes() {
+		t.Fatalf("exactly-at-limit group must not interfere: %+v", cur)
+	}
+	out := agg.Admit(Load{SMPct: 0.0001})
+	if !out.Compute || out.Bandwidth || out.Capacity {
+		t.Fatalf("want compute-only violation, got %+v", out)
+	}
+	out = agg.Admit(Load{MemMiB: 1})
+	if !out.Capacity || out.Compute || out.Bandwidth {
+		t.Fatalf("want capacity-only violation, got %+v", out)
+	}
+	out = agg.Admit(Load{BWPct: 0.5})
+	if !out.Bandwidth || out.Compute || out.Capacity {
+		t.Fatalf("want bandwidth-only violation, got %+v", out)
+	}
+}
+
+// TestAggregateAdmitAllocs pins the zero-allocation admission probe —
+// the property the fleet dispatcher's hot path depends on.
+func TestAggregateAdmitAllocs(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	agg.Add(Load{SMPct: 30, BWPct: 20, MemMiB: 10000})
+	agg.Add(Load{SMPct: 40, BWPct: 10, MemMiB: 20000})
+	cand := Load{SMPct: 25, BWPct: 60, MemMiB: 30000}
+	var sink bool
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = agg.Admit(cand).Interferes()
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Admit allocated %.1f objects per probe, want 0", allocs)
+	}
+}
+
+// FuzzAggregateMatchesPredict drives random member sequences (with a
+// removal in the middle) through the aggregate and requires bit-equal
+// sums and identical decisions versus Predict over the same surviving
+// sequence — the contract the golden dispatch logs rest on.
+func FuzzAggregateMatchesPredict(f *testing.F) {
+	f.Add(50.0, 30.0, int64(20000), 60.0, 80.0, int64(30000), 10.0, 5.0, int64(100), uint8(1))
+	f.Add(0.0, 0.0, int64(0), 0.0, 0.0, int64(0), 0.0, 0.0, int64(0), uint8(0))
+	f.Add(-5.0, 200.0, int64(-100), math.MaxFloat64, 1e-300, int64(1<<40), 0.3, 0.7, int64(7), uint8(2))
+	f.Add(33.3, 66.6, int64(40960), 0.1, 0.2, int64(40961), 99.9, 0.05, int64(1), uint8(5))
+	f.Fuzz(func(t *testing.T, sm1, bw1 float64, mem1 int64,
+		sm2, bw2 float64, mem2 int64, sm3, bw3 float64, mem3 int64, drop uint8) {
+		device := gpu.MustLookup("A100X")
+		members := []*profile.TaskProfile{
+			aggProfile("a", sm1, bw1, mem1),
+			aggProfile("b", sm2, bw2, mem2),
+			aggProfile("c", sm3, bw3, mem3),
+		}
+
+		agg := NewAggregate(device)
+		for i, m := range members {
+			out := agg.Admit(ProfileLoad(m))
+			want := Predict(device, members[:i+1])
+			if out.Interferes() != want.Interferes {
+				t.Fatalf("step %d: Admit=%v Predict=%v", i, out.Interferes(), want.Interferes)
+			}
+			agg.Add(ProfileLoad(m))
+			got := agg.Estimate()
+			if math.Float64bits(got.CombinedSMUtilPct) != math.Float64bits(want.CombinedSMUtilPct) ||
+				math.Float64bits(got.CombinedBWUtilPct) != math.Float64bits(want.CombinedBWUtilPct) ||
+				got.CombinedMaxMemMiB != want.CombinedMaxMemMiB ||
+				math.Float64bits(got.Severity) != math.Float64bits(want.Severity) ||
+				!reflect.DeepEqual(got.Types, want.Types) {
+				t.Fatalf("step %d: aggregate estimate diverged from Predict:\ngot  %+v\nwant %+v", i, got, want)
+			}
+		}
+
+		// Remove one member and compare against Predict over the rest.
+		i := int(drop) % len(members)
+		agg.RemoveAt(i)
+		rest := append(append([]*profile.TaskProfile{}, members[:i]...), members[i+1:]...)
+		got := agg.Estimate()
+		want := Predict(device, rest)
+		if math.Float64bits(got.CombinedSMUtilPct) != math.Float64bits(want.CombinedSMUtilPct) ||
+			math.Float64bits(got.CombinedBWUtilPct) != math.Float64bits(want.CombinedBWUtilPct) ||
+			got.CombinedMaxMemMiB != want.CombinedMaxMemMiB ||
+			math.Float64bits(got.Severity) != math.Float64bits(want.Severity) ||
+			!reflect.DeepEqual(got.Types, want.Types) {
+			t.Fatalf("after RemoveAt(%d): aggregate diverged from Predict:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	})
+}

@@ -56,8 +56,8 @@ func RetargetTask(task *workload.TaskSpec, p Profile) (*workload.TaskSpec, error
 		// sustained dynamic power scales the same way (and can never
 		// exceed the instance's silicon share).
 		nph.DynPowerW = ph.DynPowerW / dilation
-		if max := ph.DynPowerW * f * 1.05; nph.DynPowerW > max {
-			nph.DynPowerW = max
+		if limit := ph.DynPowerW * f * 1.05; nph.DynPowerW > limit {
+			nph.DynPowerW = limit
 		}
 		out.Phases[i] = nph
 		total += nph.ActiveWork + nph.GapAfter

@@ -50,17 +50,17 @@ type SpanRecorder struct {
 	dropped int64
 }
 
-// NewSpanRecorder returns a recorder holding at most max spans (max <= 0
-// selects a default). clock supplies wall-clock nanoseconds for
-// StartWall; a nil clock disables wall-time spans (they are silently
-// skipped), which keeps packages under the nodeterminism analyzer free of
-// any time source — the CLIs inject time.Now().UnixNano from outside the
-// analyzer scope.
-func NewSpanRecorder(clock func() int64, max int) *SpanRecorder {
-	if max <= 0 {
-		max = defaultMaxSpans
+// NewSpanRecorder returns a recorder holding at most maxSpans spans
+// (maxSpans <= 0 selects a default). clock supplies wall-clock
+// nanoseconds for StartWall; a nil clock disables wall-time spans (they
+// are silently skipped), which keeps packages under the nodeterminism
+// analyzer free of any time source — the CLIs inject time.Now().UnixNano
+// from outside the analyzer scope.
+func NewSpanRecorder(clock func() int64, maxSpans int) *SpanRecorder {
+	if maxSpans <= 0 {
+		maxSpans = defaultMaxSpans
 	}
-	return &SpanRecorder{clock: clock, max: max}
+	return &SpanRecorder{clock: clock, max: maxSpans}
 }
 
 // RecordSim records a completed sim-time span.

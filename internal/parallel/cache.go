@@ -58,13 +58,13 @@ type cacheEntry struct {
 // NewCache returns an empty cache bounded at DefaultMaxEntries results.
 func NewCache() *Cache { return NewCacheSize(DefaultMaxEntries) }
 
-// NewCacheSize returns an empty cache holding at most max results;
-// max <= 0 selects DefaultMaxEntries.
-func NewCacheSize(max int) *Cache {
-	if max <= 0 {
-		max = DefaultMaxEntries
+// NewCacheSize returns an empty cache holding at most maxEntries
+// results; maxEntries <= 0 selects DefaultMaxEntries.
+func NewCacheSize(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
 	}
-	return &Cache{entries: make(map[string]*cacheEntry), max: max}
+	return &Cache{entries: make(map[string]*cacheEntry), max: maxEntries}
 }
 
 // CacheStats reports cache effectiveness counters.

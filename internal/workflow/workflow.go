@@ -31,6 +31,19 @@ func (t Task) Validate() error {
 	if _, err := workload.Get(t.Benchmark); err != nil {
 		return err
 	}
+	return t.ValidateShape()
+}
+
+// ValidateShape checks the task's structure without resolving the
+// benchmark against the built-in workload registry. Profile-store-backed
+// planning (core.BuildWorkflowProfile) accepts any benchmark the store
+// can resolve — synthetic fleet archetypes in particular — so only the
+// size label and iteration count are checked here; execution paths that
+// build engine specs still require Validate.
+func (t Task) ValidateShape() error {
+	if t.Benchmark == "" {
+		return fmt.Errorf("workflow: task with empty benchmark")
+	}
 	if _, err := workload.ParseSizeFactor(t.Size); err != nil {
 		return err
 	}
@@ -61,6 +74,23 @@ func (w Workflow) Validate() error {
 	}
 	for _, t := range w.Tasks {
 		if err := t.Validate(); err != nil {
+			return fmt.Errorf("workflow %s: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// ValidateShape checks the workflow's structure without requiring its
+// benchmarks to exist in the workload registry (see Task.ValidateShape).
+func (w Workflow) ValidateShape() error {
+	if w.Name == "" {
+		return fmt.Errorf("workflow: workflow with empty name")
+	}
+	if len(w.Tasks) == 0 {
+		return fmt.Errorf("workflow %s: no tasks", w.Name)
+	}
+	for _, t := range w.Tasks {
+		if err := t.ValidateShape(); err != nil {
 			return fmt.Errorf("workflow %s: %w", w.Name, err)
 		}
 	}
@@ -129,6 +159,22 @@ func NewQueue(workflows ...Workflow) (*Queue, error) {
 		if err := q.Push(w); err != nil {
 			return nil, err
 		}
+	}
+	return q, nil
+}
+
+// NewPlanningQueue builds a queue validating only workflow shape
+// (ValidateShape): profile-store-backed planning accepts benchmarks the
+// built-in registry does not know, e.g. synthetic fleet archetypes.
+// Execution paths resolve benchmarks through the registry and should use
+// NewQueue.
+func NewPlanningQueue(workflows ...Workflow) (*Queue, error) {
+	q := &Queue{}
+	for _, w := range workflows {
+		if err := w.ValidateShape(); err != nil {
+			return nil, err
+		}
+		q.items = append(q.items, w)
 	}
 	return q, nil
 }
