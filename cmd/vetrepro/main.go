@@ -5,10 +5,15 @@
 // Standalone mode (the Makefile's `make vet` and CI's check):
 //
 //	go run ./cmd/vetrepro ./...
-//	vetrepro ./internal/core ./internal/gpusim
+//	vetrepro -sarif out.sarif -baseline .vetrepro-baseline.json ./...
 //
-// It exits 0 when the tree is clean and 1 with file:line:col findings on
-// stderr otherwise.
+// It exits 0 when the tree is clean, 1 with file:line:col findings on
+// stderr, and 2 when the analysis itself failed (load or analyzer
+// error) — so CI can tell "clean" from "crashed". Per-analyzer finding
+// counts and wall time are printed after every run. -sarif writes the
+// findings as a SARIF 2.1.0 log for CI annotation, -baseline suppresses
+// findings recorded in a checked-in baseline, and -write-baseline
+// regenerates that file deliberately (`make lint-baseline`).
 //
 // Vettool mode: when built to a binary, the command also speaks the
 // `go vet -vettool` unit-checker protocol (-V=full version handshake and
@@ -21,11 +26,13 @@ package main
 
 import (
 	"crypto/sha256"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gpushare/internal/analysis"
 )
@@ -65,38 +72,125 @@ func run(args []string) int {
 	return runStandalone(args)
 }
 
+// Exit codes: the driver separates "the tree has findings" from "the
+// analysis could not run", so CI treats a crashed analyzer as
+// infrastructure failure rather than a clean pass or a lint failure.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 // runStandalone loads packages by pattern and prints findings.
-func runStandalone(patterns []string) int {
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("vetrepro", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = usage
+	sarifPath := fs.String("sarif", "", "write findings as a SARIF 2.1.0 log to `file`")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in the baseline `file`")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the baseline file from current findings and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetrepro:", err)
-		return 1
+		return exitError
 	}
+	start := time.Now()
 	pkgs, err := analysis.Load(wd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetrepro:", err)
-		return 1
+		return exitError
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	res, err := analysis.RunAnalyzersStats(pkgs, analysis.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetrepro:", err)
-		return 1
+		return exitError
 	}
+	diags := res.Diagnostics
+
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = ".vetrepro-baseline.json"
+		}
+		b := analysis.NewBaseline(diags, wd)
+		if err := b.Write(path); err != nil {
+			fmt.Fprintln(os.Stderr, "vetrepro:", err)
+			return exitError
+		}
+		fmt.Fprintf(os.Stderr, "vetrepro: wrote %d baseline finding(s) to %s\n", len(b.Findings), path)
+		return exitClean
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		b, berr := analysis.LoadBaseline(*baselinePath)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "vetrepro:", berr)
+			return exitError
+		}
+		diags, suppressed = b.Filter(diags, wd)
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIFFile(*sarifPath, diags, wd); err != nil {
+			fmt.Fprintln(os.Stderr, "vetrepro:", err)
+			return exitError
+		}
+	}
+
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d.String())
 	}
+	printStats(res.Stats, len(diags), len(pkgs), time.Since(start), suppressed)
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "vetrepro: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		return 1
+		return exitFindings
 	}
-	return 0
+	return exitClean
+}
+
+func writeSARIFFile(path string, diags []analysis.Diagnostic, root string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, diags, analysis.All(), root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printStats emits the per-analyzer finding counts and wall time that
+// let CI logs distinguish "ran and found nothing" from "never ran".
+func printStats(stats []analysis.AnalyzerStat, findings, npkgs int, total time.Duration, suppressed int) {
+	for _, s := range stats {
+		fmt.Fprintf(os.Stderr, "vetrepro: %-15s %3d finding(s) %12s\n",
+			s.Name, s.Findings, s.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Fprintf(os.Stderr, "vetrepro: %d finding(s) in %d package(s) in %s",
+		findings, npkgs, total.Round(time.Millisecond))
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, " (%d baseline-suppressed)", suppressed)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: vetrepro [package patterns]
+	fmt.Fprintf(os.Stderr, `usage: vetrepro [flags] [package patterns]
+
+Flags:
+  -sarif file        write findings as a SARIF 2.1.0 log
+  -baseline file     suppress findings recorded in the baseline file
+  -write-baseline    regenerate the baseline from current findings
+
+Exit codes: 0 clean, 1 findings, 2 analysis error.
 
 Runs the project's determinism and invariant analyzers:
 

@@ -31,6 +31,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one static check. It mirrors golang.org/x/tools/go/analysis
@@ -63,6 +64,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Summaries holds the interprocedural call-graph summaries for the
+	// whole run (every loaded package), keyed by function full name.
+	// Analyzers consult it to see through wrapper layers.
+	Summaries *SummarySet
+
 	// report collects diagnostics; set by the driver.
 	report func(Diagnostic)
 }
@@ -71,6 +77,17 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved position — used by
+// interprocedural analyzers whose witness positions come from summaries
+// (possibly in another package's files).
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -106,13 +123,48 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// AnalyzerStat aggregates one analyzer's run over every package it
+// applied to: finding count (post-suppression) and wall time.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// RunResult is a full driver run: sorted findings plus per-analyzer
+// statistics in analyzer-list order.
+type RunResult struct {
+	Diagnostics []Diagnostic
+	Stats       []AnalyzerStat
+}
+
 // RunAnalyzers applies every in-scope analyzer to every package and returns
 // the findings sorted by (file, line, column, analyzer) so output is
 // deterministic regardless of internal map iteration.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAnalyzersStats(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunAnalyzersStats is the full driver: it collects //repro:allow
+// directives, computes interprocedural summaries, runs every in-scope
+// analyzer with suppression filtering and per-analyzer timing, and
+// appends directive-hygiene findings (unused or malformed suppressions).
+func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) (*RunResult, error) {
+	allows := CollectAllows(pkgs)
+	summaries := ComputeSummaries(pkgs, allows)
+
+	stats := make([]AnalyzerStat, len(analyzers))
+	ran := make(map[string]bool, len(analyzers)+1)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+		ran[a.Name] = true
+		start := time.Now()
+		for _, pkg := range pkgs {
 			if !a.AppliesTo(pkg.ImportPath) {
 				continue
 			}
@@ -122,15 +174,33 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				Summaries: summaries,
+				report: func(d Diagnostic) {
+					if allows.Suppresses(a.Name, d.Pos) {
+						return
+					}
+					stats[i].Findings++
+					diags = append(diags, d)
+				},
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+		stats[i].Elapsed = time.Since(start)
 	}
+
+	// Directive hygiene rides along as a pseudo-analyzer: a suppression
+	// that excused nothing is itself a finding.
+	ran[AllowAnalyzerName] = true
+	hygiene := allows.UnusedFindings(ran)
+	if len(hygiene) > 0 {
+		diags = append(diags, hygiene...)
+		stats = append(stats, AnalyzerStat{Name: AllowAnalyzerName, Findings: len(hygiene)})
+	}
+
 	SortDiagnostics(diags)
-	return diags, nil
+	return &RunResult{Diagnostics: diags, Stats: stats}, nil
 }
 
 // SortDiagnostics orders findings by position then analyzer name.

@@ -24,8 +24,12 @@ import (
 	"gpushare/internal/analysis"
 )
 
-// wantRe extracts the quoted pattern of one `want` clause.
-var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+// wantRe matches one `want` clause: `// want "a" "b" ...` registers one
+// expectation per quoted pattern. quotedRe extracts the patterns.
+var (
+	wantRe   = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
 
 type expectation struct {
 	file    string
@@ -66,6 +70,53 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, asImportPath string) {
 	}
 }
 
+// RunPackages loads several corpus directories as one package set (in
+// order — later packages may import earlier ones by their pretend
+// paths), applies every analyzer, and verifies the combined diagnostics
+// against the expectations of all corpus files. This is the multi-
+// package variant of Run, used to exercise cross-package summary
+// propagation: a hazard rooted in one corpus package surfacing at a
+// call site in another.
+func RunPackages(t *testing.T, specs []analysis.DirSpec, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs(specs...)
+	if err != nil {
+		t.Fatalf("loading corpora: %v", err)
+	}
+	for _, a := range analyzers {
+		applies := false
+		for _, p := range pkgs {
+			if a.AppliesTo(p.ImportPath) {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			t.Fatalf("analyzer %s is out of scope for every corpus package; it would test nothing", a.Name)
+		}
+	}
+
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		expects = append(expects, collectExpectations(t, pkg)...)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claimExpectation(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(d), d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
 // collectExpectations parses the `// want` comments of every corpus file.
 func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
 	t.Helper()
@@ -82,15 +133,17 @@ func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
 					t.Fatalf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
 				}
 				for _, m := range matches {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+						}
+						expects = append(expects, &expectation{
+							file:    pos.Filename,
+							line:    pos.Line,
+							pattern: re,
+						})
 					}
-					expects = append(expects, &expectation{
-						file:    pos.Filename,
-						line:    pos.Line,
-						pattern: re,
-					})
 				}
 			}
 		}

@@ -57,5 +57,7 @@ func All() []*Analyzer {
 		FloatEq,
 		ErrCheckIO,
 		ShadowBuiltin,
+		HotPathAlloc,
+		FloatFold,
 	}
 }

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a checked-in set of accepted findings. The policy
+// (DESIGN.md §12) is that it stays empty — real violations are fixed
+// and intentional ones carry //repro:allow with a reason — but the
+// mechanism exists so a future sweep that surfaces pre-existing debt
+// can land incrementally: regenerate deliberately with
+// `make lint-baseline`, burn entries down over time.
+//
+// Entries match on (analyzer, relative file, message) and not on line
+// numbers: unrelated edits shift lines constantly, and a baseline that
+// churns on every edit would be regenerated reflexively — exactly the
+// rubber stamp the empty-baseline policy is meant to prevent.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// NewBaseline captures diags as a baseline, with files rendered
+// relative to root and entries deduplicated and sorted.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	seen := map[BaselineEntry]bool{}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relArtifactURI(root, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write renders the baseline as stable, human-diffable JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into new findings and baseline-suppressed ones.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (kept []Diagnostic, suppressed int) {
+	if b == nil || len(b.Findings) == 0 {
+		return diags, 0
+	}
+	accepted := make(map[BaselineEntry]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		accepted[e] = true
+	}
+	kept = diags[:0:0]
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relArtifactURI(root, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if accepted[e] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

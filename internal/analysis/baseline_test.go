@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("/repo/b.go", 9, "floatfold", "float accumulation folds in map iteration order"),
+		baselineDiag("/repo/a.go", 3, "hotpathalloc", "make allocates"),
+		// Same (analyzer, file, message) at another line: line numbers
+		// are deliberately not part of the identity.
+		baselineDiag("/repo/a.go", 30, "hotpathalloc", "make allocates"),
+	}
+	b := NewBaseline(diags, "/repo")
+	if len(b.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2 (dedup by analyzer/file/message)", len(b.Findings))
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "b.go" {
+		t.Fatalf("findings not sorted by file: %+v", b.Findings)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(loaded.Findings) != len(b.Findings) || loaded.Version != baselineVersion {
+		t.Fatalf("round trip changed the baseline: %+v", loaded)
+	}
+
+	// Filter drops the accepted findings — wherever their lines moved —
+	// and keeps everything new.
+	now := []Diagnostic{
+		baselineDiag("/repo/a.go", 77, "hotpathalloc", "make allocates"),
+		baselineDiag("/repo/b.go", 9, "floatfold", "float accumulation folds in map iteration order"),
+		baselineDiag("/repo/c.go", 1, "nodeterminism", "call to time.Now in a simulator package"),
+	}
+	kept, suppressed := loaded.Filter(now, "/repo")
+	if suppressed != 2 {
+		t.Fatalf("suppressed = %d, want 2", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Analyzer != "nodeterminism" {
+		t.Fatalf("kept = %+v, want only the new nodeterminism finding", kept)
+	}
+}
+
+func TestBaselineEmptyFilterPassthrough(t *testing.T) {
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	diags := []Diagnostic{baselineDiag("/repo/a.go", 1, "floateq", "x")}
+	kept, suppressed := b.Filter(diags, "/repo")
+	if suppressed != 0 || len(kept) != 1 {
+		t.Fatalf("empty baseline must pass everything through: kept=%d suppressed=%d", len(kept), suppressed)
+	}
+	var nilb *Baseline
+	kept, suppressed = nilb.Filter(diags, "/repo")
+	if suppressed != 0 || len(kept) != 1 {
+		t.Fatalf("nil baseline must pass everything through: kept=%d suppressed=%d", len(kept), suppressed)
+	}
+}
+
+func TestBaselineVersionGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted an unsupported version")
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted invalid JSON")
+	}
+}

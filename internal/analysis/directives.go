@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Source directives. Two comment forms tie the source tree to the
+// analyzers:
+//
+//	//repro:hotpath [note]
+//
+// on a function's doc comment declares it part of the allocation-free
+// hot path: the hotpathalloc analyzer proves it (and everything it
+// calls) statically allocation-free. The annotated set is the canonical
+// hot-path inventory (DESIGN.md §12) and every annotation must be
+// backed by a runtime AllocsPerRun pin (TestHotpathAnnotationsPinned).
+//
+//	//repro:allow:<analyzer> <reason>
+//
+// on a finding's line (or the line directly above it) suppresses that
+// analyzer's findings there, with a mandatory human-readable reason.
+// Suppression is deliberately line-granular and analyzer-scoped: it
+// also removes the matching facts from the enclosing function's
+// interprocedural summary, so an allowed cold-path allocation (e.g. a
+// freelist refill) does not taint every hot-path caller. A suppression
+// that matches nothing is itself reported (analyzer "reproallow"), so
+// stale exemptions cannot linger after the code they excused is gone.
+
+// AllowAnalyzerName is the pseudo-analyzer under which directive
+// hygiene findings (unused or malformed //repro:allow) are reported.
+const AllowAnalyzerName = "reproallow"
+
+// HotpathDirective is the doc-comment marker for hot-path functions.
+const HotpathDirective = "//repro:hotpath"
+
+var allowRe = regexp.MustCompile(`^//repro:allow:([A-Za-z0-9_-]+)(.*)$`)
+
+// Allow is one parsed //repro:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+
+	used bool
+}
+
+// AllowIndex holds every //repro:allow directive of a run, indexed for
+// line-level matching, plus the malformed ones (reported as findings).
+type AllowIndex struct {
+	byLine    map[string]map[int][]*Allow // file -> line -> directives
+	all       []*Allow
+	malformed []Diagnostic
+}
+
+// CollectAllows parses the //repro:allow directives of every file in
+// pkgs. Directives with a missing reason are recorded as malformed.
+func CollectAllows(pkgs []*Package) *AllowIndex {
+	idx := &AllowIndex{byLine: map[string]map[int][]*Allow{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					idx.parse(pkg.Fset, c)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *AllowIndex) parse(fset *token.FileSet, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, "//repro:allow") {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: AllowAnalyzerName,
+			Message:  "malformed //repro:allow directive: want //repro:allow:<analyzer> <reason>",
+		})
+		return
+	}
+	reason := strings.TrimSpace(m[2])
+	if reason == "" {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: AllowAnalyzerName,
+			Message:  "//repro:allow:" + m[1] + " needs a reason: the suppression must explain itself",
+		})
+		return
+	}
+	a := &Allow{Analyzer: m[1], Reason: reason, File: pos.Filename, Line: pos.Line}
+	idx.all = append(idx.all, a)
+	lines := idx.byLine[a.File]
+	if lines == nil {
+		lines = map[int][]*Allow{}
+		idx.byLine[a.File] = lines
+	}
+	lines[a.Line] = append(lines[a.Line], a)
+}
+
+// Suppresses reports whether an allow directive for analyzer covers the
+// given position (same line, or the line directly above), marking the
+// directive used.
+func (idx *AllowIndex) Suppresses(analyzer string, pos token.Position) bool {
+	if idx == nil {
+		return false
+	}
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.Analyzer == analyzer {
+				a.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// UnusedFindings returns one diagnostic per directive that suppressed
+// nothing, restricted to the analyzers that actually ran (a partial run
+// must not call the other analyzers' directives unused). Malformed
+// directives are always included.
+func (idx *AllowIndex) UnusedFindings(ran map[string]bool) []Diagnostic {
+	diags := append([]Diagnostic(nil), idx.malformed...)
+	for _, a := range idx.all {
+		if a.used || !ran[a.Analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      token.Position{Filename: a.File, Line: a.Line, Column: 1},
+			Analyzer: AllowAnalyzerName,
+			Message:  "unused //repro:allow:" + a.Analyzer + " suppression (reason: " + a.Reason + "); remove it or re-justify",
+		})
+	}
+	return diags
+}
+
+// IsHotpath reports whether decl's doc comment carries the
+// //repro:hotpath directive.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	_, ok := HotpathNote(decl)
+	return ok
+}
+
+// HotpathNote returns the text following the //repro:hotpath marker on
+// decl's doc comment ("" when the directive is bare) and whether the
+// directive is present. The repo convention (enforced by
+// TestHotpathAnnotationsPinned) is "pinned by TestXxx", naming the
+// AllocsPerRun test that is the annotation's runtime half.
+func HotpathNote(decl *ast.FuncDecl) (string, bool) {
+	if decl == nil || decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == HotpathDirective {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, HotpathDirective+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

@@ -35,9 +35,22 @@ func runErrCheckIO(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if name, bad := droppedWriteError(pass, call); bad {
+			if name, bad := droppedWriteError(pass.TypesInfo, call); bad {
 				pass.Reportf(call.Pos(),
 					"error from %s is dropped; output writes can fail — check or return it", name)
+				return true
+			}
+			// Interprocedural: a module-local helper that (transitively)
+			// writes output and returns an error is the same hazard with
+			// one wrapper layer in between.
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil || !moduleLocal(callee, pass.Pkg.Path()) || !lastResultIsError(callee) {
+				return true
+			}
+			if sum := pass.Summaries.Of(callee); sum != nil && sum.WritesOutput {
+				pass.Reportf(call.Pos(),
+					"error from %s is dropped; it %s — check or return it",
+					displayName(callee), sum.WriteRoot)
 			}
 			return true
 		})
@@ -47,25 +60,25 @@ func runErrCheckIO(pass *Pass) error {
 
 // droppedWriteError reports whether call is a write whose error result
 // the surrounding statement discards, returning a display name.
-func droppedWriteError(pass *Pass, call *ast.CallExpr) (string, bool) {
+func droppedWriteError(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 
-	if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil {
+	if obj := selectedPackageObject(info, sel); obj != nil && obj.Pkg() != nil {
 		switch obj.Pkg().Path() {
 		case "fmt":
 			switch obj.Name() {
 			case "Fprint", "Fprintf", "Fprintln":
-				if len(call.Args) > 0 && exemptWriter(pass, call.Args[0]) {
+				if len(call.Args) > 0 && exemptWriter(info, call.Args[0]) {
 					return "", false
 				}
 				return "fmt." + obj.Name(), true
 			}
 		case "io":
 			if obj.Name() == "WriteString" {
-				if len(call.Args) > 0 && exemptWriter(pass, call.Args[0]) {
+				if len(call.Args) > 0 && exemptWriter(info, call.Args[0]) {
 					return "", false
 				}
 				return "io.WriteString", true
@@ -76,7 +89,7 @@ func droppedWriteError(pass *Pass, call *ast.CallExpr) (string, bool) {
 
 	// Method calls whose last result is error: the repo's renderers and
 	// stream encoders.
-	s, ok := pass.TypesInfo.Selections[sel]
+	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal || !lastResultIsError(s.Obj()) {
 		return "", false
 	}
@@ -94,14 +107,14 @@ func droppedWriteError(pass *Pass, call *ast.CallExpr) (string, bool) {
 
 // exemptWriter reports whether the writer expression never meaningfully
 // fails: in-memory builders/buffers, or the best-effort stderr stream.
-func exemptWriter(pass *Pass, w ast.Expr) bool {
+func exemptWriter(info *types.Info, w ast.Expr) bool {
 	if sel, ok := w.(*ast.SelectorExpr); ok {
-		if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil &&
+		if obj := selectedPackageObject(info, sel); obj != nil && obj.Pkg() != nil &&
 			obj.Pkg().Path() == "os" && obj.Name() == "Stderr" {
 			return true
 		}
 	}
-	if named, ok := derefNamed(pass.TypeOf(w)); ok {
+	if named, ok := derefNamed(typeOf(info, w)); ok {
 		pkg := named.Obj().Pkg()
 		if pkg == nil {
 			return false

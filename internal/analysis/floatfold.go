@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatFold requires float accumulation to be a deterministic left
+// fold in the packages whose sums feed scheduling decisions or metric
+// output.
+//
+// interference.Aggregate's bit-identity contract (DESIGN.md §10) holds
+// only because every sum is the same left-to-right float64 fold over
+// the same member sequence; float addition is not associative, so a
+// sum folded in map-iteration order (randomized per run) or a
+// reduction written acc = x + acc produces run-dependent low bits that
+// golden tests then surface as spurious mismatches. The analyzer flags
+// both shapes — including when the fold hides inside a module-local
+// helper outside these packages, via the call-graph summaries. The
+// approved home for shared folds is internal/floats (Sum, SumMap),
+// which is exempt by construction.
+var FloatFold = &Analyzer{
+	Name:  "floatfold",
+	Doc:   "forbid order-nondeterministic float accumulation (map-range sums, reordered reductions) in simulator and metric packages",
+	Match: matchSuffixes(floatFoldPackages()...),
+	Run:   runFloatFold,
+}
+
+// floatFoldPackages is the union of the simulator and metric scopes:
+// anywhere a float sum can reach a scheduling decision or a reported
+// metric.
+func floatFoldPackages() []string {
+	seen := map[string]bool{}
+	var union []string
+	for _, s := range [2][]string{simulatorPackages, metricPackages} {
+		for _, p := range s {
+			if !seen[p] {
+				seen[p] = true
+				union = append(union, p)
+			}
+		}
+	}
+	return union
+}
+
+func runFloatFold(pass *Pass) error {
+	// Direct facts: report each distinct root site once. Published
+	// summaries are shared across an SCC's members, so two mutually
+	// recursive functions would otherwise repeat each other's facts.
+	seen := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := pass.Summaries.Of(fn)
+			if sum == nil {
+				continue
+			}
+			for _, f := range sum.Folds {
+				if f.Via != "" {
+					continue // inherited: handled at the call site below
+				}
+				key := f.Pos.String() + "\x00" + f.Desc
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pass.ReportAt(f.Pos, "%s; use a slice fold or the internal/floats helpers", f.Desc)
+			}
+		}
+	}
+
+	// Interprocedural: calling a module-local helper that folds floats
+	// nondeterministically launders the hazard only if the helper lives
+	// outside this analyzer's scope — in scope, the helper is flagged
+	// directly above.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil || !moduleLocal(callee, pass.Pkg.Path()) {
+				return true
+			}
+			sum := pass.Summaries.Of(callee)
+			if sum == nil || len(sum.Folds) == 0 || pass.Analyzer.AppliesTo(sum.PkgPath) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s reaches order-nondeterministic float accumulation: %s",
+				displayName(callee), sum.Folds[0])
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestFloatFold(t *testing.T) {
+	analysistest.Run(t, "testdata/floatfold", analysis.FloatFold, "gpushare/internal/metrics")
+}
+
+func TestFloatFoldScope(t *testing.T) {
+	for _, p := range []string{
+		"gpushare/internal/core",
+		"gpushare/internal/gpusim",
+		"gpushare/internal/interference",
+		"gpushare/internal/metrics",
+	} {
+		if !analysis.FloatFold.AppliesTo(p) {
+			t.Errorf("floatfold must apply to %s", p)
+		}
+	}
+	// The sanctioned helpers and the CLI layer are out of scope.
+	for _, p := range []string{
+		"gpushare/internal/floats",
+		"gpushare/cmd/gpusched",
+	} {
+		if analysis.FloatFold.AppliesTo(p) {
+			t.Errorf("floatfold must not apply to %s", p)
+		}
+	}
+}

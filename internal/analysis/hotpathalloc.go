@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc proves //repro:hotpath-annotated functions statically
+// allocation-free, through every module-local call they make.
+//
+// The reproduction's decision path is pinned at runtime to zero
+// allocations per event (engine step/dispatch, eventq operations,
+// Aggregate probes, the dispatcher admit loop): testing.AllocsPerRun
+// catches regressions after the fact, on the inputs the benchmark
+// happens to drive. This analyzer enforces the same contract at review
+// time over all paths: escaping composite literals, closures, interface
+// boxing, appends without preallocation evidence, string concatenation,
+// make/new, goroutine launches, and calls to may-allocate callees —
+// including allocations inherited through wrappers via the call-graph
+// summaries. Deliberate cold-path allocations (freelist refills,
+// amortized slice growth) are excused with //repro:allow:hotpathalloc
+// and a reason, which also removes them from callers' summaries.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid heap allocations (direct or via callees) in //repro:hotpath-annotated functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || !IsHotpath(decl) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := pass.Summaries.Of(fn)
+			if sum == nil {
+				continue
+			}
+			name := displayName(fn)
+			for _, f := range sum.Allocs {
+				// Direct facts anchor at the offending site; inherited
+				// facts anchor at the annotated function (their root
+				// position may sit in another package's files).
+				pos := f.Pos
+				if f.Via != "" {
+					pos = pass.Fset.Position(decl.Name.Pos())
+				}
+				pass.ReportAt(pos, "//repro:hotpath %s is not allocation-free: %s", name, f)
+			}
+		}
+	}
+	return nil
+}

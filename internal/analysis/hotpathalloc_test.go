@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotpathalloc", analysis.HotPathAlloc, "gpushare/internal/gpusim")
+}
+
+func TestHotPathAllocScope(t *testing.T) {
+	// The annotation, not the package, opts a function in: the analyzer
+	// applies everywhere, including cmd/ tools.
+	for _, p := range []string{
+		"gpushare/internal/gpusim",
+		"gpushare/internal/report",
+		"gpushare/cmd/gpusched",
+	} {
+		if !analysis.HotPathAlloc.AppliesTo(p) {
+			t.Errorf("hotpathalloc must apply to %s", p)
+		}
+	}
+}

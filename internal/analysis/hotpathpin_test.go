@@ -1,0 +1,127 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gpushare/internal/analysis"
+)
+
+// pinRe is the required note grammar: the annotation must name the
+// AllocsPerRun test that is its runtime half.
+var pinRe = regexp.MustCompile(`^pinned by (Test[A-Za-z0-9_]+)$`)
+
+// TestHotpathAnnotationsPinned bridges the static and dynamic halves of
+// the hot-path contract: every //repro:hotpath function in the module
+// must carry a "pinned by TestXxx" note, and that test must exist in
+// the same package's test files. An annotation without a runtime pin
+// proves nothing about real allocation behavior (the analyzer is a
+// conservative approximation); a pin without the annotation is caught
+// the other way around, by hotpathalloc once the directive is added.
+func TestHotpathAnnotationsPinned(t *testing.T) {
+	root := "../.."
+	type annotation struct {
+		pos  string
+		fn   string
+		dir  string
+		note string
+	}
+	var anns []annotation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && name != "." && name != ".." {
+				return fs.SkipDir
+			}
+			if name == "testdata" || name == "vendor" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			note, ok := analysis.HotpathNote(fd)
+			if !ok {
+				continue
+			}
+			anns = append(anns, annotation{
+				pos:  fset.Position(fd.Pos()).String(),
+				fn:   fd.Name.Name,
+				dir:  filepath.Dir(path),
+				note: note,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module source: %v", err)
+	}
+	if len(anns) == 0 {
+		t.Fatal("no //repro:hotpath annotations found; the hot-path inventory must not be empty")
+	}
+
+	pins := map[string]map[string]bool{} // dir -> test func names
+	for _, a := range anns {
+		m := pinRe.FindStringSubmatch(a.note)
+		if m == nil {
+			t.Errorf("%s: //repro:hotpath on %s has note %q; want \"pinned by TestXxx\" naming its AllocsPerRun pin",
+				a.pos, a.fn, a.note)
+			continue
+		}
+		if pins[a.dir] == nil {
+			pins[a.dir] = testFuncsIn(t, a.dir)
+		}
+		if !pins[a.dir][m[1]] {
+			t.Errorf("%s: //repro:hotpath on %s names %s, but no such test exists in %s",
+				a.pos, a.fn, m[1], a.dir)
+		}
+	}
+}
+
+// testFuncsIn parses dir's _test.go files and returns the declared
+// top-level test function names.
+func testFuncsIn(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
+				names[fd.Name.Name] = true
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpushare/internal/analysis"
+	"gpushare/internal/analysis/analysistest"
+)
+
+// TestCrossPackageLaundering drives the multi-package corpus: hazards
+// rooted in an out-of-scope helper package (wall-clock reads, unsized
+// appends, map-order float folds) must surface at the in-scope call
+// sites one package away, via the cross-package summaries.
+func TestCrossPackageLaundering(t *testing.T) {
+	analysistest.RunPackages(t,
+		[]analysis.DirSpec{
+			{Dir: "testdata/crosspkg/clockutil", ImportPath: "gpushare/internal/clockutil"},
+			{Dir: "testdata/crosspkg/sim", ImportPath: "gpushare/internal/gpusim"},
+		},
+		[]*analysis.Analyzer{analysis.NoDeterminism, analysis.HotPathAlloc, analysis.FloatFold},
+	)
+}
+
+// TestGenerics pins analyzer behavior on generic code: instantiated
+// calls resolve to their origin (facts propagate, nothing panics) and
+// type parameters are not mistaken for boxing interfaces.
+func TestGenerics(t *testing.T) {
+	analysistest.RunPackages(t,
+		[]analysis.DirSpec{
+			{Dir: "testdata/generics", ImportPath: "gpushare/internal/gpusim"},
+		},
+		[]*analysis.Analyzer{analysis.HotPathAlloc, analysis.FloatFold},
+	)
+}

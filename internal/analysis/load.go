@@ -101,11 +101,104 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // pretends to have, letting corpora exercise analyzer scoping. Only
 // standard-library imports are resolvable from corpus files.
 func LoadDir(dir, asImportPath string) (*Package, error) {
+	pkgs, err := LoadDirs(DirSpec{Dir: dir, ImportPath: asImportPath})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// DirSpec names one corpus directory and the import path its package
+// pretends to have. Order matters in LoadDirs: a package may import
+// only packages listed before it.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs parses and type-checks several corpus directories as one
+// package set, in order, letting later packages import earlier ones by
+// their pretend import paths. This is how the analysistest corpora
+// exercise the cross-package summary propagation (a wrapper in one
+// corpus package laundering a hazard into another): module-shaped fake
+// paths (e.g. "gpushare/...") resolve against the already-checked
+// corpus packages first, everything else against compiler export data.
+func LoadDirs(specs ...DirSpec) ([]*Package, error) {
+	fset := token.NewFileSet()
+	local := map[string]*types.Package{}
+	exports := map[string]string{}
+	imp := &chainImporter{
+		local:    local,
+		fallback: exportDataImporter(fset, exports),
+	}
+
+	var pkgs []*Package
+	for _, spec := range specs {
+		files, stdImports, err := parseDir(fset, spec.Dir)
+		if err != nil {
+			return nil, err
+		}
+		// Resolve the imports that are not earlier corpus packages.
+		var need []string
+		for _, path := range stdImports {
+			if _, ok := local[path]; !ok {
+				if _, have := exports[path]; !have {
+					need = append(need, path)
+				}
+			}
+		}
+		if len(need) > 0 {
+			listed, err := goList(spec.Dir, append([]string{"-deps"}, need...))
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(spec.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", spec.Dir, err)
+		}
+		local[spec.ImportPath] = pkg
+		pkgs = append(pkgs, &Package{
+			ImportPath: spec.ImportPath,
+			Dir:        spec.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves imports against the corpus packages loaded so
+// far, falling back to compiler export data for the standard library.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// parseDir parses every .go file of dir and returns the files plus the
+// sorted set of import paths they mention.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
+		return nil, nil, fmt.Errorf("analysis: %w", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	importSet := map[string]bool{}
 	for _, e := range entries {
@@ -114,7 +207,7 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
+			return nil, nil, fmt.Errorf("analysis: %w", err)
 		}
 		files = append(files, f)
 		for _, spec := range f.Imports {
@@ -124,42 +217,14 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 		}
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		return nil, nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-
-	exports := map[string]string{}
-	if len(importSet) > 0 {
-		paths := make([]string, 0, len(importSet))
-		for p := range importSet {
-			paths = append(paths, p)
-		}
-		sort.Strings(paths)
-		listed, err := goList(dir, append([]string{"-deps"}, paths...))
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range listed {
-			if p.Export != "" {
-				exports[p.ImportPath] = p.Export
-			}
-		}
+	paths := make([]string, 0, len(importSet))
+	for p := range importSet {
+		paths = append(paths, p)
 	}
-
-	imp := exportDataImporter(fset, exports)
-	info := newTypesInfo()
-	conf := types.Config{Importer: imp}
-	pkg, err := conf.Check(asImportPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: type-check %s: %w", dir, err)
-	}
-	return &Package{
-		ImportPath: asImportPath,
-		Dir:        dir,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        pkg,
-		TypesInfo:  info,
-	}, nil
+	sort.Strings(paths)
+	return files, paths, nil
 }
 
 // goList invokes `go list -e -export -json` and decodes the stream.

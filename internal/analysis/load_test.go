@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpushare/internal/analysis"
+)
+
+// TestLoadExportData exercises the module loader's export-data path:
+// the listed target is parsed and type-checked from source, while its
+// module dependency (simtime) resolves from compiler export data —
+// completely, so selections through it carry real types.
+func TestLoadExportData(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/eventq")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "gpushare/internal/eventq" {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+	if len(pkg.Files) == 0 || pkg.Pkg == nil || pkg.TypesInfo == nil {
+		t.Fatalf("package not fully loaded: files=%d", len(pkg.Files))
+	}
+	var simtime bool
+	for _, imp := range pkg.Pkg.Imports() {
+		if imp.Path() == "gpushare/internal/simtime" {
+			simtime = true
+			if !imp.Complete() {
+				t.Fatalf("export-data import %s is incomplete", imp.Path())
+			}
+		}
+	}
+	if !simtime {
+		t.Fatalf("eventq's simtime dependency did not resolve via export data (imports: %v)", pkg.Pkg.Imports())
+	}
+	if len(pkg.TypesInfo.Defs) == 0 {
+		t.Fatalf("TypesInfo not populated")
+	}
+}
+
+// TestLoadMultiplePatterns pins the target selection: only the listed
+// patterns are analyzed (not their dependency closure), in sorted
+// import-path order.
+func TestLoadMultiplePatterns(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/simtime", "./internal/floats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var got []string
+	for _, p := range pkgs {
+		got = append(got, p.ImportPath)
+	}
+	want := []string{"gpushare/internal/floats", "gpushare/internal/simtime"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("loaded %v, want %v", got, want)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	_, err := analysis.Load("../..", "./does/not/exist")
+	if err == nil {
+		t.Fatal("Load accepted a nonexistent pattern")
+	}
+	if !strings.Contains(err.Error(), "does/not/exist") {
+		t.Fatalf("error does not name the bad pattern: %v", err)
+	}
+}

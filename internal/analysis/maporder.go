@@ -182,7 +182,7 @@ func isSortCall(pass *Pass, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	obj := selectedPackageObject(pass, sel)
+	obj := selectedPackageObject(pass.TypesInfo, sel)
 	if obj == nil || obj.Pkg() == nil {
 		return false
 	}
@@ -198,7 +198,7 @@ func isOutputWrite(pass *Pass, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	if obj := selectedPackageObject(pass, sel); obj != nil && obj.Pkg() != nil {
+	if obj := selectedPackageObject(pass.TypesInfo, sel); obj != nil && obj.Pkg() != nil {
 		switch obj.Pkg().Path() {
 		case "fmt":
 			switch obj.Name() {

@@ -40,6 +40,24 @@ var forbiddenTimeFuncs = map[string]string{
 }
 
 func runNoDeterminism(pass *Pass) error {
+	reportLaundered := func(call *ast.CallExpr) {
+		// Interprocedural: a helper in a non-simulator package that
+		// wraps time.Now still injects wall-clock values when called
+		// from here. The callee's own package is out of scope (or the
+		// root site would be flagged there directly), so the finding
+		// lands at the call site, citing the root via the summary.
+		callee := calleeOf(pass.TypesInfo, call)
+		if callee == nil || !moduleLocal(callee, pass.Pkg.Path()) {
+			return
+		}
+		sum := pass.Summaries.Of(callee)
+		if sum == nil || len(sum.Nondet) == 0 || pass.Analyzer.AppliesTo(sum.PkgPath) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s reaches nondeterminism: %s", displayName(callee), sum.Nondet[0])
+	}
+
 	for _, file := range pass.Files {
 		// Importing math/rand (v1 or v2) at all is a finding: even a
 		// "locally seeded" generator drifts across Go versions, and the
@@ -57,18 +75,19 @@ func runNoDeterminism(pass *Pass) error {
 		}
 
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			obj := selectedPackageObject(pass, sel)
-			if obj == nil || obj.Pkg() == nil {
-				return true
-			}
-			if obj.Pkg().Path() == "time" {
-				if hint, bad := forbiddenTimeFuncs[obj.Name()]; bad {
-					pass.Reportf(sel.Pos(),
-						"call to time.%s in a simulator package breaks reproducibility; %s", obj.Name(), hint)
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				reportLaundered(node)
+			case *ast.SelectorExpr:
+				obj := selectedPackageObject(pass.TypesInfo, node)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Pkg().Path() == "time" {
+					if hint, bad := forbiddenTimeFuncs[obj.Name()]; bad {
+						pass.Reportf(node.Pos(),
+							"call to time.%s in a simulator package breaks reproducibility; %s", obj.Name(), hint)
+					}
 				}
 			}
 			return true
@@ -79,13 +98,13 @@ func runNoDeterminism(pass *Pass) error {
 
 // selectedPackageObject resolves pkg.Name selector uses to the named
 // package-level object, or nil when sel is a field/method selection.
-func selectedPackageObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+func selectedPackageObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	if _, isPkg := pass.ObjectOf(id).(*types.PkgName); !isPkg {
+	if _, isPkg := objectOf(info, id).(*types.PkgName); !isPkg {
 		return nil
 	}
-	return pass.ObjectOf(sel.Sel)
+	return objectOf(info, sel.Sel)
 }

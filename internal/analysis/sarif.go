@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output. CI uploads the log for inline PR annotations;
+// only the properties that renderers actually consume are emitted
+// (tool.driver with rules, results with ruleId/message/location), all
+// required by and valid against the 2.1.0 schema. File URIs are
+// emitted relative to the analysis root with the standard %SRCROOT%
+// base, so the log is machine-independent.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diags as one SARIF 2.1.0 run of the vetrepro
+// driver. analyzers populates the rule table; diagnostics from
+// pseudo-analyzers (directive hygiene) get a rule entry on the fly.
+// root anchors relative file URIs.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	driver := sarifDriver{
+		Name:  "vetrepro",
+		Rules: make([]sarifRule, 0, len(analyzers)+1),
+	}
+	ruleIndex := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(AllowAnalyzerName, "report unused or malformed //repro:allow suppression directives")
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		addRule(d.Analyzer, d.Analyzer) // diagnostics never lack a rule
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relArtifactURI(root, d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Version: sarifVersion,
+		Schema:  sarifSchemaURI,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	})
+}
+
+// relArtifactURI renders filename relative to root with forward
+// slashes; paths outside root (or unresolvable ones) stay absolute.
+func relArtifactURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil &&
+			rel != ".." && !filepath.IsAbs(rel) && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

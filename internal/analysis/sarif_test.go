@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sarifDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/gpusim/engine.go", Line: 42, Column: 7},
+			Analyzer: "hotpathalloc",
+			Message:  "//repro:hotpath (*Engine).step is not allocation-free: make allocates (engine.go:42)",
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/internal/core/online.go", Line: 7, Column: 1},
+			Analyzer: "nodeterminism",
+			Message:  "call to time.Now in a simulator package",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 2},
+			Analyzer: AllowAnalyzerName,
+			Message:  "unused //repro:allow:floatfold suppression",
+		},
+	}
+}
+
+// TestWriteSARIFStructure validates the emitted log against the SARIF
+// 2.1.0 structural requirements that renderers (and the upload action)
+// depend on: version/$schema, a tool.driver with a name and a unique
+// rule table, and results whose ruleId/ruleIndex agree with that table
+// and whose locations carry %SRCROOT%-relative URIs.
+func TestWriteSARIFStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sarifDiags(), All(), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "vetrepro" {
+		t.Errorf("driver name = %q, want vetrepro", run.Tool.Driver.Name)
+	}
+
+	ruleAt := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			t.Errorf("rule %d has empty id", i)
+		}
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has empty shortDescription", r.ID)
+		}
+		if _, dup := ruleAt[r.ID]; dup {
+			t.Errorf("rule %s appears twice", r.ID)
+		}
+		ruleAt[r.ID] = i
+	}
+	for _, a := range All() {
+		if _, ok := ruleAt[a.Name]; !ok {
+			t.Errorf("analyzer %s missing from the rule table", a.Name)
+		}
+	}
+	if _, ok := ruleAt[AllowAnalyzerName]; !ok {
+		t.Errorf("pseudo-analyzer %s missing from the rule table", AllowAnalyzerName)
+	}
+
+	if len(run.Results) != len(sarifDiags()) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(sarifDiags()))
+	}
+	for i, r := range run.Results {
+		at, ok := ruleAt[r.RuleID]
+		if !ok {
+			t.Errorf("result %d: ruleId %q has no rule entry", i, r.RuleID)
+		} else if at != r.RuleIndex {
+			t.Errorf("result %d: ruleIndex %d disagrees with rule table position %d", i, r.RuleIndex, at)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d: level = %q, want error", i, r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %d: empty message", i)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d: locations = %d, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.Region.StartLine < 1 {
+			t.Errorf("result %d: startLine = %d, want >= 1", i, loc.Region.StartLine)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("result %d: uriBaseId = %q", i, loc.ArtifactLocation.URIBaseID)
+		}
+	}
+
+	// In-root files are relative with forward slashes; outside files
+	// keep their absolute path.
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/gpusim/engine.go" {
+		t.Errorf("in-root uri = %q, want internal/gpusim/engine.go", uri)
+	}
+	if uri := run.Results[2].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/outside.go" {
+		t.Errorf("outside-root uri = %q, want /elsewhere/outside.go", uri)
+	}
+}
+
+// TestWriteSARIFEmpty pins the clean-run shape: results must be an
+// empty array, not null — the upload action rejects null.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, All(), ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	runs := raw["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatalf("results is not an array: %T", runs[0].(map[string]any)["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v, want empty", results)
+	}
+}

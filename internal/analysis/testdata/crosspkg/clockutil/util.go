@@ -1,0 +1,34 @@
+// Package clockutil is a corpus helper package deliberately OUTSIDE
+// every analyzer scope: nothing is reported here. Each hazard rooted
+// below must instead surface at the in-scope call sites in the sibling
+// corpus package, through the cross-package call-graph summaries.
+package clockutil
+
+import "time"
+
+// Stamp launders the wall clock behind an innocent-looking call.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Grow launders an unsized append.
+func Grow(s []float64, v float64) []float64 {
+	return append(s, v)
+}
+
+// MeanOf launders a map-iteration-order float fold.
+func MeanOf(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	if len(m) == 0 {
+		return 0
+	}
+	return s / float64(len(m))
+}
+
+// Scale is clean: calling it must not taint anyone.
+func Scale(x float64) float64 {
+	return x * 2
+}

@@ -1,0 +1,34 @@
+// Package sim pretends to be a simulator package. Every hazard below
+// is rooted one package away, in the clockutil corpus package; the
+// diagnostics must anchor here, at the launder points, with the root
+// position carried in the message.
+package sim
+
+import "gpushare/internal/clockutil"
+
+// stamp hides time.Now one package away.
+func stamp() int64 {
+	return clockutil.Stamp() // want "call to clockutil.Stamp reaches nondeterminism: calls time.Now"
+}
+
+// record is on the hot path; the unsized append it reaches lives in
+// clockutil, so the finding anchors at the annotated function.
+//
+//repro:hotpath
+func record(buf []float64, v float64) []float64 { // want "not allocation-free: via clockutil.Grow: append may grow the backing array"
+	return clockutil.Grow(buf, v)
+}
+
+// meanLatency launders a map-order float fold across the package
+// boundary.
+func meanLatency(byClient map[string]float64) float64 {
+	return clockutil.MeanOf(byClient) // want "call to clockutil.MeanOf reaches order-nondeterministic float accumulation"
+}
+
+// scaled calls a clean helper: cross-package edges alone must not
+// produce findings.
+//
+//repro:hotpath
+func scaled(x float64) float64 {
+	return clockutil.Scale(x)
+}

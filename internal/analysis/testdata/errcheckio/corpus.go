@@ -46,3 +46,21 @@ func good(w io.Writer, t *table) error {
 	_ = t.RenderCSV(w)
 	return nil
 }
+
+// renderAll checks its own errors, but it (transitively) writes output
+// and returns error: dropping ITS result is the same hazard with one
+// wrapper layer in between.
+func renderAll(w io.Writer, t *table) error {
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+func wrapperBad(w io.Writer, t *table) {
+	renderAll(w, t) // want "error from corpus.renderAll is dropped; it writes output via"
+}
+
+func wrapperGood(w io.Writer, t *table) error {
+	return renderAll(w, t)
+}

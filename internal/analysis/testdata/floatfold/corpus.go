@@ -1,0 +1,77 @@
+// Corpus for the floatfold analyzer. The package pretends to be a
+// metric package, so order-nondeterministic float accumulation —
+// folding in map iteration order, or reordering the reduction's
+// operands — must be flagged, while slice-order left folds, integer
+// sums and per-iteration accumulators stay allowed.
+package corpus
+
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation folds in map iteration order"
+	}
+	return sum
+}
+
+func mapSumExplicit(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "float accumulation folds in map iteration order"
+	}
+	return sum
+}
+
+func mapProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "float accumulation folds in map iteration order"
+	}
+	return p
+}
+
+func reordered(xs []float64) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc = x + acc // want "float reduction reorders operands"
+	}
+	return acc
+}
+
+// good: slice-order left folds are deterministic.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// good: integer addition is exact and associative; order cannot matter.
+func intMapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// good: an accumulator scoped to a single iteration never folds across
+// the randomized order — only its slice-ordered inner loop.
+func perKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, xs := range m {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// good: operand-swapped addition outside any loop is a plain sum, not a
+// reduction.
+func notALoop(acc, x float64) float64 {
+	acc = x + acc
+	return acc
+}

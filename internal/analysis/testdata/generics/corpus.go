@@ -1,0 +1,58 @@
+// Corpus for analyzer behavior on generic code: instantiated calls
+// (implicit and explicit, functions and methods) must resolve to their
+// origin — no panic, no silent skip — facts must propagate through
+// instantiation, and type-parameter interfaces must not be charged as
+// boxing.
+package corpus
+
+// grow is generic; its unsized append is charged to hot-path callers
+// of every instantiation.
+func grow[T any](s []T, v T) []T {
+	return append(s, v)
+}
+
+//repro:hotpath
+func useGrow(s []float64) []float64 { // want "not allocation-free: via corpus.grow: append may grow the backing array"
+	return grow(s, 1.0)
+}
+
+//repro:hotpath
+func useGrowExplicit(s []int) []int { // want "not allocation-free: via corpus.grow: append may grow the backing array"
+	return grow[int](s, 1)
+}
+
+// passThrough's parameter is a type parameter, not an interface: calls
+// instantiated at int must not be charged as boxing.
+func passThrough[T any](v T) T { return v }
+
+//repro:hotpath
+func usePassThrough(x int) int {
+	return passThrough(x)
+}
+
+type ring[T any] struct{ buf []T }
+
+func (r *ring[T]) push(v T) {
+	r.buf = append(r.buf, v)
+}
+
+//repro:hotpath
+func usePush(r *ring[int]) { // want "not allocation-free: via .*ring.*push: append may grow the backing array"
+	r.push(1)
+}
+
+// mapSum is generic over the key type; the map-order fold is rooted —
+// and, this corpus being in scope, flagged — right here.
+func mapSum[K comparable](m map[K]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "float accumulation folds in map iteration order"
+	}
+	return s
+}
+
+// useMapSum inherits the fold fact, but the root is in scope and
+// already flagged: the call site must stay quiet.
+func useMapSum(m map[string]float64) float64 {
+	return mapSum(m)
+}

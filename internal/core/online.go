@@ -155,27 +155,136 @@ func (s *Scheduler) planOnline(arrivals []Arrival) (*OnlinePlan, error) {
 	return plan, nil
 }
 
-// dispatchArrivals is the admission loop: first-fit over GPUs in index
-// order, waiting on predicted completions when no GPU admits. Its
+// onlineDispatcher is the admission state dispatchArrivals drives: the
+// per-GPU resident sets with their interference aggregates, the
+// predicted-completion min-heap, and the dirty set for wait-round
+// re-probing. The decision kernel (admit/retire) is the production
+// dispatcher's per-arrival work and is held to the hot-path contract;
+// dispatchArrivals keeps the per-dispatch record building and telemetry
+// outside it.
+type onlineDispatcher struct {
+	gpus []onlineGPU
+	// completions orders predicted retirements by (end, schedule seq);
+	// payloads are *onlineGPU so the steady state allocates nothing
+	// (eventq freelist, pointer-in-interface payload).
+	completions eventq.Queue
+	dirtied     []*onlineGPU // GPUs retired into during the current wait round
+
+	clientCap        int
+	allowInterfering bool
+	stats            *DispatchStats
+}
+
+// admit runs the wait loop for one arrival: first-fit over GPUs in
+// index order, waiting on predicted completions when no GPU admits. It
+// returns the dispatch instant and target, or ok=false when no GPU can
+// ever admit the load. Resident sets are only mutated by retirement;
+// the caller commits the chosen placement with place. On retry rounds
+// only dirty GPUs are probed: the rest rejected this same candidate
+// against an unchanged resident set, and an unchanged group and the
+// same candidate yield the same sums, hence the same rejection.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (at simtime.Time, gpu int, ok bool) {
+	now := arrival
+	first := true
+	for {
+		d.retire(now)
+		placed := -1
+		for g := range d.gpus {
+			gd := &d.gpus[g]
+			if !first && !gd.dirty {
+				continue
+			}
+			if len(gd.res)+1 > d.clientCap {
+				continue
+			}
+			d.stats.Probes++
+			out := gd.agg.Admit(load)
+			admit := !out.Interferes()
+			if d.allowInterfering && !out.Capacity {
+				admit = true
+			}
+			if admit {
+				placed = g
+				break
+			}
+		}
+		for _, gd := range d.dirtied {
+			gd.dirty = false
+		}
+		d.dirtied = d.dirtied[:0]
+		if placed >= 0 {
+			return now, placed, true
+		}
+		// Wait for the next predicted completion: the heap minimum
+		// (every remaining resident ends after now).
+		next, okNext := d.completions.PeekTime()
+		if !okNext {
+			return 0, -1, false
+		}
+		d.stats.Waits++
+		now = next
+		first = false
+	}
+}
+
+// retire removes residents predicted to have finished by now, marking
+// their GPUs dirty for the next probe round.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) retire(now simtime.Time) {
+	for {
+		at, ok := d.completions.PeekTime()
+		if !ok || at > now {
+			return
+		}
+		ev, _ := d.completions.Pop()
+		gd := ev.Data.(*onlineGPU)
+		d.completions.Free(ev)
+		for j := range gd.res {
+			if gd.res[j].end <= now {
+				copy(gd.res[j:], gd.res[j+1:])
+				gd.res = gd.res[:len(gd.res)-1]
+				gd.agg.RemoveAt(j)
+				break
+			}
+		}
+		d.stats.Completions++
+		if !gd.dirty {
+			gd.dirty = true
+			//repro:allow:hotpathalloc dirty-set growth is bounded by the GPU count; capacity is retained
+			d.dirtied = append(d.dirtied, gd)
+		}
+	}
+}
+
+// place commits an admitted load: the resident joins GPU g's set and
+// fold, and its predicted completion is scheduled.
+func (d *onlineDispatcher) place(g int, load interference.Load, name string, end simtime.Time) {
+	gd := &d.gpus[g]
+	gd.res = append(gd.res, onlineResident{name: name, end: end})
+	gd.agg.Add(load)
+	d.completions.Schedule(end, 0, gd)
+}
+
+// dispatchArrivals is the admission loop over all arrivals. Its
 // decisions are byte-identical to a full per-arrival rescan (pinned by
 // the goldens in testdata/) but each probe is O(1) against the GPU's
 // interference aggregate, retirements come off a completion-time
 // min-heap instead of an every-iteration sweep, and wait-loop retries
-// re-probe only GPUs whose resident set changed — an unchanged group and
-// the same candidate yield the same sums, hence the same rejection.
+// re-probe only GPUs whose resident set changed.
 func (s *Scheduler) dispatchArrivals(plan *OnlinePlan) error {
 	hub := obs.Active()
-	clientCap := s.Policy.clientCap(s.Device.MaxMPSClients)
-	allowInterfering := s.Policy.AllowInterferingPairs
-	gpus := make([]onlineGPU, s.GPUs)
-	for g := range gpus {
-		gpus[g].agg = interference.NewAggregate(s.Device)
+	d := &onlineDispatcher{
+		gpus:             make([]onlineGPU, s.GPUs),
+		clientCap:        s.Policy.clientCap(s.Device.MaxMPSClients),
+		allowInterfering: s.Policy.AllowInterferingPairs,
+		stats:            &plan.Stats,
 	}
-	// Predicted completions, ordered (end, schedule seq); payloads are
-	// *onlineGPU so the steady state allocates nothing (eventq freelist,
-	// pointer-in-interface payload).
-	var completions eventq.Queue
-	var dirtied []*onlineGPU // GPUs retired into during the current wait round
+	for g := range d.gpus {
+		d.gpus[g].agg = interference.NewAggregate(s.Device)
+	}
 
 	// Telemetry handles hoisted out of the loop; counters folded at the
 	// end (plain ints in the hot path). The decision loop is serial and
@@ -188,94 +297,30 @@ func (s *Scheduler) dispatchArrivals(plan *OnlinePlan) error {
 		a := &plan.arrivals[i]
 		wp := plan.profiles[i]
 		load := wp.load()
-		now := a.At
-		first := true
-		for {
-			// Retire residents predicted to have finished by now.
-			for {
-				at, ok := completions.PeekTime()
-				if !ok || at > now {
-					break
-				}
-				ev, _ := completions.Pop()
-				gd := ev.Data.(*onlineGPU)
-				completions.Free(ev)
-				for j := range gd.res {
-					if gd.res[j].end <= now {
-						copy(gd.res[j:], gd.res[j+1:])
-						gd.res = gd.res[:len(gd.res)-1]
-						gd.agg.RemoveAt(j)
-						break
-					}
-				}
-				plan.Stats.Completions++
-				if !gd.dirty {
-					gd.dirty = true
-					dirtied = append(dirtied, gd)
-				}
-			}
-			// First GPU whose residents admit the workflow. On retry
-			// rounds only dirty GPUs are probed: the rest rejected this
-			// same candidate against an unchanged resident set.
-			placed := -1
-			for g := range gpus {
-				gd := &gpus[g]
-				if !first && !gd.dirty {
-					continue
-				}
-				if len(gd.res)+1 > clientCap {
-					continue
-				}
-				plan.Stats.Probes++
-				out := gd.agg.Admit(load)
-				admit := !out.Interferes()
-				if allowInterfering && !out.Capacity {
-					admit = true
-				}
-				if admit {
-					placed = g
-					break
-				}
-			}
-			for _, gd := range dirtied {
-				gd.dirty = false
-			}
-			dirtied = dirtied[:0]
-			if placed >= 0 {
-				gd := &gpus[placed]
-				var alongside []string
-				for j := range gd.res {
-					alongside = append(alongside, gd.res[j].name)
-				}
-				end := now.Add(simtime.FromSeconds(wp.TotalDurationS))
-				gd.res = append(gd.res, onlineResident{name: wp.Workflow.Name, end: end})
-				gd.agg.Add(load)
-				completions.Schedule(end, 0, gd)
-				plan.at[i] = now
-				plan.gpu[i] = placed
-				plan.Dispatches = append(plan.Dispatches, DispatchEvent{
-					At:               now,
-					Workflow:         wp.Workflow.Name,
-					GPU:              placed,
-					WaitedS:          now.Sub(a.At).Seconds(),
-					RunningAlongside: alongside,
-				})
-				waitedNS += int64(now.Sub(a.At))
-				waitHist.Observe(int64(now.Sub(a.At) / simtime.Millisecond))
-				occHist.Observe(int64(len(alongside) + 1))
-				break
-			}
-			// Wait for the next predicted completion: the heap minimum
-			// (every remaining resident ends after now).
-			next, ok := completions.PeekTime()
-			if !ok {
-				return fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
-					wp.Workflow.Name, wp.MaxMemMiB)
-			}
-			plan.Stats.Waits++
-			now = next
-			first = false
+		now, placed, ok := d.admit(load, a.At)
+		if !ok {
+			return fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
+				wp.Workflow.Name, wp.MaxMemMiB)
 		}
+		gd := &d.gpus[placed]
+		var alongside []string
+		for j := range gd.res {
+			alongside = append(alongside, gd.res[j].name)
+		}
+		end := now.Add(simtime.FromSeconds(wp.TotalDurationS))
+		d.place(placed, load, wp.Workflow.Name, end)
+		plan.at[i] = now
+		plan.gpu[i] = placed
+		plan.Dispatches = append(plan.Dispatches, DispatchEvent{
+			At:               now,
+			Workflow:         wp.Workflow.Name,
+			GPU:              placed,
+			WaitedS:          now.Sub(a.At).Seconds(),
+			RunningAlongside: alongside,
+		})
+		waitedNS += int64(now.Sub(a.At))
+		waitHist.Observe(int64(now.Sub(a.At) / simtime.Millisecond))
+		occHist.Observe(int64(len(alongside) + 1))
 	}
 	hub.Counter("dispatch_total").Add(int64(len(plan.Dispatches)))
 	hub.Counter("dispatch_waited_simns_total").Add(waitedNS)

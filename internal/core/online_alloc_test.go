@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"gpushare/internal/interference"
+	"gpushare/internal/simtime"
+)
+
+// TestDispatcherAdmitAllocs pins the dispatcher wait loop — admit and
+// retire — at zero allocations per arrival in steady state: the runtime
+// half of their //repro:hotpath annotations. The stream saturates four
+// GPUs so every arrival exercises retirement, dirty-set re-probing and
+// completion waits, not just the empty-fleet fast path.
+func TestDispatcherAdmitAllocs(t *testing.T) {
+	device := a100x()
+	var stats DispatchStats
+	d := &onlineDispatcher{
+		gpus:      make([]onlineGPU, 4),
+		clientCap: 8,
+		stats:     &stats,
+	}
+	for g := range d.gpus {
+		d.gpus[g].agg = interference.NewAggregate(device)
+	}
+	load := interference.Load{SMPct: 30, BWPct: 20, MemMiB: 1024}
+	hold := simtime.FromSeconds(100)
+	now := simtime.Zero
+	place := func() {
+		at, g, ok := d.admit(load, now)
+		if !ok {
+			t.Fatal("admit failed: load should always fit eventually")
+		}
+		d.place(g, load, "w", at.Add(hold))
+		now = now.Add(simtime.FromSeconds(1))
+	}
+	for i := 0; i < 64; i++ { // warm freelist, heap, dirty-set capacity
+		place()
+	}
+	allocs := testing.AllocsPerRun(200, func() { place() })
+	if allocs != 0 {
+		t.Fatalf("admit+place allocated %.1f objects per arrival, want 0", allocs)
+	}
+	if stats.Waits == 0 || stats.Completions == 0 {
+		t.Fatalf("pin never exercised the wait loop (waits=%d completions=%d)", stats.Waits, stats.Completions)
+	}
+}

@@ -1,0 +1,33 @@
+package eventq
+
+import (
+	"testing"
+)
+
+// TestQueueOpsZeroAllocs pins the steady-state queue operations —
+// Schedule, Cancel, Pop, Free — at zero allocations per cycle: the
+// runtime half of the //repro:hotpath annotations on those methods
+// (the static half is the hotpathalloc analyzer).
+func TestQueueOpsZeroAllocs(t *testing.T) {
+	var q Queue
+	warm := make([]*Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		warm = append(warm, q.Schedule(at(float64(i)), 0, nil))
+	}
+	for _, e := range warm {
+		q.Cancel(e)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		keep := q.Schedule(at(1), 0, nil)
+		drop := q.Schedule(at(2), 0, nil)
+		q.Cancel(drop)
+		ev, ok := q.Pop()
+		if !ok || ev != keep {
+			panic("eventq: pop order broken in alloc pin")
+		}
+		q.Free(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule/Cancel/Pop/Free allocated %.1f objects per cycle, want 0", allocs)
+	}
+}

@@ -84,6 +84,8 @@ func (q *Queue) Empty() bool { return len(q.h) == 0 }
 // which stays valid until the event is cancelled or freed. Scheduling in
 // the past is a programming error guarded by the simulator loop, not here:
 // the queue itself is time-agnostic.
+//
+//repro:hotpath pinned by TestQueueOpsZeroAllocs
 func (q *Queue) Schedule(at simtime.Time, kind Kind, data any) *Event {
 	e := q.acquire()
 	e.At = at
@@ -98,6 +100,8 @@ func (q *Queue) Schedule(at simtime.Time, kind Kind, data any) *Event {
 // Cancel removes the event from the queue and recycles it. Cancelling nil,
 // an already-cancelled event, or an event already handed out by Pop is a
 // no-op (a popped event is retired by its new owner via Free).
+//
+//repro:hotpath pinned by TestQueueOpsZeroAllocs
 func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.canceled {
 		return
@@ -122,6 +126,8 @@ func (q *Queue) PeekTime() (at simtime.Time, ok bool) {
 // Pop removes and returns the earliest event. ok is false when the queue
 // is empty. Ownership of the handle transfers to the caller, who must
 // return it with Free once dispatched (or let it leak to the GC).
+//
+//repro:hotpath pinned by TestQueueOpsZeroAllocs
 func (q *Queue) Pop() (e *Event, ok bool) {
 	if len(q.h) == 0 {
 		return nil, false
@@ -133,6 +139,8 @@ func (q *Queue) Pop() (e *Event, ok bool) {
 // Freeing nil is a no-op. Freeing an event still in the heap is a
 // programming error and panics: it would let the queue hand the same Event
 // out twice.
+//
+//repro:hotpath pinned by TestQueueOpsZeroAllocs
 func (q *Queue) Free(e *Event) {
 	if e == nil {
 		return
@@ -155,6 +163,7 @@ func (q *Queue) acquire() *Event {
 		e.canceled = false
 		return e
 	}
+	//repro:allow:hotpathalloc freelist refill: cold path, amortized away once the steady state recycles handles
 	return &Event{index: -1}
 }
 
@@ -162,6 +171,7 @@ func (q *Queue) acquire() *Event {
 // passes through here exactly once.
 func (q *Queue) release(e *Event) {
 	e.Data = nil // drop the payload reference for the GC
+	//repro:allow:hotpathalloc freelist growth is amortized; capacity is retained for the run's lifetime
 	q.free = append(q.free, e)
 }
 
@@ -177,6 +187,7 @@ func (q *Queue) less(a, b *Event) bool {
 
 func (q *Queue) push(e *Event) {
 	e.index = len(q.h)
+	//repro:allow:hotpathalloc heap growth is amortized; capacity is retained across pops
 	q.h = append(q.h, e)
 	q.up(e.index)
 }

@@ -1,0 +1,42 @@
+package floats
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Deterministic folds. Float addition is not associative, so the same
+// multiset of terms summed in two different orders differs in the low
+// bits — enough to flip a threshold comparison or a golden byte. These
+// helpers are the sanctioned home for shared float accumulation (the
+// floatfold analyzer directs here): each fixes one canonical order and
+// folds left to right, so equal inputs give bit-equal sums everywhere.
+
+// Sum is the strict left-to-right fold of xs. It is intentionally naive
+// — no pairwise or compensated summation — because the reproduction's
+// contract is bit-identity with the paper pipeline's plain loops, not
+// minimal rounding error.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SumMap folds m's values in ascending key order. Go randomizes map
+// iteration order per run; sorting the keys first makes the fold order
+// — and therefore every bit of the result — a function of the map's
+// contents alone.
+func SumMap[K cmp.Ordered](m map[K]float64) float64 {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+// foldTerms is a sequence whose sum is order-sensitive: alternating
+// magnitudes make the low bits depend on fold order.
+var foldTerms = []float64{1e16, 1.5, -1e16, 2.25, 1e-3, 0.7, 3e8, -3e8}
+
+func TestSumIsLeftFold(t *testing.T) {
+	var want float64
+	for _, x := range foldTerms {
+		want += x
+	}
+	if got := Sum(foldTerms); got != want {
+		t.Fatalf("Sum = %v, want the left fold %v", got, want)
+	}
+	// Reversing the terms must (for this sequence) change the bits —
+	// otherwise the test proves nothing about order sensitivity.
+	rev := make([]float64, len(foldTerms))
+	for i, x := range foldTerms {
+		rev[len(foldTerms)-1-i] = x
+	}
+	if Sum(rev) == Sum(foldTerms) {
+		t.Fatalf("fold-order test sequence is not order-sensitive; pick harder terms")
+	}
+}
+
+func TestSumMapIsKeyOrderFold(t *testing.T) {
+	m := map[string]float64{}
+	keys := []string{"d", "a", "c", "b", "e", "f", "g", "h"}
+	for i, k := range keys {
+		m[k] = foldTerms[i]
+	}
+	// Expected: fold in ascending key order = a,b,c,d,... which maps to
+	// terms[1], terms[3], terms[2], terms[0], terms[4..7].
+	want := foldTerms[1] + foldTerms[3] + foldTerms[2] + foldTerms[0] +
+		foldTerms[4] + foldTerms[5] + foldTerms[6] + foldTerms[7]
+	for i := 0; i < 50; i++ { // map order is randomized; the fold must not be
+		if got := SumMap(m); got != want {
+			t.Fatalf("SumMap = %v, want sorted-key fold %v", got, want)
+		}
+	}
+	if got := SumMap(map[int]float64(nil)); got != 0 {
+		t.Fatalf("SumMap(nil) = %v, want 0", got)
+	}
+	if math.IsNaN(Sum(nil)) || Sum(nil) != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", Sum(nil))
+	}
+}

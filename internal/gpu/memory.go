@@ -50,9 +50,11 @@ func NewMemAllocator(device string, totalMiB int64) *MemAllocator {
 // fit.
 func (a *MemAllocator) Alloc(owner string, mib int64) error {
 	if mib < 0 {
+		//repro:allow:hotpathalloc error path: a malformed reservation aborts the task, not the steady state
 		return fmt.Errorf("gpu %s: negative allocation %d MiB by %s", a.device, mib, owner)
 	}
 	if a.usedMiB+mib > a.totalMiB {
+		//repro:allow:hotpathalloc error path: OOM is recorded per task and is off the steady-state path
 		return &ErrOutOfMemory{
 			Device:    a.device,
 			WantMiB:   mib,

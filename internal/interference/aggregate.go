@@ -110,6 +110,8 @@ func (a *Aggregate) outcome(sm, bw float64, mem int64) Outcome {
 // Admit probes "group + candidate" in O(1): the combined sums are the
 // group's fold extended by one term, exactly the value Predict computes
 // over append(members, candidate). The group is not modified.
+//
+//repro:hotpath pinned by TestAggregateAdmitAllocs
 func (a *Aggregate) Admit(l Load) Outcome {
 	return a.outcome(a.smSum+l.SMPct, a.bwSum+l.BWPct, a.memSum+l.MemMiB)
 }
@@ -120,7 +122,10 @@ func (a *Aggregate) Current() Outcome {
 }
 
 // Add appends a member, extending each running fold by one term.
+//
+//repro:hotpath pinned by TestAggregateMutateAllocs
 func (a *Aggregate) Add(l Load) {
+	//repro:allow:hotpathalloc member-list growth is amortized; Reset keeps the capacity
 	a.loads = append(a.loads, l)
 	a.smSum += l.SMPct
 	a.bwSum += l.BWPct
@@ -131,6 +136,8 @@ func (a *Aggregate) Add(l Load) {
 // members, and re-folds the sums from scratch: subtracting the departed
 // member would drift from Predict's left-to-right fold over the new
 // sequence, re-folding matches it bit for bit. O(members).
+//
+//repro:hotpath pinned by TestAggregateMutateAllocs
 func (a *Aggregate) RemoveAt(i int) {
 	copy(a.loads[i:], a.loads[i+1:])
 	a.loads = a.loads[:len(a.loads)-1]

@@ -145,6 +145,29 @@ func TestAggregateAdmitAllocs(t *testing.T) {
 	}
 }
 
+// TestAggregateMutateAllocs pins Add and RemoveAt at zero allocations
+// once capacity is warm: the runtime half of their //repro:hotpath
+// annotations (Add's amortized growth is excused by warmed capacity,
+// which Reset retains).
+func TestAggregateMutateAllocs(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	for i := 0; i < 32; i++ {
+		agg.Add(Load{SMPct: 1, BWPct: 1, MemMiB: 16})
+	}
+	agg.Reset()
+	for i := 0; i < 16; i++ {
+		agg.Add(Load{SMPct: 1, BWPct: 1, MemMiB: 16})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		agg.Add(Load{SMPct: 2, BWPct: 3, MemMiB: 64})
+		agg.RemoveAt(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("Add+RemoveAt allocated %.1f objects per cycle, want 0", allocs)
+	}
+}
+
 // FuzzAggregateMatchesPredict drives random member sequences (with a
 // removal in the middle) through the aggregate and requires bit-equal
 // sums and identical decisions versus Predict over the same surviving

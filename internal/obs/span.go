@@ -113,6 +113,7 @@ func (r *SpanRecorder) add(sd SpanData) {
 		r.dropped++
 		return
 	}
+	//repro:allow:hotpathalloc span buffer growth is amortized and bounded by r.max
 	r.spans = append(r.spans, sd)
 }
 
