@@ -49,12 +49,14 @@ fmt:
 
 # Short fuzzing sessions over the properties the simulator depends on:
 # predictor symmetry/no-panic, aggregate/Predict bit-identity (the
-# dispatcher's O(1) admission probes) and event-queue pop ordering.
+# dispatcher's O(1) admission probes), event-queue pop ordering, and the
+# cluster planner's all-or-nothing gang accounting.
 # Native Go fuzzing takes one target per invocation.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPredictInterference -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzAggregateMatchesPredict -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueue -fuzztime=$(FUZZTIME) ./internal/eventq
+	$(GO) test -run='^$$' -fuzz=FuzzGangAdmission -fuzztime=$(FUZZTIME) ./internal/cluster
 
 # One-command pprof workflow for perf PRs: profile a real experiment run
 # end to end, then inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
@@ -68,6 +70,7 @@ profile:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=EngineSteadyState -benchtime=1x ./internal/gpusim
 	$(GO) test -run='^$$' -bench='BenchmarkScheduleOnline/2k-16gpu|BenchmarkBuildPlan/2k-16gpu' -benchtime=1x ./internal/core
+	$(GO) run ./cmd/gpusched bench-cluster -cluster 4x2 -workflows 2000 > /dev/null
 
 # Live-endpoint smoke: benchrepro with telemetry serving, /healthz and
 # /debug/pprof probed, /metrics diffed against the committed golden

@@ -172,7 +172,7 @@ func TestFacadeMPSAndSynthetic(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(gpushare.AllExperiments()) != 13 {
+	if len(gpushare.AllExperiments()) != 14 {
 		t.Fatalf("experiments: %d", len(gpushare.AllExperiments()))
 	}
 	e, err := gpushare.GetExperiment("table1")

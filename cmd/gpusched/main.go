@@ -28,16 +28,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"gpushare/internal/cluster"
 	"gpushare/internal/core"
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
@@ -86,14 +91,25 @@ func main() {
 		jobs      = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 		htaddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (serve mode defaults to 127.0.0.1:8378)")
 		fleet     = flag.String("fleet", "10000x64", "bench-online fleet shape WORKFLOWSxGPUS")
+
+		// bench-cluster flags.
+		clusterShape = flag.String("cluster", "4x2", "bench-cluster shape NODESxGPUS")
+		clusterMode  = flag.String("cluster-mode", "mixed", "node sharing mode: mps | mig | time-slice | mixed")
+		discipline   = flag.String("discipline", "fair-share", "cross-tenant queue: fair-share | fifo")
+		tenants      = flag.Int("tenants", 3, "bench-cluster tenant count")
+		preempt      = flag.Bool("preempt", true, "enable priority preemption in bench-cluster")
+		workflows    = flag.Int("workflows", 20000, "bench-cluster submission count")
 	)
 	// "gpusched serve ..." is the inspection form: telemetry on, HTTP
 	// endpoint up, process kept alive after the run. "gpusched
-	// bench-online ..." times the decision path on a synthetic fleet.
+	// bench-online ..." times the decision path on a synthetic fleet;
+	// "gpusched bench-cluster ..." times the multi-node tenant-queue
+	// planner the same way.
 	args := os.Args[1:]
 	serveMode := len(args) > 0 && args[0] == "serve"
 	benchMode := len(args) > 0 && args[0] == "bench-online"
-	if serveMode || benchMode {
+	clusterBench := len(args) > 0 && args[0] == "bench-cluster"
+	if serveMode || benchMode || clusterBench {
 		args = args[1:]
 	}
 	if err := flag.CommandLine.Parse(args); err != nil {
@@ -112,16 +128,27 @@ func main() {
 		hub = obs.NewHub(func() int64 { return time.Now().UnixNano() })
 		obs.SetActive(hub)
 	}
+	var srv *http.Server
+	serveErr := make(chan error, 1)
 	if *htaddr != "" {
 		ln, err := net.Listen("tcp", *htaddr)
 		if err != nil {
-			fatal(err)
+			if errors.Is(err, syscall.EADDRINUSE) {
+				fatal(fmt.Errorf("cannot listen on %s: address already in use (another gpusched serving? pass a different -http address)", *htaddr))
+			}
+			fatal(fmt.Errorf("cannot listen on %s: %w", *htaddr, err))
 		}
 		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
+		srv = &http.Server{Handler: obs.Handler(hub)}
 		go func() {
-			if err := http.Serve(ln, obs.Handler(hub)); err != nil {
-				fatal(fmt.Errorf("http: %w", err))
+			// ErrServerClosed is the orderly-shutdown sentinel, not a
+			// failure; anything else is surfaced on exit or, mid-run,
+			// fatally.
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serveErr <- err
+				return
 			}
+			serveErr <- nil
 		}()
 	}
 
@@ -142,6 +169,14 @@ func main() {
 		if err := runFleetBench(spec, policy, *fleet, *seed); err != nil {
 			fatal(err)
 		}
+		shutdownServer(srv, serveErr)
+		return
+	}
+	if clusterBench {
+		if err := runClusterBench(spec, *clusterShape, *clusterMode, *discipline, *tenants, *preempt, *workflows, *seed); err != nil {
+			fatal(err)
+		}
+		shutdownServer(srv, serveErr)
 		return
 	}
 
@@ -217,7 +252,42 @@ func main() {
 	if serveMode {
 		hub.Gauge("gpusched_run_complete").Set(1)
 		fmt.Println("run complete; serving telemetry until interrupted")
-		select {}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-serveErr:
+			// The server died out from under us; that error is the exit
+			// status, not a silent drop.
+			if err != nil {
+				fatal(fmt.Errorf("http server: %w", err))
+			}
+			fatal(fmt.Errorf("http server exited unexpectedly"))
+		case s := <-sig:
+			fmt.Printf("received %v; shutting down\n", s)
+		}
+	}
+	shutdownServer(srv, serveErr)
+}
+
+// shutdownServer drains the telemetry endpoint and surfaces any error
+// from either the shutdown itself or the server's run. A nil srv (no
+// -http flag) is a no-op.
+func shutdownServer(srv *http.Server, serveErr chan error) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Graceful drain failed (hung handler); force-close and report
+		// both outcomes rather than leaking the listener.
+		if cerr := srv.Close(); cerr != nil {
+			fatal(fmt.Errorf("http shutdown: %w (force close also failed: %v)", err, cerr))
+		}
+		fatal(fmt.Errorf("http shutdown: %w", err))
+	}
+	if err := <-serveErr; err != nil {
+		fatal(fmt.Errorf("http server: %w", err))
 	}
 }
 
@@ -251,6 +321,91 @@ func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed u
 		float64(elapsed.Nanoseconds())/float64(len(plan.Dispatches)))
 	fmt.Printf("  admission probes %d  wait events %d  retirements %d  mean wait %.1fs\n",
 		plan.Stats.Probes, plan.Stats.Waits, plan.Stats.Completions, meanWaitS(plan.Dispatches))
+	return nil
+}
+
+// runClusterBench times the multi-node tenant-queue planner at fleet
+// scale: a synthetic multi-tenant submission stream (gangs, priorities)
+// planned over a cluster of nodes, no simulated execution. Like
+// runFleetBench, wall timing lives in cmd/ outside the nodeterminism
+// analyzer scope.
+func runClusterBench(device gpu.DeviceSpec, shape, modeStr, disciplineStr string, tenantCount int, preempt bool, workflows int, seed uint64) error {
+	var nodes, gpusPerNode int
+	if _, err := fmt.Sscanf(shape, "%dx%d", &nodes, &gpusPerNode); err != nil {
+		return fmt.Errorf("-cluster wants NODESxGPUS (e.g. 8x4), got %q: %w", shape, err)
+	}
+	if nodes < 1 || gpusPerNode < 1 {
+		return fmt.Errorf("-cluster %q: both counts must be positive", shape)
+	}
+	if tenantCount < 1 {
+		return fmt.Errorf("-tenants must be positive, got %d", tenantCount)
+	}
+
+	spec := cluster.Spec{Preemption: preempt}
+	switch disciplineStr {
+	case "fair-share":
+		spec.Queue = cluster.FairShare
+	case "fifo":
+		spec.Queue = cluster.FIFO
+	default:
+		return fmt.Errorf("-discipline wants fair-share|fifo, got %q", disciplineStr)
+	}
+	// "mixed" cycles the three sharing modes across nodes; a concrete
+	// mode makes every node homogeneous.
+	modes := []cluster.Mode{cluster.ModeMPS, cluster.ModeMIG, cluster.ModeTimeSlice}
+	if modeStr != "mixed" {
+		m, err := cluster.ParseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		modes = []cluster.Mode{m}
+	}
+	for n := 0; n < nodes; n++ {
+		spec.Nodes = append(spec.Nodes, cluster.NodeSpec{
+			Name:   fmt.Sprintf("node-%03d", n),
+			Device: device,
+			GPUs:   gpusPerNode,
+			Mode:   modes[n%len(modes)],
+		})
+	}
+	var tenantNames []string
+	for i := 0; i < tenantCount; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		tenantNames = append(tenantNames, name)
+		spec.Tenants = append(spec.Tenants, cluster.TenantSpec{Name: name, Weight: 1 + i%3})
+	}
+
+	subs, store, err := cluster.GenerateStream(device, cluster.StreamSpec{
+		Fleet:          core.FleetSpec{Workflows: workflows, TargetGPUs: nodes * gpusPerNode, Seed: seed},
+		Tenants:        tenantNames,
+		PriorityLevels: 3,
+		GangFraction:   0.15,
+		GangSize:       3,
+		Seed:           seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	planner, err := cluster.NewPlanner(spec, store)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	out, err := planner.Plan(subs)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("cluster %dx%d (%s, %s, preempt=%v): planned %d submissions in %v (%.0f ns/submission)\n",
+		nodes, gpusPerNode, modeStr, disciplineStr, preempt, len(subs),
+		elapsed.Round(time.Millisecond), float64(elapsed.Nanoseconds())/float64(len(subs)))
+	fmt.Printf("  dispatches %d  evictions %d  failed %d  probes %d  holds %d  makespan %.0fs\n",
+		len(out.Dispatches), len(out.Evictions), len(out.Failed),
+		out.Stats.Probes, out.Stats.GangHolds, out.MakespanS)
+	for _, ts := range out.Tenants {
+		fmt.Printf("  %-10s w%d  jobs %5d  mean wait %8.1fs  service %10.0fs  preempted %d\n",
+			ts.Tenant, ts.Weight, ts.Jobs, ts.MeanWaitS, ts.ServiceS, ts.Preemptions)
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import "strings"
 // results: any wall-clock or math/rand use here breaks run-to-run
 // reproducibility.
 var simulatorPackages = []string{
+	"internal/cluster",
 	"internal/core",
 	"internal/gpusim",
 	"internal/eventq",
@@ -19,6 +20,7 @@ var simulatorPackages = []string{
 // metricPackages carry float64 utilization/energy arithmetic where exact
 // ==/!= comparison is a correctness hazard.
 var metricPackages = []string{
+	"internal/cluster",
 	"internal/core",
 	"internal/interference",
 	"internal/metrics",

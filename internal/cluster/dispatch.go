@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"sort"
+
+	"gpushare/internal/eventq"
+	"gpushare/internal/simtime"
+)
+
+// The cluster admission loop. One event loop advances simulated time
+// over arrivals and completions; at every instant a dispatch round
+// drains as many queued gangs as fit. Gang placement is a journal
+// transaction over per-GPU aggregates: members place one by one
+// (evicting lower-priority gangs when preemption is on), and the first
+// member that cannot be placed rolls the whole attempt back — admission
+// is all-or-nothing by construction.
+
+// run drives the event loop to completion.
+func (st *planner) run() {
+	now := simtime.Zero
+	next := 0
+	for {
+		for next < len(st.jobs) && st.jobs[next].at <= now {
+			st.enqueue(st.jobs[next])
+			next++
+		}
+		st.dispatchRound(now)
+
+		hasArr := next < len(st.jobs)
+		var tArr simtime.Time
+		if hasArr {
+			tArr = st.jobs[next].at
+		}
+		tComp, hasComp := st.completions.PeekTime()
+		if !hasArr && !hasComp {
+			return
+		}
+		if st.queuedAny() {
+			st.stats.Waits++
+		}
+		if hasComp && (!hasArr || tComp <= tArr) {
+			now = tComp
+			// Retire every completion at this instant before the next
+			// round. Aggregate removal re-folds the survivors in
+			// insertion order, so the post-batch state is independent of
+			// pop order within the batch.
+			for {
+				pt, ok := st.completions.PeekTime()
+				if !ok || pt != now {
+					break
+				}
+				ev, _ := st.completions.Pop()
+				st.retire(ev, now)
+			}
+		} else {
+			now = tArr
+		}
+	}
+}
+
+// enqueue appends a job to its tenant's queue.
+func (st *planner) enqueue(j *job) {
+	t := j.tenant
+	t.queue = append(t.queue, j)
+	if len(t.queue) > t.maxDepth {
+		t.maxDepth = len(t.queue)
+	}
+}
+
+// queuedAny reports whether any tenant has waiting jobs.
+func (st *planner) queuedAny() bool {
+	for _, t := range st.tenants {
+		if len(t.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterIdle reports whether no resident is placed anywhere.
+func (st *planner) clusterIdle() bool {
+	for i := range st.nodes {
+		for g := range st.nodes[i].gpus {
+			if len(st.nodes[i].gpus[g].res) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// retire removes one completed member. The event payload is the
+// resident pointer, so retirement is identity-based: a cancelled
+// (evicted) resident can never be confused with a survivor that happens
+// to share its end instant.
+func (st *planner) retire(ev *eventq.Event, now simtime.Time) {
+	r := ev.Data.(*resident)
+	st.completions.Free(ev)
+	g := &r.node.gpus[r.gpuIx]
+	st.removeResident(g, r)
+	st.stats.Completions++
+
+	j := r.job
+	j.liveCount--
+	st.releaseResident(r)
+	if j.liveCount > 0 {
+		return
+	}
+	sum := JobSummary{
+		Tenant:      j.tenant.spec.Name,
+		Gang:        j.sub.Gang.Name,
+		ArrivalS:    j.at.Seconds(),
+		CompletionS: now.Seconds(),
+		MakespanS:   now.Sub(j.at).Seconds(),
+		WaitedS:     j.lastWaitS,
+		Preemptions: j.preemptions,
+	}
+	st.out.Jobs = append(st.out.Jobs, sum)
+	ts := &j.tenant.stat
+	ts.Jobs++
+	ts.MeanWaitS += sum.WaitedS // divided by Jobs in finish
+	if sum.WaitedS > ts.MaxWaitS {
+		ts.MaxWaitS = sum.WaitedS
+	}
+	ts.MeanMakespanS += sum.MakespanS
+}
+
+// removeResident unlinks r from its GPU, keeping the aggregate's fold
+// sequence parallel to the resident slice.
+func (st *planner) removeResident(g *gpuState, r *resident) {
+	for i := range g.res {
+		if g.res[i] == r {
+			g.agg.RemoveAt(i)
+			g.res = append(g.res[:i], g.res[i+1:]...)
+			return
+		}
+	}
+	panic("cluster: resident missing from its GPU")
+}
+
+// dispatchRound places queued gangs until no eligible tenant's head
+// fits. A tenant whose head fails placement is blocked for the round
+// (head-of-line order within a tenant is strict), but other tenants keep
+// going — the round is work-conserving.
+func (st *planner) dispatchRound(now simtime.Time) {
+	for _, t := range st.tenants {
+		t.blocked = false
+	}
+	for {
+		t := st.pickTenant()
+		if t == nil {
+			return
+		}
+		// Pop the head before attempting: a successful placement may
+		// requeue evicted victims at the front of this same queue, so a
+		// pop afterwards could remove the wrong job.
+		j := t.queue[0]
+		t.queue = t.queue[:copy(t.queue, t.queue[1:])]
+		if st.tryPlaceGang(j, now) {
+			continue
+		}
+		if st.clusterIdle() {
+			// The gang fails against a fully idle cluster: it can never
+			// be admitted. Fail it permanently instead of wedging the
+			// tenant's queue forever.
+			t.stat.Failed++
+			st.out.Failed = append(st.out.Failed, FailedJob{
+				Tenant: t.spec.Name,
+				Gang:   j.sub.Gang.Name,
+				Reason: "does not fit an idle cluster",
+			})
+			continue
+		}
+		// Held: back to the front of the queue, tenant blocked for the
+		// round.
+		t.queue = append(t.queue, nil)
+		copy(t.queue[1:], t.queue)
+		t.queue[0] = j
+		t.blocked = true
+		st.stats.GangHolds++
+	}
+}
+
+// pickTenant selects the next tenant to serve, or nil when no tenant is
+// eligible. Under FairShare the pick minimizes weight-normalized
+// accumulated service, compared exactly by cross-multiplication; the
+// tenant scan runs in sorted-name order, so equal deficits resolve to
+// the lexicographically first tenant (tenant names are unique, making
+// the head-sequence tie-break unreachable; it is documented for the
+// discipline's contract, not the code path). Under FIFO the pick
+// minimizes the head job's arrival sequence — global arrival order
+// across tenants.
+func (st *planner) pickTenant() *tenantState {
+	var best *tenantState
+	for _, t := range st.tenants {
+		if len(t.queue) == 0 || t.blocked {
+			continue
+		}
+		if best == nil {
+			best = t
+			continue
+		}
+		switch st.spec.Queue {
+		case FIFO:
+			if t.queue[0].seq < best.queue[0].seq {
+				best = t
+			}
+		default: // FairShare
+			// t ahead of best iff t.served/t.weight < best.served/best.weight.
+			if t.servedUS*best.weight < best.servedUS*t.weight {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// tryPlaceGang attempts an all-or-nothing placement of j's members at
+// now. It runs as a journal transaction: GPU aggregates and resident
+// lists mutate in place behind lazy per-GPU snapshots, and failure
+// restores every touched GPU bit-for-bit (interference.Snapshot restores
+// the fold sums, not a recomputation). Completion events are only
+// scheduled — and victim events only cancelled — at commit, so an
+// aborted what-if leaves the event queue untouched.
+func (st *planner) tryPlaceGang(j *job, now simtime.Time) bool {
+	for i := range j.members {
+		g := st.findFit(&j.members[i])
+		if g == nil && st.spec.Preemption {
+			g = st.evictForMember(j, &j.members[i])
+		}
+		if g == nil {
+			st.rollback()
+			return false
+		}
+		st.placeMember(j, i, g, now)
+	}
+	st.commit(j, now)
+	return true
+}
+
+// findFit scans nodes in spec order and GPUs in index order for the
+// first device that admits the member under the node's sharing mode.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) findFit(m *member) *gpuState {
+	for n := range st.nodes {
+		node := &st.nodes[n]
+		for g := range node.gpus {
+			gs := &node.gpus[g]
+			st.stats.Probes++
+			if st.admits(gs, m) {
+				return gs
+			}
+		}
+	}
+	return nil
+}
+
+// admits probes one GPU under its node's sharing mode.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) admits(g *gpuState, m *member) bool {
+	return st.admitsAt(g, m, len(g.res))
+}
+
+// admitsAt probes with an explicit resident count, so a preemption
+// what-if can ask "would the member fit with the victims gone" while the
+// resident list still holds them.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) admitsAt(g *gpuState, m *member, residents int) bool {
+	node := g.node
+	if residents >= node.cap {
+		return false
+	}
+	switch node.spec.Mode {
+	case ModeMIG:
+		// Isolated equal instances: capacity is per-instance memory;
+		// no cross-instance interference.
+		return m.load.MemMiB <= node.instanceMemMiB
+	case ModeTimeSlice:
+		// Temporal sharing: no spatial interference rules, but the
+		// residents still share device memory.
+		return !g.agg.Admit(m.load).Capacity
+	default: // ModeMPS
+		l := m.load
+		if node.threadCapPct < 100 && l.SMPct > node.threadCapPct {
+			// The active-thread cap bounds the SM pressure one client
+			// can exert; bandwidth and memory are not partitioned.
+			l.SMPct = node.threadCapPct
+		}
+		return !g.agg.Admit(l).Interferes()
+	}
+}
+
+// placeMember commits one member to a GPU inside the transaction.
+func (st *planner) placeMember(j *job, memberIx int, g *gpuState, now simtime.Time) {
+	st.saveGPU(g)
+	m := &j.members[memberIx]
+	r := st.acquireResident()
+	r.job = j
+	r.memberIx = memberIx
+	r.node = g.node
+	r.gpuIx = g.index
+	r.start = now
+
+	durS := m.profile.TotalDurationS + j.penaltyS/float64(len(j.members))
+	load := m.load
+	if g.node.spec.Mode == ModeTimeSlice {
+		// Predicted duration dilates with the co-resident count at
+		// dispatch (including this member). Earlier residents keep
+		// their original predictions — the model charges slowdown to
+		// the arriving member, which keeps completions immutable once
+		// scheduled.
+		durS *= float64(len(g.res) + 1)
+	} else if g.node.spec.Mode == ModeMPS && g.node.threadCapPct < 100 && load.SMPct > g.node.threadCapPct {
+		// The SM cap throttles the member: it runs at threadCap/SMPct
+		// of its solo speed, and contributes only the capped pressure.
+		durS *= load.SMPct / g.node.threadCapPct
+		load.SMPct = g.node.threadCapPct
+	}
+	r.end = now.Add(simtime.FromSeconds(durS))
+
+	g.res = append(g.res, r)
+	g.agg.Add(load)
+	st.txPlaced = append(st.txPlaced, r)
+}
+
+// evictForMember frees room for one member by preempting on the first
+// GPU (node spec order, then index order) where a what-if probe shows
+// the member would fit with every strictly-lower-priority resident gone.
+// On that GPU it evicts whole victim gangs — lowest priority first,
+// youngest placement first (least lost work), latest arrival last-resort
+// tie-break — until the member actually fits, and returns the GPU; nil
+// when no GPU's victim set suffices. Targeting one GPU keeps preemption
+// minimal: a commit never strands an eviction that did not make room for
+// the preemptor (victim gangs may still lose members on other GPUs —
+// gang eviction is all-or-nothing, mirroring gang admission).
+func (st *planner) evictForMember(j *job, m *member) *gpuState {
+	for n := range st.nodes {
+		node := &st.nodes[n]
+		for g := range node.gpus {
+			gs := &node.gpus[g]
+			if !st.canFitAfterEviction(gs, j, m) {
+				continue
+			}
+			for !st.admits(gs, m) {
+				v := st.pickVictimOn(gs, j)
+				if v == nil {
+					// Unreachable: the what-if removed exactly the
+					// gangs pickVictimOn iterates.
+					panic("cluster: what-if fit without available victims")
+				}
+				st.evictGang(v)
+			}
+			return gs
+		}
+	}
+	return nil
+}
+
+// victimable reports whether v may be evicted for preemptor: strictly
+// lower priority, not already evicted this transaction, and fully
+// resident — a gang with completed members is nearly done, so evicting
+// it wastes more work than it frees, and whole-gang accounting (members
+// x preemptions) stays exact.
+func victimable(v, preemptor *job) bool {
+	return !v.evicting && v != preemptor &&
+		v.priority < preemptor.priority && v.liveCount == len(v.members)
+}
+
+// canFitAfterEviction is the preemption what-if: would m fit on g if
+// every strictly-lower-priority resident left? The probe saves the
+// aggregate, folds out the hypothetical victims, probes, and restores —
+// no resident list mutation, no allocation once the snapshot buffer is
+// warm.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) canFitAfterEviction(g *gpuState, preemptor *job, m *member) bool {
+	st.stats.Probes++
+	removed := 0
+	// Scan high to low so RemoveAt's re-fold never shifts an index we
+	// have yet to visit.
+	for i := len(g.res) - 1; i >= 0; i-- {
+		if victimable(g.res[i].job, preemptor) {
+			if removed == 0 {
+				g.agg.Save(&st.whatIf)
+			}
+			g.agg.RemoveAt(i)
+			removed++
+		}
+	}
+	if removed == 0 {
+		return false
+	}
+	ok := st.admitsAt(g, m, len(g.res)-removed)
+	g.agg.Restore(&st.whatIf)
+	return ok
+}
+
+// pickVictimOn selects the next victim gang resident on g: strictly
+// lower priority than the preemptor, lowest priority first, then
+// youngest placement, then latest arrival.
+func (st *planner) pickVictimOn(g *gpuState, preemptor *job) *job {
+	var best *job
+	var bestStart simtime.Time
+	for _, r := range g.res {
+		v := r.job
+		if !victimable(v, preemptor) {
+			continue
+		}
+		if best == nil ||
+			v.priority < best.priority ||
+			(v.priority == best.priority && (r.start > bestStart ||
+				(r.start == bestStart && v.seq > best.seq))) {
+			best = v
+			bestStart = r.start
+		}
+	}
+	return best
+}
+
+// evictGang removes every resident of v from the transaction's view of
+// the cluster and marks it evicting. Event cancellation and requeueing
+// happen at commit; rollback simply restores the GPUs.
+func (st *planner) evictGang(v *job) {
+	v.evicting = true
+	for n := range st.nodes {
+		node := &st.nodes[n]
+		for g := range node.gpus {
+			gs := &node.gpus[g]
+			for i := 0; i < len(gs.res); {
+				r := gs.res[i]
+				if r.job != v {
+					i++
+					continue
+				}
+				st.saveGPU(gs)
+				gs.agg.RemoveAt(i)
+				gs.res = append(gs.res[:i], gs.res[i+1:]...)
+				st.txEvicted = append(st.txEvicted, r)
+			}
+		}
+	}
+}
+
+// saveGPU lazily snapshots a GPU the first time the transaction touches
+// it.
+func (st *planner) saveGPU(g *gpuState) {
+	if g.saved {
+		return
+	}
+	g.agg.Save(&g.savedAgg)
+	g.savedRes = append(g.savedRes[:0], g.res...)
+	g.saved = true
+	st.txTouched = append(st.txTouched, g)
+}
+
+// rollback restores every touched GPU and releases tx-placed residents.
+// Evicted residents stay untouched: their events were never cancelled
+// and the restored resident lists still reference them — but their
+// gangs' evicting marks must clear, or a later transaction's victim
+// scan would skip them while the what-if still counts them.
+func (st *planner) rollback() {
+	for _, g := range st.txTouched {
+		g.agg.Restore(&g.savedAgg)
+		g.res = append(g.res[:0], g.savedRes...)
+		g.saved = false
+	}
+	for _, r := range st.txPlaced {
+		st.releaseResident(r)
+	}
+	for _, r := range st.txEvicted {
+		r.job.evicting = false
+	}
+	st.clearTx()
+}
+
+// commit finalizes a successful gang placement: victims' events are
+// cancelled and their gangs requeued with the restart penalty, placed
+// members get completion events and dispatch records, and the tenant's
+// deficit counter is charged.
+func (st *planner) commit(j *job, now simtime.Time) {
+	for _, g := range st.txTouched {
+		g.saved = false
+	}
+
+	// Victims: whole gangs, requeued at the front of their tenant queue
+	// in arrival order with the restart penalty charged.
+	if len(st.txEvicted) > 0 {
+		victims := make(map[*job]bool, 2)
+		for _, r := range st.txEvicted {
+			v := r.job
+			st.completions.Cancel(r.ev)
+			st.out.Evictions = append(st.out.Evictions, Eviction{
+				At:        now,
+				Tenant:    v.tenant.spec.Name,
+				Gang:      v.sub.Gang.Name,
+				Workflow:  v.members[r.memberIx].profile.Workflow.Name,
+				Node:      r.node.spec.Name,
+				GPU:       r.gpuIx,
+				Preemptor: j.sub.Gang.Name,
+				LostS:     now.Sub(r.start).Seconds(),
+				OverheadS: st.overheadS(),
+			})
+			st.stats.Preemptions++
+			victims[v] = true
+			v.liveCount--
+			st.releaseResident(r)
+		}
+		// Distinct victim gangs in deterministic (arrival) order.
+		order := make([]*job, 0, len(victims))
+		for v := range victims {
+			order = append(order, v)
+		}
+		sort.Slice(order, func(i, k int) bool { return order[i].seq < order[k].seq })
+		// Prepend in reverse so the queue front ends up in ascending
+		// arrival order; a victim predates everything still queued
+		// behind it, so head-of-line order stays consistent.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			v.evicting = false
+			v.preemptions++
+			v.penaltyS += st.overheadS()
+			v.tenant.stat.Preemptions++
+			st.stats.GangsPreempted++
+			v.tenant.queue = append(v.tenant.queue, nil)
+			copy(v.tenant.queue[1:], v.tenant.queue)
+			v.tenant.queue[0] = v
+			if len(v.tenant.queue) > v.tenant.maxDepth {
+				v.tenant.maxDepth = len(v.tenant.queue)
+			}
+		}
+	}
+
+	waited := now.Sub(j.at).Seconds()
+	j.lastWaitS = waited
+	for _, r := range st.txPlaced {
+		r.ev = st.completions.Schedule(r.end, 0, r)
+		j.liveCount++
+		st.out.Dispatches = append(st.out.Dispatches, Dispatch{
+			At:          now,
+			Tenant:      j.tenant.spec.Name,
+			Gang:        j.sub.Gang.Name,
+			Workflow:    j.members[r.memberIx].profile.Workflow.Name,
+			Node:        r.node.spec.Name,
+			GPU:         r.gpuIx,
+			WaitedS:     waited,
+			Preemptions: j.preemptions,
+		})
+	}
+	// Deficit charge: the predicted work dispatched, including the
+	// restart penalty a re-dispatched victim repays.
+	j.tenant.servedUS += int64((j.durationS + j.penaltyS) * 1e6)
+	st.clearTx()
+}
+
+func (st *planner) clearTx() {
+	st.txPlaced = st.txPlaced[:0]
+	st.txEvicted = st.txEvicted[:0]
+	st.txTouched = st.txTouched[:0]
+}
+
+// Resident pooling keeps the admit/retire hot path allocation-free once
+// the pool is warm.
+
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) acquireResident() *resident {
+	if n := len(st.resFree); n > 0 {
+		r := st.resFree[n-1]
+		st.resFree = st.resFree[:n-1]
+		return r
+	}
+	//repro:allow:hotpathalloc pool growth is amortized; steady state reuses freed residents
+	return &resident{}
+}
+
+func (st *planner) releaseResident(r *resident) {
+	*r = resident{}
+	st.resFree = append(st.resFree, r)
+}

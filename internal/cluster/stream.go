@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+
+	"gpushare/internal/core"
+	"gpushare/internal/gpu"
+	"gpushare/internal/profile"
+	"gpushare/internal/workflow"
+	"gpushare/internal/xrand"
+)
+
+// StreamSpec parameterizes a synthetic multi-tenant submission stream:
+// core.GenerateFleet's arrival stream, bundled into gangs and assigned
+// tenants and priorities deterministically.
+type StreamSpec struct {
+	// Fleet shapes the underlying arrival stream (count, durations,
+	// inter-arrival gaps). Fleet.Seed drives the workload draw; Seed
+	// below drives the tenant/priority/gang assignment so the two vary
+	// independently.
+	Fleet core.FleetSpec
+	// Tenants are the tenant names submissions draw from uniformly; it
+	// must be non-empty and should match the cluster spec's tenants.
+	Tenants []string
+	// PriorityLevels is the number of priority classes; submissions draw
+	// uniformly from [0, PriorityLevels). Zero selects 1 (all equal).
+	PriorityLevels int
+	// GangFraction is the probability that an arrival opens a gang of
+	// GangSize members (consuming the following arrivals as co-members,
+	// re-timed to the opener's instant). Zero keeps every submission a
+	// single-workflow gang.
+	GangFraction float64
+	// GangSize is the member count of a bundled gang; zero selects 4.
+	GangSize int
+	// Seed drives tenant, priority, and gang draws.
+	Seed uint64
+}
+
+// GenerateStream fabricates a deterministic submission stream plus the
+// profile store it plans from. Equal specs generate byte-identical
+// streams.
+func GenerateStream(device gpu.DeviceSpec, spec StreamSpec) ([]Submission, *profile.Store, error) {
+	if len(spec.Tenants) == 0 {
+		return nil, nil, fmt.Errorf("cluster: stream needs at least one tenant name")
+	}
+	if spec.GangFraction < 0 || spec.GangFraction > 1 {
+		return nil, nil, fmt.Errorf("cluster: gang fraction %g outside [0,1]", spec.GangFraction)
+	}
+	arrivals, store, err := core.GenerateFleet(device, spec.Fleet)
+	if err != nil {
+		return nil, nil, err
+	}
+	levels := spec.PriorityLevels
+	if levels <= 0 {
+		levels = 1
+	}
+	gangSize := spec.GangSize
+	if gangSize <= 0 {
+		gangSize = 4
+	}
+
+	rng := xrand.New(spec.Seed)
+	subs := make([]Submission, 0, len(arrivals))
+	for i := 0; i < len(arrivals); {
+		tenant := spec.Tenants[rng.Intn(len(spec.Tenants))]
+		prio := 0
+		if levels > 1 {
+			prio = rng.Intn(levels)
+		}
+		size := 1
+		if spec.GangFraction > 0 && rng.Float64() < spec.GangFraction {
+			size = gangSize
+			if rest := len(arrivals) - i; size > rest {
+				size = rest
+			}
+		}
+		var g workflow.Gang
+		if size == 1 {
+			g = workflow.Single(arrivals[i].Workflow)
+		} else {
+			g.Name = fmt.Sprintf("gang-%06d", len(subs))
+			for k := 0; k < size; k++ {
+				g.Members = append(g.Members, arrivals[i+k].Workflow)
+			}
+		}
+		subs = append(subs, Submission{
+			At:       arrivals[i].At,
+			Tenant:   tenant,
+			Priority: prio,
+			Gang:     g,
+		})
+		i += size
+	}
+	// GenerateFleet sorts by arrival; bundling keeps opener instants, so
+	// the stream stays sorted.
+	for i := 1; i < len(subs); i++ {
+		if subs[i].At < subs[i-1].At {
+			return nil, nil, fmt.Errorf("cluster: stream out of order at %d", i)
+		}
+	}
+	return subs, store, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,18 @@ import (
 	"gpushare/internal/simtime"
 	"gpushare/internal/workflow"
 	"gpushare/internal/xrand"
+)
+
+// Typed validation errors for fleet generation: a stream with no
+// workflows or a non-positive GPU target has no meaningful output, and
+// silently defaulting would hide caller bugs (a computed-zero shape is
+// almost always an arithmetic mistake, not a request for the defaults).
+var (
+	// ErrFleetNoWorkflows rejects FleetSpec.Workflows < 1.
+	ErrFleetNoWorkflows = errors.New("core: fleet needs at least one workflow")
+	// ErrFleetNoGPUs rejects FleetSpec.TargetGPUs < 0 (zero still selects
+	// the documented default of 64).
+	ErrFleetNoGPUs = errors.New("core: fleet needs a non-negative GPU target")
 )
 
 // Fleet generation: a deterministic synthetic arrival stream sized for
@@ -48,7 +61,10 @@ type FleetSpec struct {
 // in the store, so they feed PlanOnline directly.
 func GenerateFleet(device gpu.DeviceSpec, spec FleetSpec) ([]Arrival, *profile.Store, error) {
 	if spec.Workflows < 1 {
-		return nil, nil, fmt.Errorf("core: fleet needs at least one workflow, got %d", spec.Workflows)
+		return nil, nil, fmt.Errorf("%w, got %d", ErrFleetNoWorkflows, spec.Workflows)
+	}
+	if spec.TargetGPUs < 0 {
+		return nil, nil, fmt.Errorf("%w, got %d", ErrFleetNoGPUs, spec.TargetGPUs)
 	}
 	if err := device.Validate(); err != nil {
 		return nil, nil, err

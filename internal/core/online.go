@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,12 @@ import (
 	"gpushare/internal/simtime"
 	"gpushare/internal/workflow"
 )
+
+// ErrNoArrivals is the typed validation error for an empty arrival
+// stream: there is nothing to plan, and downstream wait statistics
+// (MeanWaitS over zero dispatches) would be undefined. Callers that want
+// "empty in, empty out" check for it with errors.Is.
+var ErrNoArrivals = errors.New("core: no arrivals")
 
 // Online scheduling extends the paper's offline queue model (§IV-B
 // assumes "an entire queue of workflow tasks ... is known before workflow
@@ -61,10 +68,14 @@ type OnlineOutcome struct {
 
 // onlineResident tracks a dispatched workflow during planning. The
 // per-GPU resident slice stays in dispatch order, parallel to the GPU's
-// interference aggregate, so aggregate member i is resident i.
+// interference aggregate, so aggregate member i is resident i. seq is
+// the placement serial — the identity completion events retire by, so a
+// completion can never remove a different resident that happens to share
+// its (quantized) finish instant.
 type onlineResident struct {
 	name string
 	end  simtime.Time
+	seq  uint64
 }
 
 // onlineGPU is one device's admission state: the resident list, its
@@ -123,7 +134,7 @@ func (s *Scheduler) PlanOnline(arrivals []Arrival) (*OnlinePlan, error) {
 // admission loop.
 func (s *Scheduler) planOnline(arrivals []Arrival) (*OnlinePlan, error) {
 	if len(arrivals) == 0 {
-		return nil, fmt.Errorf("core: no arrivals")
+		return nil, ErrNoArrivals
 	}
 	sorted := make([]Arrival, len(arrivals))
 	copy(sorted, arrivals)
@@ -165,14 +176,53 @@ func (s *Scheduler) planOnline(arrivals []Arrival) (*OnlinePlan, error) {
 type onlineDispatcher struct {
 	gpus []onlineGPU
 	// completions orders predicted retirements by (end, schedule seq);
-	// payloads are *onlineGPU so the steady state allocates nothing
-	// (eventq freelist, pointer-in-interface payload).
+	// payloads are pooled *completionKey values naming the exact resident
+	// each event was scheduled for, so the steady state allocates nothing
+	// (eventq freelist, pointer-in-interface payload) and retirement is
+	// identity-based even when several residents on a GPU share a
+	// quantized finish instant.
 	completions eventq.Queue
 	dirtied     []*onlineGPU // GPUs retired into during the current wait round
+
+	keyFree []*completionKey // recycled completion payloads
+	nextSeq uint64           // next resident placement serial
 
 	clientCap        int
 	allowInterfering bool
 	stats            *DispatchStats
+}
+
+// completionKey is a completion event's payload: the GPU and the
+// placement serial of the resident the event retires. Keys are pooled by
+// the dispatcher (acquireKey/releaseKey) so scheduling stays
+// allocation-free in steady state.
+type completionKey struct {
+	gpu *onlineGPU
+	seq uint64
+}
+
+// acquireKey takes a completion payload from the freelist or allocates
+// one.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) acquireKey() *completionKey {
+	if n := len(d.keyFree); n > 0 {
+		k := d.keyFree[n-1]
+		d.keyFree[n-1] = nil
+		d.keyFree = d.keyFree[:n-1]
+		return k
+	}
+	//repro:allow:hotpathalloc key-pool refill: cold path, amortized away once the steady state recycles keys
+	return &completionKey{}
+}
+
+// releaseKey returns a retired payload to the freelist.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) releaseKey(k *completionKey) {
+	k.gpu = nil
+	//repro:allow:hotpathalloc key-pool growth is amortized; capacity is retained for the run's lifetime
+	d.keyFree = append(d.keyFree, k)
 }
 
 // admit runs the wait loop for one arrival: first-fit over GPUs in
@@ -230,7 +280,11 @@ func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (
 }
 
 // retire removes residents predicted to have finished by now, marking
-// their GPUs dirty for the next probe round.
+// their GPUs dirty for the next probe round. Removal is identity-based:
+// each completion event names the resident it was scheduled for (by
+// placement serial), so colliding finish instants on one GPU can never
+// retire the wrong resident — an index scan for "first end <= now" would
+// pick whichever collided resident sits earliest in the list.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
 func (d *onlineDispatcher) retire(now simtime.Time) {
@@ -240,16 +294,18 @@ func (d *onlineDispatcher) retire(now simtime.Time) {
 			return
 		}
 		ev, _ := d.completions.Pop()
-		gd := ev.Data.(*onlineGPU)
+		k := ev.Data.(*completionKey)
+		gd := k.gpu
 		d.completions.Free(ev)
 		for j := range gd.res {
-			if gd.res[j].end <= now {
+			if gd.res[j].seq == k.seq {
 				copy(gd.res[j:], gd.res[j+1:])
 				gd.res = gd.res[:len(gd.res)-1]
 				gd.agg.RemoveAt(j)
 				break
 			}
 		}
+		d.releaseKey(k)
 		d.stats.Completions++
 		if !gd.dirty {
 			gd.dirty = true
@@ -260,12 +316,18 @@ func (d *onlineDispatcher) retire(now simtime.Time) {
 }
 
 // place commits an admitted load: the resident joins GPU g's set and
-// fold, and its predicted completion is scheduled.
+// fold, and its predicted completion is scheduled against the resident's
+// placement serial.
 func (d *onlineDispatcher) place(g int, load interference.Load, name string, end simtime.Time) {
 	gd := &d.gpus[g]
-	gd.res = append(gd.res, onlineResident{name: name, end: end})
+	seq := d.nextSeq
+	d.nextSeq++
+	gd.res = append(gd.res, onlineResident{name: name, end: end, seq: seq})
 	gd.agg.Add(load)
-	d.completions.Schedule(end, 0, gd)
+	k := d.acquireKey()
+	k.gpu = gd
+	k.seq = seq
+	d.completions.Schedule(end, 0, k)
 }
 
 // dispatchArrivals is the admission loop over all arrivals. Its
@@ -367,13 +429,17 @@ func (s *Scheduler) ScheduleOnline(arrivals []Arrival, simCfg gpusim.Config) (*O
 	}
 	out.Relative = rel
 
-	for _, d := range out.Dispatches {
-		out.MeanWaitS += d.WaitedS
-		if d.WaitedS > out.MaxWaitS {
-			out.MaxWaitS = d.WaitedS
+	// Guard the division: planOnline rejects empty streams, but a zero
+	// dispatch count must never turn the wait stats into NaN.
+	if len(out.Dispatches) > 0 {
+		for _, d := range out.Dispatches {
+			out.MeanWaitS += d.WaitedS
+			if d.WaitedS > out.MaxWaitS {
+				out.MaxWaitS = d.WaitedS
+			}
 		}
+		out.MeanWaitS /= float64(len(out.Dispatches))
 	}
-	out.MeanWaitS /= float64(len(out.Dispatches))
 	return out, nil
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
+	"gpushare/internal/interference"
 	"gpushare/internal/profile"
 	"gpushare/internal/simtime"
 )
@@ -52,8 +55,124 @@ func TestScheduleOnlineBasics(t *testing.T) {
 func TestScheduleOnlineNoArrivals(t *testing.T) {
 	store := suiteStore(t)
 	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
-	if _, err := s.ScheduleOnline(nil, gpusim.Config{}); err == nil {
-		t.Fatal("empty arrivals accepted")
+	if _, err := s.ScheduleOnline(nil, gpusim.Config{}); !errors.Is(err, ErrNoArrivals) {
+		t.Fatalf("empty arrivals: err = %v, want ErrNoArrivals", err)
+	}
+}
+
+// TestEmptyInputEdgeCases table-tests the planner and fleet generator on
+// degenerate inputs: each must fail with its typed validation error —
+// never panic, and never reach the wait-stat divisions with zero
+// dispatches (which would emit NaN MeanWaitS/MaxWaitS).
+func TestEmptyInputEdgeCases(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	cases := []struct {
+		name string
+		run  func() error
+		want error
+	}{
+		{"PlanOnline zero arrivals", func() error {
+			_, err := s.PlanOnline(nil)
+			return err
+		}, ErrNoArrivals},
+		{"PlanOnline empty slice", func() error {
+			_, err := s.PlanOnline([]Arrival{})
+			return err
+		}, ErrNoArrivals},
+		{"GenerateFleet zero workflows", func() error {
+			_, _, err := GenerateFleet(a100x(), FleetSpec{Workflows: 0})
+			return err
+		}, ErrFleetNoWorkflows},
+		{"GenerateFleet negative GPU target", func() error {
+			_, _, err := GenerateFleet(a100x(), FleetSpec{Workflows: 4, TargetGPUs: -1})
+			return err
+		}, ErrFleetNoGPUs},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.run(); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestRetireIdentityWithCollidingEnds is the regression test for the
+// same-instant retire ambiguity: several residents on one GPU share a
+// quantized finish instant, and each completion event must remove
+// exactly the resident it was scheduled for — not the first list entry
+// with end <= now. The surviving resident set (and the re-folded
+// aggregate) identify the removals.
+func TestRetireIdentityWithCollidingEnds(t *testing.T) {
+	var stats DispatchStats
+	d := &onlineDispatcher{
+		gpus:      make([]onlineGPU, 1),
+		clientCap: 8,
+		stats:     &stats,
+	}
+	d.gpus[0].agg = interference.NewAggregate(a100x())
+
+	collide := at(10)
+	// Three residents, two sharing the finish instant; the survivor sits
+	// between the colliding pair, so a first-match index scan and
+	// identity-based removal disagree on which entries remain if either
+	// collided event retires the wrong resident.
+	d.place(0, interference.Load{SMPct: 10, BWPct: 1, MemMiB: 100}, "early-a", collide)
+	d.place(0, interference.Load{SMPct: 20, BWPct: 2, MemMiB: 200}, "late", at(50))
+	d.place(0, interference.Load{SMPct: 30, BWPct: 3, MemMiB: 300}, "early-b", collide)
+
+	d.retire(collide)
+	gd := &d.gpus[0]
+	if len(gd.res) != 1 || gd.res[0].name != "late" {
+		t.Fatalf("survivors after colliding retirement = %+v, want only %q", gd.res, "late")
+	}
+	if stats.Completions != 2 {
+		t.Fatalf("completions = %d, want 2", stats.Completions)
+	}
+	// The aggregate must hold exactly the survivor's load, re-folded.
+	if gd.agg.Len() != 1 || gd.agg.At(0) != (interference.Load{SMPct: 20, BWPct: 2, MemMiB: 200}) {
+		t.Fatalf("aggregate after retirement holds %d members: %+v", gd.agg.Len(), gd.agg)
+	}
+	// And the popped events' payload keys must have been recycled.
+	if len(d.keyFree) != 2 {
+		t.Fatalf("key freelist holds %d entries, want 2", len(d.keyFree))
+	}
+}
+
+// TestPlanOnlineCollidingEndsStream drives colliding completion instants
+// through the public planner: identical workflows arriving together
+// produce identical predicted ends on the same GPU. The plan must stay
+// consistent (every arrival dispatched exactly once) — and the golden
+// dispatch logs pin that the identity-based retire path reproduces the
+// index-scan path byte for byte.
+func TestPlanOnlineCollidingEndsStream(t *testing.T) {
+	store := suiteStore(t)
+	s, _ := NewScheduler(a100x(), 1, store, EnergyPolicy())
+	var arrivals []Arrival
+	for i := 0; i < 6; i++ {
+		// Three waves of two identical workflows: each wave's pair shares
+		// an arrival instant and a duration, hence a finish instant.
+		arrivals = append(arrivals, Arrival{
+			At:       at(float64(i/2) * 5),
+			Workflow: wfOne(fmt.Sprintf("twin-%d", i), "AthenaPK", "4x", 1),
+		})
+	}
+	plan, err := s.PlanOnline(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Dispatches) != len(arrivals) {
+		t.Fatalf("dispatches = %d, want %d", len(plan.Dispatches), len(arrivals))
+	}
+	seen := map[string]int{}
+	for _, d := range plan.Dispatches {
+		seen[d.Workflow]++
+	}
+	for _, a := range arrivals {
+		if seen[a.Workflow.Name] != 1 {
+			t.Fatalf("workflow %s dispatched %d times", a.Workflow.Name, seen[a.Workflow.Name])
+		}
 	}
 }
 

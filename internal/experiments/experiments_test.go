@@ -18,7 +18,7 @@ func relErr(got, want float64) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	wantIDs := []string{"ext-mechanisms", "ext-mig", "ext-online", "ext-powercap", "ext-recommend",
+	wantIDs := []string{"ext-cluster", "ext-mechanisms", "ext-mig", "ext-online", "ext-powercap", "ext-recommend",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments: %v", len(all), ids(all))

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/cluster"
+	"gpushare/internal/core"
+	"gpushare/internal/parallel"
+	"gpushare/internal/report"
+)
+
+// ExtCluster scales the online dispatcher to a multi-node, multi-tenant
+// fleet (DESIGN.md §13): one synthetic submission stream — gangs,
+// priorities, three tenants — planned under three queue disciplines on
+// the same mixed-mode cluster (MPS, MIG, and time-sliced nodes). The
+// comparison shows what each control buys: FIFO's arrival order versus
+// fair share's deficit order, and preemption trading victim makespan
+// (lost partial runs plus restart overhead) for high-priority latency.
+func ExtCluster(opts Options, w io.Writer) error {
+	device := opts.device()
+	count := 600
+	if opts.Quick {
+		count = 150
+	}
+	subs, store, err := cluster.GenerateStream(device, cluster.StreamSpec{
+		Fleet:          core.FleetSpec{Workflows: count, TargetGPUs: 6, Seed: opts.Seed + 777},
+		Tenants:        []string{"ares", "boreas", "chronos"},
+		PriorityLevels: 3,
+		GangFraction:   0.2,
+		GangSize:       3,
+		Seed:           opts.Seed + 778,
+	})
+	if err != nil {
+		return err
+	}
+
+	baseSpec := func(q cluster.Discipline, preempt bool) cluster.Spec {
+		return cluster.Spec{
+			Nodes: []cluster.NodeSpec{
+				{Name: "mps-a", Device: device, GPUs: 3, Mode: cluster.ModeMPS, ClientCap: 5},
+				{Name: "mig-b", Device: device, GPUs: 1, Mode: cluster.ModeMIG, MIGInstances: 4},
+				{Name: "ts-c", Device: device, GPUs: 1, Mode: cluster.ModeTimeSlice, TimeSliceCap: 3},
+			},
+			Tenants: []cluster.TenantSpec{
+				{Name: "ares", Weight: 1},
+				{Name: "boreas", Weight: 2},
+				{Name: "chronos", Weight: 1},
+			},
+			Queue:      q,
+			Preemption: preempt,
+		}
+	}
+	variants := []struct {
+		name string
+		spec cluster.Spec
+	}{
+		{"fifo", baseSpec(cluster.FIFO, false)},
+		{"fair-share", baseSpec(cluster.FairShare, false)},
+		{"fair-share+preempt", baseSpec(cluster.FairShare, true)},
+	}
+
+	outs, err := parallel.Map(opts.workers(), len(variants), func(i int) (*cluster.Outcome, error) {
+		p, err := cluster.NewPlanner(variants[i].spec, store)
+		if err != nil {
+			return nil, err
+		}
+		return p.Plan(subs)
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Extension: cluster disciplines — %d submissions, 3 tenants, 5 GPUs (mps+mig+ts)", len(subs)),
+		"Discipline", "Jobs", "Failed", "Preempted", "Makespan s", "Mean wait s", "Max wait s")
+	for i, v := range variants {
+		out := outs[i]
+		var meanWait, maxWait float64
+		for _, j := range out.Jobs {
+			meanWait += j.WaitedS
+			if j.WaitedS > maxWait {
+				maxWait = j.WaitedS
+			}
+		}
+		if len(out.Jobs) > 0 {
+			meanWait /= float64(len(out.Jobs))
+		}
+		t.AddRowf(v.name, len(out.Jobs), len(out.Failed), out.Stats.GangsPreempted,
+			out.MakespanS, meanWait, maxWait)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	// Per-tenant accounting under the full discipline: weighted deficit
+	// order plus preemption.
+	full := outs[2]
+	tt := report.NewTable(
+		"Per-tenant outcome under fair-share + preemption",
+		"Tenant", "Weight", "Jobs", "Mean wait s", "Mean makespan s", "Preempted", "Service s")
+	for _, ts := range full.Tenants {
+		tt.AddRowf(ts.Tenant, ts.Weight, ts.Jobs, ts.MeanWaitS, ts.MeanMakespanS,
+			ts.Preemptions, ts.ServiceS)
+	}
+	if err := tt.Render(w); err != nil {
+		return err
+	}
+
+	// Preemption's cost lands in the victims' makespans: lost partial
+	// runs plus the restart overhead charged on re-dispatch.
+	var victims, untouched int
+	var victimMakespan, untouchedMakespan, chargedOverheadS float64
+	for _, j := range full.Jobs {
+		if j.Preemptions > 0 {
+			victims++
+			victimMakespan += j.MakespanS
+			chargedOverheadS += float64(j.Preemptions) * 10 // spec default overhead
+		} else {
+			untouched++
+			untouchedMakespan += j.MakespanS
+		}
+	}
+	if victims > 0 {
+		victimMakespan /= float64(victims)
+	}
+	if untouched > 0 {
+		untouchedMakespan /= float64(untouched)
+	}
+	_, err = fmt.Fprintf(w,
+		"\npreemption cost: %d victim gangs, mean makespan %.1fs vs %.1fs untouched (%.0fs restart overhead charged, %d evictions)\n",
+		victims, victimMakespan, untouchedMakespan, chargedOverheadS, full.Stats.Preemptions)
+	return err
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-cluster",
+		Title: "Extension — multi-node fleet: tenant queues, gangs, preemption",
+		Run:   ExtCluster,
+	})
+}

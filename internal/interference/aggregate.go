@@ -149,6 +149,41 @@ func (a *Aggregate) RemoveAt(i int) {
 	}
 }
 
+// Snapshot is a saved Aggregate state for what-if exploration: the
+// member sequence and its running sums, captured bit for bit. The
+// cluster dispatcher snapshots a GPU's aggregate before tentatively
+// evicting residents or placing gang members, probes the mutated state,
+// and restores on rollback. The zero value is ready; Save reuses the
+// snapshot's member capacity, so a snapshot buffer retained across
+// attempts costs no steady-state allocations.
+type Snapshot struct {
+	loads  []Load
+	smSum  float64
+	bwSum  float64
+	memSum int64
+}
+
+// Save copies the aggregate's state into s, reusing s's capacity.
+//
+//repro:hotpath pinned by TestAggregateMutateAllocs
+func (a *Aggregate) Save(s *Snapshot) {
+	//repro:allow:hotpathalloc snapshot-buffer growth is amortized; retained buffers make repeat saves allocation-free
+	s.loads = append(s.loads[:0], a.loads...)
+	s.smSum, s.bwSum, s.memSum = a.smSum, a.bwSum, a.memSum
+}
+
+// Restore copies s back into the aggregate, reusing the aggregate's
+// capacity. The restored state is bit-identical to the one Save saw:
+// sums are copied, not recomputed, so a save/restore round trip can
+// never drift from the fold contract.
+//
+//repro:hotpath pinned by TestAggregateMutateAllocs
+func (a *Aggregate) Restore(s *Snapshot) {
+	//repro:allow:hotpathalloc member-list growth is amortized; restore into a previously sized aggregate is allocation-free
+	a.loads = append(a.loads[:0], s.loads...)
+	a.smSum, a.bwSum, a.memSum = s.smSum, s.bwSum, s.memSum
+}
+
 // Estimate renders the group as a full Estimate, identical to
 // Predict(device, members) over the same sequence.
 func (a *Aggregate) Estimate() Estimate {

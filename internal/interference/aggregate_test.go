@@ -166,6 +166,57 @@ func TestAggregateMutateAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("Add+RemoveAt allocated %.1f objects per cycle, want 0", allocs)
 	}
+
+	// Save/Restore with a warmed snapshot buffer is also allocation-free:
+	// the cluster dispatcher runs one what-if per admission attempt.
+	var snap Snapshot
+	agg.Save(&snap)
+	allocs = testing.AllocsPerRun(200, func() {
+		agg.Save(&snap)
+		agg.RemoveAt(3)
+		agg.RemoveAt(0)
+		agg.Restore(&snap)
+	})
+	if allocs != 0 {
+		t.Fatalf("Save+Restore what-if allocated %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestAggregateSnapshotRoundTrip pins the what-if contract: mutate after
+// Save, Restore, and every sum and member must be bit-identical to the
+// saved state — including the admission decision that follows.
+func TestAggregateSnapshotRoundTrip(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	members := []Load{
+		{SMPct: 33.3, BWPct: 11.1, MemMiB: 20480},
+		{SMPct: 0.1, BWPct: 66.6, MemMiB: 4096},
+		{SMPct: 28.7, BWPct: 9.9, MemMiB: 30000},
+	}
+	for _, l := range members {
+		agg.Add(l)
+	}
+	probe := Load{SMPct: 30.0, BWPct: 10.0, MemMiB: 1024}
+	before := agg.Admit(probe)
+
+	var snap Snapshot
+	agg.Save(&snap)
+	agg.RemoveAt(1)
+	agg.Add(Load{SMPct: 99, BWPct: 99, MemMiB: 1 << 40})
+	agg.Restore(&snap)
+
+	if agg.Len() != len(members) {
+		t.Fatalf("restored member count = %d, want %d", agg.Len(), len(members))
+	}
+	for i, want := range members {
+		if agg.At(i) != want {
+			t.Fatalf("restored member %d = %+v, want %+v", i, agg.At(i), want)
+		}
+	}
+	after := agg.Admit(probe)
+	if before != after {
+		t.Fatalf("admission outcome drifted across save/restore:\nbefore %+v\nafter  %+v", before, after)
+	}
 }
 
 // FuzzAggregateMatchesPredict drives random member sequences (with a

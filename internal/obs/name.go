@@ -1,0 +1,25 @@
+package obs
+
+// MetricName joins a metric base name with a free-form label (tenant,
+// node, experiment id) into one registry key: base + "_" + label with
+// every character outside [a-z0-9_] lowered or replaced by '_'. Labels
+// come from user-supplied specs, so the mapping must be total and
+// deterministic — two labels may collide after sanitization, which is
+// acceptable for telemetry and keeps names shell- and Prometheus-safe.
+func MetricName(base, label string) string {
+	b := make([]byte, 0, len(base)+1+len(label))
+	b = append(b, base...)
+	b = append(b, '_')
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
