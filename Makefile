@@ -7,7 +7,7 @@ FUZZTIME ?= 15s
 # Experiment driven by `make profile`; override e.g. PROFILE_RUN=fig1,fig5.
 PROFILE_RUN ?= fig4
 
-.PHONY: all build test test-race race vet lint-baseline fmt fuzz check clean profile bench-smoke obs-smoke
+.PHONY: all build test test-race race vet lint-baseline fmt fuzz check clean profile bench-smoke bench-dispatcher obs-smoke
 
 all: build
 
@@ -49,14 +49,17 @@ fmt:
 
 # Short fuzzing sessions over the properties the simulator depends on:
 # predictor symmetry/no-panic, aggregate/Predict bit-identity (the
-# dispatcher's O(1) admission probes), event-queue pop ordering, and the
-# cluster planner's all-or-nothing gang accounting.
+# dispatcher's O(1) admission probes), event-queue pop ordering, the
+# cluster planner's all-or-nothing gang accounting, and the arena
+# ring/slab invariants the streaming dispatcher's memory bounds rest on.
 # Native Go fuzzing takes one target per invocation.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPredictInterference -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzAggregateMatchesPredict -fuzztime=$(FUZZTIME) ./internal/interference
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueue -fuzztime=$(FUZZTIME) ./internal/eventq
 	$(GO) test -run='^$$' -fuzz=FuzzGangAdmission -fuzztime=$(FUZZTIME) ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzRing -fuzztime=$(FUZZTIME) ./internal/arena
+	$(GO) test -run='^$$' -fuzz=FuzzArena -fuzztime=$(FUZZTIME) ./internal/arena
 
 # One-command pprof workflow for perf PRs: profile a real experiment run
 # end to end, then inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
@@ -67,10 +70,24 @@ profile:
 # Compile-and-run smoke over the hot-path benchmarks so they cannot
 # silently rot (CI runs this; -benchtime=1x and the small fleet size
 # keep it fast). Full fleet numbers live in BENCH_dispatcher.json.
+# The final step cross-checks the sharded dispatcher end to end: the
+# batch plan at one shard and the streamed path at eight must print the
+# same dispatch-log digest (DESIGN.md §14).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=EngineSteadyState -benchtime=1x ./internal/gpusim
 	$(GO) test -run='^$$' -bench='BenchmarkScheduleOnline/2k-16gpu|BenchmarkBuildPlan/2k-16gpu' -benchtime=1x ./internal/core
 	$(GO) run ./cmd/gpusched bench-cluster -cluster 4x2 -workflows 2000 > /dev/null
+	@d1=$$($(GO) run ./cmd/gpusched bench-online -fleet 2000x16 -shards 1 | sed -n 's/.*dispatch digest //p'); \
+	d2=$$($(GO) run ./cmd/gpusched bench-online -fleet 2000x16 -shards 8 -stream | sed -n 's/.*dispatch digest //p'); \
+	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+		echo "sharded/streamed dispatch digest mismatch: '$$d1' vs '$$d2'"; exit 1; \
+	fi; \
+	echo "sharded+streamed dispatch identity OK ($$d1)"
+
+# Regenerate BENCH_dispatcher.json from the live tree (the historical
+# "before" columns stay pinned in the script; see its header).
+bench-dispatcher:
+	bash scripts/bench_dispatcher.sh
 
 # Live-endpoint smoke: benchrepro with telemetry serving, /healthz and
 # /debug/pprof probed, /metrics diffed against the committed golden

@@ -29,6 +29,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -91,6 +94,9 @@ func main() {
 		jobs      = flag.Int("j", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 		htaddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (serve mode defaults to 127.0.0.1:8378)")
 		fleet     = flag.String("fleet", "10000x64", "bench-online fleet shape WORKFLOWSxGPUS")
+		shards    = flag.Int("shards", 0, "online dispatcher shard count (0 selects 1; clamped to the GPU count); dispatch decisions are byte-identical at any value")
+		arrivals  = flag.Int("arrivals", 0, "bench-online: override the workflow count from -fleet")
+		stream    = flag.Bool("stream", false, "bench-online: run the bounded-memory streaming ingest path; serve: expose POST /ingest and GET /stream/state")
 
 		// bench-cluster flags.
 		clusterShape = flag.String("cluster", "4x2", "bench-cluster shape NODESxGPUS")
@@ -119,6 +125,15 @@ func main() {
 		*htaddr = "127.0.0.1:8378"
 	}
 
+	if *schema {
+		fmt.Println(queueSchema)
+		return
+	}
+	spec, err := gpu.Lookup(*device)
+	if err != nil {
+		fatal(err)
+	}
+
 	// Telemetry: on for serve mode, an HTTP endpoint, or trace export
 	// (the combined timeline wants the recorded spans); otherwise the
 	// instrumentation stays on its no-op path. The wall clock is injected
@@ -127,6 +142,21 @@ func main() {
 	if serveMode || *htaddr != "" || *traceDir != "" {
 		hub = obs.NewHub(func() int64 { return time.Now().UnixNano() })
 		obs.SetActive(hub)
+	}
+	// serve -stream exposes a live dispatcher over HTTP: the endpoint is
+	// built before the listener so the mux can route to it from the
+	// first request. It shares the fleet archetype profile store, so
+	// ingested workflows must use those benchmarks.
+	var streamSrv *streamServer
+	if serveMode && *stream {
+		policy, err := parsePolicy(*policyStr)
+		if err != nil {
+			fatal(err)
+		}
+		streamSrv, err = newStreamServer(spec, policy, *fleet, *shards, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	var srv *http.Server
 	serveErr := make(chan error, 1)
@@ -139,7 +169,11 @@ func main() {
 			fatal(fmt.Errorf("cannot listen on %s: %w", *htaddr, err))
 		}
 		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
-		srv = &http.Server{Handler: obs.Handler(hub)}
+		handler := http.Handler(obs.Handler(hub))
+		if streamSrv != nil {
+			handler = streamSrv.wrap(handler)
+		}
+		srv = &http.Server{Handler: handler}
 		go func() {
 			// ErrServerClosed is the orderly-shutdown sentinel, not a
 			// failure; anything else is surfaced on exit or, mid-run,
@@ -152,22 +186,31 @@ func main() {
 		}()
 	}
 
-	if *schema {
-		fmt.Println(queueSchema)
-		return
-	}
-	spec, err := gpu.Lookup(*device)
-	if err != nil {
-		fatal(err)
-	}
-
 	if benchMode {
 		policy, err := parsePolicy(*policyStr)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFleetBench(spec, policy, *fleet, *seed); err != nil {
+		if err := runFleetBench(spec, policy, *fleet, *seed, *shards, *arrivals, *stream); err != nil {
 			fatal(err)
+		}
+		shutdownServer(srv, serveErr)
+		return
+	}
+	if streamSrv != nil {
+		// Streaming-ingest serve mode: no batch pipeline to run, just
+		// hold the endpoints open until interrupted.
+		fmt.Println("streaming ingest on POST /ingest; snapshot on GET /stream/state")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				fatal(fmt.Errorf("http server: %w", err))
+			}
+			fatal(fmt.Errorf("http server exited unexpectedly"))
+		case s := <-sig:
+			fmt.Printf("received %v; shutting down\n", s)
 		}
 		shutdownServer(srv, serveErr)
 		return
@@ -291,37 +334,127 @@ func shutdownServer(srv *http.Server, serveErr chan error) {
 	}
 }
 
+// parseFleetShape validates a WORKFLOWSxGPUS shape string. Sscanf-style
+// parsing is too forgiving here (it accepts trailing garbage and
+// negative counts), so the two fields are cut and converted explicitly.
+func parseFleetShape(shape string) (workflows, gpus int, err error) {
+	w, g, ok := strings.Cut(shape, "x")
+	if ok {
+		wv, werr := strconv.Atoi(w)
+		gv, gerr := strconv.Atoi(g)
+		if werr == nil && gerr == nil {
+			if wv < 1 || gv < 1 {
+				return 0, 0, fmt.Errorf("-fleet %q: both counts must be positive", shape)
+			}
+			return wv, gv, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("-fleet wants WORKFLOWSxGPUS (e.g. 50000x256), got %q", shape)
+}
+
 // runFleetBench times the online decision path alone at fleet scale: a
-// deterministic synthetic arrival stream through PlanOnline, no
-// simulated execution. Wall timing lives here because cmd/ sits outside
-// the nodeterminism analyzer scope.
-func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed uint64) error {
-	var workflows, gpus int
-	if _, err := fmt.Sscanf(shape, "%dx%d", &workflows, &gpus); err != nil {
-		return fmt.Errorf("-fleet wants WORKFLOWSxGPUS (e.g. 50000x256), got %q: %w", shape, err)
-	}
-	arrivals, store, err := core.GenerateFleet(spec, core.FleetSpec{
-		Workflows: workflows, TargetGPUs: gpus, Seed: seed,
-	})
+// deterministic synthetic arrival stream through PlanOnline (or the
+// streaming ingest path with -stream), no simulated execution. Wall
+// timing lives here because cmd/ sits outside the nodeterminism
+// analyzer scope. The dispatch-log digest is printed so runs at
+// different -shards values (and plan vs stream) can be diffed.
+func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed uint64, shards, arrivalCount int, stream bool) error {
+	workflows, gpus, err := parseFleetShape(shape)
 	if err != nil {
 		return err
 	}
-	sched, err := core.NewScheduler(spec, gpus, store, policy)
-	if err != nil {
-		return err
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 selects 1 shard), got %d", shards)
 	}
-	start := time.Now()
-	plan, err := sched.PlanOnline(arrivals)
-	if err != nil {
-		return err
+	if arrivalCount < 0 {
+		return fmt.Errorf("-arrivals must be >= 0 (0 keeps the -fleet count), got %d", arrivalCount)
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("fleet %dx%d (%s policy): planned %d dispatches in %v (%.0f ns/arrival)\n",
-		workflows, gpus, policy.Objective, len(plan.Dispatches), elapsed.Round(time.Millisecond),
-		float64(elapsed.Nanoseconds())/float64(len(plan.Dispatches)))
+	if arrivalCount > 0 {
+		workflows = arrivalCount
+	}
+	fleetSpec := core.FleetSpec{Workflows: workflows, TargetGPUs: gpus, Seed: seed}
+
+	var (
+		dispatched int
+		stats      core.DispatchStats
+		digest     string
+		meanWait   float64
+		elapsed    time.Duration
+	)
+	if stream {
+		src, store, err := core.NewFleetSource(spec, fleetSpec)
+		if err != nil {
+			return err
+		}
+		sched, err := core.NewScheduler(spec, gpus, store, policy)
+		if err != nil {
+			return err
+		}
+		sched.Shards = shards
+		st, err := sched.NewStreamer(core.StreamConfig{})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := st.IngestAll(src); err != nil {
+			return err
+		}
+		digest, err = st.Finish()
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+		dispatched = int(st.Events())
+		stats = st.Stats()
+		// The full event log is gone (ring-bounded); the mean wait comes
+		// from the streamer's running total instead.
+		if dispatched > 0 {
+			meanWait = st.WaitedS() / float64(dispatched)
+		}
+	} else {
+		arrivals, store, err := core.GenerateFleet(spec, fleetSpec)
+		if err != nil {
+			return err
+		}
+		sched, err := core.NewScheduler(spec, gpus, store, policy)
+		if err != nil {
+			return err
+		}
+		sched.Shards = shards
+		start := time.Now()
+		plan, err := sched.PlanOnline(arrivals)
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+		dispatched = len(plan.Dispatches)
+		stats = plan.Stats
+		meanWait = meanWaitS(plan.Dispatches)
+		digest, err = dispatchDigest(plan.Dispatches)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet %dx%d (%s policy, %d shard(s)%s): planned %d dispatches in %v (%.0f ns/arrival)\n",
+		workflows, gpus, policy.Objective, max(shards, 1), map[bool]string{true: ", streamed", false: ""}[stream],
+		dispatched, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/float64(dispatched))
 	fmt.Printf("  admission probes %d  wait events %d  retirements %d  mean wait %.1fs\n",
-		plan.Stats.Probes, plan.Stats.Waits, plan.Stats.Completions, meanWaitS(plan.Dispatches))
+		stats.Probes, stats.Waits, stats.Completions, meanWait)
+	fmt.Printf("  dispatch digest sha256:%s\n", digest)
 	return nil
+}
+
+// dispatchDigest hashes the canonical JSON encoding of a dispatch log —
+// the same framing the streaming path folds incrementally, so plan and
+// stream digests of identical decisions are equal.
+func dispatchDigest(events []core.DispatchEvent) (string, error) {
+	data, err := json.Marshal(events)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // runClusterBench times the multi-node tenant-queue planner at fleet

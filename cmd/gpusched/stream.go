@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"gpushare/internal/core"
+	"gpushare/internal/gpu"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workflow"
+)
+
+// streamServer adapts a core.Streamer to HTTP for `gpusched serve
+// -stream`: POST /ingest accepts a JSON array of arrivals and returns
+// their dispatch events; GET /stream/state returns a resumable snapshot
+// (core.StreamState). The streamer is single-owner, so a mutex
+// serializes requests — ingest order is the dispatch order.
+type streamServer struct {
+	mu sync.Mutex
+	st *core.Streamer
+}
+
+// ingestArrival is the wire form of one arrival: a non-decreasing
+// timestamp in seconds plus the workflow to place.
+type ingestArrival struct {
+	AtS   float64 `json:"at_s"`
+	Name  string  `json:"name"`
+	Tasks []struct {
+		Benchmark  string `json:"benchmark"`
+		Size       string `json:"size"`
+		Iterations int    `json:"iterations"`
+	} `json:"tasks"`
+}
+
+// newStreamServer builds the live dispatcher the ingest endpoint feeds:
+// the fleet archetype profile store sized from -fleet's GPU count, the
+// configured policy, and -shards shards. Ingested workflows must name
+// benchmarks that store covers.
+func newStreamServer(device gpu.DeviceSpec, policy core.Policy, shape string, shards int, seed uint64) (*streamServer, error) {
+	_, gpus, err := parseFleetShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("-shards must be >= 0 (0 selects 1 shard), got %d", shards)
+	}
+	// One-workflow fleet: the arrivals are discarded, only the archetype
+	// profile store matters here.
+	_, store, err := core.NewFleetSource(device, core.FleetSpec{Workflows: 1, TargetGPUs: gpus, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.NewScheduler(device, gpus, store, policy)
+	if err != nil {
+		return nil, err
+	}
+	sched.Shards = shards
+	st, err := sched.NewStreamer(core.StreamConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &streamServer{st: st}, nil
+}
+
+// wrap routes the streaming endpoints and delegates everything else
+// (metrics, healthz, pprof) to the telemetry handler.
+func (ss *streamServer) wrap(fallback http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", ss.handleIngest)
+	mux.HandleFunc("/stream/state", ss.handleState)
+	mux.Handle("/", fallback)
+	return mux
+}
+
+// handleIngest dispatches a JSON array of arrivals in order and returns
+// the resulting dispatch events. On a mid-batch failure the earlier
+// arrivals stay dispatched (the stream has no rollback); the error
+// reports how far the batch got.
+func (ss *streamServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON array of arrivals", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []ingestArrival
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		http.Error(w, fmt.Sprintf("bad arrival batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	events := make([]core.DispatchEvent, 0, len(batch))
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for i, wa := range batch {
+		a := core.Arrival{
+			At:       simtime.Zero.Add(simtime.FromSeconds(wa.AtS)),
+			Workflow: workflow.Workflow{Name: wa.Name},
+		}
+		for _, t := range wa.Tasks {
+			a.Workflow.Tasks = append(a.Workflow.Tasks, workflow.Task{
+				Benchmark: t.Benchmark, Size: t.Size, Iterations: t.Iterations,
+			})
+		}
+		ev, err := ss.st.Ingest(a)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("arrival %d (%d dispatched): %v", i, i, err),
+				http.StatusUnprocessableEntity)
+			return
+		}
+		events = append(events, ev)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(events); err != nil {
+		// The response is already partially written; nothing left to do
+		// but note it for the operator.
+		fmt.Fprintf(os.Stderr, "gpusched: /ingest response: %v\n", err)
+	}
+}
+
+// handleState snapshots the stream for deterministic resume elsewhere.
+func (ss *streamServer) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET returns the stream snapshot", http.StatusMethodNotAllowed)
+		return
+	}
+	ss.mu.Lock()
+	state, err := ss.st.SaveState()
+	ss.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(state); err != nil {
+		fmt.Fprintf(os.Stderr, "gpusched: /stream/state response: %v\n", err)
+	}
+}

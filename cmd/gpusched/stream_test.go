@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpushare/internal/core"
+	"gpushare/internal/gpu"
+)
+
+func TestParseFleetShape(t *testing.T) {
+	w, g, err := parseFleetShape("50000x256")
+	if err != nil || w != 50000 || g != 256 {
+		t.Fatalf("parseFleetShape = %d, %d, %v", w, g, err)
+	}
+	for _, bad := range []string{
+		"", "x", "10x", "x10", "10x8junk", "junk10x8", "10", "10x8x2",
+		"0x8", "10x0", "-1x8", "10x-8", "1.5x8",
+	} {
+		if _, _, err := parseFleetShape(bad); err == nil {
+			t.Errorf("parseFleetShape(%q) accepted", bad)
+		}
+	}
+	// The errors should name the flag and the offending value.
+	_, _, err = parseFleetShape("0x8")
+	if err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("zero-count error = %v", err)
+	}
+	_, _, err = parseFleetShape("banana")
+	if err == nil || !strings.Contains(err.Error(), "WORKFLOWSxGPUS") {
+		t.Fatalf("garbage error = %v", err)
+	}
+}
+
+func TestRunFleetBenchValidation(t *testing.T) {
+	spec := gpu.MustLookup("A100X")
+	policy := core.ThroughputPolicy()
+	if err := runFleetBench(spec, policy, "10x8junk", 1, 0, 0, false); err == nil {
+		t.Fatal("malformed -fleet accepted")
+	}
+	if err := runFleetBench(spec, policy, "10x8", 1, -1, 0, false); err == nil {
+		t.Fatal("negative -shards accepted")
+	}
+	if err := runFleetBench(spec, policy, "10x8", 1, 0, -5, false); err == nil {
+		t.Fatal("negative -arrivals accepted")
+	}
+	if err := runFleetBench(spec, policy, "200x8", 1, 4, 50, true); err != nil {
+		t.Fatalf("streamed bench: %v", err)
+	}
+}
+
+// TestStreamServerRoundTrip drives the serve -stream endpoints the way
+// a client would: ingest a batch, snapshot the state, and check the
+// snapshot resumes to the same dispatcher elsewhere.
+func TestStreamServerRoundTrip(t *testing.T) {
+	spec := gpu.MustLookup("A100X")
+	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ss.wrap(http.NotFoundHandler()))
+	defer srv.Close()
+
+	batch := `[
+	  {"at_s": 0, "name": "wf-a", "tasks": [{"benchmark": "fleet-a000", "size": "1x", "iterations": 1}]},
+	  {"at_s": 2, "name": "wf-b", "tasks": [{"benchmark": "fleet-a003", "size": "1x", "iterations": 1}]}
+	]`
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ingest status = %d", resp.StatusCode)
+	}
+	var events []core.DispatchEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Workflow != "wf-a" || events[1].Workflow != "wf-b" {
+		t.Fatalf("ingest events = %+v", events)
+	}
+
+	resp, err = http.Get(srv.URL + "/stream/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stream/state status = %d", resp.StatusCode)
+	}
+	var state core.StreamState
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Events != 2 || state.GPUs != 8 || state.Shards != 2 {
+		t.Fatalf("snapshot = events %d gpus %d shards %d", state.Events, state.GPUs, state.Shards)
+	}
+	// The snapshot must restore onto an equivalent scheduler.
+	_, store, err := core.NewFleetSource(spec, core.FleetSpec{Workflows: 1, TargetGPUs: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewScheduler(spec, 8, store, core.ThroughputPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Shards = 2
+	if _, err := sched.RestoreStreamer(core.StreamConfig{}, &state); err != nil {
+		t.Fatalf("restore from HTTP snapshot: %v", err)
+	}
+}
+
+func TestStreamServerRejections(t *testing.T) {
+	spec := gpu.MustLookup("A100X")
+	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ss.wrap(http.NotFoundHandler()))
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body status = %d", resp.StatusCode)
+	}
+	// Unknown benchmark: no profile in the archetype store.
+	if resp := post(`[{"at_s":0,"name":"x","tasks":[{"benchmark":"nope","size":"1x","iterations":1}]}]`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown benchmark status = %d", resp.StatusCode)
+	}
+	// Out-of-order arrival after a successful one.
+	if resp := post(`[{"at_s":5,"name":"a","tasks":[{"benchmark":"fleet-a000","size":"1x","iterations":1}]}]`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first arrival status = %d", resp.StatusCode)
+	}
+	if resp := post(`[{"at_s":1,"name":"b","tasks":[{"benchmark":"fleet-a000","size":"1x","iterations":1}]}]`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-order status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest status = %d", resp.StatusCode)
+	}
+
+	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "bad-shape", 1, 7); err == nil {
+		t.Fatal("malformed shape accepted")
+	}
+	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", -1, 7); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+}

@@ -6,6 +6,7 @@ import "strings"
 // results: any wall-clock or math/rand use here breaks run-to-run
 // reproducibility.
 var simulatorPackages = []string{
+	"internal/arena",
 	"internal/cluster",
 	"internal/core",
 	"internal/gpusim",

@@ -1,0 +1,228 @@
+package arena
+
+import (
+	"testing"
+)
+
+func TestSlabGetResetReuse(t *testing.T) {
+	var s Slab[int]
+	seen := map[*int]bool{}
+	const n = slabChunk*2 + 17
+	for i := 0; i < n; i++ {
+		p := s.Get()
+		if *p != 0 {
+			t.Fatalf("Get returned non-zeroed object: %d", *p)
+		}
+		*p = i + 1
+		if seen[p] {
+			t.Fatalf("Get returned the same pointer twice before Reset")
+		}
+		seen[p] = true
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	// The second cycle must reuse the retained blocks and hand out
+	// zeroed objects despite the stale values written above.
+	for i := 0; i < n; i++ {
+		p := s.Get()
+		if *p != 0 {
+			t.Fatalf("object %d not re-zeroed after Reset: %d", i, *p)
+		}
+		if !seen[p] {
+			t.Fatalf("object %d not served from a retained block", i)
+		}
+	}
+}
+
+// TestSlabSteadyStateAllocs is the runtime half of Slab.Get's
+// //repro:hotpath annotation: once the blocks exist, a full
+// Reset+refill cycle allocates nothing.
+func TestSlabSteadyStateAllocs(t *testing.T) {
+	var s Slab[[4]int64]
+	for i := 0; i < slabChunk*3; i++ {
+		s.Get()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for i := 0; i < slabChunk*3; i++ {
+			s.Get()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state slab cycle allocated %.1f objects, want 0", allocs)
+	}
+}
+
+func TestSliceMakeAndAppend(t *testing.T) {
+	var s Slice[string]
+	a := s.Make(3)
+	if len(a) != 3 || cap(a) != 3 {
+		t.Fatalf("Make(3): len %d cap %d", len(a), cap(a))
+	}
+	a[0], a[1], a[2] = "x", "y", "z"
+	b := s.Make(2)
+	b[0], b[1] = "p", "q"
+	// Full slice expressions pin capacity, so appending to a cannot
+	// clobber b's backing space through the shared chunk.
+	if a[0] != "x" || b[0] != "p" {
+		t.Fatal("arena slices alias each other")
+	}
+	if s.Make(0) != nil || s.Make(-1) != nil {
+		t.Fatal("Make(<=0) must return nil")
+	}
+
+	var grown []string
+	for i := 0; i < 10; i++ {
+		grown = s.Append(grown, "v")
+	}
+	if len(grown) != 10 {
+		t.Fatalf("Append chain length = %d", len(grown))
+	}
+	if a[0] != "x" || a[1] != "y" || a[2] != "z" {
+		t.Fatal("Append corrupted an earlier arena slice")
+	}
+}
+
+func TestSliceOversizeAndReset(t *testing.T) {
+	var s Slice[byte]
+	small := s.Make(8)
+	big := s.Make(sliceChunk + 100)
+	if len(big) != sliceChunk+100 {
+		t.Fatalf("oversize Make length = %d", len(big))
+	}
+	small[0] = 1
+	big[0] = 2
+	// Carving must continue without ever overlapping the oversize
+	// array.
+	for i := 0; i < 3*sliceChunk/8; i++ {
+		c := s.Make(8)
+		c[0] = 3
+	}
+	if big[0] != 2 || small[0] != 1 {
+		t.Fatal("oversize array was carved into")
+	}
+	s.Reset()
+	// After Reset the full-size chunks are retained; a second cycle of
+	// normal-size requests must not allocate.
+	for i := 0; i < 3*sliceChunk/8; i++ {
+		s.Make(8)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Reset()
+		for i := 0; i < 3*sliceChunk/8; i++ {
+			s.Make(8)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state slice cycle allocated %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSliceSteadyStateAllocs is the runtime half of Make/Append's
+// //repro:hotpath annotations.
+func TestSliceSteadyStateAllocs(t *testing.T) {
+	var s Slice[int]
+	warm := func() {
+		s.Reset()
+		for i := 0; i < 200; i++ {
+			v := s.Make(4)
+			v[0] = i
+			var l []int
+			for j := 0; j < 3; j++ {
+				l = s.Append(l, j)
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(50, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state Make/Append cycle allocated %.1f objects, want 0", allocs)
+	}
+}
+
+func TestSliceZeroesReusedSpace(t *testing.T) {
+	var s Slice[int]
+	a := s.Make(4)
+	a[0], a[1], a[2], a[3] = 1, 2, 3, 4
+	s.Reset()
+	b := s.Make(4)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("reused element %d not zeroed: %d", i, v)
+		}
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("fresh ring cap %d len %d", r.Cap(), r.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ev := r.Push(i); ev {
+			t.Fatalf("push %d evicted before full", i)
+		}
+	}
+	old, ev := r.Push(4)
+	if !ev || old != 1 {
+		t.Fatalf("push 4: evicted=%v old=%d, want true 1", ev, old)
+	}
+	old, ev = r.Push(5)
+	if !ev || old != 2 {
+		t.Fatalf("push 5: evicted=%v old=%d, want true 2", ev, old)
+	}
+	want := []int{3, 4, 5}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	snap := r.Snapshot(nil)
+	if len(snap) != 3 || snap[0] != 3 || snap[2] != 5 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewRing(0)", func() { NewRing[int](0) })
+	r := NewRing[int](2)
+	r.Push(1)
+	mustPanic("At(1) past Len", func() { r.At(1) })
+	mustPanic("At(-1)", func() { r.At(-1) })
+}
+
+// TestRingPushAllocs is the runtime half of Push's //repro:hotpath
+// annotation.
+func TestRingPushAllocs(t *testing.T) {
+	r := NewRing[[2]int64](64)
+	var sink [2]int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 200; i++ {
+			if old, ev := r.Push([2]int64{int64(i), 0}); ev {
+				sink = old
+			}
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Push allocated %.1f objects per cycle, want 0", allocs)
+	}
+}

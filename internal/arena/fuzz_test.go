@@ -1,0 +1,113 @@
+package arena
+
+import (
+	"testing"
+)
+
+// FuzzRing drives a Ring against a plain-slice reference model: any
+// push sequence must evict exactly the elements a bounded FIFO would,
+// in the same order, and the retained window must always equal the
+// reference tail.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint8(1), []byte{9, 9, 9})
+	f.Add(uint8(7), []byte{})
+	f.Fuzz(func(t *testing.T, capacity uint8, data []byte) {
+		capN := int(capacity%16) + 1
+		r := NewRing[byte](capN)
+		var model []byte
+		var spilled, modelSpilled []byte
+		for _, b := range data {
+			if old, ev := r.Push(b); ev {
+				spilled = append(spilled, old)
+			}
+			model = append(model, b)
+			if len(model) > capN {
+				modelSpilled = append(modelSpilled, model[0])
+				model = model[1:]
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", r.Len(), len(model))
+			}
+		}
+		if string(spilled) != string(modelSpilled) {
+			t.Fatalf("spill order diverged: ring %v model %v", spilled, modelSpilled)
+		}
+		for i := range model {
+			if r.At(i) != model[i] {
+				t.Fatalf("At(%d) = %d, model %d", i, r.At(i), model[i])
+			}
+		}
+	})
+}
+
+// FuzzArena exercises Slab and Slice through arbitrary Get/Make/Append/
+// Reset interleavings: every handed-out object must arrive zeroed, and
+// objects live since the last Reset must never alias — each must still
+// hold the unique stamp written at its creation when the run ends.
+func FuzzArena(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255, 3, 0, 9})
+	f.Add([]byte{255, 255})
+	f.Add([]byte{2, 4, 6, 8, 10, 12, 14, 16, 255, 2, 4, 6})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var slab Slab[uint32]
+		var sl Slice[uint32]
+		type objRef struct {
+			p     *uint32
+			stamp uint32
+		}
+		type sliceRef struct {
+			v     []uint32
+			stamp uint32
+		}
+		var objs []objRef
+		var slices []sliceRef
+		stamp := uint32(0)
+		for _, op := range ops {
+			stamp++
+			switch {
+			case op == 255: // Reset invalidates every live handle
+				slab.Reset()
+				sl.Reset()
+				objs = objs[:0]
+				slices = slices[:0]
+			case op%2 == 0: // Slab.Get
+				p := slab.Get()
+				if *p != 0 {
+					t.Fatalf("slab object not zeroed: %d", *p)
+				}
+				*p = stamp
+				objs = append(objs, objRef{p, stamp})
+			default: // Slice.Make + Append
+				n := int(op % 9)
+				v := sl.Make(n)
+				if n == 0 {
+					if v != nil {
+						t.Fatal("Make(0) != nil")
+					}
+					continue
+				}
+				for i := range v {
+					if v[i] != 0 {
+						t.Fatalf("slice element not zeroed: %d", v[i])
+					}
+					v[i] = stamp
+				}
+				v = sl.Append(v, stamp)
+				slices = append(slices, sliceRef{v, stamp})
+			}
+		}
+		for _, o := range objs {
+			if *o.p != o.stamp {
+				t.Fatalf("slab object aliased: holds %d, stamped %d", *o.p, o.stamp)
+			}
+		}
+		for _, s := range slices {
+			for i, e := range s.v {
+				if e != s.stamp {
+					t.Fatalf("arena slice aliased at %d: holds %d, stamped %d", i, e, s.stamp)
+				}
+			}
+		}
+	})
+}

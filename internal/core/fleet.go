@@ -58,8 +58,44 @@ type FleetSpec struct {
 // GenerateFleet fabricates a deterministic arrival stream plus the profile
 // store the scheduler plans it from. The returned arrivals are sorted by
 // arrival time (gaps are non-negative) and reference only profiles present
-// in the store, so they feed PlanOnline directly.
+// in the store, so they feed PlanOnline directly. It is NewFleetSource
+// drained into a slice; streaming callers that must not hold the whole
+// fleet use the source directly (the two are byte-identical draw for
+// draw, pinned by TestFleetSourceMatchesGenerateFleet).
 func GenerateFleet(device gpu.DeviceSpec, spec FleetSpec) ([]Arrival, *profile.Store, error) {
+	src, store, err := NewFleetSource(device, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	arrivals := make([]Arrival, 0, spec.Workflows)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		arrivals = append(arrivals, a)
+	}
+	return arrivals, store, nil
+}
+
+// FleetSource lazily yields the arrival stream GenerateFleet would
+// build, one arrival at a time, so a million-arrival ingest never holds
+// more than the arrival in flight. The RNG draw order is exactly
+// GenerateFleet's (archetype fabrication up front, then per arrival one
+// Intn and one Float64), so equal specs yield byte-identical streams
+// through either path.
+type FleetSource struct {
+	rng   *xrand.Source
+	names []string
+	gap   float64
+	total int
+	i     int
+	now   simtime.Time
+}
+
+// NewFleetSource validates the spec, fabricates the archetype profile
+// store, and returns the lazy arrival source.
+func NewFleetSource(device gpu.DeviceSpec, spec FleetSpec) (*FleetSource, *profile.Store, error) {
 	if spec.Workflows < 1 {
 		return nil, nil, fmt.Errorf("%w, got %d", ErrFleetNoWorkflows, spec.Workflows)
 	}
@@ -119,22 +155,37 @@ func GenerateFleet(device gpu.DeviceSpec, spec FleetSpec) ([]Arrival, *profile.S
 		}
 	}
 
-	arrivals := make([]Arrival, spec.Workflows)
-	now := simtime.Zero
-	for i := range arrivals {
-		k := rng.Intn(archetypes)
-		arrivals[i] = Arrival{
-			At: now,
-			Workflow: workflow.Workflow{
-				Name: fmt.Sprintf("fleet-%06d-a%03d", i, k),
-				Tasks: []workflow.Task{
-					{Benchmark: names[k], Size: "1x", Iterations: 1},
-				},
-			},
-		}
-		// Exponential inter-arrival gap with mean gap seconds.
-		u := rng.Float64()
-		now = now.Add(simtime.FromSeconds(-gap * math.Log(1-u)))
-	}
-	return arrivals, store, nil
+	return &FleetSource{
+		rng:   rng,
+		names: names,
+		gap:   gap,
+		total: spec.Workflows,
+		now:   simtime.Zero,
+	}, store, nil
 }
+
+// Next yields the next arrival; ok is false once the stream is
+// exhausted.
+func (f *FleetSource) Next() (a Arrival, ok bool) {
+	if f.i >= f.total {
+		return Arrival{}, false
+	}
+	k := f.rng.Intn(len(f.names))
+	a = Arrival{
+		At: f.now,
+		Workflow: workflow.Workflow{
+			Name: fmt.Sprintf("fleet-%06d-a%03d", f.i, k),
+			Tasks: []workflow.Task{
+				{Benchmark: f.names[k], Size: "1x", Iterations: 1},
+			},
+		},
+	}
+	// Exponential inter-arrival gap with mean gap seconds.
+	u := f.rng.Float64()
+	f.now = f.now.Add(simtime.FromSeconds(-f.gap * math.Log(1-u)))
+	f.i++
+	return a, true
+}
+
+// Remaining reports how many arrivals the source has yet to yield.
+func (f *FleetSource) Remaining() int { return f.total - f.i }

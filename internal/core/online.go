@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 
+	"gpushare/internal/arena"
 	"gpushare/internal/eventq"
 	"gpushare/internal/gpu"
 	"gpushare/internal/gpusim"
 	"gpushare/internal/interference"
 	"gpushare/internal/metrics"
 	"gpushare/internal/obs"
+	"gpushare/internal/profile"
 	"gpushare/internal/simtime"
 	"gpushare/internal/workflow"
 )
@@ -87,6 +89,76 @@ type onlineGPU struct {
 	dirty bool
 }
 
+// planArena backs the per-arrival allocations of one plan (or one
+// streaming run): workflow profiles come from a slab, dispatch-event
+// name lists from a slice arena. Everything handed out stays valid
+// until the arena's owner resets it — OnlinePlan never resets (its
+// Dispatches reference the name lists for the plan's lifetime), while
+// the Streamer resets the name scratch after each event is framed
+// (DESIGN.md §14).
+type planArena struct {
+	profiles arena.Slab[WorkflowProfile]
+	names    arena.Slice[string]
+}
+
+// profileBuilder resolves arrivals to workflow profiles with a
+// memoization layer: fleet streams draw millions of arrivals from a
+// handful of archetypes, and a profile is a pure function of the task
+// list and the store, so single-task workflows are cached by their
+// task value (comparable struct key, allocation-free lookup). Cached
+// profiles carry the *first* arrival's workflow name; everything
+// name-dependent on the dispatch path therefore reads the arrival,
+// never the profile.
+type profileBuilder struct {
+	store *profile.Store
+	mem   *planArena
+	cache map[workflow.Task]*WorkflowProfile
+}
+
+// profileCacheCap bounds the memo map so adversarial streams with
+// unbounded distinct tasks cannot grow it without limit (the streaming
+// path promises bounded steady-state memory).
+const profileCacheCap = 4096
+
+func newProfileBuilder(store *profile.Store, mem *planArena) *profileBuilder {
+	return &profileBuilder{store: store, mem: mem, cache: make(map[workflow.Task]*WorkflowProfile)}
+}
+
+// build returns the arrival's profile, from cache when possible. Shape
+// validation always runs against the submitted workflow — a cache hit
+// must not let an ill-formed workflow ride on a well-formed twin's
+// profile.
+func (b *profileBuilder) build(w workflow.Workflow) (*WorkflowProfile, error) {
+	if err := w.ValidateShape(); err != nil {
+		return nil, err
+	}
+	single := len(w.Tasks) == 1
+	if single {
+		if wp, ok := b.cache[w.Tasks[0]]; ok {
+			return wp, nil
+		}
+	}
+	wp := b.mem.profiles.Get()
+	if err := buildWorkflowProfileInto(b.store, w, wp); err != nil {
+		return nil, err
+	}
+	if single && len(b.cache) < profileCacheCap {
+		b.cache[w.Tasks[0]] = wp
+	}
+	return wp, nil
+}
+
+// putUncached recycles a profile the cache did not retain (multi-task
+// workflow, or the cache hit its cap). The streaming path calls it once
+// the arrival's event is framed, so the slab's live set tracks the
+// cache, not the arrival count.
+func (b *profileBuilder) putUncached(w workflow.Workflow, wp *WorkflowProfile) {
+	if len(w.Tasks) == 1 && b.cache[w.Tasks[0]] == wp {
+		return
+	}
+	b.mem.profiles.Put(wp)
+}
+
 // queueWaitBoundsMs bucket online queueing delay in simulated
 // milliseconds (the paper's workflows run seconds to minutes).
 var queueWaitBoundsMs = []int64{0, 10, 100, 1_000, 10_000, 60_000, 600_000}
@@ -101,9 +173,16 @@ type OnlinePlan struct {
 	Stats DispatchStats
 
 	arrivals []Arrival          // sorted by arrival time
-	profiles []*WorkflowProfile // parallel to arrivals
+	profiles []*WorkflowProfile // parallel to arrivals, arena-backed
 	at       []simtime.Time     // dispatch instants, parallel to arrivals
 	gpu      []int              // dispatch targets, parallel to arrivals
+
+	// mem owns every per-arrival allocation the plan references:
+	// profiles and the Dispatches' RunningAlongside name lists point into
+	// it. Tying the arena to the plan (never the scheduler) means the
+	// data lives exactly as long as the plan and later runs cannot
+	// corrupt it.
+	mem *planArena
 }
 
 // DispatchStats counts the admission path's work. Probe counts are an
@@ -140,9 +219,11 @@ func (s *Scheduler) planOnline(arrivals []Arrival) (*OnlinePlan, error) {
 	copy(sorted, arrivals)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 
+	mem := &planArena{}
+	builder := newProfileBuilder(s.Profiles, mem)
 	profiles := make([]*WorkflowProfile, len(sorted))
 	for i, a := range sorted {
-		wp, err := BuildWorkflowProfile(s.Profiles, a.Workflow)
+		wp, err := builder.build(a.Workflow)
 		if err != nil {
 			return nil, err
 		}
@@ -150,89 +231,259 @@ func (s *Scheduler) planOnline(arrivals []Arrival) (*OnlinePlan, error) {
 	}
 
 	plan := &OnlinePlan{
-		arrivals: sorted,
-		profiles: profiles,
-		at:       make([]simtime.Time, len(sorted)),
-		gpu:      make([]int, len(sorted)),
+		Dispatches: make([]DispatchEvent, 0, len(sorted)),
+		arrivals:   sorted,
+		profiles:   profiles,
+		at:         make([]simtime.Time, len(sorted)),
+		gpu:        make([]int, len(sorted)),
+		mem:        mem,
 	}
 	if err := s.dispatchArrivals(plan); err != nil {
 		return nil, err
 	}
-
-	hub := obs.Active()
-	hub.Counter("dispatch_probe_total").Add(plan.Stats.Probes)
-	hub.Counter("dispatch_wait_events_total").Add(plan.Stats.Waits)
-	hub.Counter("dispatch_completions_total").Add(plan.Stats.Completions)
 	return plan, nil
 }
 
-// onlineDispatcher is the admission state dispatchArrivals drives: the
-// per-GPU resident sets with their interference aggregates, the
-// predicted-completion min-heap, and the dirty set for wait-round
-// re-probing. The decision kernel (admit/retire) is the production
-// dispatcher's per-arrival work and is held to the hot-path contract;
-// dispatchArrivals keeps the per-dispatch record building and telemetry
-// outside it.
-type onlineDispatcher struct {
+// onlineShard owns a contiguous range of the fleet's GPUs and every
+// admission structure scoped to them: resident sets with their
+// interference aggregates, the predicted-completion min-heap, the
+// pooled completion payloads, the dirty set for wait-round re-probing,
+// and single-owner telemetry histograms. Sharding splits the
+// dispatcher's state by GPU range so each shard's heap and dirty set
+// stay small at fleet scale; decisions remain byte-identical to the
+// flat dispatcher because shards are probed serially in index order
+// (DESIGN.md §14).
+type onlineShard struct {
+	// lo is the global index of gpus[0]; the shard covers
+	// [lo, lo+len(gpus)).
+	lo   int
 	gpus []onlineGPU
-	// completions orders predicted retirements by (end, schedule seq);
-	// payloads are pooled *completionKey values naming the exact resident
-	// each event was scheduled for, so the steady state allocates nothing
-	// (eventq freelist, pointer-in-interface payload) and retirement is
-	// identity-based even when several residents on a GPU share a
-	// quantized finish instant.
+	// completions orders this shard's predicted retirements by (end,
+	// schedule seq); payloads are pooled *completionKey values naming the
+	// exact resident each event was scheduled for, so the steady state
+	// allocates nothing (eventq freelist, pointer-in-interface payload)
+	// and retirement is identity-based even when several residents on a
+	// GPU share a quantized finish instant.
 	completions eventq.Queue
-	dirtied     []*onlineGPU // GPUs retired into during the current wait round
+	dirtied     []*onlineGPU     // shard GPUs retired into during the current wait round
+	keyFree     []*completionKey // recycled completion payloads
 
-	keyFree []*completionKey // recycled completion payloads
-	nextSeq uint64           // next resident placement serial
-
-	clientCap        int
-	allowInterfering bool
-	stats            *DispatchStats
+	// Single-owner histograms: the decision loop is serial, so each
+	// observation is an unsynchronized int bump; planOnline folds them
+	// into the shared registry after the loop (sums are commutative, so
+	// the merged metrics are byte-identical at any shard count).
+	waitHist  *obs.LocalHistogram // admission latency, sim ms
+	depthHist *obs.LocalHistogram // collocated clients at dispatch
 }
 
 // completionKey is a completion event's payload: the GPU and the
 // placement serial of the resident the event retires. Keys are pooled by
-// the dispatcher (acquireKey/releaseKey) so scheduling stays
+// their shard (acquireKey/releaseKey) so scheduling stays
 // allocation-free in steady state.
 type completionKey struct {
 	gpu *onlineGPU
 	seq uint64
 }
 
-// acquireKey takes a completion payload from the freelist or allocates
-// one.
+// acquireKey takes a completion payload from the shard's freelist or
+// allocates one.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (d *onlineDispatcher) acquireKey() *completionKey {
-	if n := len(d.keyFree); n > 0 {
-		k := d.keyFree[n-1]
-		d.keyFree[n-1] = nil
-		d.keyFree = d.keyFree[:n-1]
+func (sh *onlineShard) acquireKey() *completionKey {
+	if n := len(sh.keyFree); n > 0 {
+		k := sh.keyFree[n-1]
+		sh.keyFree[n-1] = nil
+		sh.keyFree = sh.keyFree[:n-1]
 		return k
 	}
 	//repro:allow:hotpathalloc key-pool refill: cold path, amortized away once the steady state recycles keys
 	return &completionKey{}
 }
 
-// releaseKey returns a retired payload to the freelist.
+// releaseKey returns a retired payload to the shard's freelist.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (d *onlineDispatcher) releaseKey(k *completionKey) {
+func (sh *onlineShard) releaseKey(k *completionKey) {
 	k.gpu = nil
 	//repro:allow:hotpathalloc key-pool growth is amortized; capacity is retained for the run's lifetime
-	d.keyFree = append(d.keyFree, k)
+	sh.keyFree = append(sh.keyFree, k)
+}
+
+// probe scans the shard's GPUs in index order for the first that admits
+// the load, returning its global index or -1. On retry rounds (first
+// false) only dirty GPUs are probed: the rest rejected this same
+// candidate against an unchanged resident set, and an unchanged group
+// and the same candidate yield the same sums, hence the same rejection.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (sh *onlineShard) probe(load interference.Load, first bool, clientCap int, allowInterfering bool, stats *DispatchStats) int {
+	for g := range sh.gpus {
+		gd := &sh.gpus[g]
+		if !first && !gd.dirty {
+			continue
+		}
+		if len(gd.res)+1 > clientCap {
+			continue
+		}
+		stats.Probes++
+		out := gd.agg.Admit(load)
+		admit := !out.Interferes()
+		if allowInterfering && !out.Capacity {
+			admit = true
+		}
+		if admit {
+			return sh.lo + g
+		}
+	}
+	return -1
+}
+
+// retire removes this shard's residents predicted to have finished by
+// now, marking their GPUs dirty for the next probe round. Removal is
+// identity-based: each completion event names the resident it was
+// scheduled for (by placement serial), so colliding finish instants on
+// one GPU can never retire the wrong resident — an index scan for
+// "first end <= now" would pick whichever collided resident sits
+// earliest in the list.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (sh *onlineShard) retire(now simtime.Time, stats *DispatchStats) {
+	for {
+		at, ok := sh.completions.PeekTime()
+		if !ok || at > now {
+			return
+		}
+		ev, _ := sh.completions.Pop()
+		k := ev.Data.(*completionKey)
+		gd := k.gpu
+		sh.completions.Free(ev)
+		for j := range gd.res {
+			if gd.res[j].seq == k.seq {
+				copy(gd.res[j:], gd.res[j+1:])
+				gd.res = gd.res[:len(gd.res)-1]
+				gd.agg.RemoveAt(j)
+				break
+			}
+		}
+		sh.releaseKey(k)
+		stats.Completions++
+		if !gd.dirty {
+			gd.dirty = true
+			//repro:allow:hotpathalloc dirty-set growth is bounded by the shard's GPU count; capacity is retained
+			sh.dirtied = append(sh.dirtied, gd)
+		}
+	}
+}
+
+// onlineDispatcher is the admission state the decision loop drives: the
+// GPU fleet split into contiguous shards, each owning its range's
+// resident sets, completion heap, and telemetry. The decision kernel
+// (admit/retire/probe) is the production dispatcher's per-arrival work
+// and is held to the hot-path contract; dispatchOne keeps the
+// per-dispatch record building outside it.
+type onlineDispatcher struct {
+	shards []onlineShard
+	// base and rem describe the contiguous shard ranges: the first rem
+	// shards own base+1 GPUs, the rest base (shardFor inverts this in
+	// O(1)).
+	base, rem int
+
+	nextSeq uint64 // next resident placement serial, global across shards
+
+	clientCap        int
+	allowInterfering bool
+	stats            *DispatchStats
+	waitedNS         int64 // total queueing delay, sim ns
+}
+
+// newOnlineDispatcher builds the sharded admission state. The shard
+// count is clamped to [1, GPUs]; GPU g lives in the shard whose
+// contiguous range contains it, so probing shards in index order visits
+// GPUs in exactly the flat dispatcher's order.
+func newOnlineDispatcher(s *Scheduler, stats *DispatchStats) *onlineDispatcher {
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > s.GPUs {
+		// Covers the degenerate zero-GPU fleet too: no shards, every
+		// probe round finds nothing, and admit reports the arrival
+		// unadmittable instead of dividing by a zero shard count.
+		shards = s.GPUs
+	}
+	d := &onlineDispatcher{
+		shards:           make([]onlineShard, shards),
+		clientCap:        s.Policy.clientCap(s.Device.MaxMPSClients),
+		allowInterfering: s.Policy.AllowInterferingPairs,
+		stats:            stats,
+	}
+	if shards > 0 {
+		d.base, d.rem = s.GPUs/shards, s.GPUs%shards
+	}
+	lo := 0
+	for si := range d.shards {
+		n := d.base
+		if si < d.rem {
+			n++
+		}
+		sh := &d.shards[si]
+		sh.lo = lo
+		sh.gpus = make([]onlineGPU, n)
+		for g := range sh.gpus {
+			sh.gpus[g].agg = interference.NewAggregate(s.Device)
+		}
+		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
+		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
+		lo += n
+	}
+	return d
+}
+
+// shardFor returns the shard owning global GPU index g.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) shardFor(g int) *onlineShard {
+	wide := d.rem * (d.base + 1)
+	if g < wide {
+		return &d.shards[g/(d.base+1)]
+	}
+	return &d.shards[d.rem+(g-wide)/d.base]
+}
+
+// retire drains every shard's completion heap up to now. Shards retire
+// independently: a completion only touches its own GPU's resident set,
+// so the cross-shard processing order cannot affect any admission sum.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) retire(now simtime.Time) {
+	for si := range d.shards {
+		d.shards[si].retire(now, d.stats)
+	}
+}
+
+// nextCompletion returns the earliest predicted completion across all
+// shards: the minimum of the per-shard heap minima, exactly the global
+// heap minimum of the flat dispatcher.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) nextCompletion() (simtime.Time, bool) {
+	var best simtime.Time
+	found := false
+	for si := range d.shards {
+		if t, ok := d.shards[si].completions.PeekTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
 }
 
 // admit runs the wait loop for one arrival: first-fit over GPUs in
-// index order, waiting on predicted completions when no GPU admits. It
-// returns the dispatch instant and target, or ok=false when no GPU can
-// ever admit the load. Resident sets are only mutated by retirement;
-// the caller commits the chosen placement with place. On retry rounds
-// only dirty GPUs are probed: the rest rejected this same candidate
-// against an unchanged resident set, and an unchanged group and the
-// same candidate yield the same sums, hence the same rejection.
+// global index order (shards probed serially, each scanning its
+// contiguous range, stopping at the first admitting GPU), waiting on
+// predicted completions when no GPU admits. It returns the dispatch
+// instant and target, or ok=false when no GPU can ever admit the load.
+// Resident sets are only mutated by retirement; the caller commits the
+// chosen placement with place.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
 func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (at simtime.Time, gpu int, ok bool) {
@@ -241,35 +492,27 @@ func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (
 	for {
 		d.retire(now)
 		placed := -1
-		for g := range d.gpus {
-			gd := &d.gpus[g]
-			if !first && !gd.dirty {
-				continue
-			}
-			if len(gd.res)+1 > d.clientCap {
-				continue
-			}
-			d.stats.Probes++
-			out := gd.agg.Admit(load)
-			admit := !out.Interferes()
-			if d.allowInterfering && !out.Capacity {
-				admit = true
-			}
-			if admit {
+		for si := range d.shards {
+			if g := d.shards[si].probe(load, first, d.clientCap, d.allowInterfering, d.stats); g >= 0 {
 				placed = g
 				break
 			}
 		}
-		for _, gd := range d.dirtied {
-			gd.dirty = false
+		// Clear every shard's dirty set, including shards after an early
+		// exit: the flat dispatcher cleared all marks after each round.
+		for si := range d.shards {
+			sh := &d.shards[si]
+			for _, gd := range sh.dirtied {
+				gd.dirty = false
+			}
+			sh.dirtied = sh.dirtied[:0]
 		}
-		d.dirtied = d.dirtied[:0]
 		if placed >= 0 {
 			return now, placed, true
 		}
-		// Wait for the next predicted completion: the heap minimum
-		// (every remaining resident ends after now).
-		next, okNext := d.completions.PeekTime()
+		// Wait for the next predicted completion: the cross-shard heap
+		// minimum (every remaining resident ends after now).
+		next, okNext := d.nextCompletion()
 		if !okNext {
 			return 0, -1, false
 		}
@@ -279,113 +522,100 @@ func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (
 	}
 }
 
-// retire removes residents predicted to have finished by now, marking
-// their GPUs dirty for the next probe round. Removal is identity-based:
-// each completion event names the resident it was scheduled for (by
-// placement serial), so colliding finish instants on one GPU can never
-// retire the wrong resident — an index scan for "first end <= now" would
-// pick whichever collided resident sits earliest in the list.
+// place commits an admitted load: the resident joins GPU g's set and
+// fold, and its predicted completion is scheduled on g's shard against
+// the resident's placement serial.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (d *onlineDispatcher) retire(now simtime.Time) {
-	for {
-		at, ok := d.completions.PeekTime()
-		if !ok || at > now {
-			return
-		}
-		ev, _ := d.completions.Pop()
-		k := ev.Data.(*completionKey)
-		gd := k.gpu
-		d.completions.Free(ev)
-		for j := range gd.res {
-			if gd.res[j].seq == k.seq {
-				copy(gd.res[j:], gd.res[j+1:])
-				gd.res = gd.res[:len(gd.res)-1]
-				gd.agg.RemoveAt(j)
-				break
-			}
-		}
-		d.releaseKey(k)
-		d.stats.Completions++
-		if !gd.dirty {
-			gd.dirty = true
-			//repro:allow:hotpathalloc dirty-set growth is bounded by the GPU count; capacity is retained
-			d.dirtied = append(d.dirtied, gd)
-		}
-	}
-}
-
-// place commits an admitted load: the resident joins GPU g's set and
-// fold, and its predicted completion is scheduled against the resident's
-// placement serial.
 func (d *onlineDispatcher) place(g int, load interference.Load, name string, end simtime.Time) {
-	gd := &d.gpus[g]
+	sh := d.shardFor(g)
+	gd := &sh.gpus[g-sh.lo]
 	seq := d.nextSeq
 	d.nextSeq++
+	//repro:allow:hotpathalloc resident-list growth is bounded by the client cap; capacity is retained
 	gd.res = append(gd.res, onlineResident{name: name, end: end, seq: seq})
 	gd.agg.Add(load)
-	k := d.acquireKey()
+	k := sh.acquireKey()
 	k.gpu = gd
 	k.seq = seq
-	d.completions.Schedule(end, 0, k)
+	sh.completions.Schedule(end, 0, k)
+}
+
+// dispatchOne runs one arrival end to end: admit, record, place. The
+// returned event's RunningAlongside is carved from names (nil when the
+// GPU was empty, preserving the log's JSON shape) and stays valid until
+// the arena's owner resets it. Everything name-dependent reads the
+// arrival, not the profile — cached profiles carry another arrival's
+// name.
+func (d *onlineDispatcher) dispatchOne(a *Arrival, wp *WorkflowProfile, names *arena.Slice[string]) (DispatchEvent, error) {
+	load := wp.load()
+	now, placed, ok := d.admit(load, a.At)
+	if !ok {
+		return DispatchEvent{}, fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
+			a.Workflow.Name, wp.MaxMemMiB)
+	}
+	sh := d.shardFor(placed)
+	gd := &sh.gpus[placed-sh.lo]
+	var alongside []string
+	if n := len(gd.res); n > 0 {
+		alongside = names.Make(n)
+		for j := range gd.res {
+			alongside[j] = gd.res[j].name
+		}
+	}
+	end := now.Add(simtime.FromSeconds(wp.TotalDurationS))
+	d.place(placed, load, a.Workflow.Name, end)
+	waited := now.Sub(a.At)
+	d.waitedNS += int64(waited)
+	sh.waitHist.Observe(int64(waited / simtime.Millisecond))
+	sh.depthHist.Observe(int64(len(alongside) + 1))
+	return DispatchEvent{
+		At:               now,
+		Workflow:         a.Workflow.Name,
+		GPU:              placed,
+		WaitedS:          waited.Seconds(),
+		RunningAlongside: alongside,
+	}, nil
+}
+
+// mergeObs folds the dispatcher's single-owner telemetry into the
+// shared registry: per-shard histograms merge bucket-wise (commutative
+// sums, so totals are byte-identical at any shard count) and the
+// accumulated counters land once instead of per arrival.
+func (d *onlineDispatcher) mergeObs(hub *obs.Hub, dispatched int64) {
+	waitHist := hub.Histogram("dispatch_queue_wait_ms", queueWaitBoundsMs)
+	occHist := hub.Histogram("dispatch_collocated_clients", groupOccupancyBounds)
+	for si := range d.shards {
+		d.shards[si].waitHist.MergeInto(waitHist)
+		d.shards[si].depthHist.MergeInto(occHist)
+	}
+	hub.Counter("dispatch_total").Add(dispatched)
+	hub.Counter("dispatch_waited_simns_total").Add(d.waitedNS)
+	hub.Counter("dispatch_probe_total").Add(d.stats.Probes)
+	hub.Counter("dispatch_wait_events_total").Add(d.stats.Waits)
+	hub.Counter("dispatch_completions_total").Add(d.stats.Completions)
 }
 
 // dispatchArrivals is the admission loop over all arrivals. Its
 // decisions are byte-identical to a full per-arrival rescan (pinned by
-// the goldens in testdata/) but each probe is O(1) against the GPU's
-// interference aggregate, retirements come off a completion-time
-// min-heap instead of an every-iteration sweep, and wait-loop retries
-// re-probe only GPUs whose resident set changed.
+// the goldens in testdata/) and to the flat single-shard dispatcher at
+// any shard count (pinned by TestShardCountIdentity), but each probe is
+// O(1) against the GPU's interference aggregate, retirements come off
+// per-shard completion-time min-heaps instead of an every-iteration
+// sweep, and wait-loop retries re-probe only GPUs whose resident set
+// changed.
 func (s *Scheduler) dispatchArrivals(plan *OnlinePlan) error {
-	hub := obs.Active()
-	d := &onlineDispatcher{
-		gpus:             make([]onlineGPU, s.GPUs),
-		clientCap:        s.Policy.clientCap(s.Device.MaxMPSClients),
-		allowInterfering: s.Policy.AllowInterferingPairs,
-		stats:            &plan.Stats,
-	}
-	for g := range d.gpus {
-		d.gpus[g].agg = interference.NewAggregate(s.Device)
-	}
-
-	// Telemetry handles hoisted out of the loop; counters folded at the
-	// end (plain ints in the hot path). The decision loop is serial and
-	// queue waits are sim-time durations, so all of this is deterministic.
-	waitHist := hub.Histogram("dispatch_queue_wait_ms", queueWaitBoundsMs)
-	occHist := hub.Histogram("dispatch_collocated_clients", groupOccupancyBounds)
-	var waitedNS int64
-
+	d := newOnlineDispatcher(s, &plan.Stats)
 	for i := range plan.arrivals {
-		a := &plan.arrivals[i]
-		wp := plan.profiles[i]
-		load := wp.load()
-		now, placed, ok := d.admit(load, a.At)
-		if !ok {
-			return fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
-				wp.Workflow.Name, wp.MaxMemMiB)
+		ev, err := d.dispatchOne(&plan.arrivals[i], plan.profiles[i], &plan.mem.names)
+		if err != nil {
+			return err
 		}
-		gd := &d.gpus[placed]
-		var alongside []string
-		for j := range gd.res {
-			alongside = append(alongside, gd.res[j].name)
-		}
-		end := now.Add(simtime.FromSeconds(wp.TotalDurationS))
-		d.place(placed, load, wp.Workflow.Name, end)
-		plan.at[i] = now
-		plan.gpu[i] = placed
-		plan.Dispatches = append(plan.Dispatches, DispatchEvent{
-			At:               now,
-			Workflow:         wp.Workflow.Name,
-			GPU:              placed,
-			WaitedS:          now.Sub(a.At).Seconds(),
-			RunningAlongside: alongside,
-		})
-		waitedNS += int64(now.Sub(a.At))
-		waitHist.Observe(int64(now.Sub(a.At) / simtime.Millisecond))
-		occHist.Observe(int64(len(alongside) + 1))
+		plan.at[i] = ev.At
+		plan.gpu[i] = ev.GPU
+		plan.Dispatches = append(plan.Dispatches, ev)
 	}
-	hub.Counter("dispatch_total").Add(int64(len(plan.Dispatches)))
-	hub.Counter("dispatch_waited_simns_total").Add(waitedNS)
+	d.mergeObs(obs.Active(), int64(len(plan.Dispatches)))
 	return nil
 }
 

@@ -15,14 +15,7 @@ import (
 func TestDispatcherAdmitAllocs(t *testing.T) {
 	device := a100x()
 	var stats DispatchStats
-	d := &onlineDispatcher{
-		gpus:      make([]onlineGPU, 4),
-		clientCap: 8,
-		stats:     &stats,
-	}
-	for g := range d.gpus {
-		d.gpus[g].agg = interference.NewAggregate(device)
-	}
+	d := testDispatcher(device, 4, 2, &stats)
 	load := interference.Load{SMPct: 30, BWPct: 20, MemMiB: 1024}
 	hold := simtime.FromSeconds(100)
 	now := simtime.Zero

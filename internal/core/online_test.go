@@ -106,12 +106,7 @@ func TestEmptyInputEdgeCases(t *testing.T) {
 // aggregate) identify the removals.
 func TestRetireIdentityWithCollidingEnds(t *testing.T) {
 	var stats DispatchStats
-	d := &onlineDispatcher{
-		gpus:      make([]onlineGPU, 1),
-		clientCap: 8,
-		stats:     &stats,
-	}
-	d.gpus[0].agg = interference.NewAggregate(a100x())
+	d := testDispatcher(a100x(), 1, 1, &stats)
 
 	collide := at(10)
 	// Three residents, two sharing the finish instant; the survivor sits
@@ -123,7 +118,7 @@ func TestRetireIdentityWithCollidingEnds(t *testing.T) {
 	d.place(0, interference.Load{SMPct: 30, BWPct: 3, MemMiB: 300}, "early-b", collide)
 
 	d.retire(collide)
-	gd := &d.gpus[0]
+	gd := &d.shards[0].gpus[0]
 	if len(gd.res) != 1 || gd.res[0].name != "late" {
 		t.Fatalf("survivors after colliding retirement = %+v, want only %q", gd.res, "late")
 	}
@@ -135,8 +130,8 @@ func TestRetireIdentityWithCollidingEnds(t *testing.T) {
 		t.Fatalf("aggregate after retirement holds %d members: %+v", gd.agg.Len(), gd.agg)
 	}
 	// And the popped events' payload keys must have been recycled.
-	if len(d.keyFree) != 2 {
-		t.Fatalf("key freelist holds %d entries, want 2", len(d.keyFree))
+	if len(d.shards[0].keyFree) != 2 {
+		t.Fatalf("key freelist holds %d entries, want 2", len(d.shards[0].keyFree))
 	}
 }
 

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"gpushare/internal/gpu"
+	"gpushare/internal/interference"
+	"gpushare/internal/obs"
+)
+
+// testDispatcher builds a sharded dispatcher directly, bypassing the
+// Scheduler, for tests that drive the admission kernel in isolation.
+func testDispatcher(device gpu.DeviceSpec, gpus, shards int, stats *DispatchStats) *onlineDispatcher {
+	if shards > gpus {
+		shards = gpus
+	}
+	d := &onlineDispatcher{
+		shards:    make([]onlineShard, shards),
+		base:      gpus / shards,
+		rem:       gpus % shards,
+		clientCap: 8,
+		stats:     stats,
+	}
+	lo := 0
+	for si := range d.shards {
+		n := d.base
+		if si < d.rem {
+			n++
+		}
+		sh := &d.shards[si]
+		sh.lo = lo
+		sh.gpus = make([]onlineGPU, n)
+		for g := range sh.gpus {
+			sh.gpus[g].agg = interference.NewAggregate(device)
+		}
+		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
+		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
+		lo += n
+	}
+	return d
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// the million-arrival soak skips under it (instrumented heap accounting
+// would invalidate the memory ceiling, and the run takes minutes).
+const raceEnabled = true

@@ -12,16 +12,7 @@ import (
 	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/workflow"
-	"gpushare/internal/workload"
 )
-
-func workloadGet(name string) (string, error) {
-	w, err := workload.Get(name)
-	if err != nil {
-		return "", err
-	}
-	return w.Name, nil
-}
 
 // Group is one collocation decision: workflows that share a GPU
 // concurrently, each as one MPS client.
@@ -100,6 +91,12 @@ type Scheduler struct {
 	// <= 0 selects GOMAXPROCS. Outcomes are byte-identical at any worker
 	// count (DESIGN.md §8).
 	Workers int
+	// Shards splits the online dispatcher's admission state into that
+	// many contiguous GPU ranges, each with its own completion heap and
+	// dirty set; <= 0 selects 1 and values beyond GPUs are clamped.
+	// Dispatch decisions are byte-identical at any shard count
+	// (DESIGN.md §14).
+	Shards int
 	// Cache optionally memoizes simulation runs across Execute calls;
 	// nil runs uncached.
 	Cache *parallel.Cache

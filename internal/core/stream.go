@@ -1,0 +1,362 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+
+	"gpushare/internal/arena"
+	"gpushare/internal/interference"
+	"gpushare/internal/obs"
+	"gpushare/internal/simtime"
+)
+
+// Streaming ingest: the dispatcher's decision kernel applied to an
+// unbounded, time-ordered arrival stream with bounded steady-state
+// memory. PlanOnline materializes every arrival, profile, and dispatch
+// record for the plan's lifetime; the Streamer instead recycles
+// per-arrival storage the moment an event is framed, keeps only a
+// fixed-capacity ring of recent events (older ones spill to a JSONL
+// sink), and folds the log into a running SHA-256 digest framed exactly
+// like json.Marshal of the full event slice — so a streamed run and a
+// materialized plan over the same arrivals produce the same digest byte
+// for byte (DESIGN.md §14).
+
+// ArrivalSource yields a time-ordered arrival stream one element at a
+// time. Implementations must yield non-decreasing At values; FleetSource
+// is the synthetic-fleet implementation.
+type ArrivalSource interface {
+	Next() (Arrival, bool)
+}
+
+// StreamConfig parameterizes a streaming ingest run.
+type StreamConfig struct {
+	// RingCapacity bounds the retained tail of the event log; zero
+	// selects 1024.
+	RingCapacity int
+	// Spill receives evicted event records, one JSON object per line,
+	// oldest first; nil discards them. Finish drains the ring through
+	// the same sink, so a run with a spill writer ends with the complete
+	// log on it.
+	Spill io.Writer
+}
+
+// defaultRingCapacity is the retained-event bound when the config does
+// not choose one.
+const defaultRingCapacity = 1024
+
+// Streamer ingests arrivals one at a time through the sharded
+// dispatcher. It is single-owner, like the dispatcher it drives; wrap
+// it in a mutex to share (cmd/gpusched's serve mode does).
+type Streamer struct {
+	sched   *Scheduler
+	d       *onlineDispatcher
+	builder *profileBuilder
+	mem     *planArena
+	ring    *arena.Ring[string]
+	spill   io.Writer
+
+	digest hash.Hash
+	n      int64 // events framed into the digest
+	lastAt simtime.Time
+	stats  DispatchStats
+
+	finished bool
+}
+
+// NewStreamer returns a streaming ingest session against the
+// scheduler's fleet (GPUs, shards, policy, profile store).
+func (s *Scheduler) NewStreamer(cfg StreamConfig) (*Streamer, error) {
+	if cfg.RingCapacity < 0 {
+		return nil, fmt.Errorf("core: negative stream ring capacity %d", cfg.RingCapacity)
+	}
+	capacity := cfg.RingCapacity
+	if capacity == 0 {
+		capacity = defaultRingCapacity
+	}
+	st := &Streamer{
+		sched:  s,
+		mem:    &planArena{},
+		ring:   arena.NewRing[string](capacity),
+		spill:  cfg.Spill,
+		digest: sha256.New(),
+	}
+	st.d = newOnlineDispatcher(s, &st.stats)
+	st.builder = newProfileBuilder(s.Profiles, st.mem)
+	return st, nil
+}
+
+// Ingest dispatches one arrival and frames its event into the digest,
+// ring, and spill path. Arrivals must be non-decreasing in At — the
+// dispatcher's decisions assume a time-ordered stream, and an
+// out-of-order arrival would silently produce a log no sorted plan can
+// reproduce.
+func (st *Streamer) Ingest(a Arrival) (DispatchEvent, error) {
+	if st.finished {
+		return DispatchEvent{}, fmt.Errorf("core: ingest after Finish")
+	}
+	if st.n > 0 && a.At < st.lastAt {
+		return DispatchEvent{}, fmt.Errorf("core: out-of-order arrival %s at %v (stream is at %v)",
+			a.Workflow.Name, a.At, st.lastAt)
+	}
+	wp, err := st.builder.build(a.Workflow)
+	if err != nil {
+		return DispatchEvent{}, err
+	}
+	ev, err := st.d.dispatchOne(&a, wp, &st.mem.names)
+	if err != nil {
+		return DispatchEvent{}, err
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return DispatchEvent{}, err
+	}
+	// The event is framed; its name list and (uncached) profile are dead.
+	// Recycling them here is what keeps steady-state memory independent
+	// of the arrival count.
+	st.builder.putUncached(a.Workflow, wp)
+	st.mem.names.Reset()
+
+	// Digest framing matches json.Marshal over the full event slice:
+	// '[' e1 ',' e2 ... ']' (Finish writes the close bracket).
+	if st.n == 0 {
+		st.digest.Write([]byte{'['})
+	} else {
+		st.digest.Write([]byte{','})
+	}
+	st.digest.Write(line)
+
+	if old, evicted := st.ring.Push(string(line)); evicted {
+		if err := st.spillLine(old); err != nil {
+			return DispatchEvent{}, err
+		}
+	}
+	st.n++
+	st.lastAt = a.At
+	return ev, nil
+}
+
+// IngestAll drains a source through Ingest, returning the number of
+// arrivals dispatched.
+func (st *Streamer) IngestAll(src ArrivalSource) (int, error) {
+	n := 0
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return n, nil
+		}
+		if _, err := st.Ingest(a); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func (st *Streamer) spillLine(line string) error {
+	if st.spill == nil {
+		return nil
+	}
+	if _, err := io.WriteString(st.spill, line); err != nil {
+		return err
+	}
+	_, err := io.WriteString(st.spill, "\n")
+	return err
+}
+
+// Events reports how many arrivals have been dispatched.
+func (st *Streamer) Events() int64 { return st.n }
+
+// Stats returns the admission path's work counters so far.
+func (st *Streamer) Stats() DispatchStats { return st.stats }
+
+// WaitedS reports the total simulated queueing delay across all
+// dispatched arrivals, in seconds — the streaming counterpart of
+// summing DispatchEvent.WaitedS over a plan's log, which the ring may
+// no longer hold.
+func (st *Streamer) WaitedS() float64 { return simtime.Time(st.d.waitedNS).Seconds() }
+
+// Recent appends the retained tail of the event log (marshaled records,
+// oldest first) to dst.
+func (st *Streamer) Recent(dst []string) []string { return st.ring.Snapshot(dst) }
+
+// Finish closes the stream: the ring's retained events drain to the
+// spill sink, per-shard telemetry folds into the shared registry, and
+// the digest is finalized and returned as hex. The digest equals
+// sha256(json.Marshal(events)) over the full dispatch log — the same
+// value digestDispatches computes for a materialized plan.
+func (st *Streamer) Finish() (string, error) {
+	if st.finished {
+		return "", fmt.Errorf("core: Finish called twice")
+	}
+	st.finished = true
+	for i := 0; i < st.ring.Len(); i++ {
+		if err := st.spillLine(st.ring.At(i)); err != nil {
+			return "", err
+		}
+	}
+	if st.n == 0 {
+		st.digest.Write([]byte("[]"))
+	} else {
+		st.digest.Write([]byte{']'})
+	}
+	st.d.mergeObs(obs.Active(), st.n)
+	return hex.EncodeToString(st.digest.Sum(nil)), nil
+}
+
+// StreamState is a serializable snapshot of an in-flight streaming run:
+// everything needed to resume dispatching on a fresh process and still
+// produce the digest the uninterrupted run would have. Residents are
+// saved in placement-serial order with the exact loads their aggregates
+// fold over; restore re-folds by Add in that order, which reproduces
+// every sum bit for bit (the aggregate invariant: sums equal the
+// left-fold over the member list).
+type StreamState struct {
+	// GPUs and Shards pin the fleet shape; restore rejects a scheduler
+	// with a different one.
+	GPUs   int `json:"gpus"`
+	Shards int `json:"shards"`
+
+	Events   int64          `json:"events"`
+	NextSeq  uint64         `json:"next_seq"`
+	LastAt   simtime.Time   `json:"last_at"`
+	Stats    DispatchStats  `json:"stats"`
+	WaitedNS int64          `json:"waited_ns"`
+	Digest   []byte         `json:"digest_state"`
+	Ring     []string       `json:"ring"`
+	Resident []residentSave `json:"residents"`
+	Hists    []shardHists   `json:"shard_hists"`
+}
+
+// residentSave is one in-flight workflow in a stream snapshot.
+type residentSave struct {
+	GPU  int               `json:"gpu"`
+	Name string            `json:"name"`
+	End  simtime.Time      `json:"end"`
+	Seq  uint64            `json:"seq"`
+	Load interference.Load `json:"load"`
+}
+
+// shardHists is one shard's telemetry in a stream snapshot.
+type shardHists struct {
+	Wait  obs.HistogramSnapshot `json:"wait"`
+	Depth obs.HistogramSnapshot `json:"depth"`
+}
+
+// SaveState snapshots the run. The streamer stays usable; a snapshot is
+// a point-in-time copy, not a handoff.
+func (st *Streamer) SaveState() (*StreamState, error) {
+	if st.finished {
+		return nil, fmt.Errorf("core: SaveState after Finish")
+	}
+	digestState, err := st.digest.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	state := &StreamState{
+		GPUs:     st.sched.GPUs,
+		Shards:   len(st.d.shards),
+		Events:   st.n,
+		NextSeq:  st.d.nextSeq,
+		LastAt:   st.lastAt,
+		Stats:    st.stats,
+		WaitedNS: st.d.waitedNS,
+		Digest:   digestState,
+		Ring:     st.ring.Snapshot(nil),
+	}
+	for si := range st.d.shards {
+		sh := &st.d.shards[si]
+		for g := range sh.gpus {
+			gd := &sh.gpus[g]
+			for j := range gd.res {
+				state.Resident = append(state.Resident, residentSave{
+					GPU:  sh.lo + g,
+					Name: gd.res[j].name,
+					End:  gd.res[j].end,
+					Seq:  gd.res[j].seq,
+					Load: gd.agg.At(j),
+				})
+			}
+		}
+		state.Hists = append(state.Hists, shardHists{
+			Wait:  sh.waitHist.Snapshot(),
+			Depth: sh.depthHist.Snapshot(),
+		})
+	}
+	// Global placement-serial order: per shard, completion events must be
+	// re-scheduled in their original schedule order so the heaps'
+	// same-instant tie-breaks replay identically.
+	sort.Slice(state.Resident, func(i, j int) bool {
+		return state.Resident[i].Seq < state.Resident[j].Seq
+	})
+	return state, nil
+}
+
+// RestoreStreamer resumes a saved streaming run on this scheduler. The
+// scheduler must present the same fleet shape (GPUs, shards after
+// clamping) and profile store contents as the run that saved the state;
+// continuing the resumed stream over the remaining arrivals produces
+// byte-identical events — and the identical final digest — to the
+// uninterrupted run (pinned by TestStreamSnapshotResume).
+func (s *Scheduler) RestoreStreamer(cfg StreamConfig, state *StreamState) (*Streamer, error) {
+	if state == nil {
+		return nil, fmt.Errorf("core: nil stream state")
+	}
+	if state.GPUs != s.GPUs {
+		return nil, fmt.Errorf("core: stream state saved for %d GPUs, scheduler has %d", state.GPUs, s.GPUs)
+	}
+	st, err := s.NewStreamer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if got := len(st.d.shards); got != state.Shards {
+		return nil, fmt.Errorf("core: stream state saved with %d shards, scheduler resolves to %d", state.Shards, got)
+	}
+	if len(state.Ring) > st.ring.Cap() {
+		return nil, fmt.Errorf("core: stream state retains %d events, ring capacity is %d", len(state.Ring), st.ring.Cap())
+	}
+	if len(state.Hists) != len(st.d.shards) {
+		return nil, fmt.Errorf("core: stream state has %d shard histograms, want %d", len(state.Hists), len(st.d.shards))
+	}
+
+	var prevSeq uint64
+	for i, r := range state.Resident {
+		if r.GPU < 0 || r.GPU >= s.GPUs {
+			return nil, fmt.Errorf("core: stream state resident %q on GPU %d, fleet has %d", r.Name, r.GPU, s.GPUs)
+		}
+		if r.Seq >= state.NextSeq || (i > 0 && r.Seq <= prevSeq) {
+			return nil, fmt.Errorf("core: stream state resident serials not strictly increasing under next_seq")
+		}
+		prevSeq = r.Seq
+		sh := st.d.shardFor(r.GPU)
+		gd := &sh.gpus[r.GPU-sh.lo]
+		gd.res = append(gd.res, onlineResident{name: r.Name, end: r.End, seq: r.Seq})
+		gd.agg.Add(r.Load)
+		k := sh.acquireKey()
+		k.gpu = gd
+		k.seq = r.Seq
+		sh.completions.Schedule(r.End, 0, k)
+	}
+	for si := range st.d.shards {
+		sh := &st.d.shards[si]
+		if !sh.waitHist.Restore(state.Hists[si].Wait) || !sh.depthHist.Restore(state.Hists[si].Depth) {
+			return nil, fmt.Errorf("core: stream state shard %d histogram bounds mismatch", si)
+		}
+	}
+	for _, line := range state.Ring {
+		st.ring.Push(line)
+	}
+	if err := st.digest.(encoding.BinaryUnmarshaler).UnmarshalBinary(state.Digest); err != nil {
+		return nil, fmt.Errorf("core: stream state digest: %w", err)
+	}
+	st.d.nextSeq = state.NextSeq
+	st.d.waitedNS = state.WaitedNS
+	st.stats = state.Stats
+	st.n = state.Events
+	st.lastAt = state.LastAt
+	return st, nil
+}

@@ -6,6 +6,7 @@ import (
 	"gpushare/internal/interference"
 	"gpushare/internal/profile"
 	"gpushare/internal/workflow"
+	"gpushare/internal/workload"
 )
 
 // WorkflowProfile aggregates a workflow's task profiles to the granularity
@@ -74,20 +75,33 @@ func (wp *WorkflowProfile) load() interference.Load {
 // BuildWorkflowProfile aggregates the store's task profiles over a
 // workflow, inferring missing sizes by scaling.
 func BuildWorkflowProfile(store *profile.Store, w workflow.Workflow) (*WorkflowProfile, error) {
+	wp := &WorkflowProfile{}
+	if err := buildWorkflowProfileInto(store, w, wp); err != nil {
+		return nil, err
+	}
+	return wp, nil
+}
+
+// buildWorkflowProfileInto is BuildWorkflowProfile writing into
+// caller-owned storage — the dispatcher hands in slab-allocated
+// structs so fleet-scale planning does not pay one heap object per
+// arrival. Every field is written unconditionally (the slab re-zeroes
+// on reuse, and the folds below start from the zero value).
+func buildWorkflowProfileInto(store *profile.Store, w workflow.Workflow, wp *WorkflowProfile) error {
 	// Shape-only validation: planning resolves benchmarks through the
 	// profile store, so store-only benchmarks (fleet archetypes) are
 	// legal here; the store lookup below rejects anything it lacks.
 	if err := w.ValidateShape(); err != nil {
-		return nil, err
+		return err
 	}
 	if store == nil {
-		return nil, fmt.Errorf("core: nil profile store")
+		return fmt.Errorf("core: nil profile store")
 	}
-	wp := &WorkflowProfile{Workflow: w}
+	wp.Workflow = w
 	for _, t := range w.Tasks {
 		p, err := store.Lookup(canonicalName(t.Benchmark), t.Size)
 		if err != nil {
-			return nil, fmt.Errorf("core: workflow %s: %w", w.Name, err)
+			return fmt.Errorf("core: workflow %s: %w", w.Name, err)
 		}
 		dur := p.DurationS * float64(t.Iterations)
 		wp.TotalDurationS += dur
@@ -111,17 +125,19 @@ func BuildWorkflowProfile(store *profile.Store, w workflow.Workflow) (*WorkflowP
 		}
 	}
 	if wp.TotalDurationS <= 0 {
-		return nil, fmt.Errorf("core: workflow %s has zero predicted duration", w.Name)
+		return fmt.Errorf("core: workflow %s has zero predicted duration", w.Name)
 	}
 	wp.AvgSMUtilPct /= wp.TotalDurationS
 	wp.AvgBWUtilPct /= wp.TotalDurationS
-	return wp, nil
+	return nil
 }
 
 // canonicalName resolves paper aliases ("MHD") to suite names so store
-// keys are stable regardless of which alias a workflow used.
+// keys are stable regardless of which alias a workflow used. Store-only
+// benchmarks (fleet archetypes) miss the registry by design; the probe
+// is allocation-free so the miss costs nothing on the per-arrival path.
 func canonicalName(benchmark string) string {
-	if w, err := workloadGet(benchmark); err == nil {
+	if w, ok := workload.Canonical(benchmark); ok {
 		return w
 	}
 	return benchmark

@@ -1,0 +1,119 @@
+package obs
+
+// LocalHistogram is the single-owner counterpart of Histogram: the same
+// int64 fixed-bucket shape, but plain fields instead of atomics, so a
+// hot loop that owns the histogram (one dispatcher shard, one worker)
+// can observe without synchronization or a registry lookup. At the end
+// of the run the owner folds it into the shared registry with MergeInto
+// — bucket counts are commutative sums, so merged totals and the JSON
+// snapshot stay byte-identical at any -j and any merge order, exactly
+// the registry histogram's contract (DESIGN.md §10).
+//
+// The zero value is unusable; construct with NewLocalHistogram. A nil
+// *LocalHistogram is a no-op for Observe, like the registry types.
+type LocalHistogram struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is overflow
+	count  int64
+	sum    int64
+}
+
+// NewLocalHistogram returns a histogram with the given inclusive bucket
+// upper bounds, which must be sorted ascending (matching the registry
+// Histogram the owner will merge into).
+func NewLocalHistogram(bounds []int64) *LocalHistogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &LocalHistogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+//
+//repro:hotpath pinned by TestLocalHistogramObserveAllocs
+func (h *LocalHistogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *LocalHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Snapshot exports the histogram state in the registry's snapshot
+// shape.
+func (h *LocalHistogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Restore overwrites the histogram state from a snapshot with the same
+// bounds (the streaming dispatcher reloads per-shard histograms from a
+// saved run state). It reports false when the snapshot's bounds do not
+// match.
+func (h *LocalHistogram) Restore(s HistogramSnapshot) bool {
+	if h == nil || len(s.Bounds) != len(h.bounds) || len(s.Counts) != len(h.counts) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if h.bounds[i] != b {
+			return false
+		}
+	}
+	copy(h.counts, s.Counts)
+	h.count = s.Count
+	h.sum = s.Sum
+	return true
+}
+
+// MergeInto folds the local counts into a registry histogram created
+// with identical bounds. Merging is a sum per bucket, so any number of
+// local histograms can fold into one registry histogram in any order
+// with a bit-identical result. A nil receiver or destination is a
+// no-op; mismatched bounds are a programming error and panic (silently
+// misbinning would corrupt the shared metric).
+func (h *LocalHistogram) MergeInto(dst *Histogram) {
+	if h == nil || dst == nil {
+		return
+	}
+	if len(dst.bounds) != len(h.bounds) {
+		panic("obs: LocalHistogram.MergeInto with mismatched bounds")
+	}
+	for i, b := range h.bounds {
+		if dst.bounds[i] != b {
+			panic("obs: LocalHistogram.MergeInto with mismatched bounds")
+		}
+	}
+	for i, c := range h.counts {
+		dst.counts[i].Add(c)
+	}
+	dst.count.Add(h.count)
+	dst.sum.Add(h.sum)
+}
+
+// Reset zeroes every bucket.
+func (h *LocalHistogram) Reset() {
+	if h == nil {
+		return
+	}
+	clear(h.counts)
+	h.count, h.sum = 0, 0
+}

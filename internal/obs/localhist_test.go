@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLocalHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewLocalHistogram([]int64{10, 100})
+	for _, v := range []int64{0, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := HistogramSnapshot{
+		Bounds: []int64{10, 100},
+		Counts: []int64{2, 2, 2},
+		Count:  6,
+		Sum:    5222,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Snapshot().Sum != 0 {
+		t.Fatalf("after Reset: %+v", h.Snapshot())
+	}
+
+	var nilH *LocalHistogram
+	nilH.Observe(1) // must not panic
+	if nilH.Count() != 0 {
+		t.Fatal("nil histogram count")
+	}
+}
+
+// TestLocalHistogramMergeInto pins the merge contract: N local
+// histograms folded into one registry histogram in any order produce
+// exactly the registry histogram that observed every value directly.
+func TestLocalHistogramMergeInto(t *testing.T) {
+	bounds := []int64{1, 5, 25}
+	reg := NewRegistry()
+	direct := reg.Histogram("direct", bounds)
+	merged := reg.Histogram("merged", bounds)
+
+	locals := []*LocalHistogram{
+		NewLocalHistogram(bounds),
+		NewLocalHistogram(bounds),
+		NewLocalHistogram(bounds),
+	}
+	vals := [][]int64{{0, 3, 7}, {26, 26, 1}, {5, 100}}
+	for i, vs := range vals {
+		for _, v := range vs {
+			locals[i].Observe(v)
+			direct.Observe(v)
+		}
+	}
+	// Merge in reverse order: sums are commutative.
+	for i := len(locals) - 1; i >= 0; i-- {
+		locals[i].MergeInto(merged)
+	}
+	snap := reg.Snapshot()
+	if !reflect.DeepEqual(snap.Histograms["direct"], snap.Histograms["merged"]) {
+		t.Fatalf("merge diverged from direct observation:\n%+v\n%+v",
+			snap.Histograms["direct"], snap.Histograms["merged"])
+	}
+
+	// Nil destination and nil receiver are no-ops.
+	locals[0].MergeInto(nil)
+	var nilH *LocalHistogram
+	nilH.MergeInto(merged)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-bounds merge did not panic")
+		}
+	}()
+	locals[0].MergeInto(reg.Histogram("other", []int64{1, 2}))
+}
+
+func TestLocalHistogramRestore(t *testing.T) {
+	bounds := []int64{2, 4}
+	h := NewLocalHistogram(bounds)
+	for _, v := range []int64{1, 3, 5, 7} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+
+	fresh := NewLocalHistogram(bounds)
+	if !fresh.Restore(snap) {
+		t.Fatal("Restore rejected a matching snapshot")
+	}
+	if !reflect.DeepEqual(fresh.Snapshot(), snap) {
+		t.Fatalf("restored snapshot %+v, want %+v", fresh.Snapshot(), snap)
+	}
+	other := NewLocalHistogram([]int64{9})
+	if other.Restore(snap) {
+		t.Fatal("Restore accepted mismatched bounds")
+	}
+}
+
+// TestLocalHistogramObserveAllocs is the runtime half of Observe's
+// //repro:hotpath annotation.
+func TestLocalHistogramObserveAllocs(t *testing.T) {
+	h := NewLocalHistogram([]int64{1, 10, 100, 1000})
+	allocs := testing.AllocsPerRun(200, func() {
+		for v := int64(0); v < 50; v++ {
+			h.Observe(v * 37 % 2000)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f objects, want 0", allocs)
+	}
+}

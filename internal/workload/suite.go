@@ -224,6 +224,21 @@ func Names() []string {
 	return out
 }
 
+// Canonical resolves a benchmark name or alias to its canonical suite
+// name. It is the allocation-free existence probe for hot paths that
+// only need the name mapping: Get builds (and caches) the whole
+// Workload and, on a miss, allocates a descriptive error listing every
+// known benchmark — at fleet scale the scheduler resolves store-only
+// archetype names once per arrival, where that miss cost dominated the
+// decision path's allocation profile (BENCH_dispatcher.json).
+func Canonical(name string) (string, bool) {
+	d, ok := byName[name]
+	if !ok {
+		return "", false
+	}
+	return d.name, true
+}
+
 // Get returns the workload for a benchmark name or alias (the paper's
 // Table III uses short names like "Epsilon", "MHD", "Gravity", "Athena").
 func Get(name string) (*Workload, error) {
