@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGangAdmission -fuzztime=$(FUZZTIME) ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzRing -fuzztime=$(FUZZTIME) ./internal/arena
 	$(GO) test -run='^$$' -fuzz=FuzzArena -fuzztime=$(FUZZTIME) ./internal/arena
+	$(GO) test -run='^$$' -fuzz=FuzzFlightRing -fuzztime=$(FUZZTIME) ./internal/obs
 
 # One-command pprof workflow for perf PRs: profile a real experiment run
 # end to end, then inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

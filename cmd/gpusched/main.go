@@ -97,6 +97,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "online dispatcher shard count (0 selects 1; clamped to the GPU count); dispatch decisions are byte-identical at any value")
 		arrivals  = flag.Int("arrivals", 0, "bench-online: override the workflow count from -fleet")
 		stream    = flag.Bool("stream", false, "bench-online: run the bounded-memory streaming ingest path; serve: expose POST /ingest and GET /stream/state")
+		flightOut = flag.String("flight-out", "", "write the flight-recorder decision trail (explain's input) to this file after the run; implies telemetry")
+		flightCap = flag.Int("flight-cap", 0, "flight recorder ring capacity (0 = default 4096)")
 
 		// bench-cluster flags.
 		clusterShape = flag.String("cluster", "4x2", "bench-cluster shape NODESxGPUS")
@@ -112,6 +114,14 @@ func main() {
 	// "gpusched bench-cluster ..." times the multi-node tenant-queue
 	// planner the same way.
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "explain" {
+		// "gpusched explain" reads a recorded flight dump; it never runs
+		// the pipeline, so it parses its own flags and exits.
+		if err := runExplain(args[1:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	serveMode := len(args) > 0 && args[0] == "serve"
 	benchMode := len(args) > 0 && args[0] == "bench-online"
 	clusterBench := len(args) > 0 && args[0] == "bench-cluster"
@@ -139,9 +149,23 @@ func main() {
 	// instrumentation stays on its no-op path. The wall clock is injected
 	// from here — cmd/ is outside the nodeterminism analyzer scope.
 	var hub *obs.Hub
-	if serveMode || *htaddr != "" || *traceDir != "" {
+	if serveMode || *htaddr != "" || *traceDir != "" || *flightOut != "" {
 		hub = obs.NewHub(func() int64 { return time.Now().UnixNano() })
+		if *flightCap > 0 {
+			hub.Flight = obs.NewFlight(*flightCap)
+		}
 		obs.SetActive(hub)
+	}
+	// flushFlight saves the decision trail on every exit path that ran
+	// scheduling work; explain reads the file back.
+	flushFlight := func() {
+		if *flightOut == "" {
+			return
+		}
+		if err := writeFlightDump(*flightOut, hub); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *flightOut)
 	}
 	// serve -stream exposes a live dispatcher over HTTP: the endpoint is
 	// built before the listener so the mux can route to it from the
@@ -194,6 +218,7 @@ func main() {
 		if err := runFleetBench(spec, policy, *fleet, *seed, *shards, *arrivals, *stream); err != nil {
 			fatal(err)
 		}
+		flushFlight()
 		shutdownServer(srv, serveErr)
 		return
 	}
@@ -212,6 +237,7 @@ func main() {
 		case s := <-sig:
 			fmt.Printf("received %v; shutting down\n", s)
 		}
+		flushFlight()
 		shutdownServer(srv, serveErr)
 		return
 	}
@@ -219,6 +245,7 @@ func main() {
 		if err := runClusterBench(spec, *clusterShape, *clusterMode, *discipline, *tenants, *preempt, *workflows, *seed); err != nil {
 			fatal(err)
 		}
+		flushFlight()
 		shutdownServer(srv, serveErr)
 		return
 	}
@@ -309,6 +336,7 @@ func main() {
 			fmt.Printf("received %v; shutting down\n", s)
 		}
 	}
+	flushFlight()
 	shutdownServer(srv, serveErr)
 }
 

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"fmt"
 	"sort"
 
 	"gpushare/internal/eventq"
+	"gpushare/internal/interference"
+	"gpushare/internal/obs"
 	"gpushare/internal/simtime"
 )
 
@@ -65,6 +68,16 @@ func (st *planner) enqueue(j *job) {
 	if len(t.queue) > t.maxDepth {
 		t.maxDepth = len(t.queue)
 	}
+	if st.fl != nil {
+		st.fl.Record(obs.FlightRecord{
+			Seq:      int64(j.seq),
+			Kind:     obs.FlightArrival,
+			AtNS:     int64(j.at),
+			Tenant:   t.spec.Name,
+			Workflow: j.sub.Gang.Name,
+			GPU:      -1,
+		})
+	}
 }
 
 // queuedAny reports whether any tenant has waiting jobs.
@@ -123,6 +136,9 @@ func (st *planner) retire(ev *eventq.Event, now simtime.Time) {
 		ts.MaxWaitS = sum.WaitedS
 	}
 	ts.MeanMakespanS += sum.MakespanS
+	// Service time is the resident phase of the makespan: completion
+	// minus arrival minus the final dispatch's queueing delay.
+	j.tenant.serviceHist.Observe(int64((sum.MakespanS - sum.WaitedS) * 1000))
 }
 
 // removeResident unlinks r from its GPU, keeping the aggregate's fold
@@ -169,6 +185,17 @@ func (st *planner) dispatchRound(now simtime.Time) {
 				Gang:   j.sub.Gang.Name,
 				Reason: "does not fit an idle cluster",
 			})
+			if st.fl != nil {
+				st.fl.Record(obs.FlightRecord{
+					Seq:      int64(j.seq),
+					Kind:     obs.FlightReject,
+					AtNS:     int64(now),
+					Tenant:   t.spec.Name,
+					Workflow: j.sub.Gang.Name,
+					GPU:      -1,
+					Detail:   "does not fit an idle cluster",
+				})
+			}
 			continue
 		}
 		// Held: back to the front of the queue, tenant blocked for the
@@ -178,6 +205,16 @@ func (st *planner) dispatchRound(now simtime.Time) {
 		t.queue[0] = j
 		t.blocked = true
 		st.stats.GangHolds++
+		if st.fl != nil {
+			st.fl.Record(obs.FlightRecord{
+				Seq:      int64(j.seq),
+				Kind:     obs.FlightHold,
+				AtNS:     int64(now),
+				Tenant:   t.spec.Name,
+				Workflow: j.sub.Gang.Name,
+				GPU:      -1,
+			})
+		}
 	}
 }
 
@@ -224,9 +261,9 @@ func (st *planner) pickTenant() *tenantState {
 // aborted what-if leaves the event queue untouched.
 func (st *planner) tryPlaceGang(j *job, now simtime.Time) bool {
 	for i := range j.members {
-		g := st.findFit(&j.members[i])
+		g := st.findFit(j, &j.members[i], now)
 		if g == nil && st.spec.Preemption {
-			g = st.evictForMember(j, &j.members[i])
+			g = st.evictForMember(j, &j.members[i], now)
 		}
 		if g == nil {
 			st.rollback()
@@ -240,15 +277,34 @@ func (st *planner) tryPlaceGang(j *job, now simtime.Time) bool {
 
 // findFit scans nodes in spec order and GPUs in index order for the
 // first device that admits the member under the node's sharing mode.
+// Every probe — hit or miss — lands in the flight recorder with its
+// per-rule verdict when telemetry is on.
 //
 //repro:hotpath pinned by TestClusterAdmitAllocs
-func (st *planner) findFit(m *member) *gpuState {
+func (st *planner) findFit(j *job, m *member, now simtime.Time) *gpuState {
 	for n := range st.nodes {
 		node := &st.nodes[n]
 		for g := range node.gpus {
 			gs := &node.gpus[g]
 			st.stats.Probes++
-			if st.admits(gs, m) {
+			ok, reason := st.probeReason(gs, m, len(gs.res))
+			if st.fl != nil {
+				st.fl.Record(obs.FlightRecord{
+					Seq:           int64(j.seq),
+					Kind:          obs.FlightProbe,
+					AtNS:          int64(now),
+					Tenant:        j.tenant.spec.Name,
+					Workflow:      m.profile.Workflow.Name,
+					Node:          node.spec.Name,
+					GPU:           int32(g),
+					Clients:       int32(len(gs.res)),
+					Rules:         uint8(reason.Rules),
+					SMExcessMilli: reason.SMExcessMilli,
+					BWExcessMilli: reason.BWExcessMilli,
+					MemExcessMiB:  reason.MemExcessMiB,
+				})
+			}
+			if ok {
 				return gs
 			}
 		}
@@ -269,19 +325,45 @@ func (st *planner) admits(g *gpuState, m *member) bool {
 //
 //repro:hotpath pinned by TestClusterAdmitAllocs
 func (st *planner) admitsAt(g *gpuState, m *member, residents int) bool {
+	ok, _ := st.probeReason(g, m, residents)
+	return ok
+}
+
+// probeReason is the single source of per-mode admission semantics: it
+// probes with an explicit resident count and returns both the verdict
+// and the typed per-rule rejection reason. Only the rules the mode
+// actually consults are reported — a time-sliced node may "interfere"
+// spatially, but only capacity decides there, so only capacity shows.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) probeReason(g *gpuState, m *member, residents int) (bool, interference.Reason) {
 	node := g.node
 	if residents >= node.cap {
-		return false
+		return false, interference.Reason{Rules: interference.MaskClientCap}
 	}
 	switch node.spec.Mode {
 	case ModeMIG:
 		// Isolated equal instances: capacity is per-instance memory;
 		// no cross-instance interference.
-		return m.load.MemMiB <= node.instanceMemMiB
+		if m.load.MemMiB <= node.instanceMemMiB {
+			return true, interference.Reason{}
+		}
+		return false, interference.Reason{
+			Rules:        interference.MaskCapacity,
+			MemExcessMiB: m.load.MemMiB - node.instanceMemMiB,
+		}
 	case ModeTimeSlice:
 		// Temporal sharing: no spatial interference rules, but the
 		// residents still share device memory.
-		return !g.agg.Admit(m.load).Capacity
+		out := g.agg.Admit(m.load)
+		if !out.Capacity {
+			return true, interference.Reason{}
+		}
+		r := out.Reason()
+		return false, interference.Reason{
+			Rules:        interference.MaskCapacity,
+			MemExcessMiB: r.MemExcessMiB,
+		}
 	default: // ModeMPS
 		l := m.load
 		if node.threadCapPct < 100 && l.SMPct > node.threadCapPct {
@@ -289,7 +371,11 @@ func (st *planner) admitsAt(g *gpuState, m *member, residents int) bool {
 			// can exert; bandwidth and memory are not partitioned.
 			l.SMPct = node.threadCapPct
 		}
-		return !g.agg.Admit(l).Interferes()
+		out := g.agg.Admit(l)
+		if !out.Interferes() {
+			return true, interference.Reason{}
+		}
+		return false, out.Reason()
 	}
 }
 
@@ -336,12 +422,34 @@ func (st *planner) placeMember(j *job, memberIx int, g *gpuState, now simtime.Ti
 // minimal: a commit never strands an eviction that did not make room for
 // the preemptor (victim gangs may still lose members on other GPUs —
 // gang eviction is all-or-nothing, mirroring gang admission).
-func (st *planner) evictForMember(j *job, m *member) *gpuState {
+func (st *planner) evictForMember(j *job, m *member, now simtime.Time) *gpuState {
 	for n := range st.nodes {
 		node := &st.nodes[n]
 		for g := range node.gpus {
 			gs := &node.gpus[g]
-			if !st.canFitAfterEviction(gs, j, m) {
+			var fits bool
+			if st.fl == nil {
+				fits = st.canFitAfterEviction(gs, j, m)
+			} else {
+				// What-if provenance: the digest pair proves the probe
+				// restored the aggregate bit-for-bit — `restored` must
+				// equal `digest` or the what-if leaked state.
+				digest := gs.agg.Digest()
+				fits = st.canFitAfterEviction(gs, j, m)
+				restored := gs.agg.Digest()
+				st.fl.Record(obs.FlightRecord{
+					Seq:      int64(j.seq),
+					Kind:     obs.FlightWhatIf,
+					AtNS:     int64(now),
+					Tenant:   j.tenant.spec.Name,
+					Workflow: m.profile.Workflow.Name,
+					Node:     node.spec.Name,
+					GPU:      int32(g),
+					Clients:  int32(len(gs.res)),
+					Detail:   fmt.Sprintf("fit=%t digest=%016x restored=%016x", fits, digest, restored),
+				})
+			}
+			if !fits {
 				continue
 			}
 			for !st.admits(gs, m) {
@@ -504,6 +612,18 @@ func (st *planner) commit(j *job, now simtime.Time) {
 				OverheadS: st.overheadS(),
 			})
 			st.stats.Preemptions++
+			if st.fl != nil {
+				st.fl.Record(obs.FlightRecord{
+					Seq:      int64(v.seq),
+					Kind:     obs.FlightEvict,
+					AtNS:     int64(now),
+					Tenant:   v.tenant.spec.Name,
+					Workflow: v.members[r.memberIx].profile.Workflow.Name,
+					Node:     r.node.spec.Name,
+					GPU:      int32(r.gpuIx),
+					Detail:   "preempted by " + j.sub.Gang.Name,
+				})
+			}
 			victims[v] = true
 			v.liveCount--
 			st.releaseResident(r)
@@ -535,6 +655,7 @@ func (st *planner) commit(j *job, now simtime.Time) {
 
 	waited := now.Sub(j.at).Seconds()
 	j.lastWaitS = waited
+	j.tenant.waitHist.Observe(int64(waited * 1000))
 	for _, r := range st.txPlaced {
 		r.ev = st.completions.Schedule(r.end, 0, r)
 		j.liveCount++
@@ -548,6 +669,20 @@ func (st *planner) commit(j *job, now simtime.Time) {
 			WaitedS:     waited,
 			Preemptions: j.preemptions,
 		})
+		if st.fl != nil {
+			g := &r.node.gpus[r.gpuIx]
+			st.fl.Record(obs.FlightRecord{
+				Seq:      int64(j.seq),
+				Kind:     obs.FlightDispatch,
+				AtNS:     int64(now),
+				Tenant:   j.tenant.spec.Name,
+				Workflow: j.members[r.memberIx].profile.Workflow.Name,
+				Node:     r.node.spec.Name,
+				GPU:      int32(r.gpuIx),
+				Clients:  int32(len(g.res)),
+				WaitNS:   int64(now.Sub(j.at)),
+			})
+		}
 	}
 	// Deficit charge: the predicted work dispatched, including the
 	// restart penalty a re-dispatched victim repays.

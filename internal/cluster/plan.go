@@ -165,6 +165,14 @@ type job struct {
 	durationS   float64 // sum of member predicted durations (service charge)
 }
 
+// Per-tenant SLO histogram buckets, in milliseconds. Wait buckets skew
+// low (queueing delay is the SLO-visible number); service buckets match
+// the core dispatcher's predicted-duration spread.
+var (
+	tenantWaitBoundsMs    = []int64{100, 1_000, 10_000, 60_000, 300_000, 1_800_000}
+	tenantServiceBoundsMs = []int64{1_000, 5_000, 15_000, 60_000, 300_000, 1_800_000}
+)
+
 // tenantState is one tenant's queue and deficit counter.
 type tenantState struct {
 	spec  TenantSpec
@@ -184,6 +192,13 @@ type tenantState struct {
 
 	stat     TenantStat
 	maxDepth int // peak queue length, for the per-tenant gauge
+
+	// SLO-grade per-tenant latency distributions: queue wait observed at
+	// each dispatch, service time (makespan minus final wait) at each
+	// gang completion. Single-owner locals, merged into the shared
+	// registry once per Plan call.
+	waitHist    *obs.LocalHistogram
+	serviceHist *obs.LocalHistogram
 }
 
 // resident is one placed member. Residents are pooled by the planner;
@@ -245,6 +260,11 @@ type planner struct {
 	// a GPU's aggregate through.
 	whatIf interference.Snapshot
 
+	// fl is the flight recorder captured at construction; nil when
+	// telemetry is disabled, and every record site is guarded so the
+	// disabled hot path stays allocation-free.
+	fl *obs.Flight
+
 	out   *Outcome
 	stats *Stats
 }
@@ -275,6 +295,8 @@ func (p *Planner) Plan(subs []Submission) (*Outcome, error) {
 		hub.Gauge(obs.MetricName("cluster_tenant_queue_depth_max", t.spec.Name)).SetMax(int64(t.maxDepth))
 		hub.Counter(obs.MetricName("cluster_tenant_preemptions_total", t.spec.Name)).Add(int64(t.stat.Preemptions))
 		hub.Counter(obs.MetricName("cluster_tenant_jobs_total", t.spec.Name)).Add(int64(t.stat.Jobs))
+		t.waitHist.MergeInto(hub.Histogram(obs.MetricName("cluster_tenant_wait_ms", t.spec.Name), tenantWaitBoundsMs))
+		t.serviceHist.MergeInto(hub.Histogram(obs.MetricName("cluster_tenant_service_ms", t.spec.Name), tenantServiceBoundsMs))
 	}
 	return st.out, nil
 }
@@ -286,6 +308,7 @@ func (p *Planner) newPlanner(subs []Submission) (*planner, error) {
 		profiles: p.profiles,
 		byName:   make(map[string]*tenantState, len(p.spec.Tenants)),
 		out:      &Outcome{},
+		fl:       obs.Active().FlightRecorder(),
 	}
 	st.stats = &st.out.Stats
 
@@ -301,6 +324,8 @@ func (p *Planner) newPlanner(subs []Submission) (*planner, error) {
 		t := &tenantState{spec: ts, index: i, weight: int64(w)}
 		t.stat.Tenant = ts.Name
 		t.stat.Weight = int(w)
+		t.waitHist = obs.NewLocalHistogram(tenantWaitBoundsMs)
+		t.serviceHist = obs.NewLocalHistogram(tenantServiceBoundsMs)
 		st.tenants = append(st.tenants, t)
 		st.byName[ts.Name] = t
 	}

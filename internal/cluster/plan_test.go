@@ -536,6 +536,16 @@ func TestPerTenantMetrics(t *testing.T) {
 	if got := snap.Counters["cluster_evictions_total"]; got != 1 {
 		t.Fatalf("eviction counter = %d, want 1", got)
 	}
+	// SLO histograms: urgent waited 0 s (first bucket); the victim's
+	// service time is its makespan minus the 100 s final wait.
+	wh := snap.Histograms["cluster_tenant_wait_ms_prod"]
+	if wh.Count != 1 || wh.Counts[0] != 1 {
+		t.Fatalf("prod wait histogram = %+v, want one zero-wait dispatch", wh)
+	}
+	sh := snap.Histograms["cluster_tenant_service_ms_batch"]
+	if sh.Count != 1 || sh.Sum != 210_000 {
+		t.Fatalf("batch service histogram = %+v, want one 210000 ms observation", sh)
+	}
 }
 
 // TestPreemptionStorm drains a stream engineered to preempt repeatedly:
@@ -628,7 +638,7 @@ func TestClusterAdmitAllocs(t *testing.T) {
 	g := &st.nodes[0].gpus[0]
 	m := &st.jobs[0].members[0]
 	warm := func() {
-		_ = st.findFit(m)
+		_ = st.findFit(st.jobs[0], m, simtime.Zero)
 		_ = st.canFitAfterEviction(g, st.jobs[1], m)
 		st.saveGPU(g)
 		r := st.acquireResident()

@@ -163,6 +163,10 @@ func (b *profileBuilder) putUncached(w workflow.Workflow, wp *WorkflowProfile) {
 // milliseconds (the paper's workflows run seconds to minutes).
 var queueWaitBoundsMs = []int64{0, 10, 100, 1_000, 10_000, 60_000, 600_000}
 
+// serviceBoundsMs bucket predicted service time (profile-derived
+// workflow duration) in simulated milliseconds.
+var serviceBoundsMs = []int64{1_000, 5_000, 15_000, 60_000, 300_000, 1_800_000}
+
 // OnlinePlan is the decision half of an online-scheduling emulation: the
 // dispatch log plus the placement the simulator executes. PlanOnline
 // produces it; ScheduleOnline executes it.
@@ -272,8 +276,9 @@ type onlineShard struct {
 	// observation is an unsynchronized int bump; planOnline folds them
 	// into the shared registry after the loop (sums are commutative, so
 	// the merged metrics are byte-identical at any shard count).
-	waitHist  *obs.LocalHistogram // admission latency, sim ms
-	depthHist *obs.LocalHistogram // collocated clients at dispatch
+	waitHist    *obs.LocalHistogram // admission latency, sim ms
+	depthHist   *obs.LocalHistogram // collocated clients at dispatch
+	serviceHist *obs.LocalHistogram // predicted service time, sim ms
 }
 
 // completionKey is a completion event's payload: the GPU and the
@@ -315,21 +320,45 @@ func (sh *onlineShard) releaseKey(k *completionKey) {
 // candidate against an unchanged resident set, and an unchanged group
 // and the same candidate yield the same sums, hence the same rejection.
 //
+// Every evaluated GPU (including client-cap skips) leaves a flight
+// record carrying the typed rule verdict. The record stream is
+// shard-count invariant: shards are probed serially in global index
+// order, the dirty and skip sets are decision properties, and the
+// record names only the global GPU index — never the shard.
+//
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (sh *onlineShard) probe(load interference.Load, first bool, clientCap int, allowInterfering bool, stats *DispatchStats) int {
+func (sh *onlineShard) probe(d *onlineDispatcher, load interference.Load, first bool, seq int64, now simtime.Time) int {
 	for g := range sh.gpus {
 		gd := &sh.gpus[g]
 		if !first && !gd.dirty {
 			continue
 		}
-		if len(gd.res)+1 > clientCap {
+		if len(gd.res)+1 > d.clientCap {
+			if d.fl != nil {
+				d.fl.Record(obs.FlightRecord{
+					Seq: seq, Kind: obs.FlightProbe, AtNS: int64(now),
+					GPU: int32(sh.lo + g), Clients: int32(len(gd.res)),
+					Rules: uint8(interference.MaskClientCap),
+				})
+			}
 			continue
 		}
-		stats.Probes++
+		d.stats.Probes++
 		out := gd.agg.Admit(load)
 		admit := !out.Interferes()
-		if allowInterfering && !out.Capacity {
+		if d.allowInterfering && !out.Capacity {
 			admit = true
+		}
+		if d.fl != nil {
+			r := out.Reason()
+			d.fl.Record(obs.FlightRecord{
+				Seq: seq, Kind: obs.FlightProbe, AtNS: int64(now),
+				GPU: int32(sh.lo + g), Clients: int32(len(gd.res)),
+				Rules:         uint8(r.Rules),
+				SMExcessMilli: r.SMExcessMilli,
+				BWExcessMilli: r.BWExcessMilli,
+				MemExcessMiB:  r.MemExcessMiB,
+			})
 		}
 		if admit {
 			return sh.lo + g
@@ -394,6 +423,16 @@ type onlineDispatcher struct {
 	allowInterfering bool
 	stats            *DispatchStats
 	waitedNS         int64 // total queueing delay, sim ns
+
+	// arrivalSeq numbers the arrivals in dispatch order — the key flight
+	// records carry and `gpusched explain -seq` queries by. The streamer
+	// restores it on resume so a resumed run's trail continues the
+	// uninterrupted numbering.
+	arrivalSeq int64
+	// fl is the decision-provenance recorder, captured once at
+	// construction (nil when telemetry is disabled — the hot path then
+	// pays one predictable branch per probe and allocates nothing).
+	fl *obs.Flight
 }
 
 // newOnlineDispatcher builds the sharded admission state. The shard
@@ -416,6 +455,7 @@ func newOnlineDispatcher(s *Scheduler, stats *DispatchStats) *onlineDispatcher {
 		clientCap:        s.Policy.clientCap(s.Device.MaxMPSClients),
 		allowInterfering: s.Policy.AllowInterferingPairs,
 		stats:            stats,
+		fl:               obs.Active().FlightRecorder(),
 	}
 	if shards > 0 {
 		d.base, d.rem = s.GPUs/shards, s.GPUs%shards
@@ -434,6 +474,7 @@ func newOnlineDispatcher(s *Scheduler, stats *DispatchStats) *onlineDispatcher {
 		}
 		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
 		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
+		sh.serviceHist = obs.NewLocalHistogram(serviceBoundsMs)
 		lo += n
 	}
 	return d
@@ -486,14 +527,14 @@ func (d *onlineDispatcher) nextCompletion() (simtime.Time, bool) {
 // chosen placement with place.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (at simtime.Time, gpu int, ok bool) {
+func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time, seq int64) (at simtime.Time, gpu int, ok bool) {
 	now := arrival
 	first := true
 	for {
 		d.retire(now)
 		placed := -1
 		for si := range d.shards {
-			if g := d.shards[si].probe(load, first, d.clientCap, d.allowInterfering, d.stats); g >= 0 {
+			if g := d.shards[si].probe(d, load, first, seq, now); g >= 0 {
 				placed = g
 				break
 			}
@@ -517,6 +558,14 @@ func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time) (
 			return 0, -1, false
 		}
 		d.stats.Waits++
+		if d.fl != nil {
+			// The waited-to instant is the global heap minimum — a decision
+			// property, identical at any shard count.
+			d.fl.Record(obs.FlightRecord{
+				Seq: seq, Kind: obs.FlightWait, AtNS: int64(now),
+				GPU: -1, WaitNS: int64(next - now),
+			})
+		}
 		now = next
 		first = false
 	}
@@ -549,8 +598,22 @@ func (d *onlineDispatcher) place(g int, load interference.Load, name string, end
 // name.
 func (d *onlineDispatcher) dispatchOne(a *Arrival, wp *WorkflowProfile, names *arena.Slice[string]) (DispatchEvent, error) {
 	load := wp.load()
-	now, placed, ok := d.admit(load, a.At)
+	seq := d.arrivalSeq
+	d.arrivalSeq++
+	if d.fl != nil {
+		d.fl.Record(obs.FlightRecord{
+			Seq: seq, Kind: obs.FlightArrival, AtNS: int64(a.At),
+			Workflow: a.Workflow.Name, GPU: -1,
+		})
+	}
+	now, placed, ok := d.admit(load, a.At, seq)
 	if !ok {
+		if d.fl != nil {
+			d.fl.Record(obs.FlightRecord{
+				Seq: seq, Kind: obs.FlightReject, AtNS: int64(a.At),
+				Workflow: a.Workflow.Name, GPU: -1,
+			})
+		}
 		return DispatchEvent{}, fmt.Errorf("core: workflow %s cannot be admitted on any GPU (needs %d MiB)",
 			a.Workflow.Name, wp.MaxMemMiB)
 	}
@@ -569,6 +632,14 @@ func (d *onlineDispatcher) dispatchOne(a *Arrival, wp *WorkflowProfile, names *a
 	d.waitedNS += int64(waited)
 	sh.waitHist.Observe(int64(waited / simtime.Millisecond))
 	sh.depthHist.Observe(int64(len(alongside) + 1))
+	sh.serviceHist.Observe(int64(wp.TotalDurationS * 1000))
+	if d.fl != nil {
+		d.fl.Record(obs.FlightRecord{
+			Seq: seq, Kind: obs.FlightDispatch, AtNS: int64(now),
+			Workflow: a.Workflow.Name, GPU: int32(placed),
+			Clients: int32(len(alongside) + 1), WaitNS: int64(waited),
+		})
+	}
 	return DispatchEvent{
 		At:               now,
 		Workflow:         a.Workflow.Name,
@@ -585,9 +656,11 @@ func (d *onlineDispatcher) dispatchOne(a *Arrival, wp *WorkflowProfile, names *a
 func (d *onlineDispatcher) mergeObs(hub *obs.Hub, dispatched int64) {
 	waitHist := hub.Histogram("dispatch_queue_wait_ms", queueWaitBoundsMs)
 	occHist := hub.Histogram("dispatch_collocated_clients", groupOccupancyBounds)
+	svcHist := hub.Histogram("dispatch_service_ms", serviceBoundsMs)
 	for si := range d.shards {
 		d.shards[si].waitHist.MergeInto(waitHist)
 		d.shards[si].depthHist.MergeInto(occHist)
+		d.shards[si].serviceHist.MergeInto(svcHist)
 	}
 	hub.Counter("dispatch_total").Add(dispatched)
 	hub.Counter("dispatch_waited_simns_total").Add(d.waitedNS)

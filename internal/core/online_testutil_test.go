@@ -18,6 +18,7 @@ func testDispatcher(device gpu.DeviceSpec, gpus, shards int, stats *DispatchStat
 		rem:       gpus % shards,
 		clientCap: 8,
 		stats:     stats,
+		fl:        obs.Active().FlightRecorder(),
 	}
 	lo := 0
 	for si := range d.shards {
@@ -33,6 +34,7 @@ func testDispatcher(device gpu.DeviceSpec, gpus, shards int, stats *DispatchStat
 		}
 		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
 		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
+		sh.serviceHist = obs.NewLocalHistogram(serviceBoundsMs)
 		lo += n
 	}
 	return d

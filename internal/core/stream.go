@@ -230,6 +230,10 @@ type StreamState struct {
 	Ring     []string       `json:"ring"`
 	Resident []residentSave `json:"residents"`
 	Hists    []shardHists   `json:"shard_hists"`
+	// Flight carries the decision-provenance ring when telemetry was
+	// enabled at save time, so a resumed run's trail is byte-identical
+	// to the uninterrupted one (nil when disabled).
+	Flight *obs.FlightSnapshot `json:"flight,omitempty"`
 }
 
 // residentSave is one in-flight workflow in a stream snapshot.
@@ -243,8 +247,9 @@ type residentSave struct {
 
 // shardHists is one shard's telemetry in a stream snapshot.
 type shardHists struct {
-	Wait  obs.HistogramSnapshot `json:"wait"`
-	Depth obs.HistogramSnapshot `json:"depth"`
+	Wait    obs.HistogramSnapshot `json:"wait"`
+	Depth   obs.HistogramSnapshot `json:"depth"`
+	Service obs.HistogramSnapshot `json:"service"`
 }
 
 // SaveState snapshots the run. The streamer stays usable; a snapshot is
@@ -283,9 +288,14 @@ func (st *Streamer) SaveState() (*StreamState, error) {
 			}
 		}
 		state.Hists = append(state.Hists, shardHists{
-			Wait:  sh.waitHist.Snapshot(),
-			Depth: sh.depthHist.Snapshot(),
+			Wait:    sh.waitHist.Snapshot(),
+			Depth:   sh.depthHist.Snapshot(),
+			Service: sh.serviceHist.Snapshot(),
 		})
+	}
+	if st.d.fl != nil {
+		fs := st.d.fl.Snapshot()
+		state.Flight = &fs
 	}
 	// Global placement-serial order: per shard, completion events must be
 	// re-scheduled in their original schedule order so the heaps'
@@ -346,6 +356,17 @@ func (s *Scheduler) RestoreStreamer(cfg StreamConfig, state *StreamState) (*Stre
 		if !sh.waitHist.Restore(state.Hists[si].Wait) || !sh.depthHist.Restore(state.Hists[si].Depth) {
 			return nil, fmt.Errorf("core: stream state shard %d histogram bounds mismatch", si)
 		}
+		// Service histograms were added to the state after wait/depth;
+		// restoring an older snapshot (zero-value section) is fine — the
+		// bounds check only rejects a populated mismatched section.
+		if len(state.Hists[si].Service.Bounds) > 0 && !sh.serviceHist.Restore(state.Hists[si].Service) {
+			return nil, fmt.Errorf("core: stream state shard %d service histogram bounds mismatch", si)
+		}
+	}
+	if state.Flight != nil && st.d.fl != nil {
+		if err := st.d.fl.Restore(*state.Flight); err != nil {
+			return nil, fmt.Errorf("core: stream state flight: %w", err)
+		}
 	}
 	for _, line := range state.Ring {
 		st.ring.Push(line)
@@ -355,6 +376,9 @@ func (s *Scheduler) RestoreStreamer(cfg StreamConfig, state *StreamState) (*Stre
 	}
 	st.d.nextSeq = state.NextSeq
 	st.d.waitedNS = state.WaitedNS
+	// One flight/arrival sequence number per dispatched event: resume
+	// continues the uninterrupted numbering.
+	st.d.arrivalSeq = state.Events
 	st.stats = state.Stats
 	st.n = state.Events
 	st.lastAt = state.LastAt

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"gpushare/internal/arena"
+)
+
+// Flight is the decision-provenance recorder: an arena-backed ring of
+// the last N scheduling decisions (arrivals, per-GPU probes with typed
+// rejection reasons, wait spans, dispatches, preemption what-ifs). It
+// answers "why was this gang rejected on GPU 12?" after the fact,
+// without re-running the dispatch — the `gpusched explain` subcommand
+// and GET /debug/flight read its snapshot.
+//
+// The recorder lives under the same determinism contract as the metrics
+// registry (DESIGN.md §10/§15): records carry sim-time and integer-
+// scaled magnitudes only, callers emit them in decision order, and the
+// dispatchers record nothing whose order depends on the shard count —
+// so the snapshot is byte-identical at any -j / -shards. Like every obs
+// type, a nil *Flight is a no-op, and Record on a live recorder with no
+// spill writer allocates nothing.
+
+// FlightKind discriminates decision-trail records.
+type FlightKind uint8
+
+const (
+	// FlightArrival marks a workload entering the dispatcher or a tenant
+	// queue.
+	FlightArrival FlightKind = iota
+	// FlightProbe is one admission probe against one GPU, with the typed
+	// rule verdict.
+	FlightProbe
+	// FlightWait marks the dispatcher blocking an arrival until the next
+	// completion frees capacity.
+	FlightWait
+	// FlightDispatch is the final placement decision.
+	FlightDispatch
+	// FlightReject marks a decision that failed on every candidate in a
+	// round (cluster gangs held for a later round record FlightHold
+	// instead).
+	FlightReject
+	// FlightWhatIf is a preemption feasibility probe: victims removed
+	// under a snapshot, candidate probed, state restored. Detail carries
+	// the pre/post aggregate digests proving the restore.
+	FlightWhatIf
+	// FlightEvict marks a committed preemption (the victim gang's view).
+	FlightEvict
+	// FlightHold marks a gang parked in its tenant queue after a failed
+	// placement round.
+	FlightHold
+)
+
+// flightKindNames orders the kinds for rendering.
+var flightKindNames = [...]string{
+	"arrival", "probe", "wait", "dispatch", "reject", "what-if", "evict", "hold",
+}
+
+// String renders the kind for decision-trail output.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FlightRecord is one decision-trail entry. Every field is a fixed-
+// layout integer or a small string, so records compare and marshal
+// deterministically; the JSON field order is the struct order.
+type FlightRecord struct {
+	// Seq is the decision's arrival sequence number — the key `explain
+	// -seq` groups a trail by. Cluster records use the gang sequence.
+	Seq int64 `json:"seq"`
+	// Kind discriminates the record.
+	Kind FlightKind `json:"kind"`
+	// AtNS is the sim-time of the decision step in nanoseconds.
+	AtNS int64 `json:"at_ns"`
+	// Tenant and Workflow name the subject (empty outside the cluster
+	// layer / when not applicable).
+	Tenant   string `json:"tenant,omitempty"`
+	Workflow string `json:"workflow,omitempty"`
+	// Node names the cluster node probed; empty on the single-pool path.
+	Node string `json:"node,omitempty"`
+	// GPU is the global GPU index probed or placed on; -1 when the
+	// record is not about one GPU.
+	GPU int32 `json:"gpu"`
+	// Clients is the resident client count on the probed GPU at decision
+	// time.
+	Clients int32 `json:"clients,omitempty"`
+	// Rules is the violated-rule bitmask (interference.RuleMask); zero
+	// means the probe admitted.
+	Rules uint8 `json:"rules,omitempty"`
+	// SMExcessMilli / BWExcessMilli / MemExcessMiB are the integer-scaled
+	// violation magnitudes from interference.Reason.
+	SMExcessMilli int64 `json:"sm_excess_milli,omitempty"`
+	BWExcessMilli int64 `json:"bw_excess_milli,omitempty"`
+	MemExcessMiB  int64 `json:"mem_excess_mib,omitempty"`
+	// WaitNS is the span covered by a wait record, or the total queue
+	// wait carried on a dispatch record, in sim nanoseconds.
+	WaitNS int64 `json:"wait_ns,omitempty"`
+	// Detail carries kind-specific context (what-if digests, victim gang
+	// ids). Producers must build it deterministically.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Flight records FlightRecords into a fixed-capacity ring; once full,
+// the oldest record is either spilled as one JSONL line (streaming
+// path) or counted as dropped. Safe for concurrent use — recording is
+// serialized under one mutex so /debug/flight can snapshot while a
+// dispatch runs.
+type Flight struct {
+	mu       sync.Mutex
+	ring     *arena.Ring[FlightRecord]
+	total    int64
+	spilled  int64
+	dropped  int64
+	spill    io.Writer
+	spillErr error
+}
+
+// DefaultFlightCapacity is the ring size NewHub installs.
+const DefaultFlightCapacity = 4096
+
+// NewFlight returns a recorder retaining the last capacity records.
+// Capacity must be positive.
+func NewFlight(capacity int) *Flight {
+	return &Flight{ring: arena.NewRing[FlightRecord](capacity)}
+}
+
+// SetSpill installs w as the JSONL spill sink for evicted records (nil
+// disables spilling; evictions are then counted as dropped). Not safe
+// to change while recording.
+func (f *Flight) SetSpill(w io.Writer) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.spill = w
+	f.spillErr = nil
+	f.mu.Unlock()
+}
+
+// SpillErr returns the first error the spill writer reported; spilling
+// stops (and records drop) after the first failure.
+func (f *Flight) SpillErr() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spillErr
+}
+
+// Record appends one decision record. With no spill writer installed
+// the call allocates nothing — the ring either has room or silently
+// drops its oldest entry (counted) — so hot paths record
+// unconditionally.
+//
+//repro:hotpath pinned by TestFlightRecordAllocs
+func (f *Flight) Record(r FlightRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	old, evicted := f.ring.Push(r)
+	f.total++
+	if evicted {
+		if f.spill != nil && f.spillErr == nil {
+			f.writeSpill(old)
+		} else {
+			f.dropped++
+		}
+	}
+	f.mu.Unlock()
+}
+
+// writeSpill emits one evicted record as a JSONL line. Called with
+// f.mu held and f.spill non-nil.
+func (f *Flight) writeSpill(r FlightRecord) {
+	data, err := json.Marshal(r) //repro:allow:hotpathalloc spill path is opt-in and off the 0-alloc contract
+	if err != nil {
+		f.spillErr = fmt.Errorf("obs: marshal flight record: %w", err) //repro:allow:hotpathalloc spill path is opt-in and off the 0-alloc contract
+		f.dropped++
+		return
+	}
+	data = append(data, '\n') //repro:allow:hotpathalloc spill path is opt-in and off the 0-alloc contract
+	if _, err := f.spill.Write(data); err != nil {
+		f.spillErr = fmt.Errorf("obs: spill flight record: %w", err) //repro:allow:hotpathalloc spill path is opt-in and off the 0-alloc contract
+		f.dropped++
+		return
+	}
+	f.spilled++
+}
+
+// FlightSnapshot is the exported recorder state: the retained records
+// oldest-first plus the lifetime accounting. Identical decision
+// streams produce identical snapshots, and json.Marshal of the struct
+// is byte-stable, so snapshots diff exactly across shard counts.
+type FlightSnapshot struct {
+	Capacity int            `json:"capacity"`
+	Total    int64          `json:"total"`
+	Spilled  int64          `json:"spilled"`
+	Dropped  int64          `json:"dropped"`
+	Records  []FlightRecord `json:"records"`
+}
+
+// Snapshot copies the current state. A nil recorder yields a zero
+// snapshot with an empty (non-nil) record slice so the JSON shape is
+// stable.
+func (f *Flight) Snapshot() FlightSnapshot {
+	s := FlightSnapshot{Records: []FlightRecord{}}
+	if f == nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s.Capacity = f.ring.Cap()
+	s.Total = f.total
+	s.Spilled = f.spilled
+	s.Dropped = f.dropped
+	s.Records = f.ring.Snapshot(s.Records)
+	return s
+}
+
+// Restore overwrites the recorder from a snapshot (the streaming
+// dispatcher reloads flight state on resume so an interrupted run's
+// trail matches the uninterrupted one). The snapshot must fit the
+// recorder's capacity.
+func (f *Flight) Restore(s FlightSnapshot) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(s.Records) > f.ring.Cap() {
+		return fmt.Errorf("obs: flight restore: %d records exceed capacity %d", len(s.Records), f.ring.Cap())
+	}
+	f.ring.Reset()
+	for _, r := range s.Records {
+		f.ring.Push(r)
+	}
+	f.total = s.Total
+	f.spilled = s.Spilled
+	f.dropped = s.Dropped
+	return nil
+}
+
+// FlightDump is the wire format served by GET /debug/flight and written
+// by the CLIs' -flight-out: the decision trail plus the metrics
+// snapshot whose histograms carry the tenant latency quantiles.
+type FlightDump struct {
+	Flight  FlightSnapshot `json:"flight"`
+	Metrics Snapshot       `json:"metrics"`
+}
+
+// WriteJSON writes the dump as indented JSON with a trailing newline,
+// matching the registry snapshot framing.
+func (d FlightDump) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal flight dump: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write flight dump: %w", err)
+	}
+	return nil
+}
+
+// Dump captures the hub's flight snapshot and metrics snapshot
+// together. Nil-safe like every hub method.
+func (h *Hub) Dump() FlightDump {
+	d := FlightDump{Flight: (*Flight)(nil).Snapshot()}
+	if h == nil {
+		d.Metrics = (*Registry)(nil).Snapshot()
+		return d
+	}
+	d.Flight = h.Flight.Snapshot()
+	d.Metrics = h.Metrics.Snapshot()
+	return d
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func flightRec(seq int64, kind FlightKind, gpu int32) FlightRecord {
+	return FlightRecord{Seq: seq, Kind: kind, AtNS: seq * 1000, GPU: gpu}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	f.Record(flightRec(1, FlightProbe, 0))
+	f.SetSpill(&bytes.Buffer{})
+	if err := f.SpillErr(); err != nil {
+		t.Fatalf("nil flight spill err: %v", err)
+	}
+	if err := f.Restore(FlightSnapshot{}); err != nil {
+		t.Fatalf("nil flight restore: %v", err)
+	}
+	s := f.Snapshot()
+	if s.Total != 0 || s.Records == nil || len(s.Records) != 0 {
+		t.Fatalf("nil flight snapshot = %+v", s)
+	}
+
+	var h *Hub
+	if h.FlightRecorder() != nil {
+		t.Fatal("nil hub returned a recorder")
+	}
+	d := h.Dump()
+	if d.Flight.Records == nil || d.Metrics.Counters == nil {
+		t.Fatalf("nil hub dump has nil sections: %+v", d)
+	}
+}
+
+func TestFlightRecordAndSnapshot(t *testing.T) {
+	f := NewFlight(3)
+	for seq := int64(1); seq <= 5; seq++ {
+		f.Record(flightRec(seq, FlightProbe, int32(seq)))
+	}
+	s := f.Snapshot()
+	if s.Capacity != 3 || s.Total != 5 || s.Dropped != 2 || s.Spilled != 0 {
+		t.Fatalf("accounting = %+v", s)
+	}
+	if len(s.Records) != 3 || s.Records[0].Seq != 3 || s.Records[2].Seq != 5 {
+		t.Fatalf("retained window = %+v", s.Records)
+	}
+}
+
+func TestFlightSpillJSONL(t *testing.T) {
+	f := NewFlight(2)
+	var spill bytes.Buffer
+	f.SetSpill(&spill)
+	for seq := int64(1); seq <= 4; seq++ {
+		f.Record(flightRec(seq, FlightDispatch, -1))
+	}
+	s := f.Snapshot()
+	if s.Spilled != 2 || s.Dropped != 0 {
+		t.Fatalf("accounting = %+v", s)
+	}
+	lines := strings.Split(strings.TrimSuffix(spill.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("spill lines = %q", lines)
+	}
+	for i, line := range lines {
+		var r FlightRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("spill line %d not JSON: %v", i, err)
+		}
+		if r.Seq != int64(i+1) || r.Kind != FlightDispatch {
+			t.Fatalf("spill line %d = %+v", i, r)
+		}
+	}
+	if err := f.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("write refused") }
+
+func TestFlightSpillError(t *testing.T) {
+	f := NewFlight(1)
+	f.SetSpill(failWriter{})
+	f.Record(flightRec(1, FlightProbe, 0))
+	f.Record(flightRec(2, FlightProbe, 0)) // evicts 1, spill fails
+	f.Record(flightRec(3, FlightProbe, 0)) // evicts 2, spill disabled
+	if err := f.SpillErr(); err == nil {
+		t.Fatal("spill error not surfaced")
+	}
+	s := f.Snapshot()
+	if s.Spilled != 0 || s.Dropped != 2 {
+		t.Fatalf("accounting after spill failure = %+v", s)
+	}
+}
+
+func TestFlightRestoreRoundTrip(t *testing.T) {
+	f := NewFlight(4)
+	for seq := int64(1); seq <= 6; seq++ {
+		r := flightRec(seq, FlightProbe, int32(seq%3))
+		r.Tenant = "tenant-a"
+		r.Rules = 0x5
+		r.SMExcessMilli = seq * 100
+		f.Record(r)
+	}
+	snap := f.Snapshot()
+
+	fresh := NewFlight(4)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Snapshot(), snap) {
+		t.Fatalf("restored snapshot diverged:\n%+v\nvs\n%+v", fresh.Snapshot(), snap)
+	}
+
+	small := NewFlight(2)
+	if err := small.Restore(snap); err == nil {
+		t.Fatal("restore into a smaller ring did not fail")
+	}
+}
+
+// TestFlightSnapshotBytesStable pins the golden-diff contract: the same
+// decision stream marshals to the same bytes, and the record JSON field
+// order is the struct order (no map anywhere in the dump).
+func TestFlightSnapshotBytesStable(t *testing.T) {
+	build := func() []byte {
+		f := NewFlight(8)
+		f.Record(FlightRecord{Seq: 1, Kind: FlightArrival, GPU: -1, Workflow: "cfd"})
+		f.Record(FlightRecord{Seq: 1, Kind: FlightProbe, GPU: 0, Clients: 2, Rules: 1, SMExcessMilli: 1500})
+		f.Record(FlightRecord{Seq: 1, Kind: FlightDispatch, GPU: 1, WaitNS: 250})
+		data, err := json.Marshal(f.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot bytes unstable:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"sm_excess_milli":1500`)) {
+		t.Fatalf("snapshot missing reason fields: %s", a)
+	}
+}
+
+func TestFlightKindString(t *testing.T) {
+	cases := map[FlightKind]string{
+		FlightArrival:  "arrival",
+		FlightProbe:    "probe",
+		FlightWait:     "wait",
+		FlightDispatch: "dispatch",
+		FlightReject:   "reject",
+		FlightWhatIf:   "what-if",
+		FlightEvict:    "evict",
+		FlightHold:     "hold",
+		FlightKind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("FlightKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestFlightRecordAllocs is the runtime half of Record's //repro:hotpath
+// annotation: recording on a nil recorder (telemetry disabled) and on a
+// live recorder without a spill writer both allocate nothing — even
+// while the full ring is evicting on every push.
+func TestFlightRecordAllocs(t *testing.T) {
+	rec := flightRec(7, FlightProbe, 3)
+
+	var disabled *Flight
+	if allocs := testing.AllocsPerRun(200, func() { disabled.Record(rec) }); allocs != 0 {
+		t.Fatalf("nil Record allocated %.1f objects, want 0", allocs)
+	}
+
+	f := NewFlight(16)
+	for i := 0; i < 32; i++ { // saturate so every Record evicts
+		f.Record(rec)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { f.Record(rec) }); allocs != 0 {
+		t.Fatalf("enabled Record allocated %.1f objects, want 0", allocs)
+	}
+}
+
+func TestHubDump(t *testing.T) {
+	h := NewHub(nil)
+	h.Counter("decisions").Add(2)
+	h.FlightRecorder().Record(flightRec(1, FlightDispatch, 0))
+	d := h.Dump()
+	if d.Flight.Total != 1 || d.Metrics.Counters["decisions"] != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") || !strings.Contains(buf.String(), `"flight"`) {
+		t.Fatalf("dump JSON framing: %q", buf.String())
+	}
+}

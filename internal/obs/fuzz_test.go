@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFlightRing drives the flight recorder against a plain-slice
+// reference model: any record sequence must retain exactly the last
+// `capacity` records, count every eviction as dropped (no spill
+// installed), and survive a snapshot/restore round trip into a fresh
+// recorder with a bit-identical snapshot — the property the streamer's
+// resume path depends on.
+func FuzzFlightRing(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint8(1), []byte{9, 9, 9})
+	f.Add(uint8(7), []byte{})
+	f.Add(uint8(0), []byte{0, 255, 7, 7, 128, 3})
+	f.Fuzz(func(t *testing.T, capacity uint8, ops []byte) {
+		capN := int(capacity%16) + 1
+		fl := NewFlight(capN)
+		var model []FlightRecord
+		var dropped int64
+		for i, op := range ops {
+			r := FlightRecord{
+				Seq:           int64(i / 3),
+				Kind:          FlightKind(op % 8),
+				AtNS:          int64(i) * 100,
+				GPU:           int32(op%5) - 1,
+				Clients:       int32(op % 4),
+				Rules:         op % 16,
+				SMExcessMilli: int64(op) * 7,
+				WaitNS:        int64(op%2) * 900,
+			}
+			fl.Record(r)
+			model = append(model, r)
+			if len(model) > capN {
+				model = model[1:]
+				dropped++
+			}
+		}
+		s := fl.Snapshot()
+		if s.Total != int64(len(ops)) || s.Dropped != dropped || s.Spilled != 0 {
+			t.Fatalf("accounting = %+v, want total %d dropped %d", s, len(ops), dropped)
+		}
+		if len(s.Records) != len(model) {
+			t.Fatalf("retained %d records, model %d", len(s.Records), len(model))
+		}
+		for i := range model {
+			if s.Records[i] != model[i] {
+				t.Fatalf("record %d = %+v, model %+v", i, s.Records[i], model[i])
+			}
+		}
+
+		fresh := NewFlight(capN)
+		if err := fresh.Restore(s); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		if !reflect.DeepEqual(fresh.Snapshot(), s) {
+			t.Fatal("restore round trip diverged")
+		}
+		// The restored recorder must keep evicting like the original.
+		extra := FlightRecord{Seq: 999, Kind: FlightDispatch, GPU: -1}
+		fl.Record(extra)
+		fresh.Record(extra)
+		if !reflect.DeepEqual(fresh.Snapshot(), fl.Snapshot()) {
+			t.Fatal("post-restore recording diverged from uninterrupted recorder")
+		}
+	})
+}

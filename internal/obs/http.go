@@ -3,11 +3,16 @@ package obs
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // Handler returns the live inspection endpoint for a hub:
 //
-//	/metrics        deterministic JSON snapshot of the metrics registry
+//	/metrics        deterministic snapshot of the metrics registry —
+//	                JSON by default, Prometheus text exposition when the
+//	                request asks for it (?format=prometheus, or an
+//	                Accept header naming text/plain or openmetrics)
+//	/debug/flight   decision-provenance dump (flight ring + metrics)
 //	/healthz        liveness probe ("ok")
 //	/debug/pprof/*  net/http/pprof profiles
 //
@@ -19,17 +24,26 @@ func Handler(h *Hub) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var reg *Registry
 		if h != nil {
 			reg = h.Metrics
 		}
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = reg.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if err := reg.WriteJSON(w); err != nil {
 			// The header is already out; nothing to do but drop the
 			// connection, which WriteJSON's error already implies.
 			return
 		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = h.Dump().WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -37,4 +51,17 @@ func Handler(h *Hub) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation. JSON stays the
+// default (the obs-smoke golden and existing tooling diff it); scrapers
+// opt in explicitly via ?format=prometheus or an Accept header naming a
+// text exposition format.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }

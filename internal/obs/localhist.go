@@ -1,5 +1,7 @@
 package obs
 
+import "math"
+
 // LocalHistogram is the single-owner counterpart of Histogram: the same
 // int64 fixed-bucket shape, but plain fields instead of atomics, so a
 // hot loop that owns the histogram (one dispatcher shard, one worker)
@@ -51,8 +53,48 @@ func (h *LocalHistogram) Count() int64 {
 	return h.count
 }
 
+// Quantile returns the p-quantile (0 < p <= 1) as the inclusive upper
+// bound of the bucket holding the ceil(p*count)-th observation, oldest
+// bucket first. The walk is pure integer comparison over commutative
+// bucket sums, so the answer is deterministic at any merge order and
+// ties always resolve to the lower bucket. Observations past the last
+// bound saturate to that bound (the histogram cannot resolve further);
+// an empty histogram returns 0.
+func (h *LocalHistogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return bucketQuantile(h.bounds, h.counts, h.count, p)
+}
+
+// bucketQuantile is the shared exact-quantile walk over a fixed-bucket
+// histogram state (counts has the trailing overflow bucket).
+func bucketQuantile(bounds, counts []int64, count int64, p float64) int64 {
+	if count <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return bounds[len(bounds)-1]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Snapshot exports the histogram state in the registry's snapshot
-// shape.
+// shape, including the standard latency quantiles.
 func (h *LocalHistogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -62,6 +104,9 @@ func (h *LocalHistogram) Snapshot() HistogramSnapshot {
 		Counts: append([]int64(nil), h.counts...),
 		Count:  h.count,
 		Sum:    h.sum,
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
 	}
 }
 

@@ -16,6 +16,9 @@ func TestLocalHistogramObserveAndSnapshot(t *testing.T) {
 		Counts: []int64{2, 2, 2},
 		Count:  6,
 		Sum:    5222,
+		// p50 = rank 3 of 6 → second bucket's bound; p90/p99 land in the
+		// overflow bucket and saturate to the last finite bound.
+		P50: 100, P90: 100, P99: 100,
 	}
 	if !reflect.DeepEqual(s, want) {
 		t.Fatalf("snapshot = %+v, want %+v", s, want)

@@ -6,21 +6,27 @@ import (
 	"gpushare/internal/simtime"
 )
 
-// Hub bundles the telemetry sinks one process shares: a metrics registry
-// and a span recorder. Either field may be nil; every method is safe on a
-// nil *Hub, so instrumented code reads the active hub once and calls
-// through unconditionally.
+// Hub bundles the telemetry sinks one process shares: a metrics
+// registry, a span recorder, and a flight recorder for decision
+// provenance. Any field may be nil; every method is safe on a nil *Hub,
+// so instrumented code reads the active hub once and calls through
+// unconditionally.
 type Hub struct {
 	Metrics *Registry
 	Spans   *SpanRecorder
+	Flight  *Flight
 }
 
-// NewHub returns a hub with a fresh registry and span recorder. clock
-// supplies wall-clock nanoseconds for wall-time spans (nil disables
-// them); the CLIs pass time.Now().UnixNano from outside the
-// nodeterminism analyzer scope.
+// NewHub returns a hub with a fresh registry, span recorder, and a
+// flight recorder at DefaultFlightCapacity. clock supplies wall-clock
+// nanoseconds for wall-time spans (nil disables them); the CLIs pass
+// time.Now().UnixNano from outside the nodeterminism analyzer scope.
 func NewHub(clock func() int64) *Hub {
-	return &Hub{Metrics: NewRegistry(), Spans: NewSpanRecorder(clock, 0)}
+	return &Hub{
+		Metrics: NewRegistry(),
+		Spans:   NewSpanRecorder(clock, 0),
+		Flight:  NewFlight(DefaultFlightCapacity),
+	}
 }
 
 // Counter resolves a registry counter; nil when telemetry is off.
@@ -62,6 +68,16 @@ func (h *Hub) StartWall(track, name string) Span {
 		return Span{}
 	}
 	return h.Spans.StartWall(track, name)
+}
+
+// FlightRecorder resolves the hub's flight recorder; nil when telemetry
+// is off. A nil *Flight is itself a no-op, so dispatchers capture it
+// once at construction time and record unconditionally.
+func (h *Hub) FlightRecorder() *Flight {
+	if h == nil {
+		return nil
+	}
+	return h.Flight
 }
 
 // SpansEnabled reports whether span recording is active — instrumented

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes the registry state in Prometheus text
+// exposition format 0.0.4, the content type PromContentType declares.
+// Families are emitted counters-first, then gauges, then histograms,
+// each name-sorted, so identical metric states produce identical bytes
+// — the same golden-diff contract as the JSON snapshot. Metric names
+// come from MetricName or string literals and are already restricted to
+// [a-z0-9_], which is valid Prometheus syntax as-is.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b bytes.Buffer
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatInt(bound, 10), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return fmt.Errorf("obs: write prometheus exposition: %w", err)
+	}
+	return nil
+}
+
+// PromContentType is the Content-Type for WritePrometheus output.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// sortedKeys returns a map's keys in ascending order — exposition
+// iterates maps only through it (deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a registry with every metric family, inserting in
+// a deliberately unsorted order so the golden pins the name-sorted
+// output.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("zz_last").Add(3)
+	r.Counter("dispatch_total").Add(42)
+	r.Gauge("queue_depth").Set(7)
+	r.Gauge("gpu_high_water").SetMax(12)
+	h := r.Histogram("wait_ms", []int64{1, 10, 100})
+	for _, v := range []int64{0, 5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	r.Histogram("empty_ms", []int64{5})
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition bytes: family order
+// (counters, gauges, histograms; name-sorted within each), cumulative
+// le buckets, and the 0.0.4 framing. Regenerate (only when
+// intentionally changing the format) with:
+//
+//	GOLDEN_UPDATE=1 go test -run TestWritePrometheusGolden ./internal/obs
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prom_golden.txt")
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with GOLDEN_UPDATE=1 to create): %v", path, err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("prometheus exposition diverged:\n--- want\n%s\n--- got\n%s", want, buf.Bytes())
+	}
+
+	// Byte-stability across repeated writes.
+	var again bytes.Buffer
+	if err := promRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("exposition not byte-stable across registries with identical state")
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q", buf.String())
+	}
+}
+
+// TestMetricsContentNegotiation pins the /metrics representation
+// switch: JSON by default (the obs-smoke golden depends on it),
+// Prometheus on explicit request.
+func TestMetricsContentNegotiation(t *testing.T) {
+	h := NewHub(nil)
+	h.Counter("requests").Add(7)
+	srv := httptest.NewServer(Handler(h))
+	defer srv.Close()
+
+	get := func(path, accept string) (string, string) {
+		r, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	ct, body := get("/metrics", "")
+	if !strings.Contains(ct, "application/json") || !strings.Contains(body, `"requests": 7`) {
+		t.Fatalf("default /metrics = %q %q", ct, body)
+	}
+	ct, body = get("/metrics?format=prometheus", "")
+	if ct != PromContentType || !strings.Contains(body, "requests 7") {
+		t.Fatalf("?format=prometheus = %q %q", ct, body)
+	}
+	ct, body = get("/metrics", "text/plain")
+	if ct != PromContentType || !strings.Contains(body, "# TYPE requests counter") {
+		t.Fatalf("Accept: text/plain = %q %q", ct, body)
+	}
+	ct, _ = get("/metrics", "application/openmetrics-text; version=1.0.0")
+	if ct != PromContentType {
+		t.Fatalf("openmetrics Accept = %q", ct)
+	}
+}

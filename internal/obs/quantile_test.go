@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the reference implementation the bucket walk must
+// match: discretize every observation to its bucket's upper bound
+// (saturating past the last bound), sort, and pick the ceil(p*n)-th
+// element.
+func refQuantile(bounds []int64, values []int64, p float64) int64 {
+	if len(values) == 0 || len(bounds) == 0 {
+		return 0
+	}
+	disc := make([]int64, len(values))
+	for i, v := range values {
+		b := bounds[len(bounds)-1]
+		for _, bound := range bounds {
+			if v <= bound {
+				b = bound
+				break
+			}
+		}
+		disc[i] = b
+	}
+	sort.Slice(disc, func(i, j int) bool { return disc[i] < disc[j] })
+	rank := int(float64(len(disc)) * p)
+	if float64(rank) < float64(len(disc))*p {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(disc) {
+		rank = len(disc)
+	}
+	return disc[rank-1]
+}
+
+func TestQuantileAgainstReferenceSort(t *testing.T) {
+	bounds := []int64{1, 5, 10, 50, 100, 500}
+	quantiles := []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0}
+
+	// Deterministic pseudo-random workloads: uniform, skewed-low, and
+	// all-overflow.
+	rng := rand.New(rand.NewSource(42))
+	workloads := [][]int64{
+		{}, {3}, {1000}, {0, 0, 0, 0},
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			switch trial % 3 {
+			case 0:
+				vals[i] = int64(rng.Intn(600))
+			case 1:
+				vals[i] = int64(rng.Intn(8))
+			default:
+				vals[i] = 500 + int64(rng.Intn(100))
+			}
+		}
+		workloads = append(workloads, vals)
+	}
+
+	for wi, vals := range workloads {
+		h := NewLocalHistogram(bounds)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		for _, p := range quantiles {
+			want := refQuantile(bounds, vals, p)
+			if got := h.Quantile(p); got != want {
+				t.Fatalf("workload %d (%d values) Quantile(%v) = %d, want %d",
+					wi, len(vals), p, got, want)
+			}
+			if got := h.Snapshot().Quantile(p); got != want {
+				t.Fatalf("workload %d snapshot Quantile(%v) = %d, want %d", wi, p, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *LocalHistogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile")
+	}
+	empty := NewLocalHistogram([]int64{1, 2})
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("zero snapshot quantile")
+	}
+
+	h := NewLocalHistogram([]int64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(99) // overflow saturates to the last bound
+	if got := h.Quantile(1.0); got != 20 {
+		t.Fatalf("overflow quantile = %d, want 20 (saturated)", got)
+	}
+	if got := h.Quantile(0.0001); got != 10 {
+		t.Fatalf("tiny-p quantile = %d, want 10 (rank clamps to 1)", got)
+	}
+}
+
+// TestSnapshotQuantiles pins the p50/p90/p99 fields the registry
+// snapshot derives.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{1, 10, 100})
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v) // 2 in <=1, 9 in <=10, 89 in <=100
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.P50 != 100 || s.P90 != 100 || s.P99 != 100 {
+		t.Fatalf("quantiles = p50 %d p90 %d p99 %d", s.P50, s.P90, s.P99)
+	}
+	low := r.Histogram("low", []int64{1, 10, 100})
+	for i := 0; i < 95; i++ {
+		low.Observe(0)
+	}
+	for i := 0; i < 5; i++ {
+		low.Observe(50)
+	}
+	ls := r.Snapshot().Histograms["low"]
+	if ls.P50 != 1 || ls.P90 != 1 || ls.P99 != 100 {
+		t.Fatalf("quantiles = p50 %d p90 %d p99 %d, want 1/1/100", ls.P50, ls.P90, ls.P99)
+	}
+}

@@ -136,6 +136,20 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
+	// P50/P90/P99 are exact bucket-walk quantiles (see
+	// LocalHistogram.Quantile): the upper bound of the bucket holding
+	// the ceil(p*count)-th observation. Derived on snapshot; Restore
+	// ignores them.
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+}
+
+// Quantile recomputes the p-quantile from the snapshot's buckets, with
+// LocalHistogram.Quantile's exact semantics. The CLIs use it to derive
+// additional quantiles from a saved dump.
+func (s HistogramSnapshot) Quantile(p float64) int64 {
+	return bucketQuantile(s.Bounds, s.Counts, s.Count, p)
 }
 
 // Registry is a named collection of counters, gauges and histograms.
@@ -245,6 +259,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P90 = hs.Quantile(0.90)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	return s

@@ -4,7 +4,10 @@
 #   - /healthz answers while the process is up,
 #   - /metrics matches the committed golden snapshot byte for byte
 #     (the snapshot is deterministic: same seed => same bytes, at any -j),
-#   - /debug/pprof is mounted.
+#   - /metrics serves Prometheus text when asked for it,
+#   - /debug/pprof and /debug/flight are mounted,
+#   - the gpusched flight-recorder dump is byte-identical at 1 vs 16
+#     dispatcher shards (decision provenance is shard-count invariant).
 # CI runs this via `make obs-smoke`.
 set -euo pipefail
 
@@ -53,5 +56,24 @@ if ! diff -u "$GOLDEN" "$TMP/metrics.json"; then
 fi
 
 curl -sf "http://$ADDR/debug/pprof/cmdline" >/dev/null
+
+# Content negotiation: the same registry serves Prometheus text 0.0.4.
+curl -sf "http://$ADDR/metrics?format=prometheus" | grep -q '^# TYPE '
+
+# The decision-provenance dump is mounted (empty trail is fine here —
+# the batch pipeline records into the registry, not the flight ring).
+curl -sf "http://$ADDR/debug/flight" | grep -q '"flight"'
+
+# Flight shard identity: the same fleet planned with 1 and 16 dispatcher
+# shards must write byte-identical flight dumps — the 1-shard run is the
+# golden for the sharded one.
+go build -o "$TMP/gpusched" ./cmd/gpusched
+"$TMP/gpusched" bench-online -fleet 2000x16 -shards 1 -flight-out "$TMP/flight-1.json" >/dev/null
+"$TMP/gpusched" bench-online -fleet 2000x16 -shards 16 -flight-out "$TMP/flight-16.json" >/dev/null
+if ! diff -u "$TMP/flight-1.json" "$TMP/flight-16.json"; then
+    echo "obs_smoke: flight dump diverged between 1 and 16 shards" >&2
+    exit 1
+fi
+"$TMP/gpusched" explain -flight "$TMP/flight-1.json" -seq 1999 >/dev/null
 
 echo "obs_smoke: ok"
