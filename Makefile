@@ -18,10 +18,10 @@ test:
 	$(GO) test ./...
 
 # Focused race check over the packages that share state across the
-# parallel runner's worker pool (fast enough for the inner dev loop;
-# `make race` still covers everything).
+# parallel runner's worker pool or the decision-plane probe gang (fast
+# enough for the inner dev loop; `make race` still covers everything).
 test-race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/core
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/core ./internal/cluster
 
 race:
 	$(GO) test -race ./...
@@ -84,6 +84,12 @@ bench-smoke:
 		echo "sharded/streamed dispatch digest mismatch: '$$d1' vs '$$d2'"; exit 1; \
 	fi; \
 	echo "sharded+streamed dispatch identity OK ($$d1)"
+	@d1=$$($(GO) run ./cmd/gpusched bench-online -fleet 2000x16 -shards 8 -probe-workers 1 | sed -n 's/.*dispatch digest //p'); \
+	d2=$$($(GO) run ./cmd/gpusched bench-online -fleet 2000x16 -shards 8 -probe-workers 8 | sed -n 's/.*dispatch digest //p'); \
+	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+		echo "serial/parallel probe dispatch digest mismatch: '$$d1' vs '$$d2'"; exit 1; \
+	fi; \
+	echo "probe-worker dispatch identity OK ($$d1)"
 
 # Regenerate BENCH_dispatcher.json from the live tree (the historical
 # "before" columns stay pinned in the script; see its header).

@@ -95,6 +95,7 @@ func main() {
 		htaddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (serve mode defaults to 127.0.0.1:8378)")
 		fleet     = flag.String("fleet", "10000x64", "bench-online fleet shape WORKFLOWSxGPUS")
 		shards    = flag.Int("shards", 0, "online dispatcher shard count (0 selects 1; clamped to the GPU count); dispatch decisions are byte-identical at any value")
+		probeWkrs = flag.Int("probe-workers", 0, "decision-plane probe workers: fan shard/node scans over this many persistent workers (<= 1 scans serially); decisions are byte-identical at any value")
 		arrivals  = flag.Int("arrivals", 0, "bench-online: override the workflow count from -fleet")
 		stream    = flag.Bool("stream", false, "bench-online: run the bounded-memory streaming ingest path; serve: expose POST /ingest and GET /stream/state")
 		flightOut = flag.String("flight-out", "", "write the flight-recorder decision trail (explain's input) to this file after the run; implies telemetry")
@@ -177,7 +178,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		streamSrv, err = newStreamServer(spec, policy, *fleet, *shards, *seed)
+		streamSrv, err = newStreamServer(spec, policy, *fleet, *shards, *probeWkrs, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -215,7 +216,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFleetBench(spec, policy, *fleet, *seed, *shards, *arrivals, *stream); err != nil {
+		if err := runFleetBench(spec, policy, *fleet, *seed, *shards, *probeWkrs, *arrivals, *stream); err != nil {
 			fatal(err)
 		}
 		flushFlight()
@@ -242,7 +243,7 @@ func main() {
 		return
 	}
 	if clusterBench {
-		if err := runClusterBench(spec, *clusterShape, *clusterMode, *discipline, *tenants, *preempt, *workflows, *seed); err != nil {
+		if err := runClusterBench(spec, *clusterShape, *clusterMode, *discipline, *tenants, *preempt, *workflows, *probeWkrs, *seed); err != nil {
 			fatal(err)
 		}
 		flushFlight()
@@ -362,22 +363,33 @@ func shutdownServer(srv *http.Server, serveErr chan error) {
 	}
 }
 
-// parseFleetShape validates a WORKFLOWSxGPUS shape string. Sscanf-style
-// parsing is too forgiving here (it accepts trailing garbage and
-// negative counts), so the two fields are cut and converted explicitly.
-func parseFleetShape(shape string) (workflows, gpus int, err error) {
-	w, g, ok := strings.Cut(shape, "x")
+// parseShape validates an AxB shape string, shared by every flag that
+// takes one (-fleet, -cluster). Sscanf-style parsing is too forgiving
+// here (it accepts trailing garbage and negative counts), so the two
+// fields are cut and converted explicitly.
+func parseShape(flagName, form, example, shape string) (int, int, error) {
+	a, b, ok := strings.Cut(shape, "x")
 	if ok {
-		wv, werr := strconv.Atoi(w)
-		gv, gerr := strconv.Atoi(g)
-		if werr == nil && gerr == nil {
-			if wv < 1 || gv < 1 {
-				return 0, 0, fmt.Errorf("-fleet %q: both counts must be positive", shape)
+		av, aerr := strconv.Atoi(a)
+		bv, berr := strconv.Atoi(b)
+		if aerr == nil && berr == nil {
+			if av < 1 || bv < 1 {
+				return 0, 0, fmt.Errorf("%s %q: both counts must be positive", flagName, shape)
 			}
-			return wv, gv, nil
+			return av, bv, nil
 		}
 	}
-	return 0, 0, fmt.Errorf("-fleet wants WORKFLOWSxGPUS (e.g. 50000x256), got %q", shape)
+	return 0, 0, fmt.Errorf("%s wants %s (e.g. %s), got %q", flagName, form, example, shape)
+}
+
+// parseFleetShape validates a -fleet WORKFLOWSxGPUS shape string.
+func parseFleetShape(shape string) (workflows, gpus int, err error) {
+	return parseShape("-fleet", "WORKFLOWSxGPUS", "50000x256", shape)
+}
+
+// parseClusterShape validates a -cluster NODESxGPUS shape string.
+func parseClusterShape(shape string) (nodes, gpusPerNode int, err error) {
+	return parseShape("-cluster", "NODESxGPUS", "8x4", shape)
 }
 
 // runFleetBench times the online decision path alone at fleet scale: a
@@ -386,13 +398,16 @@ func parseFleetShape(shape string) (workflows, gpus int, err error) {
 // timing lives here because cmd/ sits outside the nodeterminism
 // analyzer scope. The dispatch-log digest is printed so runs at
 // different -shards values (and plan vs stream) can be diffed.
-func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed uint64, shards, arrivalCount int, stream bool) error {
+func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed uint64, shards, probeWorkers, arrivalCount int, stream bool) error {
 	workflows, gpus, err := parseFleetShape(shape)
 	if err != nil {
 		return err
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (0 selects 1 shard), got %d", shards)
+	}
+	if probeWorkers < 0 {
+		return fmt.Errorf("-probe-workers must be >= 0 (<= 1 scans serially), got %d", probeWorkers)
 	}
 	if arrivalCount < 0 {
 		return fmt.Errorf("-arrivals must be >= 0 (0 keeps the -fleet count), got %d", arrivalCount)
@@ -419,6 +434,7 @@ func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed u
 			return err
 		}
 		sched.Shards = shards
+		sched.ProbeWorkers = probeWorkers
 		st, err := sched.NewStreamer(core.StreamConfig{})
 		if err != nil {
 			return err
@@ -449,6 +465,7 @@ func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed u
 			return err
 		}
 		sched.Shards = shards
+		sched.ProbeWorkers = probeWorkers
 		start := time.Now()
 		plan, err := sched.PlanOnline(arrivals)
 		if err != nil {
@@ -463,8 +480,8 @@ func runFleetBench(spec gpu.DeviceSpec, policy core.Policy, shape string, seed u
 			return err
 		}
 	}
-	fmt.Printf("fleet %dx%d (%s policy, %d shard(s)%s): planned %d dispatches in %v (%.0f ns/arrival)\n",
-		workflows, gpus, policy.Objective, max(shards, 1), map[bool]string{true: ", streamed", false: ""}[stream],
+	fmt.Printf("fleet %dx%d (%s policy, %d shard(s), %d probe worker(s)%s): planned %d dispatches in %v (%.0f ns/arrival)\n",
+		workflows, gpus, policy.Objective, max(shards, 1), max(probeWorkers, 1), map[bool]string{true: ", streamed", false: ""}[stream],
 		dispatched, elapsed.Round(time.Millisecond),
 		float64(elapsed.Nanoseconds())/float64(dispatched))
 	fmt.Printf("  admission probes %d  wait events %d  retirements %d  mean wait %.1fs\n",
@@ -490,13 +507,10 @@ func dispatchDigest(events []core.DispatchEvent) (string, error) {
 // planned over a cluster of nodes, no simulated execution. Like
 // runFleetBench, wall timing lives in cmd/ outside the nodeterminism
 // analyzer scope.
-func runClusterBench(device gpu.DeviceSpec, shape, modeStr, disciplineStr string, tenantCount int, preempt bool, workflows int, seed uint64) error {
-	var nodes, gpusPerNode int
-	if _, err := fmt.Sscanf(shape, "%dx%d", &nodes, &gpusPerNode); err != nil {
-		return fmt.Errorf("-cluster wants NODESxGPUS (e.g. 8x4), got %q: %w", shape, err)
-	}
-	if nodes < 1 || gpusPerNode < 1 {
-		return fmt.Errorf("-cluster %q: both counts must be positive", shape)
+func runClusterBench(device gpu.DeviceSpec, shape, modeStr, disciplineStr string, tenantCount int, preempt bool, workflows, probeWorkers int, seed uint64) error {
+	nodes, gpusPerNode, err := parseClusterShape(shape)
+	if err != nil {
+		return err
 	}
 	if tenantCount < 1 {
 		return fmt.Errorf("-tenants must be positive, got %d", tenantCount)
@@ -547,10 +561,14 @@ func runClusterBench(device gpu.DeviceSpec, shape, modeStr, disciplineStr string
 	if err != nil {
 		return err
 	}
+	if probeWorkers < 0 {
+		return fmt.Errorf("-probe-workers must be >= 0 (<= 1 scans serially), got %d", probeWorkers)
+	}
 	planner, err := cluster.NewPlanner(spec, store)
 	if err != nil {
 		return err
 	}
+	planner.ProbeWorkers = probeWorkers
 	start := time.Now()
 	out, err := planner.Plan(subs)
 	if err != nil {

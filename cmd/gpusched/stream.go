@@ -37,15 +37,18 @@ type ingestArrival struct {
 
 // newStreamServer builds the live dispatcher the ingest endpoint feeds:
 // the fleet archetype profile store sized from -fleet's GPU count, the
-// configured policy, and -shards shards. Ingested workflows must name
-// benchmarks that store covers.
-func newStreamServer(device gpu.DeviceSpec, policy core.Policy, shape string, shards int, seed uint64) (*streamServer, error) {
+// configured policy, -shards shards, and -probe-workers scan workers.
+// Ingested workflows must name benchmarks that store covers.
+func newStreamServer(device gpu.DeviceSpec, policy core.Policy, shape string, shards, probeWorkers int, seed uint64) (*streamServer, error) {
 	_, gpus, err := parseFleetShape(shape)
 	if err != nil {
 		return nil, err
 	}
 	if shards < 0 {
 		return nil, fmt.Errorf("-shards must be >= 0 (0 selects 1 shard), got %d", shards)
+	}
+	if probeWorkers < 0 {
+		return nil, fmt.Errorf("-probe-workers must be >= 0 (<= 1 scans serially), got %d", probeWorkers)
 	}
 	// One-workflow fleet: the arrivals are discarded, only the archetype
 	// profile store matters here.
@@ -58,6 +61,7 @@ func newStreamServer(device gpu.DeviceSpec, policy core.Policy, shape string, sh
 		return nil, err
 	}
 	sched.Shards = shards
+	sched.ProbeWorkers = probeWorkers
 	st, err := sched.NewStreamer(core.StreamConfig{})
 	if err != nil {
 		return nil, err

@@ -35,19 +35,67 @@ func TestParseFleetShape(t *testing.T) {
 	}
 }
 
+// TestParseClusterShape pins the shared shape parser's -cluster face:
+// the same strictness -fleet has (no trailing garbage, no zero or
+// negative counts), with errors naming the right flag and form.
+func TestParseClusterShape(t *testing.T) {
+	n, g, err := parseClusterShape("8x4")
+	if err != nil || n != 8 || g != 4 {
+		t.Fatalf("parseClusterShape = %d, %d, %v", n, g, err)
+	}
+	for _, bad := range []string{
+		"", "x", "8x", "x4", "8x4junk", "junk8x4", "8", "8x4x2",
+		"0x4", "8x0", "-1x4", "8x-4", "1.5x4",
+	} {
+		if _, _, err := parseClusterShape(bad); err == nil {
+			t.Errorf("parseClusterShape(%q) accepted", bad)
+		}
+	}
+	_, _, err = parseClusterShape("0x4")
+	if err == nil || !strings.Contains(err.Error(), "positive") || !strings.Contains(err.Error(), "-cluster") {
+		t.Fatalf("zero-count error = %v", err)
+	}
+	_, _, err = parseClusterShape("banana")
+	if err == nil || !strings.Contains(err.Error(), "NODESxGPUS") {
+		t.Fatalf("garbage error = %v", err)
+	}
+}
+
+func TestRunClusterBenchValidation(t *testing.T) {
+	spec := gpu.MustLookup("A100X")
+	if err := runClusterBench(spec, "4x2junk", "mixed", "fair-share", 2, false, 10, 0, 1); err == nil {
+		t.Fatal("malformed -cluster accepted")
+	}
+	if err := runClusterBench(spec, "4x2", "mixed", "fair-share", 0, false, 10, 0, 1); err == nil {
+		t.Fatal("zero -tenants accepted")
+	}
+	if err := runClusterBench(spec, "4x2", "mixed", "round-robin", 2, false, 10, 0, 1); err == nil {
+		t.Fatal("unknown -discipline accepted")
+	}
+	if err := runClusterBench(spec, "4x2", "mixed", "fair-share", 2, false, 10, -2, 1); err == nil {
+		t.Fatal("negative -probe-workers accepted")
+	}
+	if err := runClusterBench(spec, "4x2", "mixed", "fair-share", 2, true, 200, 2, 1); err != nil {
+		t.Fatalf("cluster bench: %v", err)
+	}
+}
+
 func TestRunFleetBenchValidation(t *testing.T) {
 	spec := gpu.MustLookup("A100X")
 	policy := core.ThroughputPolicy()
-	if err := runFleetBench(spec, policy, "10x8junk", 1, 0, 0, false); err == nil {
+	if err := runFleetBench(spec, policy, "10x8junk", 1, 0, 0, 0, false); err == nil {
 		t.Fatal("malformed -fleet accepted")
 	}
-	if err := runFleetBench(spec, policy, "10x8", 1, -1, 0, false); err == nil {
+	if err := runFleetBench(spec, policy, "10x8", 1, -1, 0, 0, false); err == nil {
 		t.Fatal("negative -shards accepted")
 	}
-	if err := runFleetBench(spec, policy, "10x8", 1, 0, -5, false); err == nil {
+	if err := runFleetBench(spec, policy, "10x8", 1, 0, -2, 0, false); err == nil {
+		t.Fatal("negative -probe-workers accepted")
+	}
+	if err := runFleetBench(spec, policy, "10x8", 1, 0, 0, -5, false); err == nil {
 		t.Fatal("negative -arrivals accepted")
 	}
-	if err := runFleetBench(spec, policy, "200x8", 1, 4, 50, true); err != nil {
+	if err := runFleetBench(spec, policy, "200x8", 1, 4, 2, 50, true); err != nil {
 		t.Fatalf("streamed bench: %v", err)
 	}
 }
@@ -57,7 +105,7 @@ func TestRunFleetBenchValidation(t *testing.T) {
 // snapshot resumes to the same dispatcher elsewhere.
 func TestStreamServerRoundTrip(t *testing.T) {
 	spec := gpu.MustLookup("A100X")
-	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 2, 7)
+	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 2, 2, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +164,7 @@ func TestStreamServerRoundTrip(t *testing.T) {
 
 func TestStreamServerRejections(t *testing.T) {
 	spec := gpu.MustLookup("A100X")
-	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 1, 7)
+	ss, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 1, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,10 +203,13 @@ func TestStreamServerRejections(t *testing.T) {
 		t.Fatalf("GET /ingest status = %d", resp.StatusCode)
 	}
 
-	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "bad-shape", 1, 7); err == nil {
+	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "bad-shape", 1, 0, 7); err == nil {
 		t.Fatal("malformed shape accepted")
 	}
-	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", -1, 7); err == nil {
+	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", -1, 0, 7); err == nil {
 		t.Fatal("negative shards accepted")
+	}
+	if _, err := newStreamServer(spec, core.ThroughputPolicy(), "100x8", 1, -2, 7); err == nil {
+		t.Fatal("negative probe workers accepted")
 	}
 }

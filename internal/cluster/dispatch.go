@@ -275,6 +275,169 @@ func (st *planner) tryPlaceGang(j *job, now simtime.Time) bool {
 	return true
 }
 
+// scanNodes runs one scan round over the nodes (fit probes or
+// preemption what-ifs, per st.scanWhatIf) and returns how many nodes
+// hold valid verdicts. Serial mode scans in spec order with cross-node
+// early exit; parallel mode forks every node's scan over the pool —
+// speculative work past the eventual winner, discarded by the caller's
+// merge.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) scanNodes() int {
+	if st.pool != nil {
+		st.scanBest.Store(int32(len(st.nodes)))
+		st.pool.Run(len(st.nodes), st.scanFn)
+		return len(st.nodes)
+	}
+	for n := range st.nodes {
+		st.scanNode(n)
+		if st.nodes[n].probe.fitGPU >= 0 {
+			return n + 1
+		}
+	}
+	return len(st.nodes)
+}
+
+// scanNode fills one node's buffered verdict for the current round. It
+// is read-only over shared planner state — aggregates, resident lists,
+// and job marks mutate only between rounds, in the serial phases — and
+// writes nothing but its own node's probe slot, which is what makes
+// concurrent node scans race-free. Every probed GPU leaves a trail
+// record; the trail is worker-count invariant because it is replayed
+// serially in node order by the merge.
+//
+// Parallel rounds bound their speculation through scanBest — the
+// lowest node index holding a fit so far. A node above it abandons its
+// scan (the merge stops strictly before its slot) and a node that
+// finds a fit publishes its index with a CAS-min; nodes at or below
+// the final winner always complete, so the merged counters and trail
+// cannot observe the abandonment.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) scanNode(n int) {
+	node := &st.nodes[n]
+	pr := &node.probe
+	pr.fitGPU = -1
+	pr.probes = 0
+	record := st.fl != nil
+	if record {
+		pr.trail = pr.trail[:0]
+	}
+	par := st.pool != nil
+	j, m := st.scanJob, st.scanMember
+	if st.scanWhatIf {
+		for g := range node.gpus {
+			if par && st.scanBest.Load() < int32(n) {
+				return
+			}
+			gs := &node.gpus[g]
+			var fits bool
+			if !record {
+				fits = st.canFitAfterEviction(gs, j, m, pr)
+			} else {
+				// What-if provenance: the digest pair proves the probe left
+				// the aggregate untouched — `restored` must equal `digest`,
+				// and with the read-only fold there is no mutation to
+				// restore from in the first place.
+				digest := gs.agg.Digest()
+				fits = st.canFitAfterEviction(gs, j, m, pr)
+				restored := gs.agg.Digest()
+				//repro:allow:hotpathalloc what-if provenance formats the digest pair; telemetry-off scans never reach this branch
+				detail := fmt.Sprintf("fit=%t digest=%016x restored=%016x", fits, digest, restored)
+				//repro:allow:hotpathalloc trail growth is bounded by the node's GPU count; capacity is retained
+				pr.trail = append(pr.trail, obs.FlightRecord{
+					Seq:      int64(j.seq),
+					Kind:     obs.FlightWhatIf,
+					AtNS:     int64(st.scanNow),
+					Tenant:   j.tenant.spec.Name,
+					Workflow: m.profile.Workflow.Name,
+					Node:     node.spec.Name,
+					GPU:      int32(g),
+					Clients:  int32(len(gs.res)),
+					Detail:   detail,
+				})
+			}
+			if fits {
+				pr.fitGPU = g
+				if par {
+					st.publishBest(n)
+				}
+				return
+			}
+		}
+		return
+	}
+	for g := range node.gpus {
+		if par && st.scanBest.Load() < int32(n) {
+			return
+		}
+		gs := &node.gpus[g]
+		pr.probes++
+		ok, reason := st.probeReason(gs, m, len(gs.res))
+		if record {
+			//repro:allow:hotpathalloc trail growth is bounded by the node's GPU count; capacity is retained
+			pr.trail = append(pr.trail, obs.FlightRecord{
+				Seq:           int64(j.seq),
+				Kind:          obs.FlightProbe,
+				AtNS:          int64(st.scanNow),
+				Tenant:        j.tenant.spec.Name,
+				Workflow:      m.profile.Workflow.Name,
+				Node:          node.spec.Name,
+				GPU:           int32(g),
+				Clients:       int32(len(gs.res)),
+				Rules:         uint8(reason.Rules),
+				SMExcessMilli: reason.SMExcessMilli,
+				BWExcessMilli: reason.BWExcessMilli,
+				MemExcessMiB:  reason.MemExcessMiB,
+			})
+		}
+		if ok {
+			pr.fitGPU = g
+			if par {
+				st.publishBest(n)
+			}
+			return
+		}
+	}
+}
+
+// publishBest CAS-mins this node's index into scanBest so concurrent
+// workers can abandon nodes the merge will never reach.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) publishBest(n int) {
+	for {
+		best := st.scanBest.Load()
+		if best <= int32(n) || st.scanBest.CompareAndSwap(best, int32(n)) {
+			return
+		}
+	}
+}
+
+// mergeScan walks the scanned nodes in spec order, folds each node's
+// probe count into the stats, replays its trail into the flight
+// recorder, and stops at the first node holding a fit — the serial
+// scan's visit order, so counters and trails are byte-identical at any
+// worker count, with everything past the winner discarded exactly as
+// if it were never scanned.
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) mergeScan(scanned int) *gpuState {
+	for n := 0; n < scanned; n++ {
+		node := &st.nodes[n]
+		st.stats.Probes += node.probe.probes
+		if st.fl != nil {
+			for i := range node.probe.trail {
+				st.fl.Record(node.probe.trail[i])
+			}
+		}
+		if node.probe.fitGPU >= 0 {
+			return &node.gpus[node.probe.fitGPU]
+		}
+	}
+	return nil
+}
+
 // findFit scans nodes in spec order and GPUs in index order for the
 // first device that admits the member under the node's sharing mode.
 // Every probe — hit or miss — lands in the flight recorder with its
@@ -282,34 +445,8 @@ func (st *planner) tryPlaceGang(j *job, now simtime.Time) bool {
 //
 //repro:hotpath pinned by TestClusterAdmitAllocs
 func (st *planner) findFit(j *job, m *member, now simtime.Time) *gpuState {
-	for n := range st.nodes {
-		node := &st.nodes[n]
-		for g := range node.gpus {
-			gs := &node.gpus[g]
-			st.stats.Probes++
-			ok, reason := st.probeReason(gs, m, len(gs.res))
-			if st.fl != nil {
-				st.fl.Record(obs.FlightRecord{
-					Seq:           int64(j.seq),
-					Kind:          obs.FlightProbe,
-					AtNS:          int64(now),
-					Tenant:        j.tenant.spec.Name,
-					Workflow:      m.profile.Workflow.Name,
-					Node:          node.spec.Name,
-					GPU:           int32(g),
-					Clients:       int32(len(gs.res)),
-					Rules:         uint8(reason.Rules),
-					SMExcessMilli: reason.SMExcessMilli,
-					BWExcessMilli: reason.BWExcessMilli,
-					MemExcessMiB:  reason.MemExcessMiB,
-				})
-			}
-			if ok {
-				return gs
-			}
-		}
-	}
-	return nil
+	st.scanJob, st.scanMember, st.scanNow, st.scanWhatIf = j, m, now, false
+	return st.mergeScan(st.scanNodes())
 }
 
 // admits probes one GPU under its node's sharing mode.
@@ -337,6 +474,17 @@ func (st *planner) admitsAt(g *gpuState, m *member, residents int) bool {
 //
 //repro:hotpath pinned by TestClusterAdmitAllocs
 func (st *planner) probeReason(g *gpuState, m *member, residents int) (bool, interference.Reason) {
+	return st.probeReasonExcluding(g, m, residents, nil)
+}
+
+// probeReasonExcluding is probeReason with a victim mask: skip[i] true
+// folds resident i out of the spatial admission sums, so a preemption
+// what-if can probe the post-eviction state without mutating the live
+// aggregate. A nil mask is exactly probeReason (AdmitExcluding(nil)
+// degenerates to Admit's O(1) cached-sum path).
+//
+//repro:hotpath pinned by TestClusterAdmitAllocs
+func (st *planner) probeReasonExcluding(g *gpuState, m *member, residents int, skip []bool) (bool, interference.Reason) {
 	node := g.node
 	if residents >= node.cap {
 		return false, interference.Reason{Rules: interference.MaskClientCap}
@@ -355,7 +503,7 @@ func (st *planner) probeReason(g *gpuState, m *member, residents int) (bool, int
 	case ModeTimeSlice:
 		// Temporal sharing: no spatial interference rules, but the
 		// residents still share device memory.
-		out := g.agg.Admit(m.load)
+		out := g.agg.AdmitExcluding(m.load, skip)
 		if !out.Capacity {
 			return true, interference.Reason{}
 		}
@@ -371,7 +519,7 @@ func (st *planner) probeReason(g *gpuState, m *member, residents int) (bool, int
 			// can exert; bandwidth and memory are not partitioned.
 			l.SMPct = node.threadCapPct
 		}
-		out := g.agg.Admit(l)
+		out := g.agg.AdmitExcluding(l, skip)
 		if !out.Interferes() {
 			return true, interference.Reason{}
 		}
@@ -415,56 +563,32 @@ func (st *planner) placeMember(j *job, memberIx int, g *gpuState, now simtime.Ti
 // evictForMember frees room for one member by preempting on the first
 // GPU (node spec order, then index order) where a what-if probe shows
 // the member would fit with every strictly-lower-priority resident gone.
-// On that GPU it evicts whole victim gangs — lowest priority first,
+// The what-if sweep is a scan round like findFit's — read-only, so the
+// pool can fan it across nodes — and only the merged winner proceeds to
+// the serial eviction loop: whole victim gangs — lowest priority first,
 // youngest placement first (least lost work), latest arrival last-resort
-// tie-break — until the member actually fits, and returns the GPU; nil
-// when no GPU's victim set suffices. Targeting one GPU keeps preemption
-// minimal: a commit never strands an eviction that did not make room for
-// the preemptor (victim gangs may still lose members on other GPUs —
-// gang eviction is all-or-nothing, mirroring gang admission).
+// tie-break — are evicted until the member actually fits, and the GPU is
+// returned; nil when no GPU's victim set suffices. Targeting one GPU
+// keeps preemption minimal: a commit never strands an eviction that did
+// not make room for the preemptor (victim gangs may still lose members
+// on other GPUs — gang eviction is all-or-nothing, mirroring gang
+// admission).
 func (st *planner) evictForMember(j *job, m *member, now simtime.Time) *gpuState {
-	for n := range st.nodes {
-		node := &st.nodes[n]
-		for g := range node.gpus {
-			gs := &node.gpus[g]
-			var fits bool
-			if st.fl == nil {
-				fits = st.canFitAfterEviction(gs, j, m)
-			} else {
-				// What-if provenance: the digest pair proves the probe
-				// restored the aggregate bit-for-bit — `restored` must
-				// equal `digest` or the what-if leaked state.
-				digest := gs.agg.Digest()
-				fits = st.canFitAfterEviction(gs, j, m)
-				restored := gs.agg.Digest()
-				st.fl.Record(obs.FlightRecord{
-					Seq:      int64(j.seq),
-					Kind:     obs.FlightWhatIf,
-					AtNS:     int64(now),
-					Tenant:   j.tenant.spec.Name,
-					Workflow: m.profile.Workflow.Name,
-					Node:     node.spec.Name,
-					GPU:      int32(g),
-					Clients:  int32(len(gs.res)),
-					Detail:   fmt.Sprintf("fit=%t digest=%016x restored=%016x", fits, digest, restored),
-				})
-			}
-			if !fits {
-				continue
-			}
-			for !st.admits(gs, m) {
-				v := st.pickVictimOn(gs, j)
-				if v == nil {
-					// Unreachable: the what-if removed exactly the
-					// gangs pickVictimOn iterates.
-					panic("cluster: what-if fit without available victims")
-				}
-				st.evictGang(v)
-			}
-			return gs
-		}
+	st.scanJob, st.scanMember, st.scanNow, st.scanWhatIf = j, m, now, true
+	gs := st.mergeScan(st.scanNodes())
+	if gs == nil {
+		return nil
 	}
-	return nil
+	for !st.admits(gs, m) {
+		v := st.pickVictimOn(gs, j)
+		if v == nil {
+			// Unreachable: the what-if removed exactly the gangs
+			// pickVictimOn iterates.
+			panic("cluster: what-if fit without available victims")
+		}
+		st.evictGang(v)
+	}
+	return gs
 }
 
 // victimable reports whether v may be evicted for preemptor: strictly
@@ -478,31 +602,32 @@ func victimable(v, preemptor *job) bool {
 }
 
 // canFitAfterEviction is the preemption what-if: would m fit on g if
-// every strictly-lower-priority resident left? The probe saves the
-// aggregate, folds out the hypothetical victims, probes, and restores —
-// no resident list mutation, no allocation once the snapshot buffer is
-// warm.
+// every strictly-lower-priority resident left? It is a pure read: the
+// victim mask marks the hypothetical evictees and AdmitExcluding folds
+// the survivors without touching the live aggregate — the cached sums
+// are always the left-fold over the member list, so the masked fold is
+// bit-identical to the old save/remove/probe/restore sequence. Being
+// read-only is what lets scanNodes fan what-ifs across nodes, and what
+// the digest pair in scanNode's provenance record now proves trivially.
 //
 //repro:hotpath pinned by TestClusterAdmitAllocs
-func (st *planner) canFitAfterEviction(g *gpuState, preemptor *job, m *member) bool {
-	st.stats.Probes++
+func (st *planner) canFitAfterEviction(g *gpuState, preemptor *job, m *member, pr *nodeProbe) bool {
+	pr.probes++
+	mask := pr.skip[:0]
 	removed := 0
-	// Scan high to low so RemoveAt's re-fold never shifts an index we
-	// have yet to visit.
-	for i := len(g.res) - 1; i >= 0; i-- {
-		if victimable(g.res[i].job, preemptor) {
-			if removed == 0 {
-				g.agg.Save(&st.whatIf)
-			}
-			g.agg.RemoveAt(i)
+	for i := range g.res {
+		v := victimable(g.res[i].job, preemptor)
+		//repro:allow:hotpathalloc mask growth is bounded by the GPU's resident count; capacity is retained
+		mask = append(mask, v)
+		if v {
 			removed++
 		}
 	}
+	pr.skip = mask
 	if removed == 0 {
 		return false
 	}
-	ok := st.admitsAt(g, m, len(g.res)-removed)
-	g.agg.Restore(&st.whatIf)
+	ok, _ := st.probeReasonExcluding(g, m, len(g.res)-removed, mask)
 	return ok
 }
 

@@ -639,7 +639,7 @@ func TestClusterAdmitAllocs(t *testing.T) {
 	m := &st.jobs[0].members[0]
 	warm := func() {
 		_ = st.findFit(st.jobs[0], m, simtime.Zero)
-		_ = st.canFitAfterEviction(g, st.jobs[1], m)
+		_ = st.canFitAfterEviction(g, st.jobs[1], m, &st.nodes[0].probe)
 		st.saveGPU(g)
 		r := st.acquireResident()
 		st.releaseResident(r)

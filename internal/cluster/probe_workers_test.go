@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gpushare/internal/obs"
+	"gpushare/internal/simtime"
+	"gpushare/internal/workflow"
+)
+
+// probeScenario is a multi-node, preemption-heavy stream for the
+// worker-count identity pins: three MPS nodes plus a time-sliced one,
+// three tenants, mixed gang widths and priorities, enough pressure
+// that fit scans, holds, preemption what-ifs, and evictions all fire.
+func probeScenario() (Spec, []Submission) {
+	spec := Spec{
+		Nodes: []NodeSpec{
+			{Name: "n0", Device: a100x(), GPUs: 2, Mode: ModeMPS, ClientCap: 4},
+			{Name: "n1", Device: a100x(), GPUs: 2, Mode: ModeMPS, ClientCap: 3, MPSActiveThreadPct: 50},
+			{Name: "n2", Device: a100x(), GPUs: 2, Mode: ModeMPS, ClientCap: 4},
+			{Name: "n3", Device: a100x(), GPUs: 1, Mode: ModeTimeSlice, TimeSliceCap: 2},
+		},
+		Tenants: []TenantSpec{
+			{Name: "batch", Weight: 1},
+			{Name: "svc", Weight: 2},
+			{Name: "ml", Weight: 1},
+		},
+		Preemption: true,
+	}
+	tenants := []string{"batch", "svc", "ml"}
+	benches := []string{"small", "big", "small", "huge", "big"}
+	var subs []Submission
+	for i := 0; i < 90; i++ {
+		tn := tenants[i%len(tenants)]
+		bench := benches[i%len(benches)]
+		prio := i % 3
+		name := fmt.Sprintf("j%02d", i)
+		var g workflow.Gang
+		if i%7 == 3 {
+			g = gang(name, wf(name+"-0", bench), wf(name+"-1", "small"))
+		} else {
+			g = workflow.Single(wf(name, bench))
+		}
+		subs = append(subs, sub(float64(i)*3, tn, prio, g))
+	}
+	return spec, subs
+}
+
+// TestClusterProbeWorkerIdentity is the cluster half of the DESIGN.md
+// §16 identity contract: the full outcome (dispatches, evictions, job
+// summaries, stats — Probes included), the flight trail, and the
+// metrics snapshot are byte-identical at any ProbeWorkers count, with
+// preemption what-ifs fanned across nodes in the parallel runs.
+func TestClusterProbeWorkerIdentity(t *testing.T) {
+	store := testStore(t)
+	spec, subs := probeScenario()
+	prev := obs.Active()
+	defer obs.SetActive(prev)
+
+	type result struct {
+		outcome []byte
+		flight  []byte
+		metrics []byte
+		out     *Outcome
+	}
+	run := func(workers int) result {
+		hub := obs.NewHub(nil)
+		obs.SetActive(hub)
+		p, err := NewPlanner(spec, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ProbeWorkers = workers
+		out, err := p.Plan(subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := json.Marshal(hub.Flight.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prom bytes.Buffer
+		if err := hub.Metrics.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return result{outcome: ob, flight: fb, metrics: prom.Bytes(), out: out}
+	}
+
+	ref := run(1)
+	if len(ref.out.Evictions) == 0 || ref.out.Stats.GangHolds == 0 {
+		t.Fatalf("scenario too tame for the identity pin: %d evictions, %d holds",
+			len(ref.out.Evictions), ref.out.Stats.GangHolds)
+	}
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		got := run(workers)
+		if !bytes.Equal(got.outcome, ref.outcome) {
+			t.Fatalf("workers=%d: outcome diverged from serial scan", workers)
+		}
+		if !bytes.Equal(got.flight, ref.flight) {
+			t.Fatalf("workers=%d: flight trail diverged from serial scan", workers)
+		}
+		if !bytes.Equal(got.metrics, ref.metrics) {
+			t.Fatalf("workers=%d: metrics snapshot diverged from serial scan", workers)
+		}
+	}
+}
+
+// TestWhatIfLeavesAggregateUntouched pins the read-only preemption
+// what-if directly: canFitAfterEviction never mutates the live
+// aggregate — not on a fit, not on a miss, not when there are no
+// victims — so the provenance digest pair is two reads of the same
+// state, and concurrent node scans cannot race on it.
+func TestWhatIfLeavesAggregateUntouched(t *testing.T) {
+	store := testStore(t)
+	spec := oneNode(4, "a", "b")
+	spec.Preemption = true
+	p, err := NewPlanner(spec, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := []Submission{
+		sub(0, "a", 0, workflow.Single(wf("low0", "big"))),
+		sub(0, "a", 0, workflow.Single(wf("low1", "small"))),
+		sub(0, "b", 2, workflow.Single(wf("high", "big"))),
+	}
+	st, err := p.newPlanner(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	// Place and commit the two priority-0 jobs by hand so the GPU holds
+	// fully-resident (victimable) gangs.
+	now := simtime.Zero
+	for _, j := range st.jobs[:2] {
+		g := st.findFit(j, &j.members[0], now)
+		if g == nil {
+			t.Fatal("setup job did not fit")
+		}
+		st.placeMember(j, 0, g, now)
+		st.commit(j, now)
+	}
+	g := &st.nodes[0].gpus[0]
+	pr := &st.nodes[0].probe
+	before := g.agg.Digest()
+
+	high, low := st.jobs[2], st.jobs[0]
+	if !st.canFitAfterEviction(g, high, &high.members[0], pr) {
+		t.Fatal("high-priority member should fit once the victims are gone")
+	}
+	if got := g.agg.Digest(); got != before {
+		t.Fatalf("fitting what-if mutated the aggregate: digest %016x, want %016x", got, before)
+	}
+	// No strictly-lower-priority residents for the low job: no victims.
+	if st.canFitAfterEviction(g, low, &low.members[0], pr) {
+		t.Fatal("what-if with no victims must report no fit")
+	}
+	if got := g.agg.Digest(); got != before {
+		t.Fatalf("victimless what-if mutated the aggregate: digest %016x, want %016x", got, before)
+	}
+	// The resident list is untouched too — the what-if is mask-based.
+	if len(g.res) != 2 {
+		t.Fatalf("what-if disturbed the resident list: %d residents, want 2", len(g.res))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gpushare/internal/arena"
 	"gpushare/internal/eventq"
@@ -12,6 +13,7 @@ import (
 	"gpushare/internal/interference"
 	"gpushare/internal/metrics"
 	"gpushare/internal/obs"
+	"gpushare/internal/parallel"
 	"gpushare/internal/profile"
 	"gpushare/internal/simtime"
 	"gpushare/internal/workflow"
@@ -279,6 +281,17 @@ type onlineShard struct {
 	waitHist    *obs.LocalHistogram // admission latency, sim ms
 	depthHist   *obs.LocalHistogram // collocated clients at dispatch
 	serviceHist *obs.LocalHistogram // predicted service time, sim ms
+
+	// Scan results: scan buffers its verdict here instead of touching
+	// shared dispatcher state, so shards can scan concurrently (each
+	// writes only its own slots) and the serial merge in probeRound
+	// replays counters and flight records in shard index order —
+	// byte-identical to the serial early-exit scan. Slots from a shard
+	// the merge never reached are stale, never read: the merge stops at
+	// the winning shard and the serial path stops scanning there too.
+	scanGPU    int                // winning global GPU index, or -1
+	scanProbes int64              // admission checks this scan evaluated
+	trail      []obs.FlightRecord // buffered probe records (telemetry on)
 }
 
 // completionKey is a completion event's payload: the GPU and the
@@ -314,28 +327,52 @@ func (sh *onlineShard) releaseKey(k *completionKey) {
 	sh.keyFree = append(sh.keyFree, k)
 }
 
-// probe scans the shard's GPUs in index order for the first that admits
-// the load, returning its global index or -1. On retry rounds (first
-// false) only dirty GPUs are probed: the rest rejected this same
-// candidate against an unchanged resident set, and an unchanged group
-// and the same candidate yield the same sums, hence the same rejection.
+// scan probes the shard's GPUs in index order for the first that admits
+// the load, stopping there. On retry rounds (first false) only dirty
+// GPUs are probed: the rest rejected this same candidate against an
+// unchanged resident set, and an unchanged group and the same candidate
+// yield the same sums, hence the same rejection.
 //
-// Every evaluated GPU (including client-cap skips) leaves a flight
-// record carrying the typed rule verdict. The record stream is
-// shard-count invariant: shards are probed serially in global index
-// order, the dirty and skip sets are decision properties, and the
-// record names only the global GPU index — never the shard.
+// scan is read-only over shared dispatcher state — it reads aggregates,
+// resident counts, and dirty marks (mutated only between rounds, by
+// retirement) and writes nothing but the shard's own scan slots. That
+// is what lets probeRound run all shards concurrently: the verdict
+// (winning GPU), the probe count, and the flight trail are buffered per
+// shard and merged serially afterward. Every evaluated GPU (including
+// client-cap skips) leaves a trail record carrying the typed rule
+// verdict; the stream is shard- and worker-count invariant because the
+// dirty and skip sets are decision properties and the record names only
+// the global GPU index — never the shard or the worker.
+//
+// In a parallel round, scan bounds its speculation through scanBest,
+// the lowest shard index known to hold an admit: a shard above it
+// abandons its scan (its slots go stale but the merge stops strictly
+// before them), and a shard that finds an admit publishes its index
+// with a CAS-min. Every shard at or below the final winner still
+// completes in full, so the merged counters and trail cannot observe
+// the abandonment — only the wall clock can.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
-func (sh *onlineShard) probe(d *onlineDispatcher, load interference.Load, first bool, seq int64, now simtime.Time) int {
+func (sh *onlineShard) scan(d *onlineDispatcher, si int, load interference.Load, first bool, seq int64, now simtime.Time) {
+	sh.scanGPU = -1
+	sh.scanProbes = 0
+	record := d.fl != nil
+	if record {
+		sh.trail = sh.trail[:0]
+	}
+	par := d.pool != nil
 	for g := range sh.gpus {
+		if par && d.scanBest.Load() < int32(si) {
+			return
+		}
 		gd := &sh.gpus[g]
 		if !first && !gd.dirty {
 			continue
 		}
 		if len(gd.res)+1 > d.clientCap {
-			if d.fl != nil {
-				d.fl.Record(obs.FlightRecord{
+			if record {
+				//repro:allow:hotpathalloc trail growth is bounded by the shard's GPU count; capacity is retained
+				sh.trail = append(sh.trail, obs.FlightRecord{
 					Seq: seq, Kind: obs.FlightProbe, AtNS: int64(now),
 					GPU: int32(sh.lo + g), Clients: int32(len(gd.res)),
 					Rules: uint8(interference.MaskClientCap),
@@ -343,15 +380,16 @@ func (sh *onlineShard) probe(d *onlineDispatcher, load interference.Load, first 
 			}
 			continue
 		}
-		d.stats.Probes++
+		sh.scanProbes++
 		out := gd.agg.Admit(load)
 		admit := !out.Interferes()
 		if d.allowInterfering && !out.Capacity {
 			admit = true
 		}
-		if d.fl != nil {
+		if record {
 			r := out.Reason()
-			d.fl.Record(obs.FlightRecord{
+			//repro:allow:hotpathalloc trail growth is bounded by the shard's GPU count; capacity is retained
+			sh.trail = append(sh.trail, obs.FlightRecord{
 				Seq: seq, Kind: obs.FlightProbe, AtNS: int64(now),
 				GPU: int32(sh.lo + g), Clients: int32(len(gd.res)),
 				Rules:         uint8(r.Rules),
@@ -361,10 +399,18 @@ func (sh *onlineShard) probe(d *onlineDispatcher, load interference.Load, first 
 			})
 		}
 		if admit {
-			return sh.lo + g
+			sh.scanGPU = sh.lo + g
+			if par {
+				for {
+					best := d.scanBest.Load()
+					if best <= int32(si) || d.scanBest.CompareAndSwap(best, int32(si)) {
+						break
+					}
+				}
+			}
+			return
 		}
 	}
-	return -1
 }
 
 // retire removes this shard's residents predicted to have finished by
@@ -433,12 +479,47 @@ type onlineDispatcher struct {
 	// construction (nil when telemetry is disabled — the hot path then
 	// pays one predictable branch per probe and allocates nothing).
 	fl *obs.Flight
+
+	// pool fans shard scans over persistent workers when ProbeWorkers
+	// asked for parallel probing (nil = serial scanning with cross-shard
+	// early exit). scanFn is the prebuilt round closure — built once at
+	// construction so the per-round handoff allocates nothing — and the
+	// scan* fields are its arguments, written by probeRound before the
+	// fork (Gang.Run's channel handoff orders the writes before every
+	// worker read).
+	pool      *parallel.Gang
+	scanFn    func(int)
+	scanLoad  interference.Load
+	scanFirst bool
+	scanSeq   int64
+	scanNow   simtime.Time
+
+	// scanBest is the cooperative early-exit for parallel rounds: the
+	// lowest shard index holding an admit so far (CAS-min, reset to
+	// len(shards) before each fork). Workers abandon shards above it —
+	// safe because the merge stops strictly before those slots, and
+	// every shard at or below the final winner always completes.
+	scanBest atomic.Int32
+}
+
+// close releases the dispatcher's worker pool, if any. planOnline and
+// the streamer call it on teardown; a dispatcher without a pool has
+// nothing to release.
+func (d *onlineDispatcher) close() {
+	if d.pool != nil {
+		d.pool.Close()
+	}
 }
 
 // newOnlineDispatcher builds the sharded admission state. The shard
 // count is clamped to [1, GPUs]; GPU g lives in the shard whose
 // contiguous range contains it, so probing shards in index order visits
 // GPUs in exactly the flat dispatcher's order.
+//
+// ProbeWorkers > 1 with at least two shards arms the parallel scan
+// path: a persistent Gang (width clamped to the shard count) plus the
+// prebuilt round closure. ProbeWorkers <= 1 — the default — keeps the
+// serial scan, so small fleets never pay fork/join overhead.
 func newOnlineDispatcher(s *Scheduler, stats *DispatchStats) *onlineDispatcher {
 	shards := s.Shards
 	if shards < 1 {
@@ -475,7 +556,17 @@ func newOnlineDispatcher(s *Scheduler, stats *DispatchStats) *onlineDispatcher {
 		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
 		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
 		sh.serviceHist = obs.NewLocalHistogram(serviceBoundsMs)
+		sh.scanGPU = -1
 		lo += n
+	}
+	if workers := s.ProbeWorkers; workers > 1 && shards >= 2 {
+		if workers > shards {
+			workers = shards
+		}
+		d.pool = parallel.NewGang(workers)
+		d.scanFn = func(si int) {
+			d.shards[si].scan(d, si, d.scanLoad, d.scanFirst, d.scanSeq, d.scanNow)
+		}
 	}
 	return d
 }
@@ -518,13 +609,59 @@ func (d *onlineDispatcher) nextCompletion() (simtime.Time, bool) {
 	return best, found
 }
 
+// probeRound runs one scan round over the shards and merges the
+// verdicts, returning the winning global GPU index or -1.
+//
+// Serial mode scans shards in index order with cross-shard early exit.
+// Parallel mode forks every shard's scan over the pool — speculative
+// work past the eventual winner — then discards it in the merge. Both
+// modes merge identically: walk the scanned shards in index order,
+// fold each shard's probe count into the stats and replay its trail
+// into the flight recorder, and stop at the first shard holding an
+// admit. The merge order is the serial scan's visit order, so counters
+// and trails are byte-identical at any worker count; shards past the
+// winner contribute nothing, exactly as if they were never scanned.
+//
+//repro:hotpath pinned by TestDispatcherAdmitAllocs
+func (d *onlineDispatcher) probeRound(load interference.Load, first bool, seq int64, now simtime.Time) int {
+	scanned := len(d.shards)
+	if d.pool != nil {
+		d.scanLoad, d.scanFirst, d.scanSeq, d.scanNow = load, first, seq, now
+		d.scanBest.Store(int32(len(d.shards)))
+		d.pool.Run(len(d.shards), d.scanFn)
+	} else {
+		for si := range d.shards {
+			d.shards[si].scan(d, si, load, first, seq, now)
+			if d.shards[si].scanGPU >= 0 {
+				scanned = si + 1
+				break
+			}
+		}
+	}
+	placed := -1
+	for si := 0; si < scanned; si++ {
+		sh := &d.shards[si]
+		d.stats.Probes += sh.scanProbes
+		if d.fl != nil {
+			for i := range sh.trail {
+				d.fl.Record(sh.trail[i])
+			}
+		}
+		if sh.scanGPU >= 0 {
+			placed = sh.scanGPU
+			break
+		}
+	}
+	return placed
+}
+
 // admit runs the wait loop for one arrival: first-fit over GPUs in
-// global index order (shards probed serially, each scanning its
-// contiguous range, stopping at the first admitting GPU), waiting on
-// predicted completions when no GPU admits. It returns the dispatch
-// instant and target, or ok=false when no GPU can ever admit the load.
-// Resident sets are only mutated by retirement; the caller commits the
-// chosen placement with place.
+// global index order (shards scanned serially or concurrently — the
+// merge keeps the outcome identical), waiting on predicted completions
+// when no GPU admits. It returns the dispatch instant and target, or
+// ok=false when no GPU can ever admit the load. Resident sets are only
+// mutated by retirement; the caller commits the chosen placement with
+// place.
 //
 //repro:hotpath pinned by TestDispatcherAdmitAllocs
 func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time, seq int64) (at simtime.Time, gpu int, ok bool) {
@@ -532,13 +669,7 @@ func (d *onlineDispatcher) admit(load interference.Load, arrival simtime.Time, s
 	first := true
 	for {
 		d.retire(now)
-		placed := -1
-		for si := range d.shards {
-			if g := d.shards[si].probe(d, load, first, seq, now); g >= 0 {
-				placed = g
-				break
-			}
-		}
+		placed := d.probeRound(load, first, seq, now)
 		// Clear every shard's dirty set, including shards after an early
 		// exit: the flat dispatcher cleared all marks after each round.
 		for si := range d.shards {
@@ -679,6 +810,7 @@ func (d *onlineDispatcher) mergeObs(hub *obs.Hub, dispatched int64) {
 // changed.
 func (s *Scheduler) dispatchArrivals(plan *OnlinePlan) error {
 	d := newOnlineDispatcher(s, &plan.Stats)
+	defer d.close()
 	for i := range plan.arrivals {
 		ev, err := d.dispatchOne(&plan.arrivals[i], plan.profiles[i], &plan.mem.names)
 		if err != nil {

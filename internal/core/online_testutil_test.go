@@ -4,10 +4,12 @@ import (
 	"gpushare/internal/gpu"
 	"gpushare/internal/interference"
 	"gpushare/internal/obs"
+	"gpushare/internal/parallel"
 )
 
 // testDispatcher builds a sharded dispatcher directly, bypassing the
 // Scheduler, for tests that drive the admission kernel in isolation.
+// It scans serially; testDispatcherWorkers arms the parallel pool.
 func testDispatcher(device gpu.DeviceSpec, gpus, shards int, stats *DispatchStats) *onlineDispatcher {
 	if shards > gpus {
 		shards = gpus
@@ -35,7 +37,25 @@ func testDispatcher(device gpu.DeviceSpec, gpus, shards int, stats *DispatchStat
 		sh.waitHist = obs.NewLocalHistogram(queueWaitBoundsMs)
 		sh.depthHist = obs.NewLocalHistogram(groupOccupancyBounds)
 		sh.serviceHist = obs.NewLocalHistogram(serviceBoundsMs)
+		sh.scanGPU = -1
 		lo += n
+	}
+	return d
+}
+
+// testDispatcherWorkers is testDispatcher with the parallel scan pool
+// armed, mirroring newOnlineDispatcher's ProbeWorkers wiring. Callers
+// must close() the dispatcher.
+func testDispatcherWorkers(device gpu.DeviceSpec, gpus, shards, workers int, stats *DispatchStats) *onlineDispatcher {
+	d := testDispatcher(device, gpus, shards, stats)
+	if workers > 1 && len(d.shards) >= 2 {
+		if workers > len(d.shards) {
+			workers = len(d.shards)
+		}
+		d.pool = parallel.NewGang(workers)
+		d.scanFn = func(si int) {
+			d.shards[si].scan(d, si, d.scanLoad, d.scanFirst, d.scanSeq, d.scanNow)
+		}
 	}
 	return d
 }

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gpushare/internal/interference"
+	"gpushare/internal/obs"
+	"gpushare/internal/simtime"
+)
+
+// TestProbeWorkerIdentity is the worker-count half of the identity
+// contract (DESIGN.md §16): dispatch decisions, the dispatch-log
+// digest, admission stats (including the Probes counter, which the
+// parallel merge must replay with serial early-exit semantics), the
+// flight trail, and the metrics snapshot are byte-identical at any
+// ProbeWorkers count.
+func TestProbeWorkerIdentity(t *testing.T) {
+	arrivals, store, err := GenerateFleet(a100x(), FleetSpec{Workflows: 2000, TargetGPUs: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := obs.Active()
+	defer obs.SetActive(prev)
+
+	type result struct {
+		dispatches []DispatchEvent
+		digest     string
+		stats      DispatchStats
+		flight     []byte
+		metrics    []byte
+	}
+	run := func(workers int) result {
+		hub := obs.NewHub(nil)
+		obs.SetActive(hub)
+		s := fleetScheduler(t, store, 16, 8)
+		s.ProbeWorkers = workers
+		plan, err := s.PlanOnline(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, digest := digestDispatches(t, plan.Dispatches)
+		var prom bytes.Buffer
+		if err := hub.Metrics.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return result{
+			dispatches: plan.Dispatches,
+			digest:     digest,
+			stats:      plan.Stats,
+			flight:     flightBytes(t, hub),
+			metrics:    prom.Bytes(),
+		}
+	}
+
+	ref := run(1)
+	if ref.stats.Waits == 0 {
+		t.Fatal("fleet never exercised the wait loop; the identity check would be vacuous")
+	}
+	for _, workers := range []int{2, 4, 8, runtime.NumCPU()} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.dispatches, ref.dispatches) {
+			t.Fatalf("workers=%d: dispatch decisions diverged from serial scan", workers)
+		}
+		if got.digest != ref.digest {
+			t.Fatalf("workers=%d: dispatch digest %s, serial %s", workers, got.digest, ref.digest)
+		}
+		if got.stats != ref.stats {
+			t.Fatalf("workers=%d: stats %+v diverged from serial %+v", workers, got.stats, ref.stats)
+		}
+		if !bytes.Equal(got.flight, ref.flight) {
+			t.Fatalf("workers=%d: flight trail diverged from serial scan", workers)
+		}
+		if !bytes.Equal(got.metrics, ref.metrics) {
+			t.Fatalf("workers=%d: metrics snapshot diverged from serial scan", workers)
+		}
+	}
+}
+
+// TestStreamProbeWorkerIdentity extends the pin to the streaming path:
+// a parallel-probing streamer's digest equals the serial plan's digest
+// over the same arrivals.
+func TestStreamProbeWorkerIdentity(t *testing.T) {
+	arrivals, store, err := GenerateFleet(a100x(), FleetSpec{Workflows: 1500, TargetGPUs: 16, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := fleetScheduler(t, store, 16, 8)
+	plan, err := serial.PlanOnline(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := digestDispatches(t, plan.Dispatches)
+
+	par := fleetScheduler(t, store, 16, 8)
+	par.ProbeWorkers = 4
+	st, err := par.NewStreamer(StreamConfig{RingCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		if _, err := st.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel stream digest %s, serial plan digest %s", got, want)
+	}
+}
+
+// TestDirtyLaterShardBeforeEarlierAdmit is the dedicated edge case for
+// the wait-loop dirty-set protocol: one wait round retires residents in
+// two shards, the earlier shard admits (ending the round before the
+// later shard's dirty GPU is ever probed), and every shard's dirty mark
+// is cleared. The cleared mark must not hide the later shard's freed
+// GPU from the next arrival — fresh arrivals scan every GPU (first
+// true), so the dirty set only ever narrows retry rounds of the same
+// wait loop. The decision sequence and the Probes counter must be
+// identical to the flat single-shard dispatcher, serial or parallel:
+// the speculative parallel scan of the later shard is discarded by the
+// merge, counters included.
+func TestDirtyLaterShardBeforeEarlierAdmit(t *testing.T) {
+	device := a100x()
+	load := interference.Load{SMPct: 60, BWPct: 10, MemMiB: 1024}
+	sec := simtime.FromSeconds
+	at := func(s float64) simtime.Time { return simtime.Zero.Add(sec(s)) }
+
+	type placement struct {
+		gpu int
+		at  simtime.Time
+	}
+	run := func(shards, workers int) ([]placement, DispatchStats) {
+		var stats DispatchStats
+		d := testDispatcherWorkers(device, 4, shards, workers, &stats)
+		defer d.close()
+		// Fill all four GPUs; GPU 0 (first shard) and GPU 3 (last shard)
+		// both free up at t=10s, the others much later.
+		ends := []simtime.Time{at(10), at(100), at(100), at(10)}
+		for g, end := range ends {
+			d.place(g, load, "filler", end)
+		}
+		var got []placement
+		seq := int64(0)
+		admit := func(at simtime.Time) {
+			t.Helper()
+			when, g, ok := d.admit(load, at, seq)
+			if !ok {
+				t.Fatal("admit failed: a completion always frees capacity")
+			}
+			seq++
+			d.place(g, load, "w", when.Add(sec(1000)))
+			got = append(got, placement{gpu: g, at: when})
+		}
+		// Arrival A at t=0: every GPU rejects, the wait round at t=10
+		// retires GPU 0 and GPU 3 (dirtying both shards), and GPU 0 admits
+		// before GPU 3 is probed.
+		admit(simtime.Zero)
+		// Arrival B right after: GPU 3 is free but its dirty mark was
+		// cleared by A's round — the full first-true scan must find it.
+		admit(at(11))
+		return got, stats
+	}
+
+	wantPlacements := []placement{{gpu: 0, at: at(10)}, {gpu: 3, at: at(11)}}
+	flat, flatStats := run(1, 1)
+	if !reflect.DeepEqual(flat, wantPlacements) {
+		t.Fatalf("flat dispatcher placed %+v, want %+v", flat, wantPlacements)
+	}
+	for _, cfg := range []struct{ shards, workers int }{{2, 1}, {4, 1}, {2, 2}, {4, 4}} {
+		got, stats := run(cfg.shards, cfg.workers)
+		if !reflect.DeepEqual(got, flat) {
+			t.Fatalf("shards=%d workers=%d: placements %+v diverged from flat %+v",
+				cfg.shards, cfg.workers, got, flat)
+		}
+		if stats != flatStats {
+			t.Fatalf("shards=%d workers=%d: stats %+v diverged from flat %+v — the merge must discard speculative probe counts",
+				cfg.shards, cfg.workers, stats, flatStats)
+		}
+	}
+}
+
+// TestDispatcherAdmitAllocsParallel extends the steady-state
+// zero-allocation pin to the parallel scan path: the Gang handoff, the
+// buffered per-shard scans, and the serial merge allocate nothing per
+// arrival once warm — no per-arrival goroutine spawns.
+func TestDispatcherAdmitAllocsParallel(t *testing.T) {
+	device := a100x()
+	var stats DispatchStats
+	d := testDispatcherWorkers(device, 8, 4, 4, &stats)
+	defer d.close()
+	if d.pool == nil {
+		t.Fatal("parallel pool not armed")
+	}
+	load := interference.Load{SMPct: 30, BWPct: 20, MemMiB: 1024}
+	hold := simtime.FromSeconds(100)
+	now := simtime.Zero
+	seq := int64(0)
+	place := func() {
+		at, g, ok := d.admit(load, now, seq)
+		if !ok {
+			t.Fatal("admit failed: load should always fit eventually")
+		}
+		seq++
+		d.place(g, load, "w", at.Add(hold))
+		now = now.Add(simtime.FromSeconds(1))
+	}
+	for i := 0; i < 128; i++ { // warm freelists, heaps, trail capacity, worker stacks
+		place()
+	}
+	allocs := testing.AllocsPerRun(200, func() { place() })
+	if allocs != 0 {
+		t.Fatalf("parallel admit+place allocated %.1f objects per arrival, want 0", allocs)
+	}
+	if stats.Waits == 0 || stats.Completions == 0 {
+		t.Fatalf("pin never exercised the wait loop (waits=%d completions=%d)", stats.Waits, stats.Completions)
+	}
+}
+
+// TestDispatcherAdmitAllocsParallelFlightEnabled adds the telemetry-on
+// variant: buffered trails replayed into the flight ring, still zero
+// allocations per arrival.
+func TestDispatcherAdmitAllocsParallelFlightEnabled(t *testing.T) {
+	prev := obs.SetActive(obs.NewHub(nil))
+	defer obs.SetActive(prev)
+
+	device := a100x()
+	var stats DispatchStats
+	d := testDispatcherWorkers(device, 8, 4, 4, &stats)
+	defer d.close()
+	if d.fl == nil {
+		t.Fatal("dispatcher did not capture the active flight recorder")
+	}
+	load := interference.Load{SMPct: 30, BWPct: 20, MemMiB: 1024}
+	hold := simtime.FromSeconds(100)
+	now := simtime.Zero
+	seq := int64(0)
+	place := func() {
+		at, g, ok := d.admit(load, now, seq)
+		if !ok {
+			t.Fatal("admit failed: load should always fit eventually")
+		}
+		seq++
+		d.place(g, load, "w", at.Add(hold))
+		now = now.Add(simtime.FromSeconds(1))
+	}
+	for i := 0; i < 128; i++ {
+		place()
+	}
+	allocs := testing.AllocsPerRun(200, func() { place() })
+	if allocs != 0 {
+		t.Fatalf("parallel admit+place with flight recording allocated %.1f objects per arrival, want 0", allocs)
+	}
+	if d.fl.Snapshot().Total == 0 {
+		t.Fatal("pin never recorded a flight record")
+	}
+}

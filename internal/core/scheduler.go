@@ -97,6 +97,13 @@ type Scheduler struct {
 	// Dispatch decisions are byte-identical at any shard count
 	// (DESIGN.md §14).
 	Shards int
+	// ProbeWorkers widens the online dispatcher's per-arrival shard scan
+	// over that many persistent workers; <= 1 — the default — scans
+	// serially, and values beyond the shard count are clamped. Parallel
+	// scanning needs at least two shards to engage. Dispatch decisions,
+	// stats, flight trails, and stream digests are byte-identical at any
+	// worker count (DESIGN.md §16).
+	ProbeWorkers int
 	// Cache optionally memoizes simulation runs across Execute calls;
 	// nil runs uncached.
 	Cache *parallel.Cache

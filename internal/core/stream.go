@@ -194,6 +194,7 @@ func (st *Streamer) Finish() (string, error) {
 		return "", fmt.Errorf("core: Finish called twice")
 	}
 	st.finished = true
+	st.d.close()
 	for i := 0; i < st.ring.Len(); i++ {
 		if err := st.spillLine(st.ring.At(i)); err != nil {
 			return "", err

@@ -116,6 +116,35 @@ func (a *Aggregate) Admit(l Load) Outcome {
 	return a.outcome(a.smSum+l.SMPct, a.bwSum+l.BWPct, a.memSum+l.MemMiB)
 }
 
+// AdmitExcluding probes "group − skipped members + candidate" without
+// mutating the group: the read-only form of the preemption what-if the
+// cluster planner used to run as Save / RemoveAt×k / Admit / Restore.
+// skip[i] true drops member i from the fold; indices past len(skip) are
+// kept, and a nil skip is exactly Admit. Bit-identity holds by the fold
+// contract: RemoveAt re-folds the survivors left to right, so the sums
+// it would cache equal the left-to-right fold over the surviving
+// subsequence computed here — same terms, same order, same rounding.
+// O(members) with skip, O(1) without; never allocates, never writes, so
+// concurrent AdmitExcluding probes over one aggregate are race-free.
+//
+//repro:hotpath pinned by TestAggregateAdmitAllocs
+func (a *Aggregate) AdmitExcluding(l Load, skip []bool) Outcome {
+	if skip == nil {
+		return a.Admit(l)
+	}
+	var sm, bw float64
+	var mem int64
+	for i := range a.loads {
+		if i < len(skip) && skip[i] {
+			continue
+		}
+		sm += a.loads[i].SMPct
+		bw += a.loads[i].BWPct
+		mem += a.loads[i].MemMiB
+	}
+	return a.outcome(sm+l.SMPct, bw+l.BWPct, mem+l.MemMiB)
+}
+
 // Current evaluates the rules for the group as it stands.
 func (a *Aggregate) Current() Outcome {
 	return a.outcome(a.smSum, a.bwSum, a.memSum)

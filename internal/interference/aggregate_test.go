@@ -145,6 +145,149 @@ func TestAggregateAdmitAllocs(t *testing.T) {
 	}
 }
 
+// outcomesBitEqual compares two probe outcomes bit for bit on the float
+// fields, so NaN-valued sums (reachable under fuzzing) compare equal to
+// themselves.
+func outcomesBitEqual(a, b Outcome) bool {
+	return math.Float64bits(a.CombinedSMUtilPct) == math.Float64bits(b.CombinedSMUtilPct) &&
+		math.Float64bits(a.CombinedBWUtilPct) == math.Float64bits(b.CombinedBWUtilPct) &&
+		a.CombinedMaxMemMiB == b.CombinedMaxMemMiB &&
+		a.DeviceMemMiB == b.DeviceMemMiB &&
+		a.Compute == b.Compute && a.Bandwidth == b.Bandwidth && a.Capacity == b.Capacity
+}
+
+// TestAggregateAdmitExcludingMatchesMutatingWhatIf pins the read-only
+// what-if against the mutating sequence it replaces: for every skip
+// mask, AdmitExcluding must return bit-for-bit the Outcome of
+// Save / RemoveAt(high→low) / Admit / Restore — and must leave the
+// aggregate's digest untouched, which the mutating form only restores.
+func TestAggregateAdmitExcludingMatchesMutatingWhatIf(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	members := []Load{
+		{SMPct: 33.3, BWPct: 11.1, MemMiB: 20480},
+		{SMPct: 0.1, BWPct: 66.6, MemMiB: 4096},
+		{SMPct: 28.7, BWPct: 9.9, MemMiB: 30000},
+		{SMPct: 12.5, BWPct: 3.125, MemMiB: 8192},
+		{SMPct: 99.999, BWPct: 0.001, MemMiB: 1},
+	}
+	for _, l := range members {
+		agg.Add(l)
+	}
+	cand := Load{SMPct: 30.0, BWPct: 10.0, MemMiB: 40960}
+
+	var snap Snapshot
+	for mask := 0; mask < 1<<len(members); mask++ {
+		skip := make([]bool, len(members))
+		for i := range skip {
+			skip[i] = mask&(1<<i) != 0
+		}
+		before := agg.Digest()
+		got := agg.AdmitExcluding(cand, skip)
+		if d := agg.Digest(); d != before {
+			t.Fatalf("mask %05b: AdmitExcluding mutated the aggregate: digest %016x -> %016x", mask, before, d)
+		}
+
+		// The mutating reference: remove skipped members high-to-low (the
+		// planner's historical order), probe, restore.
+		agg.Save(&snap)
+		for i := len(members) - 1; i >= 0; i-- {
+			if skip[i] {
+				agg.RemoveAt(i)
+			}
+		}
+		want := agg.Admit(cand)
+		agg.Restore(&snap)
+
+		if !outcomesBitEqual(got, want) {
+			t.Fatalf("mask %05b: AdmitExcluding diverged from mutating what-if:\ngot  %+v\nwant %+v", mask, got, want)
+		}
+	}
+
+	// nil skip is exactly Admit; a short mask keeps the unmasked tail.
+	if got, want := agg.AdmitExcluding(cand, nil), agg.Admit(cand); !outcomesBitEqual(got, want) {
+		t.Fatalf("AdmitExcluding(nil) = %+v, want Admit = %+v", got, want)
+	}
+	short := []bool{true}
+	agg.Save(&snap)
+	agg.RemoveAt(0)
+	want := agg.Admit(cand)
+	agg.Restore(&snap)
+	if got := agg.AdmitExcluding(cand, short); !outcomesBitEqual(got, want) {
+		t.Fatalf("AdmitExcluding(short mask) = %+v, want %+v", got, want)
+	}
+}
+
+// TestAggregateAdmitExcludingAllocs pins the read-only what-if at zero
+// allocations — the cluster planner runs one per (GPU, preemptor) pair,
+// concurrently across nodes.
+func TestAggregateAdmitExcludingAllocs(t *testing.T) {
+	device := gpu.MustLookup("A100X")
+	agg := NewAggregate(device)
+	for i := 0; i < 16; i++ {
+		agg.Add(Load{SMPct: 7, BWPct: 5, MemMiB: 4096})
+	}
+	skip := make([]bool, 16)
+	for i := 0; i < 16; i += 3 {
+		skip[i] = true
+	}
+	cand := Load{SMPct: 25, BWPct: 60, MemMiB: 30000}
+	var sink bool
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = agg.AdmitExcluding(cand, skip).Interferes()
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("AdmitExcluding allocated %.1f objects per probe, want 0", allocs)
+	}
+}
+
+// FuzzAdmitExcludingMatchesRemove drives random members and skip masks
+// through both what-if forms and requires bit-equal outcomes plus an
+// unchanged digest on the read-only side.
+func FuzzAdmitExcludingMatchesRemove(f *testing.F) {
+	f.Add(50.0, 30.0, int64(20000), 60.0, 80.0, int64(30000), 10.0, 5.0, int64(100), uint8(3))
+	f.Add(0.0, 0.0, int64(0), 0.0, 0.0, int64(0), 0.0, 0.0, int64(0), uint8(7))
+	f.Add(-5.0, 200.0, int64(-100), math.MaxFloat64, 1e-300, int64(1<<40), 0.3, 0.7, int64(7), uint8(0))
+	f.Fuzz(func(t *testing.T, sm1, bw1 float64, mem1 int64,
+		sm2, bw2 float64, mem2 int64, sm3, bw3 float64, mem3 int64, mask uint8) {
+		device := gpu.MustLookup("A100X")
+		agg := NewAggregate(device)
+		loads := []Load{
+			{SMPct: sm1, BWPct: bw1, MemMiB: mem1},
+			{SMPct: sm2, BWPct: bw2, MemMiB: mem2},
+			{SMPct: sm3, BWPct: bw3, MemMiB: mem3},
+		}
+		for _, l := range loads {
+			agg.Add(l)
+		}
+		skip := make([]bool, len(loads))
+		for i := range skip {
+			skip[i] = mask&(1<<i) != 0
+		}
+		cand := Load{SMPct: sm1 + sm3, BWPct: bw2, MemMiB: mem1}
+
+		before := agg.Digest()
+		got := agg.AdmitExcluding(cand, skip)
+		if d := agg.Digest(); d != before {
+			t.Fatalf("AdmitExcluding mutated the aggregate: %016x -> %016x", before, d)
+		}
+
+		var snap Snapshot
+		agg.Save(&snap)
+		for i := len(loads) - 1; i >= 0; i-- {
+			if skip[i] {
+				agg.RemoveAt(i)
+			}
+		}
+		want := agg.Admit(cand)
+		agg.Restore(&snap)
+		if !outcomesBitEqual(got, want) {
+			t.Fatalf("read-only what-if diverged:\ngot  %+v\nwant %+v", got, want)
+		}
+	})
+}
+
 // TestAggregateMutateAllocs pins Add and RemoveAt at zero allocations
 // once capacity is warm: the runtime half of their //repro:hotpath
 // annotations (Add's amortized growth is excused by warmed capacity,

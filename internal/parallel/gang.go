@@ -1,0 +1,128 @@
+package parallel
+
+import "sync/atomic"
+
+// Gang is a persistent fork/join pool for latency-critical fan-outs on
+// a hot path: the decision plane probes every dispatcher shard (or every
+// cluster node) per arrival, and spawning goroutines per arrival would
+// dominate the probe cost it is trying to hide. A Gang spawns its helper
+// goroutines once, parks them on buffered wake channels, and reuses them
+// for every Run — the steady-state handoff is two zero-byte channel
+// operations per helper and allocates nothing.
+//
+// Run(n, fn) executes fn(0..n-1) exactly once each, distributing indices
+// over the helpers and the calling goroutine by an atomic work-stealing
+// cursor. Which worker executes which index is nondeterministic; callers
+// preserve the determinism contract (DESIGN.md §7) by making fn(i) write
+// only to slot i's private state and merging the slots serially after
+// Run returns — the merge order, not the execution order, is what the
+// output can observe.
+//
+// A Gang is single-owner: Run and Close must be called from one
+// goroutine at a time, and fn must not call Run on the same Gang.
+type Gang struct {
+	// fn and n are the current round's work, written by Run before the
+	// helpers are woken; the channel send/receive pair orders the writes
+	// before every helper read.
+	fn func(int)
+	n  int32
+
+	// next is the work-stealing cursor: each worker claims index
+	// next.Add(1)-1 until it passes n.
+	next atomic.Int32
+
+	// wake has one buffered channel per helper; closing them stops the
+	// helpers. done is shared: each woken helper sends exactly one token
+	// when the round's indices are exhausted.
+	wake []chan struct{}
+	done chan struct{}
+
+	closed bool
+}
+
+// NewGang returns a pool of the given total width: workers-1 persistent
+// helper goroutines plus the caller, who participates in every Run.
+// Width is clamped to at least 1; a width-1 Gang has no helpers and Run
+// degenerates to a serial loop. Close releases the helpers.
+func NewGang(workers int) *Gang {
+	if workers < 1 {
+		workers = 1
+	}
+	g := &Gang{done: make(chan struct{}, workers-1)}
+	for w := 1; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		g.wake = append(g.wake, ch)
+		go g.serve(ch)
+	}
+	return g
+}
+
+// Workers returns the pool's total width including the caller.
+func (g *Gang) Workers() int { return len(g.wake) + 1 }
+
+// serve is one helper's loop: park on the wake channel, drain indices,
+// report done. The channel receive orders this helper's reads of fn and
+// n after Run's writes; the done send orders them before Run's return.
+func (g *Gang) serve(wake chan struct{}) {
+	for range wake {
+		g.work()
+		g.done <- struct{}{}
+	}
+}
+
+// work drains the cursor until the round's indices are exhausted.
+func (g *Gang) work() {
+	n := g.n
+	for {
+		i := g.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		//repro:allow:hotpathalloc indirect fan-out target; callers pass prebuilt scan closures pinned allocation-free by their own tests
+		g.fn(int(i))
+	}
+}
+
+// Run executes fn(0..n-1) once each across the pool and returns when all
+// n calls have completed. fn runs concurrently with itself; see the type
+// comment for the determinism discipline. Steady-state Run performs no
+// allocations: pass a prebuilt fn (a stored closure or method value),
+// not a literal capturing per-call state.
+//
+//repro:hotpath pinned by TestGangRunAllocs
+func (g *Gang) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if len(g.wake) == 0 || n == 1 {
+		for i := 0; i < n; i++ {
+			//repro:allow:hotpathalloc indirect fan-out target; callers pass prebuilt scan closures pinned allocation-free by their own tests
+			fn(i)
+		}
+		return
+	}
+	g.fn, g.n = fn, int32(n)
+	g.next.Store(0)
+	for _, ch := range g.wake {
+		ch <- struct{}{}
+	}
+	g.work()
+	for range g.wake {
+		<-g.done
+	}
+	g.fn = nil
+}
+
+// Close stops the helper goroutines. The Gang must not be used after
+// Close; Close is idempotent. A Gang that is never closed leaks its
+// parked helpers until process exit — owners with a lifecycle (the
+// online dispatcher, the cluster planner) close on teardown.
+func (g *Gang) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.wake {
+		close(ch)
+	}
+}
